@@ -1,0 +1,52 @@
+//! Criterion benches over the experiment harness: one bench per
+//! table/figure, so `cargo bench` regenerates every evaluation artifact
+//! (the printed series come from the same functions the `repro` binary
+//! uses). Sample counts are kept low — each iteration is a full simulated
+//! cluster run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::experiments;
+
+fn bench_all_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let targets: Vec<(&str, fn() -> experiments::Series)> = vec![
+        ("e1_split_sweep", experiments::e1),
+        ("e2_vs_mapreduce", experiments::e2),
+        ("e3_gnmf_scaleout", experiments::e3),
+        ("e4_rsvd_scaleout", experiments::e4),
+        ("e5_prediction", experiments::e5),
+        ("e6_slots_sweep", experiments::e6),
+        ("e7_cost_vs_deadline", experiments::e7),
+        ("e8_pareto", experiments::e8),
+        ("e9_chain_ablation", experiments::e9),
+        ("e10_budget", experiments::e10),
+        ("e11_fault_tolerance", experiments::e11),
+        ("e12_tile_size", experiments::e12),
+        ("e13_billing_ablation", experiments::e13),
+        ("e14_fusion_ablation", experiments::e14),
+        ("e15_predictor_comparison", experiments::e15),
+        ("e16_replication", experiments::e16),
+        ("t1_catalog", experiments::t1),
+        ("t2_calibration", experiments::t2),
+        ("t3_chosen_deployments", experiments::t3),
+        ("t4_error_summary", experiments::t4),
+    ];
+    for (name, f) in targets {
+        group.bench_function(name, |b| b.iter(|| black_box(f())));
+    }
+    group.finish();
+
+    // Print each series once so `cargo bench` output doubles as the
+    // evaluation artifact.
+    for s in experiments::all() {
+        println!("{}", s.render());
+    }
+}
+
+criterion_group!(benches, bench_all_experiments);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the tile kernels — the per-task costs the
+//! whole system's performance model is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cumulon::matrix::gen;
+use cumulon::matrix::serialize::{decode_tile, encode_tile};
+use cumulon::matrix::{CsrTile, DenseTile, Tile};
+
+fn bench_dense_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_gemm");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 128, 256] {
+        let a = gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| DenseTile::matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Kernel shoot-out: streaming vs cache-blocked at a representative size.
+    let mut group = c.benchmark_group("gemm_kernels_256");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = gen::dense_uniform_tile(3, 0, 0, 256, 256, -1.0, 1.0);
+    let b = gen::dense_uniform_tile(4, 0, 0, 256, 256, -1.0, 1.0);
+    group.bench_function("streaming", |bench| {
+        bench.iter(|| {
+            let mut out = DenseTile::zeros(256, 256);
+            DenseTile::gemm_acc_streaming(&mut out, black_box(&a), black_box(&b)).unwrap();
+            out
+        })
+    });
+    group.bench_function("blocked", |bench| {
+        bench.iter(|| {
+            let mut out = DenseTile::zeros(256, 256);
+            DenseTile::gemm_acc_blocked(&mut out, black_box(&a), black_box(&b)).unwrap();
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for density in [0.01, 0.1] {
+        let s = gen::sparse_uniform_tile(3, 0, 0, 256, 256, density);
+        let d = gen::dense_uniform_tile(4, 0, 0, 256, 256, -1.0, 1.0);
+        group.bench_function(format!("256x256@{density}"), |bench| {
+            bench.iter(|| {
+                let mut out = DenseTile::zeros(256, 256);
+                s.spmm_acc(&mut out, black_box(&d)).unwrap();
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let a = gen::sparse_uniform_tile(5, 0, 0, 256, 256, 0.05);
+    let b = gen::sparse_uniform_tile(6, 0, 0, 256, 256, 0.05);
+    c.bench_function("spgemm_256@5%", |bench| {
+        bench.iter(|| black_box(&a).spgemm(black_box(&b)).unwrap())
+    });
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let a = gen::dense_uniform_tile(7, 0, 0, 512, 512, -1.0, 1.0);
+    c.bench_function("dense_transpose_512", |bench| {
+        bench.iter(|| black_box(&a).transpose())
+    });
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let dense = Tile::dense(gen::dense_uniform_tile(8, 0, 0, 256, 256, -1.0, 1.0));
+    let sparse = Tile::sparse(gen::sparse_uniform_tile(9, 0, 0, 256, 256, 0.05));
+    c.bench_function("encode_dense_256", |b| {
+        b.iter(|| encode_tile(black_box(&dense)))
+    });
+    c.bench_function("encode_sparse_256", |b| {
+        b.iter(|| encode_tile(black_box(&sparse)))
+    });
+    let bytes = encode_tile(&dense);
+    c.bench_function("decode_dense_256", |b| {
+        b.iter(|| decode_tile(black_box(bytes.clone())).unwrap())
+    });
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let d = gen::sparse_uniform_tile(10, 0, 0, 512, 512, 0.02).to_dense();
+    c.bench_function("csr_from_dense_512@2%", |b| {
+        b.iter(|| CsrTile::from_dense(black_box(&d)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_gemm,
+    bench_spmm,
+    bench_spgemm,
+    bench_transpose,
+    bench_serialization,
+    bench_csr_build
+);
+criterion_main!(benches);

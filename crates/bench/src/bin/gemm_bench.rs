@@ -1,0 +1,34 @@
+//! Quick GEMM kernel shoot-out (streaming vs cache-blocked), printed as
+//! a table. For statistically-rigorous numbers use `cargo bench` instead.
+
+use cumulon::matrix::gen;
+use cumulon::matrix::DenseTile;
+use std::time::Instant;
+
+fn main() {
+    for n in [128usize, 256, 512, 1024] {
+        let a = gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
+        let reps = (512 / n).max(1);
+        let mut c = DenseTile::zeros(n, n);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            DenseTile::gemm_acc_streaming(&mut c, &a, &b).unwrap();
+        }
+        let stream = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            DenseTile::gemm_acc_blocked(&mut c, &a, &b).unwrap();
+        }
+        let blocked = t0.elapsed().as_secs_f64() / reps as f64;
+        let gf = 2.0 * (n as f64).powi(3) / 1e9;
+        println!(
+            "n={n}: streaming {:.1}ms ({:.2} GF/s)  blocked {:.1}ms ({:.2} GF/s)  speedup {:.2}x",
+            stream * 1e3,
+            gf / stream,
+            blocked * 1e3,
+            gf / blocked,
+            stream / blocked
+        );
+    }
+}

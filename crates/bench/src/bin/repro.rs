@@ -1,0 +1,44 @@
+//! `repro` — regenerates every table and figure of the reproduced
+//! evaluation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro            # everything
+//! cargo run --release -p bench --bin repro e2 e7 t1   # selected ids
+//! ```
+
+use bench::experiments;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let series = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::all()
+    } else {
+        let mut out = Vec::new();
+        for id in &args {
+            match experiments::by_id(id) {
+                Some(s) => out.push(s),
+                None => {
+                    eprintln!(
+                        "unknown experiment '{id}' (valid: e1..e16, t1..t4, all; add --json for machine-readable output)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+    if json {
+        let items: Vec<String> = series.iter().map(experiments::Series::to_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for s in series {
+            println!("{}", s.render());
+        }
+    }
+}

@@ -1,0 +1,1453 @@
+//! The experiment suite (E1–E10, T1–T4) reconstructed from the paper's
+//! abstract and public narrative; see DESIGN.md for the index and
+//! EXPERIMENTS.md for expected-vs-measured shapes.
+//!
+//! Every experiment returns a [`Series`] — a named table of rows — so the
+//! `repro` binary, the criterion benches and the documentation all consume
+//! the same code path. Experiments run in *simulated* (phantom) mode at
+//! paper scale: real tile math is covered by the test suites at small
+//! scale; here the subject is time-and-dollars behaviour.
+
+use std::collections::BTreeMap;
+
+use cumulon::core::calibrate::{calibrate, CalibrationConfig};
+use cumulon::core::lower::{build_plan, instantiate, FixedSplit};
+use cumulon::core::physical::MulSplit;
+use cumulon::matrix::tile::ElemOp;
+use cumulon::prelude::*;
+use cumulon::workloads::gnmf::Gnmf;
+use cumulon::workloads::rsvd::Rsvd;
+
+/// A printable experiment result: header plus rows.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Experiment id, e.g. `"E2"`.
+    pub id: &'static str,
+    /// What the experiment shows.
+    pub title: &'static str,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Series {
+    fn new(id: &'static str, title: &'static str, header: &[&str]) -> Self {
+        Series {
+            id,
+            title,
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders as a JSON object (hand-rolled; the only JSON this repo
+    /// emits, so a serializer dependency isn't warranted).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let header = self
+            .header
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells = r
+                    .iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("[{cells}]")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":[{header}],\"rows\":[{rows}]}}",
+            esc(self.id),
+            esc(self.title)
+        )
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn optimizer() -> Optimizer {
+    Optimizer::new(idealized_cost_model())
+}
+
+fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn square_multiply(n: usize) -> (Program, BTreeMap<String, InputDesc>, MatrixMeta) {
+    let meta = MatrixMeta::new(n, n, 1_000);
+    let mut pb = ProgramBuilder::new();
+    let a = pb.input("A");
+    let b = pb.input("B");
+    let m = pb.mul(a, b);
+    pb.output("C", m);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("A".to_string(), InputDesc::dense(meta).generated());
+    inputs.insert("B".to_string(), InputDesc::dense(meta).generated());
+    (pb.build(), inputs, meta)
+}
+
+fn provision_with_gen(
+    instance: &str,
+    nodes: u32,
+    slots: u32,
+    meta: MatrixMeta,
+    names: &[&str],
+) -> Cluster {
+    let cluster =
+        Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).expect("provision");
+    for (i, name) in names.iter().enumerate() {
+        cluster
+            .store()
+            .register_generated(name, meta, Generator::DenseGaussian { seed: i as u64 + 1 })
+            .expect("register");
+    }
+    cluster
+}
+
+// ---------------------------------------------------------------------------
+// E1: multiply split sweep
+// ---------------------------------------------------------------------------
+
+/// E1 — job time vs. the multiply split choice is U-shaped; the cost-based
+/// chooser lands near the bottom.
+pub fn e1() -> Series {
+    let mut s = Series::new(
+        "E1",
+        "multiply job time vs split (16k x 16k x 16k, c1.xlarge x10, 8 slots)",
+        &["ri", "rj", "rk", "tasks", "sim time (s)", "chosen"],
+    );
+    let (program, inputs, meta) = square_multiply(16_000);
+    let opt = optimizer();
+
+    // Which split does the cost-based chooser pick?
+    let cluster = provision_with_gen("c1.xlarge", 10, 8, meta, &["A", "B"]);
+    let est_plan = {
+        let coeffs = *opt.model().for_instance("c1.xlarge").unwrap();
+        let view = cumulon::core::estimate::ClusterView {
+            instance: cumulon::cluster::instances::by_name("c1.xlarge").unwrap(),
+            nodes: 10,
+            slots: 8,
+            replication: 3,
+        };
+        let chooser = cumulon::core::deploy::CostBasedChooser { coeffs, view };
+        build_plan(&program, &inputs, &chooser, "pick").unwrap()
+    };
+    let chosen = match &est_plan.jobs[0] {
+        cumulon::core::physical::PhysJob::Mul { split, .. } => *split,
+        _ => MulSplit::unit(),
+    };
+
+    for (ri, rj, rk) in [
+        (1usize, 1usize, 1usize),
+        (1, 1, 4),
+        (1, 1, 16),
+        (2, 2, 4),
+        (2, 2, 16),
+        (4, 4, 4),
+        (4, 4, 16),
+        (8, 8, 16),
+        (16, 16, 16),
+    ] {
+        let split = MulSplit { ri, rj, rk };
+        let cluster = provision_with_gen("c1.xlarge", 10, 8, meta, &["A", "B"]);
+        let plan = build_plan(&program, &inputs, &FixedSplit(split, 4), "t").unwrap();
+        let dag = instantiate(&plan, cluster.store()).unwrap();
+        let report = cluster.run(&dag, ExecMode::Simulated).unwrap();
+        let tasks = plan.jobs.iter().map(|j| j.task_count()).sum::<usize>();
+        s.push(vec![
+            ri.to_string(),
+            rj.to_string(),
+            rk.to_string(),
+            tasks.to_string(),
+            f(report.makespan_s),
+            if split == chosen {
+                "<-- optimizer".into()
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    // Run the optimizer's own choice too (may coincide with a row above).
+    let dag = instantiate(&est_plan, cluster.store()).unwrap();
+    let report = cluster.run(&dag, ExecMode::Simulated).unwrap();
+    s.push(vec![
+        chosen.ri.to_string(),
+        chosen.rj.to_string(),
+        chosen.rk.to_string(),
+        est_plan
+            .jobs
+            .iter()
+            .map(|j| j.task_count())
+            .sum::<usize>()
+            .to_string(),
+        f(report.makespan_s),
+        "(optimizer's pick)".into(),
+    ]);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E2: Cumulon vs MapReduce baseline, dimension sweep
+// ---------------------------------------------------------------------------
+
+/// E2 — Cumulon vs the SystemML-on-MapReduce-style baseline on square
+/// multiply, growing dimension.
+pub fn e2() -> Series {
+    let mut s = Series::new(
+        "E2",
+        "dense multiply: Cumulon vs MapReduce baseline (c1.xlarge x8, 8 slots)",
+        &["n", "cumulon (s)", "mapreduce (s)", "speedup"],
+    );
+    let opt = optimizer();
+    for n in [4_000usize, 8_000, 12_000, 16_000, 20_000] {
+        let (program, inputs, meta) = square_multiply(n);
+        let cluster = provision_with_gen("c1.xlarge", 8, 8, meta, &["A", "B"]);
+        let cumulon_s = opt
+            .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+            .unwrap()
+            .makespan_s;
+
+        let spec = ClusterSpec::named("c1.xlarge", 8, 8).unwrap();
+        let store = TileStore::new(Dfs::new(spec.nodes, DfsConfig::default()));
+        for (i, name) in ["A", "B"].iter().enumerate() {
+            store
+                .register_generated(name, meta, Generator::DenseGaussian { seed: i as u64 + 1 })
+                .unwrap();
+        }
+        let engine = MrEngine::new(spec, store, HardwareModel::default(), MrConfig::default());
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "A".into(),
+            b: "B".into(),
+            out: "C".into(),
+            strategy: MulStrategy::Auto,
+        });
+        let mr_s = prog
+            .execute(&engine, ExecMode::Simulated)
+            .unwrap()
+            .makespan_s;
+        s.push(vec![
+            n.to_string(),
+            f(cumulon_s),
+            f(mr_s),
+            format!("{:.1}x", mr_s / cumulon_s),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E3: GNMF iteration vs cluster size, Cumulon vs baseline
+// ---------------------------------------------------------------------------
+
+/// The baseline H-update as an operator-at-a-time MR program.
+fn mr_gnmf_h_update(engine: &MrEngine, suffix: &str) -> f64 {
+    let prog = MrProgram::new()
+        .push(MrOp::Transpose {
+            a: "W_0".into(),
+            out: format!("Wt{suffix}"),
+        })
+        .push(MrOp::Mul {
+            a: format!("Wt{suffix}"),
+            b: "V".into(),
+            out: format!("WtV{suffix}"),
+            strategy: MulStrategy::Auto,
+        })
+        .push(MrOp::Mul {
+            a: format!("Wt{suffix}"),
+            b: "W_0".into(),
+            out: format!("WtW{suffix}"),
+            strategy: MulStrategy::Auto,
+        })
+        .push(MrOp::Mul {
+            a: format!("WtW{suffix}"),
+            b: "H_0".into(),
+            out: format!("WtWH{suffix}"),
+            strategy: MulStrategy::Auto,
+        })
+        .push(MrOp::Elementwise {
+            a: "H_0".into(),
+            b: format!("WtV{suffix}"),
+            out: format!("Hnum{suffix}"),
+            op: ElemOp::Mul,
+        })
+        .push(MrOp::Elementwise {
+            a: format!("Hnum{suffix}"),
+            b: format!("WtWH{suffix}"),
+            out: format!("Hnext{suffix}"),
+            op: ElemOp::Div,
+        });
+    prog.execute(engine, ExecMode::Simulated)
+        .unwrap()
+        .makespan_s
+}
+
+/// E3 — GNMF per-iteration time vs cluster size, Cumulon vs baseline.
+pub fn e3() -> Series {
+    let mut s = Series::new(
+        "E3",
+        "GNMF per-iteration time vs nodes (V: 100k x 100k @1%, rank 50, m1.xlarge)",
+        &["nodes", "cumulon (s)", "mapreduce (s)", "speedup"],
+    );
+    let gnmf = Gnmf {
+        m: 100_000,
+        n: 100_000,
+        rank: 50,
+        tile_size: 1_000,
+        density: 0.01,
+        seed: 5,
+    };
+    let opt = optimizer();
+    for nodes in [5u32, 10, 20, 40] {
+        let cluster =
+            Cluster::provision(ClusterSpec::named("m1.xlarge", nodes, 4).unwrap()).unwrap();
+        gnmf.setup(cluster.store()).unwrap();
+        let reports = gnmf.run(&opt, &cluster, 1, ExecMode::Simulated).unwrap();
+        let cumulon_s = reports[0].makespan_s;
+
+        let spec = ClusterSpec::named("m1.xlarge", nodes, 4).unwrap();
+        let store = TileStore::new(Dfs::new(spec.nodes, DfsConfig::default()));
+        gnmf.setup(&store).unwrap();
+        let engine = MrEngine::new(spec, store, HardwareModel::default(), MrConfig::default());
+        // One baseline iteration ≈ 2 × the H-update (the W-update is the
+        // mirror image with the same operator count).
+        let mr_s = 2.0 * mr_gnmf_h_update(&engine, &format!("_{nodes}"));
+        s.push(vec![
+            nodes.to_string(),
+            f(cumulon_s),
+            f(mr_s),
+            format!("{:.1}x", mr_s / cumulon_s),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E4: RSVD scale-out
+// ---------------------------------------------------------------------------
+
+/// E4 — RSVD-1 end-to-end time vs cluster size (diminishing returns as the
+/// wave count bottoms out).
+pub fn e4() -> Series {
+    let mut s = Series::new(
+        "E4",
+        "RSVD-1 (A: 400k x 200k, k=100) makespan vs nodes (c1.xlarge, 8 slots)",
+        &["nodes", "makespan (s)", "cost ($)", "speedup vs 5"],
+    );
+    let rsvd = Rsvd {
+        m: 400_000,
+        n: 200_000,
+        k: 100,
+        tile_size: 1_000,
+        power_iters: 0,
+        seed: 9,
+    };
+    let opt = optimizer();
+    let mut base = None;
+    for nodes in [5u32, 10, 20, 40, 80] {
+        let cluster =
+            Cluster::provision(ClusterSpec::named("c1.xlarge", nodes, 8).unwrap()).unwrap();
+        rsvd.setup(cluster.store()).unwrap();
+        let reports = rsvd.run(&opt, &cluster, ExecMode::Simulated).unwrap();
+        let total: f64 = reports.iter().map(|r| r.makespan_s).sum();
+        let cost: f64 = reports.iter().map(|r| r.cost_dollars).sum();
+        let base_t = *base.get_or_insert(total);
+        s.push(vec![
+            nodes.to_string(),
+            f(total),
+            format!("{cost:.2}"),
+            format!("{:.1}x", base_t / total),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E5: prediction accuracy
+// ---------------------------------------------------------------------------
+
+/// E5 — estimator vs simulator across workloads and deployments.
+pub fn e5() -> Series {
+    let mut s = Series::new(
+        "E5",
+        "predicted vs simulated makespan",
+        &[
+            "workload",
+            "deployment",
+            "predicted (s)",
+            "simulated (s)",
+            "rel err",
+        ],
+    );
+    let opt = optimizer();
+
+    let mut record = |workload: &str,
+                      instance: &str,
+                      nodes: u32,
+                      slots: u32,
+                      program: &Program,
+                      inputs: &BTreeMap<String, InputDesc>,
+                      cluster: &Cluster| {
+        let est = opt.estimate_on(cluster, program, inputs).unwrap();
+        let run = opt
+            .execute_on(cluster, program, inputs, "e5", ExecMode::Simulated)
+            .unwrap();
+        let rel = (est.makespan_s - run.makespan_s).abs() / run.makespan_s;
+        s.push(vec![
+            workload.to_string(),
+            format!("{instance} x{nodes}/{slots}"),
+            f(est.makespan_s),
+            f(run.makespan_s),
+            format!("{:.1}%", 100.0 * rel),
+        ]);
+    };
+
+    for (instance, nodes, slots) in [("m1.large", 8u32, 2u32), ("c1.xlarge", 4, 8)] {
+        let (program, inputs, meta) = square_multiply(10_000);
+        let cluster = provision_with_gen(instance, nodes, slots, meta, &["A", "B"]);
+        record(
+            "multiply-10k",
+            instance,
+            nodes,
+            slots,
+            &program,
+            &inputs,
+            &cluster,
+        );
+    }
+
+    let gnmf = Gnmf {
+        m: 20_000,
+        n: 20_000,
+        rank: 20,
+        tile_size: 1_000,
+        density: 0.01,
+        seed: 5,
+    };
+    for (instance, nodes, slots) in [("m1.xlarge", 10u32, 4u32), ("c1.xlarge", 6, 8)] {
+        let cluster =
+            Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).unwrap();
+        gnmf.setup(cluster.store()).unwrap();
+        let program = cumulon::workloads::Workload::program(&gnmf, 0);
+        let inputs = cumulon::workloads::Workload::inputs(&gnmf, 0);
+        record(
+            "gnmf-iter",
+            instance,
+            nodes,
+            slots,
+            &program,
+            &inputs,
+            &cluster,
+        );
+    }
+
+    let rsvd = Rsvd {
+        m: 30_000,
+        n: 15_000,
+        k: 50,
+        tile_size: 1_000,
+        power_iters: 0,
+        seed: 2,
+    };
+    for (instance, nodes, slots) in [("m2.2xlarge", 8u32, 4u32)] {
+        let cluster =
+            Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).unwrap();
+        rsvd.setup(cluster.store()).unwrap();
+        let program = cumulon::workloads::Workload::program(&rsvd, 0);
+        let inputs = cumulon::workloads::Workload::inputs(&rsvd, 0);
+        record(
+            "rsvd-sketch",
+            instance,
+            nodes,
+            slots,
+            &program,
+            &inputs,
+            &cluster,
+        );
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E6: slots-per-node sweep
+// ---------------------------------------------------------------------------
+
+/// E6 — the configuration knob: slots per node has an interior optimum.
+pub fn e6() -> Series {
+    let mut s = Series::new(
+        "E6",
+        "multiply time vs slots/node (12k^3, c1.medium x16: 2 cores, 1.7GB)",
+        &["slots", "sim time (s)", "note"],
+    );
+    let (program, inputs, meta) = square_multiply(12_000);
+    let opt = optimizer();
+    let mut best: Option<(u32, f64)> = None;
+    let mut rows = Vec::new();
+    for slots in [1u32, 2, 3, 4, 6, 8] {
+        let cluster = provision_with_gen("c1.medium", 16, slots, meta, &["A", "B"]);
+        let t = opt
+            .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+            .unwrap()
+            .makespan_s;
+        if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+            best = Some((slots, t));
+        }
+        rows.push((slots, t));
+    }
+    let (best_slots, _) = best.unwrap();
+    for (slots, t) in rows {
+        s.push(vec![
+            slots.to_string(),
+            f(t),
+            if slots == best_slots {
+                "<-- best".into()
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E7: cost vs deadline
+// ---------------------------------------------------------------------------
+
+/// E7 — the minimal cost to meet each deadline, and which deployment wins.
+pub fn e7() -> Series {
+    let mut s = Series::new(
+        "E7",
+        "min cost vs deadline (RSVD sketch, A: 400k x 200k, k=200)",
+        &["deadline (min)", "cost ($)", "deployment"],
+    );
+    let rsvd = Rsvd {
+        m: 400_000,
+        n: 200_000,
+        k: 200,
+        tile_size: 1_000,
+        power_iters: 0,
+        seed: 9,
+    };
+    let program = cumulon::workloads::Workload::program(&rsvd, 0);
+    let inputs = cumulon::workloads::Workload::inputs(&rsvd, 0);
+    let opt = optimizer();
+    let space = SearchSpace {
+        max_nodes: 48,
+        node_stride: 2,
+        ..Default::default()
+    };
+    for deadline_min in [480.0, 240.0, 120.0, 60.0, 30.0, 15.0, 8.0, 4.0] {
+        match opt.optimize(
+            &program,
+            &inputs,
+            space.clone(),
+            Constraint::Deadline(deadline_min * 60.0),
+        ) {
+            Ok(plan) => s.push(vec![
+                format!("{deadline_min:.0}"),
+                format!("{:.2}", plan.estimate.cost_dollars),
+                format!(
+                    "{} x{} ({} slots), est {:.0}s",
+                    plan.instance.name, plan.nodes, plan.slots, plan.estimate.makespan_s
+                ),
+            ]),
+            Err(_) => s.push(vec![
+                format!("{deadline_min:.0}"),
+                "-".into(),
+                "infeasible".into(),
+            ]),
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E8: Pareto skyline
+// ---------------------------------------------------------------------------
+
+/// E8 — the (time, cost) skyline over the deployment grid.
+pub fn e8() -> Series {
+    let mut s = Series::new(
+        "E8",
+        "time/cost Pareto skyline (GNMF iteration, V: 200k x 200k @1%, rank 50)",
+        &["time (s)", "cost ($)", "deployment"],
+    );
+    let gnmf = Gnmf {
+        m: 200_000,
+        n: 200_000,
+        rank: 50,
+        tile_size: 1_000,
+        density: 0.01,
+        seed: 5,
+    };
+    let program = cumulon::workloads::Workload::program(&gnmf, 0);
+    let inputs = cumulon::workloads::Workload::inputs(&gnmf, 0);
+    let opt = optimizer();
+    let space = SearchSpace {
+        max_nodes: 32,
+        node_stride: 4,
+        ..Default::default()
+    };
+    let skyline = opt.pareto(&program, &inputs, space).unwrap();
+    for d in skyline {
+        s.push(vec![
+            f(d.estimate.makespan_s),
+            format!("{:.2}", d.estimate.cost_dollars),
+            format!("{} x{} ({} slots)", d.instance.name, d.nodes, d.slots),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E9: chain reordering ablation
+// ---------------------------------------------------------------------------
+
+/// E9 — simulated time of a skewed 5-factor chain under three association
+/// orders: naive left-assoc, flops-DP, and worst-case right-assoc.
+pub fn e9() -> Series {
+    let mut s = Series::new(
+        "E9",
+        "chain-order ablation (200 x 8k x 200 x 8k x 200 x 200 chain, m1.xlarge x8)",
+        &["order", "jobs", "sim time (s)"],
+    );
+    let dims = [200usize, 8_000, 200, 8_000, 200, 200];
+    let metas: Vec<MatrixMeta> = (0..5)
+        .map(|i| MatrixMeta::new(dims[i], dims[i + 1], 200))
+        .collect();
+    let inputs: BTreeMap<String, InputDesc> = (0..5)
+        .map(|i| (format!("M{i}"), InputDesc::dense(metas[i]).generated()))
+        .collect();
+
+    let build = |right_assoc: bool| {
+        let mut pb = ProgramBuilder::new();
+        let ids: Vec<_> = (0..5).map(|i| pb.input(&format!("M{i}"))).collect();
+        let root = if right_assoc {
+            let mut acc = ids[4];
+            for &m in ids[..4].iter().rev() {
+                acc = pb.mul(m, acc);
+            }
+            acc
+        } else {
+            pb.mul_chain(&ids)
+        };
+        pb.output("OUT", root);
+        pb.build()
+    };
+
+    let opt = optimizer();
+    let run = |program: &Program, rewrite: bool| {
+        let cluster = Cluster::provision(ClusterSpec::named("m1.xlarge", 8, 4).unwrap()).unwrap();
+        for (i, meta) in metas.iter().enumerate() {
+            cluster
+                .store()
+                .register_generated(
+                    &format!("M{i}"),
+                    *meta,
+                    Generator::DenseGaussian { seed: i as u64 },
+                )
+                .unwrap();
+        }
+        // Bypass or use the rewriter depending on the ablation arm.
+        if rewrite {
+            let report = opt
+                .execute_on(&cluster, program, &inputs, "t", ExecMode::Simulated)
+                .unwrap();
+            (report.jobs.len(), report.makespan_s)
+        } else {
+            let plan =
+                build_plan(program, &inputs, &cumulon::core::lower::UnitSplits, "t").unwrap();
+            let dag = instantiate(&plan, cluster.store()).unwrap();
+            let report = cluster.run(&dag, ExecMode::Simulated).unwrap();
+            (report.jobs.len(), report.makespan_s)
+        }
+    };
+
+    let (jobs, t) = run(&build(false), false);
+    s.push(vec!["left-assoc (naive)".into(), jobs.to_string(), f(t)]);
+    let (jobs, t) = run(&build(true), false);
+    s.push(vec!["right-assoc (worst)".into(), jobs.to_string(), f(t)]);
+    let (jobs, t) = run(&build(false), true);
+    s.push(vec!["cost-based DP".into(), jobs.to_string(), f(t)]);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E10: budget-constrained best time + hourly billing structure
+// ---------------------------------------------------------------------------
+
+/// E10 — fastest deployment within each budget; hourly billing makes
+/// marginal dollars buy whole steps of speed.
+pub fn e10() -> Series {
+    let mut s = Series::new(
+        "E10",
+        "best time vs budget (multiply 20k^3)",
+        &["budget ($)", "time (s)", "cost ($)", "deployment"],
+    );
+    let (program, inputs, _) = square_multiply(20_000);
+    let opt = optimizer();
+    let space = SearchSpace {
+        max_nodes: 48,
+        node_stride: 2,
+        ..Default::default()
+    };
+    for budget in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        match opt.optimize(&program, &inputs, space.clone(), Constraint::Budget(budget)) {
+            Ok(plan) => s.push(vec![
+                format!("{budget:.0}"),
+                f(plan.estimate.makespan_s),
+                format!("{:.2}", plan.estimate.cost_dollars),
+                format!(
+                    "{} x{} ({} slots)",
+                    plan.instance.name, plan.nodes, plan.slots
+                ),
+            ]),
+            Err(_) => s.push(vec![
+                format!("{budget:.0}"),
+                "-".into(),
+                "-".into(),
+                "infeasible".into(),
+            ]),
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E11: fault tolerance and speculative execution
+// ---------------------------------------------------------------------------
+
+/// E11 — makespan under injected failures and with speculative execution
+/// (extension: the execution-model robustness the paper's substrate,
+/// Hadoop, provides and our engine reproduces).
+pub fn e11() -> Series {
+    use cumulon::cluster::scheduler::{FailurePlan, SchedulerConfig};
+
+    let mut s = Series::new(
+        "E11",
+        "fault tolerance (multiply 12k^3, m1.xlarge x8, 4 slots)",
+        &["scenario", "sim time (s)", "retries", "overhead"],
+    );
+    let (program, inputs, meta) = square_multiply(12_000);
+    let run = |failures: FailurePlan, config: SchedulerConfig, sigma: f64| {
+        let hw = HardwareModel {
+            noise: cumulon::cluster::hw::NoiseModel {
+                sigma,
+                seed: 0xfa11,
+            },
+            ..HardwareModel::default()
+        };
+        let cluster = Cluster::provision_with(
+            ClusterSpec::named("m1.xlarge", 8, 4).unwrap(),
+            hw,
+            DfsConfig::default(),
+        )
+        .unwrap();
+        for (i, name) in ["A", "B"].iter().enumerate() {
+            cluster
+                .store()
+                .register_generated(name, meta, Generator::DenseGaussian { seed: i as u64 + 1 })
+                .unwrap();
+        }
+        let plan = build_plan(&program, &inputs, &cumulon::core::lower::UnitSplits, "t").unwrap();
+        let dag = instantiate(&plan, cluster.store()).unwrap();
+        let report = cluster
+            .run_with(&dag, ExecMode::Simulated, config, &failures)
+            .unwrap();
+        let retries: u32 = report.jobs.iter().map(|j| j.retries()).sum();
+        (report.makespan_s, retries)
+    };
+
+    let base_sigma = 0.08;
+    let (base, _) = run(
+        FailurePlan::default(),
+        SchedulerConfig::default(),
+        base_sigma,
+    );
+    let mut row = |name: &str, t: f64, retries: u32, base: f64| {
+        s.push(vec![
+            name.to_string(),
+            f(t),
+            retries.to_string(),
+            format!("{:+.0}%", 100.0 * (t / base - 1.0)),
+        ]);
+    };
+    row("no failures", base, 0, base);
+    for p in [0.05, 0.15] {
+        let (t, r) = run(
+            FailurePlan {
+                task_failure_prob: p,
+                node_failures: vec![],
+                seed: 7,
+            },
+            SchedulerConfig::default(),
+            base_sigma,
+        );
+        row(&format!("task failures p={p}"), t, r, base);
+    }
+    let (t, r) = run(
+        FailurePlan {
+            task_failure_prob: 0.0,
+            node_failures: vec![(base / 2.0, 7)],
+            seed: 7,
+        },
+        SchedulerConfig::default(),
+        base_sigma,
+    );
+    row("node 7 dies mid-run", t, r, base);
+    // Straggler-heavy environment, with and without speculation.
+    let (t_heavy, _) = run(FailurePlan::default(), SchedulerConfig::default(), 0.8);
+    row("heavy stragglers (sigma=0.8)", t_heavy, 0, t_heavy);
+    let (t_spec, _) = run(
+        FailurePlan::default(),
+        SchedulerConfig::with_speculation(),
+        0.8,
+    );
+    row("  + speculative execution", t_spec, 0, t_heavy);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E12: tile-size sweep (physical design knob)
+// ---------------------------------------------------------------------------
+
+/// E12 — the tile-size physical design knob: small tiles drown in per-task
+/// overhead and tiny kernels; huge tiles starve parallelism and blow the
+/// memory budget.
+pub fn e12() -> Series {
+    let mut s = Series::new(
+        "E12",
+        "multiply time vs tile size (16k^3, c1.xlarge x8, 8 slots)",
+        &["tile size", "tiles", "sim time (s)"],
+    );
+    let opt = optimizer();
+    for tile in [250usize, 500, 1_000, 2_000, 4_000] {
+        let meta = MatrixMeta::new(16_000, 16_000, tile);
+        let mut pb = ProgramBuilder::new();
+        let a = pb.input("A");
+        let b = pb.input("B");
+        let m = pb.mul(a, b);
+        pb.output("C", m);
+        let program = pb.build();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("A".to_string(), InputDesc::dense(meta).generated());
+        inputs.insert("B".to_string(), InputDesc::dense(meta).generated());
+        let cluster = provision_with_gen("c1.xlarge", 8, 8, meta, &["A", "B"]);
+        let t = opt
+            .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+            .unwrap()
+            .makespan_s;
+        s.push(vec![tile.to_string(), meta.tile_count().to_string(), f(t)]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E13: billing-policy ablation
+// ---------------------------------------------------------------------------
+
+/// E13 — hourly vs per-second billing changes what the optimizer buys:
+/// hour-quantization rewards "fill the hour" deployments; per-second
+/// pricing smooths the curve.
+pub fn e13() -> Series {
+    let mut s = Series::new(
+        "E13",
+        "min cost vs deadline under hourly vs per-second billing (RSVD sketch)",
+        &[
+            "deadline (min)",
+            "hourly $ (deployment)",
+            "per-second $ (deployment)",
+        ],
+    );
+    let rsvd = Rsvd {
+        m: 400_000,
+        n: 200_000,
+        k: 200,
+        tile_size: 1_000,
+        power_iters: 0,
+        seed: 9,
+    };
+    let program = cumulon::workloads::Workload::program(&rsvd, 0);
+    let inputs = cumulon::workloads::Workload::inputs(&rsvd, 0);
+    let opt = optimizer();
+    for deadline_min in [120.0, 60.0, 30.0, 15.0] {
+        let cell = |billing| {
+            let space = SearchSpace {
+                max_nodes: 48,
+                node_stride: 2,
+                billing,
+                ..Default::default()
+            };
+            match opt.optimize(
+                &program,
+                &inputs,
+                space,
+                Constraint::Deadline(deadline_min * 60.0),
+            ) {
+                Ok(p) => format!(
+                    "{:.2} ({} x{})",
+                    p.estimate.cost_dollars, p.instance.name, p.nodes
+                ),
+                Err(_) => "infeasible".to_string(),
+            }
+        };
+        let hourly = cell(BillingPolicy::HourlyCeil);
+        let per_second = cell(BillingPolicy::PerSecond);
+        s.push(vec![format!("{deadline_min:.0}"), hourly, per_second]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E14: fusion ablation
+// ---------------------------------------------------------------------------
+
+/// E14 — value of fusing element-wise chains into single jobs (one of the
+/// execution-model advantages over operator-at-a-time engines).
+pub fn e14() -> Series {
+    use cumulon::core::lower::{build_plan_with, PlanOptions};
+
+    let mut s = Series::new(
+        "E14",
+        "GNMF iteration with and without element-wise fusion (m1.xlarge x10)",
+        &["plan", "jobs", "sim time (s)"],
+    );
+    let gnmf = Gnmf {
+        m: 100_000,
+        n: 100_000,
+        rank: 50,
+        tile_size: 1_000,
+        density: 0.01,
+        seed: 5,
+    };
+    let program = cumulon::workloads::Workload::program(&gnmf, 0);
+    let inputs = cumulon::workloads::Workload::inputs(&gnmf, 0);
+    let opt = optimizer();
+    for fuse in [true, false] {
+        let cluster = Cluster::provision(ClusterSpec::named("m1.xlarge", 10, 4).unwrap()).unwrap();
+        gnmf.setup(cluster.store()).unwrap();
+        let view = cumulon::core::estimate::ClusterView {
+            instance: cumulon::cluster::instances::by_name("m1.xlarge").unwrap(),
+            nodes: 10,
+            slots: 4,
+            replication: 3,
+        };
+        let chooser = cumulon::core::deploy::CostBasedChooser {
+            coeffs: *opt.model().for_instance("m1.xlarge").unwrap(),
+            view,
+        };
+        let plan = build_plan_with(&program, &inputs, &chooser, "t", PlanOptions { fuse }).unwrap();
+        let dag = instantiate(&plan, cluster.store()).unwrap();
+        let report = cluster.run(&dag, ExecMode::Simulated).unwrap();
+        s.push(vec![
+            if fuse {
+                "fused (Cumulon)"
+            } else {
+                "unfused (op-at-a-time)"
+            }
+            .to_string(),
+            plan.jobs.len().to_string(),
+            f(report.makespan_s),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E15: job-time predictor comparison (wave model vs Monte-Carlo)
+// ---------------------------------------------------------------------------
+
+/// E15 — the paper's "simulation" technique: Monte-Carlo list-scheduling
+/// simulation vs the closed-form wave model, compared against the DES
+/// ground truth across straggler regimes.
+pub fn e15() -> Series {
+    use cumulon::core::estimate::{job_time_mc, job_time_s};
+    use cumulon::core::lower::UnitSplits;
+
+    let mut s = Series::new(
+        "E15",
+        "job-time prediction: wave model vs Monte-Carlo simulation (multiply 10k^3)",
+        &[
+            "sigma",
+            "DES actual (s)",
+            "wave model (s)",
+            "MC sim (s)",
+            "wave err",
+            "MC err",
+        ],
+    );
+    let (program, inputs, meta) = square_multiply(10_000);
+    for sigma in [0.0, 0.08, 0.3, 0.6] {
+        let hw = HardwareModel {
+            noise: cumulon::cluster::hw::NoiseModel { sigma, seed: 0xe15 },
+            ..HardwareModel::default()
+        };
+        let cluster = Cluster::provision_with(
+            ClusterSpec::named("m1.large", 6, 2).unwrap(),
+            hw,
+            DfsConfig::default(),
+        )
+        .unwrap();
+        for (i, name) in ["A", "B"].iter().enumerate() {
+            cluster
+                .store()
+                .register_generated(name, meta, Generator::DenseGaussian { seed: i as u64 + 1 })
+                .unwrap();
+        }
+        let plan = build_plan(&program, &inputs, &UnitSplits, "t").unwrap();
+        let dag = instantiate(&plan, cluster.store()).unwrap();
+        let report = cluster.run(&dag, ExecMode::Simulated).unwrap();
+        let actual = report.makespan_s;
+        // Use the run's own mean task time so only the *scheduling* model
+        // differs between predictors.
+        let job = &report.jobs[0];
+        let mean = job.mean_task_s();
+        let n = job.tasks.len();
+        let wave = job_time_s(mean, n, 12, sigma);
+        let mc = job_time_mc(mean, n, 12, sigma, 7, 300);
+        s.push(vec![
+            format!("{sigma}"),
+            f(actual),
+            f(wave),
+            f(mc),
+            format!("{:+.0}%", 100.0 * (wave / actual - 1.0)),
+            format!("{:+.0}%", 100.0 * (mc / actual - 1.0)),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E16: replication-factor configuration knob
+// ---------------------------------------------------------------------------
+
+/// E16 — HDFS replication: higher factors cost write bandwidth but buy
+/// read locality (and fault tolerance); the optimizer's view models both.
+pub fn e16() -> Series {
+    let mut s = Series::new(
+        "E16",
+        "replication factor: multiply 12k^3 on m1.xlarge x8 (4 slots)",
+        &[
+            "replication",
+            "sim time (s)",
+            "write GB (physical)",
+            "local read %",
+        ],
+    );
+    let (program, mut inputs, meta) = square_multiply(12_000);
+    // Inputs are *stored* matrices here (not generator-backed): reads must
+    // exercise replication-dependent locality.
+    for desc in inputs.values_mut() {
+        desc.generated = false;
+    }
+    let opt = optimizer();
+    for replication in [1usize, 2, 3, 5] {
+        let spec = ClusterSpec::named("m1.xlarge", 8, 4).unwrap();
+        let cluster = Cluster::provision_with(
+            spec,
+            HardwareModel::default(),
+            DfsConfig {
+                replication,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Store A and B as real *written* matrices in phantom form, so
+        // reads actually exercise replication-dependent locality.
+        for (i, name) in ["A", "B"].iter().enumerate() {
+            cluster.store().register(name, meta).unwrap();
+            for (ti, tj) in meta.grid().iter() {
+                let (r, c) = meta.tile_dims(ti, tj);
+                let tile = cumulon::matrix::Tile::phantom_dense(r, c);
+                let writer = cumulon::dfs::dfs::NodeId(((ti * 7 + tj * 3 + i) % 8) as u32);
+                cluster
+                    .store()
+                    .write_tile(name, ti, tj, &tile, Some(writer))
+                    .unwrap();
+            }
+        }
+        let report = opt
+            .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+            .unwrap();
+        let write_bytes: u64 = report
+            .jobs
+            .iter()
+            .map(|j| j.receipt.write.local_bytes + j.receipt.write.remote_bytes)
+            .sum();
+        let (lr, rr) = report.jobs.iter().fold((0u64, 0u64), |(l, r), j| {
+            (
+                l + j.receipt.read.local_bytes,
+                r + j.receipt.read.remote_bytes,
+            )
+        });
+        s.push(vec![
+            replication.to_string(),
+            f(report.makespan_s),
+            format!("{:.1}", write_bytes as f64 / 1e9),
+            format!("{:.0}%", 100.0 * lr as f64 / (lr + rr).max(1) as f64),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// T1 — the instance-type catalog.
+pub fn t1() -> Series {
+    let mut s = Series::new(
+        "T1",
+        "instance-type catalog (EC2 2013-like)",
+        &[
+            "name",
+            "cores",
+            "GF/core",
+            "mem (MB)",
+            "disk r/w (MB/s)",
+            "net (MB/s)",
+            "$/h",
+        ],
+    );
+    for i in catalog() {
+        s.push(vec![
+            i.name.to_string(),
+            i.cores.to_string(),
+            format!("{:.1}", i.gflops_per_core),
+            i.memory_mb.to_string(),
+            format!("{:.0}/{:.0}", i.disk_read_mbs, i.disk_write_mbs),
+            format!("{:.0}", i.net_mbs),
+            format!("{:.3}", i.price_per_hour),
+        ]);
+    }
+    s
+}
+
+/// T2 — benchmark-fitted cost-model coefficients.
+pub fn t2() -> Series {
+    let mut s = Series::new(
+        "T2",
+        "calibrated task-time coefficients (fitted from probe benchmarks)",
+        &[
+            "instance",
+            "c0 (s)",
+            "s/GFlop",
+            "s/GB lread",
+            "s/GB rread",
+            "s/GB lwrite",
+            "s/GB rwrite",
+            "sigma",
+        ],
+    );
+    let instances: Vec<InstanceType> = ["m1.small", "m1.large", "c1.xlarge", "m2.2xlarge"]
+        .iter()
+        .filter_map(|n| cumulon::cluster::instances::by_name(n))
+        .collect();
+    let model = calibrate(&instances, &CalibrationConfig::default()).unwrap();
+    for i in &instances {
+        let c = model.for_instance(i.name).unwrap();
+        s.push(vec![
+            i.name.to_string(),
+            format!("{:.2}", c.c[0]),
+            format!("{:.3}", c.c[1] * 1e9),
+            format!("{:.2}", c.c[2] * 1e9),
+            format!("{:.2}", c.c[3] * 1e9),
+            format!("{:.2}", c.c[4] * 1e9),
+            format!("{:.2}", c.c[5] * 1e9),
+            format!("{:.3}", c.sigma),
+        ]);
+    }
+    s
+}
+
+/// T3 — optimizer-chosen deployments per workload under a 1-hour deadline.
+pub fn t3() -> Series {
+    let mut s = Series::new(
+        "T3",
+        "chosen deployments per workload (deadline 60 min)",
+        &[
+            "workload",
+            "instance",
+            "nodes",
+            "slots",
+            "est time (s)",
+            "est cost ($)",
+        ],
+    );
+    let opt = optimizer();
+    let space = SearchSpace {
+        max_nodes: 48,
+        node_stride: 2,
+        ..Default::default()
+    };
+
+    let mut entry = |name: &str, program: &Program, inputs: &BTreeMap<String, InputDesc>| match opt
+        .optimize(
+            program,
+            inputs,
+            space.clone(),
+            Constraint::Deadline(3_600.0),
+        ) {
+        Ok(p) => s.push(vec![
+            name.to_string(),
+            p.instance.name.to_string(),
+            p.nodes.to_string(),
+            p.slots.to_string(),
+            f(p.estimate.makespan_s),
+            format!("{:.2}", p.estimate.cost_dollars),
+        ]),
+        Err(_) => s.push(vec![
+            name.to_string(),
+            "infeasible".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]),
+    };
+
+    let (mp, mi, _) = square_multiply(40_000);
+    entry("multiply-40k", &mp, &mi);
+    let gnmf = Gnmf {
+        m: 200_000,
+        n: 200_000,
+        rank: 50,
+        tile_size: 1_000,
+        density: 0.01,
+        seed: 5,
+    };
+    entry(
+        "gnmf-iter",
+        &cumulon::workloads::Workload::program(&gnmf, 0),
+        &cumulon::workloads::Workload::inputs(&gnmf, 0),
+    );
+    let rsvd = Rsvd {
+        m: 400_000,
+        n: 200_000,
+        k: 200,
+        tile_size: 1_000,
+        power_iters: 0,
+        seed: 9,
+    };
+    entry(
+        "rsvd-sketch",
+        &cumulon::workloads::Workload::program(&rsvd, 0),
+        &cumulon::workloads::Workload::inputs(&rsvd, 0),
+    );
+    let reg = Regression {
+        rows: 20_000_000,
+        features: 2_000,
+        tile_size: 1_000,
+        lambda: 1.0,
+        seed: 2,
+    };
+    entry(
+        "regression-ne",
+        &reg.normal_eq_program(),
+        &reg.normal_eq_inputs(),
+    );
+    s
+}
+
+/// T4 — prediction-error summary (mean/max of E5's relative errors).
+pub fn t4() -> Series {
+    let e5 = e5();
+    let mut s = Series::new(
+        "T4",
+        "prediction error summary over the E5 grid",
+        &["rows", "mean rel err", "max rel err"],
+    );
+    let errs: Vec<f64> = e5
+        .rows
+        .iter()
+        .map(|r| {
+            r.last()
+                .unwrap()
+                .trim_end_matches('%')
+                .parse::<f64>()
+                .unwrap()
+                / 100.0
+        })
+        .collect();
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    let max = errs.iter().copied().fold(0.0, f64::max);
+    s.push(vec![
+        errs.len().to_string(),
+        format!("{:.1}%", 100.0 * mean),
+        format!("{:.1}%", 100.0 * max),
+    ]);
+    s
+}
+
+/// All experiments in order.
+pub fn all() -> Vec<Series> {
+    vec![
+        e1(),
+        e2(),
+        e3(),
+        e4(),
+        e5(),
+        e6(),
+        e7(),
+        e8(),
+        e9(),
+        e10(),
+        e11(),
+        e12(),
+        e13(),
+        e14(),
+        e15(),
+        e16(),
+        t1(),
+        t2(),
+        t3(),
+        t4(),
+    ]
+}
+
+/// Looks up one experiment by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<Series> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1()),
+        "e2" => Some(e2()),
+        "e3" => Some(e3()),
+        "e4" => Some(e4()),
+        "e5" => Some(e5()),
+        "e6" => Some(e6()),
+        "e7" => Some(e7()),
+        "e8" => Some(e8()),
+        "e9" => Some(e9()),
+        "e10" => Some(e10()),
+        "e11" => Some(e11()),
+        "e12" => Some(e12()),
+        "e13" => Some(e13()),
+        "e14" => Some(e14()),
+        "e15" => Some(e15()),
+        "e16" => Some(e16()),
+        "t1" => Some(t1()),
+        "t2" => Some(t2()),
+        "t3" => Some(t3()),
+        "t4" => Some(t4()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render() {
+        let mut s = Series::new("EX", "demo", &["a", "bb"]);
+        s.push(vec!["1".into(), "2".into()]);
+        let text = s.render();
+        assert!(text.contains("EX: demo"));
+        assert!(text.contains("bb"));
+    }
+
+    #[test]
+    fn t1_covers_catalog() {
+        assert_eq!(t1().rows.len(), catalog().len());
+    }
+
+    #[test]
+    fn e2_shows_speedup() {
+        let s = e2();
+        assert_eq!(s.rows.len(), 5);
+        for row in &s.rows {
+            let speedup: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(speedup > 1.0, "baseline should be slower: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e6_has_interior_or_boundary_best() {
+        let s = e6();
+        assert!(s.rows.iter().any(|r| r[2].contains("best")));
+    }
+
+    #[test]
+    fn by_id_dispatch() {
+        assert!(by_id("T1").is_some());
+        assert!(by_id("e10").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut s = Series::new("EX", "demo \"quoted\"", &["a", "b"]);
+        s.push(vec!["1".into(), "x\\y".into()]);
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""id":"EX""#));
+        assert!(json.contains(r#"demo \"quoted\""#));
+        assert!(json.contains(r#""x\\y""#));
+    }
+
+    #[test]
+    fn json_for_real_experiment_parses_shape() {
+        let json = t1().to_json();
+        // Cheap structural checks without a JSON parser.
+        assert_eq!(json.matches("\"rows\":").count(), 1);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

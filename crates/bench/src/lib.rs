@@ -1,0 +1,7 @@
+//! Experiment harness for Cumulon-RS: every table and figure of the
+//! reproduced evaluation has a function here that regenerates its data.
+//! The `repro` binary prints them; the criterion benches time them.
+
+pub mod experiments;
+
+pub use experiments::Series;

@@ -1,0 +1,97 @@
+//! Hour-quantized billing, the 2013 EC2 pricing model the paper optimizes
+//! under. Partial hours bill as full hours, which is what produces the
+//! step-shaped cost/deadline curves in the deployment experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Billing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BillingPolicy {
+    /// Round makespan up to whole hours (EC2 2013 on-demand).
+    HourlyCeil,
+    /// Bill exact seconds (useful as an ablation: removes the steps).
+    PerSecond,
+}
+
+/// Dollar cost of running `nodes` instances at `price_per_hour` for
+/// `makespan_s` seconds under the given policy.
+pub fn cluster_cost(
+    policy: BillingPolicy,
+    nodes: u32,
+    price_per_hour: f64,
+    makespan_s: f64,
+) -> f64 {
+    debug_assert!(makespan_s >= 0.0);
+    let hours = match policy {
+        BillingPolicy::HourlyCeil => {
+            if makespan_s == 0.0 {
+                0.0
+            } else {
+                (makespan_s / 3600.0).ceil()
+            }
+        }
+        BillingPolicy::PerSecond => makespan_s / 3600.0,
+    };
+    nodes as f64 * price_per_hour * hours
+}
+
+/// Billed hours under a policy (exposed for report printing).
+pub fn billed_hours(policy: BillingPolicy, makespan_s: f64) -> f64 {
+    match policy {
+        BillingPolicy::HourlyCeil => {
+            if makespan_s == 0.0 {
+                0.0
+            } else {
+                (makespan_s / 3600.0).ceil()
+            }
+        }
+        BillingPolicy::PerSecond => makespan_s / 3600.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_rounds_up() {
+        assert_eq!(cluster_cost(BillingPolicy::HourlyCeil, 10, 0.5, 1.0), 5.0);
+        assert_eq!(
+            cluster_cost(BillingPolicy::HourlyCeil, 10, 0.5, 3600.0),
+            5.0
+        );
+        assert_eq!(
+            cluster_cost(BillingPolicy::HourlyCeil, 10, 0.5, 3601.0),
+            10.0
+        );
+    }
+
+    #[test]
+    fn zero_time_costs_nothing() {
+        assert_eq!(cluster_cost(BillingPolicy::HourlyCeil, 10, 0.5, 0.0), 0.0);
+        assert_eq!(cluster_cost(BillingPolicy::PerSecond, 10, 0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn per_second_is_linear() {
+        let c1 = cluster_cost(BillingPolicy::PerSecond, 4, 1.0, 1800.0);
+        assert_eq!(c1, 2.0);
+        let c2 = cluster_cost(BillingPolicy::PerSecond, 4, 1.0, 3600.0);
+        assert_eq!(c2, 4.0);
+    }
+
+    #[test]
+    fn hourly_step_structure() {
+        // Within the same billed hour, more time is free.
+        let a = cluster_cost(BillingPolicy::HourlyCeil, 2, 1.0, 1000.0);
+        let b = cluster_cost(BillingPolicy::HourlyCeil, 2, 1.0, 3599.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn billed_hours_matches_cost() {
+        assert_eq!(billed_hours(BillingPolicy::HourlyCeil, 5000.0), 2.0);
+        assert!((billed_hours(BillingPolicy::PerSecond, 5400.0) - 1.5).abs() < 1e-12);
+        assert_eq!(billed_hours(BillingPolicy::HourlyCeil, 0.0), 0.0);
+    }
+}

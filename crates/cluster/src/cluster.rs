@@ -1,0 +1,154 @@
+//! Cluster construction: a typed fleet of nodes sharing a DFS.
+
+use cumulon_dfs::{Dfs, DfsConfig, TileStore};
+
+use crate::billing::BillingPolicy;
+use crate::error::{ClusterError, Result};
+use crate::hw::HardwareModel;
+use crate::instances::{by_name, InstanceType};
+use crate::job::{ExecMode, JobDag};
+use crate::metrics::RunReport;
+use crate::scheduler::{FailurePlan, Scheduler, SchedulerConfig};
+
+/// A deployment choice: which instances, how many, how many task slots
+/// each. This is exactly the (hardware, configuration) half of the
+/// deployment-plan space the optimizer searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Instance type of every node (homogeneous clusters, as in the paper).
+    pub instance: InstanceType,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Concurrent task slots per node.
+    pub slots_per_node: u32,
+}
+
+impl ClusterSpec {
+    /// Builds a spec from a type name.
+    pub fn named(instance: &str, nodes: u32, slots_per_node: u32) -> Result<Self> {
+        let instance = by_name(instance).ok_or_else(|| {
+            ClusterError::InvalidSpec(format!("unknown instance type {instance}"))
+        })?;
+        let spec = ClusterSpec {
+            instance,
+            nodes,
+            slots_per_node,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates node and slot counts.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(ClusterError::InvalidSpec("nodes must be positive".into()));
+        }
+        if self.slots_per_node == 0 {
+            return Err(ClusterError::InvalidSpec(
+                "slots_per_node must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total task slots across the cluster.
+    pub fn total_slots(&self) -> u32 {
+        self.nodes * self.slots_per_node
+    }
+}
+
+/// A provisioned simulated cluster: spec + DFS + tile store + timing model.
+pub struct Cluster {
+    spec: ClusterSpec,
+    store: TileStore,
+    hw: HardwareModel,
+    billing: BillingPolicy,
+}
+
+impl Cluster {
+    /// Provisions a cluster with a fresh DFS (replication 3 by default).
+    pub fn provision(spec: ClusterSpec) -> Result<Self> {
+        Self::provision_with(spec, HardwareModel::default(), DfsConfig::default())
+    }
+
+    /// Provisions with explicit hardware and DFS configuration.
+    pub fn provision_with(
+        spec: ClusterSpec,
+        hw: HardwareModel,
+        dfs_config: DfsConfig,
+    ) -> Result<Self> {
+        spec.validate()?;
+        let dfs = Dfs::new(spec.nodes, dfs_config);
+        Ok(Cluster {
+            spec,
+            store: TileStore::new(dfs),
+            hw,
+            billing: BillingPolicy::HourlyCeil,
+        })
+    }
+
+    /// The deployment spec.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// The tile store (register inputs / fetch outputs here).
+    pub fn store(&self) -> &TileStore {
+        &self.store
+    }
+
+    /// The hardware timing model in effect.
+    pub fn hardware(&self) -> &HardwareModel {
+        &self.hw
+    }
+
+    /// Overrides the billing policy (default: hourly).
+    pub fn set_billing(&mut self, policy: BillingPolicy) {
+        self.billing = policy;
+    }
+
+    /// Runs a job DAG to completion, returning the run report.
+    pub fn run(&self, dag: &JobDag, mode: ExecMode) -> Result<RunReport> {
+        self.run_with(
+            dag,
+            mode,
+            SchedulerConfig::default(),
+            &FailurePlan::default(),
+        )
+    }
+
+    /// Runs with explicit scheduler configuration and failure injection.
+    pub fn run_with(
+        &self,
+        dag: &JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+    ) -> Result<RunReport> {
+        dag.validate()?;
+        let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
+        scheduler.run(dag, mode, config, failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_spec() {
+        let s = ClusterSpec::named("m1.large", 4, 2).unwrap();
+        assert_eq!(s.total_slots(), 8);
+        assert!(ClusterSpec::named("no.such", 1, 1).is_err());
+        assert!(ClusterSpec::named("m1.large", 0, 1).is_err());
+        assert!(ClusterSpec::named("m1.large", 1, 0).is_err());
+    }
+
+    #[test]
+    fn provision_exposes_parts() {
+        let c = Cluster::provision(ClusterSpec::named("c1.medium", 2, 2).unwrap()).unwrap();
+        assert_eq!(c.spec().nodes, 2);
+        assert_eq!(c.store().dfs().node_count(), 2);
+        assert!(c.hardware().task_startup_s > 0.0);
+    }
+}

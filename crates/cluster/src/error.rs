@@ -1,0 +1,86 @@
+//! Error type for the cluster substrate.
+
+use std::fmt;
+
+/// Errors raised by cluster construction and job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The cluster spec is invalid (zero nodes/slots, unknown type, ...).
+    InvalidSpec(String),
+    /// A task failed after exhausting its retry budget.
+    TaskFailed {
+        /// Job name.
+        job: String,
+        /// Task index within the job.
+        task: usize,
+        /// Attempts made.
+        attempts: u32,
+        /// Last error message.
+        last_error: String,
+    },
+    /// The job DAG contains a cycle or a dangling dependency.
+    InvalidDag(String),
+    /// Underlying storage failure.
+    Storage(String),
+    /// Matrix kernel failure inside a task.
+    Kernel(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidSpec(m) => write!(f, "invalid cluster spec: {m}"),
+            ClusterError::TaskFailed {
+                job,
+                task,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "task {task} of job '{job}' failed after {attempts} attempts: {last_error}"
+                )
+            }
+            ClusterError::InvalidDag(m) => write!(f, "invalid job DAG: {m}"),
+            ClusterError::Storage(m) => write!(f, "storage error: {m}"),
+            ClusterError::Kernel(m) => write!(f, "kernel error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<cumulon_dfs::DfsError> for ClusterError {
+    fn from(e: cumulon_dfs::DfsError) -> Self {
+        ClusterError::Storage(e.to_string())
+    }
+}
+
+impl From<cumulon_matrix::MatrixError> for ClusterError {
+    fn from(e: cumulon_matrix::MatrixError) -> Self {
+        ClusterError::Kernel(e.to_string())
+    }
+}
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ClusterError::TaskFailed {
+            job: "mul".into(),
+            task: 3,
+            attempts: 4,
+            last_error: "boom".into(),
+        };
+        assert!(e.to_string().contains("task 3 of job 'mul'"));
+        let s: ClusterError = cumulon_dfs::DfsError::FileNotFound("/x".into()).into();
+        assert!(matches!(s, ClusterError::Storage(_)));
+        let k: ClusterError = cumulon_matrix::MatrixError::PhantomData { op: "x" }.into();
+        assert!(matches!(k, ClusterError::Kernel(_)));
+    }
+}

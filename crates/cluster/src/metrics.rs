@@ -1,0 +1,207 @@
+//! Run reports: what a simulated execution did and what it cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::TaskReceipt;
+
+/// Statistics of one completed task (final successful attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskStat {
+    /// Index of the task within its job.
+    pub task: usize,
+    /// Node the successful attempt ran on.
+    pub node: u32,
+    /// Simulated start time (seconds).
+    pub start_s: f64,
+    /// Simulated end time (seconds).
+    pub end_s: f64,
+    /// Number of attempts consumed (1 = no retries).
+    pub attempts: u32,
+    /// Whether the dominant input was node-local.
+    pub input_local: bool,
+}
+
+impl TaskStat {
+    /// Task duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Statistics of one completed job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Job name.
+    pub name: String,
+    /// Physical operator label (for calibration grouping).
+    pub op_label: String,
+    /// Earliest task start.
+    pub start_s: f64,
+    /// Latest task end.
+    pub end_s: f64,
+    /// Per-task stats.
+    pub tasks: Vec<TaskStat>,
+    /// Sum of task receipts (memory field holds the max).
+    #[serde(skip)]
+    pub receipt: TaskReceipt,
+}
+
+impl JobStats {
+    /// Job span in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Mean task duration.
+    pub fn mean_task_s(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(TaskStat::duration_s).sum::<f64>() / self.tasks.len() as f64
+    }
+
+    /// Longest task duration.
+    pub fn max_task_s(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(TaskStat::duration_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of tasks whose dominant input was node-local.
+    pub fn locality_rate(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 1.0;
+        }
+        self.tasks.iter().filter(|t| t.input_local).count() as f64 / self.tasks.len() as f64
+    }
+
+    /// Total retries across tasks.
+    pub fn retries(&self) -> u32 {
+        self.tasks
+            .iter()
+            .map(|t| t.attempts.saturating_sub(1))
+            .sum()
+    }
+}
+
+/// A full program run on one deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Instance type name.
+    pub instance: String,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Task slots per node.
+    pub slots: u32,
+    /// Per-job statistics, in completion order.
+    pub jobs: Vec<JobStats>,
+    /// End-to-end simulated makespan in seconds.
+    pub makespan_s: f64,
+    /// Billed hours.
+    pub billed_hours: f64,
+    /// Dollar cost.
+    pub cost_dollars: f64,
+}
+
+impl RunReport {
+    /// Looks up a job's stats by name.
+    pub fn job(&self, name: &str) -> Option<&JobStats> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.tasks.len()).sum()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} x{} ({} slots): {} jobs, {} tasks, makespan {:.1}s, {:.0} billed h, ${:.2}",
+            self.instance,
+            self.nodes,
+            self.slots,
+            self.jobs.len(),
+            self.total_tasks(),
+            self.makespan_s,
+            self.billed_hours,
+            self.cost_dollars
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> JobStats {
+        JobStats {
+            name: "mul#0".into(),
+            op_label: "mul".into(),
+            start_s: 0.0,
+            end_s: 10.0,
+            tasks: vec![
+                TaskStat {
+                    task: 0,
+                    node: 0,
+                    start_s: 0.0,
+                    end_s: 4.0,
+                    attempts: 1,
+                    input_local: true,
+                },
+                TaskStat {
+                    task: 1,
+                    node: 1,
+                    start_s: 0.0,
+                    end_s: 10.0,
+                    attempts: 2,
+                    input_local: false,
+                },
+            ],
+            receipt: TaskReceipt::default(),
+        }
+    }
+
+    #[test]
+    fn job_aggregates() {
+        let s = stats();
+        assert_eq!(s.duration_s(), 10.0);
+        assert_eq!(s.mean_task_s(), 7.0);
+        assert_eq!(s.max_task_s(), 10.0);
+        assert_eq!(s.locality_rate(), 0.5);
+        assert_eq!(s.retries(), 1);
+    }
+
+    #[test]
+    fn empty_job_defaults() {
+        let s = JobStats {
+            name: "x".into(),
+            op_label: "x".into(),
+            start_s: 0.0,
+            end_s: 0.0,
+            tasks: vec![],
+            receipt: TaskReceipt::default(),
+        };
+        assert_eq!(s.mean_task_s(), 0.0);
+        assert_eq!(s.max_task_s(), 0.0);
+        assert_eq!(s.locality_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_lookup_and_summary() {
+        let r = RunReport {
+            instance: "m1.large".into(),
+            nodes: 4,
+            slots: 2,
+            jobs: vec![stats()],
+            makespan_s: 10.0,
+            billed_hours: 1.0,
+            cost_dollars: 0.96,
+        };
+        assert!(r.job("mul#0").is_some());
+        assert!(r.job("nope").is_none());
+        assert_eq!(r.total_tasks(), 2);
+        assert!(r.summary().contains("m1.large x4"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the cluster substrate: scheduling bounds, billing
+//! monotonicity, and determinism.
+
+use cumulon_cluster::billing::{cluster_cost, BillingPolicy};
+use cumulon_cluster::hw::NoiseModel;
+use cumulon_cluster::scheduler::{FailurePlan, SchedulerConfig};
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, HardwareModel, Job, JobDag, Task};
+use cumulon_dfs::DfsConfig;
+use cumulon_matrix::ops::Work;
+use proptest::prelude::*;
+
+fn quiet_cluster(nodes: u32, slots: u32) -> Cluster {
+    let hw = HardwareModel {
+        noise: NoiseModel::none(),
+        ..Default::default()
+    };
+    Cluster::provision_with(
+        ClusterSpec::named("m1.large", nodes, slots).unwrap(),
+        hw,
+        DfsConfig::default(),
+    )
+    .unwrap()
+}
+
+fn burn_dag(flops_list: &[f64]) -> JobDag {
+    let mut dag = JobDag::new();
+    let tasks = flops_list
+        .iter()
+        .map(|&flops| {
+            Task::new(move |ctx| {
+                ctx.charge(Work {
+                    flops,
+                    bytes_in: 0.0,
+                    bytes_out: 0.0,
+                });
+                Ok(())
+            })
+        })
+        .collect();
+    dag.push(Job::new("burn", "burn", tasks), vec![]);
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// List-scheduling bounds: makespan is at least the critical path (the
+    /// longest single task) and at least total-work / slots; and no larger
+    /// than running everything sequentially.
+    #[test]
+    fn makespan_respects_scheduling_bounds(
+        flops in proptest::collection::vec(1e8f64..5e10, 1..20),
+        nodes in 1u32..5,
+        slots in 1u32..3,
+    ) {
+        let cluster = quiet_cluster(nodes, slots);
+        let dag = burn_dag(&flops);
+        let report = cluster.run(&dag, ExecMode::Real).unwrap();
+        let durations: Vec<f64> =
+            report.jobs[0].tasks.iter().map(|t| t.end_s - t.start_s).collect();
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().copied().fold(0.0, f64::max);
+        let s = (nodes * slots) as f64;
+        prop_assert!(report.makespan_s >= longest - 1e-9);
+        prop_assert!(report.makespan_s >= total / s - 1e-9);
+        prop_assert!(report.makespan_s <= total + 1e-9, "never slower than sequential");
+    }
+
+    /// Equal tasks, no noise: exact wave structure.
+    #[test]
+    fn equal_tasks_run_in_exact_waves(
+        n_tasks in 1usize..25,
+        nodes in 1u32..4,
+        slots in 1u32..3,
+    ) {
+        let cluster = quiet_cluster(nodes, slots);
+        let dag = burn_dag(&vec![1e9; n_tasks]);
+        let report = cluster.run(&dag, ExecMode::Real).unwrap();
+        let d = report.jobs[0].tasks[0].end_s - report.jobs[0].tasks[0].start_s;
+        let waves = n_tasks.div_ceil((nodes * slots) as usize) as f64;
+        prop_assert!((report.makespan_s - waves * d).abs() < 1e-9,
+            "makespan {} != {waves} waves x {d}", report.makespan_s);
+    }
+
+    /// Adding nodes never hurts (no noise, work-conserving scheduler).
+    #[test]
+    fn more_nodes_never_slower(
+        flops in proptest::collection::vec(1e8f64..2e10, 1..12),
+    ) {
+        let t2 = quiet_cluster(2, 2).run(&burn_dag(&flops), ExecMode::Real).unwrap().makespan_s;
+        let t4 = quiet_cluster(4, 2).run(&burn_dag(&flops), ExecMode::Real).unwrap().makespan_s;
+        prop_assert!(t4 <= t2 + 1e-9, "{t4} > {t2}");
+    }
+
+    /// Billing properties: monotone in time and nodes; hourly ≥ per-second;
+    /// hourly is flat within an hour.
+    #[test]
+    fn billing_properties(
+        nodes in 1u32..100,
+        price in 0.01f64..5.0,
+        secs in 1.0f64..50_000.0,
+    ) {
+        let h = cluster_cost(BillingPolicy::HourlyCeil, nodes, price, secs);
+        let p = cluster_cost(BillingPolicy::PerSecond, nodes, price, secs);
+        prop_assert!(h >= p - 1e-12, "hourly {h} < per-second {p}");
+        prop_assert!(h <= p + nodes as f64 * price, "ceil adds at most one hour");
+        let h_more_time = cluster_cost(BillingPolicy::HourlyCeil, nodes, price, secs + 1.0);
+        prop_assert!(h_more_time >= h);
+        let h_more_nodes = cluster_cost(BillingPolicy::HourlyCeil, nodes + 1, price, secs);
+        prop_assert!(h_more_nodes >= h);
+    }
+
+    /// Determinism: identical configuration, identical report.
+    #[test]
+    fn runs_are_deterministic(
+        flops in proptest::collection::vec(1e8f64..2e10, 1..10),
+        fail_p in 0.0f64..0.3,
+    ) {
+        let run = || {
+            let cluster = Cluster::provision(
+                ClusterSpec::named("c1.medium", 3, 2).unwrap(),
+            )
+            .unwrap();
+            let failures = FailurePlan { task_failure_prob: fail_p, node_failures: vec![], seed: 9 };
+            cluster
+                .run_with(&burn_dag(&flops), ExecMode::Real, SchedulerConfig::default(), &failures)
+                .unwrap()
+                .makespan_s
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Speculative execution never loses tasks and never exceeds the
+    /// non-speculative makespan (first copy wins; backups only use slots
+    /// that would idle).
+    #[test]
+    fn speculation_is_safe(
+        flops in proptest::collection::vec(1e9f64..2e10, 2..10),
+        seed in 0u64..50,
+    ) {
+        let mk = |speculative: bool| {
+            let hw = HardwareModel {
+                noise: NoiseModel { sigma: 0.6, seed },
+                ..Default::default()
+            };
+            let cluster = Cluster::provision_with(
+                ClusterSpec::named("m1.large", 3, 2).unwrap(),
+                hw,
+                DfsConfig::default(),
+            )
+            .unwrap();
+            let config = SchedulerConfig { speculative, ..Default::default() };
+            cluster
+                .run_with(&burn_dag(&flops), ExecMode::Real, config, &FailurePlan::default())
+                .unwrap()
+        };
+        let base = mk(false);
+        let spec = mk(true);
+        prop_assert_eq!(spec.jobs[0].tasks.len(), flops.len());
+        prop_assert!(spec.makespan_s <= base.makespan_s + 1e-9,
+            "speculation regressed: {} vs {}", spec.makespan_s, base.makespan_s);
+    }
+}

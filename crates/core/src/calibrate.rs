@@ -1,0 +1,501 @@
+//! Cost-model calibration: benchmark the (simulated) hardware, fit
+//! task-time models by least squares.
+//!
+//! This reproduces the paper's methodology: the optimizer's knowledge of
+//! the hardware comes *only* from fitted coefficients, never from the
+//! simulator's internals. For each instance type the calibrator runs a
+//! battery of operator-shaped probe jobs across slot configurations,
+//! measures task durations, and regresses
+//!
+//! ```text
+//! t ≈ c₀ + c₁·(flops·max(1, S/cores)) + c₂·(local_read·S) + c₃·(remote_read·S)
+//!        + c₄·(local_write·S) + c₅·(remote_write·S) + c₆·io_ops
+//! ```
+//!
+//! where `S` is the slot count — the contention-adjusted featurization that
+//! makes coefficients valid across slot configurations. Straggler spread is
+//! estimated from the fit residuals (`sigma`). A memory-pressure factor
+//! with the framework's published form (demand over capacity, squared) is
+//! applied to the I/O terms of both calibration features and predictions.
+
+use std::collections::BTreeMap;
+
+use cumulon_cluster::instances::InstanceType;
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, Job, JobDag, Task};
+use cumulon_dfs::IoReceipt;
+use cumulon_matrix::ops::Work;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::estimate::TaskFeatures;
+
+/// Framework memory floor per slot, MB (matches the deployed stack).
+pub const TASK_MEM_FLOOR_MB: f64 = 200.0;
+/// Exponent of the memory-pressure penalty.
+pub const MEM_PENALTY_EXP: f64 = 2.0;
+
+/// Memory-pressure multiplier on I/O time for a task of `mem_mb` resident
+/// MB when `slots` run concurrently on `instance`.
+pub fn mem_penalty(instance: &InstanceType, slots: u32, mem_mb: f64) -> f64 {
+    let demand = slots as f64 * (mem_mb + TASK_MEM_FLOOR_MB);
+    let pressure = demand / instance.memory_mb as f64;
+    if pressure > 1.0 {
+        pressure.powf(MEM_PENALTY_EXP)
+    } else {
+        1.0
+    }
+}
+
+/// Contention-adjusted feature vector `[1, cpu, lr, rr, lw, rw, ops]`.
+pub fn featurize(instance: &InstanceType, slots: u32, f: &TaskFeatures) -> [f64; 7] {
+    let s = slots.max(1) as f64;
+    let cpu_adj = (s / instance.cores as f64).max(1.0);
+    let pen = mem_penalty(instance, slots, f.mem_mb);
+    [
+        1.0,
+        f.flops * cpu_adj,
+        f.local_read * s * pen,
+        f.remote_read * s * pen,
+        f.local_write * s * pen,
+        f.remote_write * s * pen,
+        f.io_ops,
+    ]
+}
+
+/// Fitted task-time coefficients for one instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCoefficients {
+    /// `[c₀ … c₆]` over [`featurize`]'s features.
+    pub c: [f64; 7],
+    /// Fitted straggler spread (std of log residuals).
+    pub sigma: f64,
+}
+
+impl OpCoefficients {
+    /// Predicted task seconds.
+    pub fn predict(&self, instance: &InstanceType, slots: u32, f: &TaskFeatures) -> f64 {
+        let x = featurize(instance, slots, f);
+        self.c
+            .iter()
+            .zip(x.iter())
+            .map(|(c, x)| c * x)
+            .sum::<f64>()
+            .max(1e-6)
+    }
+
+    /// Closed-form coefficients from the spec sheet (used as a baseline in
+    /// tests and for experiments that bypass calibration).
+    pub fn idealized(instance: &InstanceType, startup_s: f64, cpu_efficiency: f64) -> Self {
+        OpCoefficients {
+            c: [
+                startup_s,
+                1.0 / (instance.gflops_per_core * 1e9 * cpu_efficiency),
+                1.0 / (instance.disk_read_mbs * 1e6),
+                1.0 / (instance.net_mbs * 1e6),
+                1.0 / (instance.disk_write_mbs * 1e6),
+                1.0 / (instance.net_mbs * 1e6),
+                0.02,
+            ],
+            sigma: 0.08,
+        }
+    }
+}
+
+/// A set of fitted models, keyed by instance-type name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    per_instance: BTreeMap<String, OpCoefficients>,
+}
+
+impl CostModel {
+    /// Model with a single instance entry.
+    pub fn single(instance: &str, coeffs: OpCoefficients) -> Self {
+        let mut per_instance = BTreeMap::new();
+        per_instance.insert(instance.to_string(), coeffs);
+        CostModel { per_instance }
+    }
+
+    /// Inserts/overwrites an instance's coefficients.
+    pub fn insert(&mut self, instance: &str, coeffs: OpCoefficients) {
+        self.per_instance.insert(instance.to_string(), coeffs);
+    }
+
+    /// Coefficients for an instance type.
+    pub fn for_instance(&self, instance: &str) -> Option<&OpCoefficients> {
+        self.per_instance.get(instance)
+    }
+
+    /// Calibrated instance names.
+    pub fn instances(&self) -> Vec<&str> {
+        self.per_instance.keys().map(String::as_str).collect()
+    }
+}
+
+/// Calibration settings.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationConfig {
+    /// Nodes in the probe cluster.
+    pub nodes: u32,
+    /// Tasks per probe job (more = more samples per configuration).
+    pub tasks_per_probe: usize,
+    /// Seed so probes are reproducible.
+    pub seed: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            nodes: 2,
+            tasks_per_probe: 10,
+            seed: 0xca11,
+        }
+    }
+}
+
+/// One synthetic probe: the receipt its tasks will charge.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    flops: f64,
+    local_read: f64,
+    remote_read: f64,
+    local_write: f64,
+    remote_write: f64,
+    io_ops: u64,
+}
+
+fn probe_battery() -> Vec<Probe> {
+    let zero = Probe {
+        flops: 0.0,
+        local_read: 0.0,
+        remote_read: 0.0,
+        local_write: 0.0,
+        remote_write: 0.0,
+        io_ops: 0,
+    };
+    let mut probes = vec![zero];
+    // Axis-aligned probes, sized so the probed resource dominates the
+    // task-startup floor (otherwise the slope drowns in straggler noise).
+    for &f in &[2e9, 8e9, 2e10] {
+        probes.push(Probe { flops: f, ..zero });
+    }
+    for &b in &[2e8, 8e8] {
+        probes.push(Probe {
+            local_read: b,
+            ..zero
+        });
+        probes.push(Probe {
+            remote_read: b,
+            ..zero
+        });
+        probes.push(Probe {
+            local_write: b,
+            ..zero
+        });
+        probes.push(Probe {
+            remote_write: b,
+            ..zero
+        });
+    }
+    for &n in &[200u64, 800] {
+        probes.push(Probe { io_ops: n, ..zero });
+    }
+    // Mixed, operator-shaped probes (a multiply and a fused job profile).
+    probes.push(Probe {
+        flops: 1.6e9,
+        local_read: 2.4e8,
+        remote_read: 8e7,
+        local_write: 8e7,
+        remote_write: 1.6e8,
+        io_ops: 48,
+    });
+    probes.push(Probe {
+        flops: 1e8,
+        local_read: 1.6e8,
+        remote_read: 1.6e8,
+        local_write: 1.6e8,
+        remote_write: 3.2e8,
+        io_ops: 96,
+    });
+    probes
+}
+
+/// Runs the probe battery on one instance type, returning fitted
+/// coefficients.
+pub fn calibrate_instance(
+    instance: &InstanceType,
+    config: &CalibrationConfig,
+) -> Result<OpCoefficients> {
+    let mut xs: Vec<[f64; 7]> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let slot_options = {
+        let mut v = vec![1u32, instance.cores];
+        v.dedup();
+        v
+    };
+    for &slots in &slot_options {
+        let spec = ClusterSpec {
+            instance: *instance,
+            nodes: config.nodes,
+            slots_per_node: slots,
+        };
+        // Distinct straggler-noise seed per configuration: otherwise the
+        // same few noise draws repeat across configurations and bias the
+        // fit instead of averaging out.
+        let mut hw = cumulon_cluster::HardwareModel::default();
+        let name_hash: u64 = instance
+            .name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        hw.noise =
+            cumulon_cluster::NoiseModel::standard(config.seed ^ ((slots as u64) << 32) ^ name_hash);
+        let cluster = Cluster::provision_with(spec, hw, cumulon_dfs::DfsConfig::default())
+            .map_err(CoreError::from)?;
+        let mut dag = JobDag::new();
+        for probe in probe_battery() {
+            let tasks = (0..config.tasks_per_probe)
+                .map(|_| {
+                    Task::new(move |ctx| {
+                        ctx.charge(Work {
+                            flops: probe.flops,
+                            bytes_in: 0.0,
+                            bytes_out: 0.0,
+                        });
+                        ctx.charge_read_io(IoReceipt {
+                            bytes: (probe.local_read + probe.remote_read) as u64,
+                            local_bytes: probe.local_read as u64,
+                            remote_bytes: probe.remote_read as u64,
+                        });
+                        ctx.charge_write_io(IoReceipt {
+                            bytes: (probe.local_write + probe.remote_write) as u64,
+                            local_bytes: probe.local_write as u64,
+                            remote_bytes: probe.remote_write as u64,
+                        });
+                        ctx.charge_io_ops(probe.io_ops);
+                        Ok(())
+                    })
+                })
+                .collect();
+            dag.push(
+                Job::new(format!("probe{}", dag.jobs.len()), "probe", tasks),
+                vec![],
+            );
+        }
+        let report = cluster
+            .run(&dag, ExecMode::Simulated)
+            .map_err(CoreError::from)?;
+        // Jobs complete in arbitrary order; match stats back by name.
+        for (idx, probe) in probe_battery().into_iter().enumerate() {
+            let job_stats = report
+                .job(&format!("probe{idx}"))
+                .ok_or_else(|| CoreError::Calibration(format!("probe{idx} missing from report")))?;
+            let features = TaskFeatures {
+                flops: probe.flops,
+                local_read: probe.local_read,
+                remote_read: probe.remote_read,
+                local_write: probe.local_write,
+                remote_write: probe.remote_write,
+                mem_mb: 0.0,
+                io_ops: probe.io_ops as f64,
+            };
+            let x = featurize(instance, slots, &features);
+            for t in &job_stats.tasks {
+                xs.push(x);
+                ys.push(t.duration_s());
+            }
+        }
+    }
+    let c = ols(&xs, &ys)?;
+    // Residual spread → straggler sigma.
+    let mut sq = 0.0;
+    let mut n = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let pred: f64 = c.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
+        if pred > 1e-9 && *y > 0.0 {
+            let r = (y / pred).ln();
+            sq += r * r;
+            n += 1.0;
+        }
+    }
+    let sigma = if n > 0.0 { (sq / n).sqrt() } else { 0.0 };
+    Ok(OpCoefficients { c, sigma })
+}
+
+/// Calibrates a set of instance types.
+pub fn calibrate(instances: &[InstanceType], config: &CalibrationConfig) -> Result<CostModel> {
+    let mut model = CostModel::default();
+    for instance in instances {
+        let coeffs = calibrate_instance(instance, config)?;
+        model.insert(instance.name, coeffs);
+    }
+    Ok(model)
+}
+
+/// Ordinary least squares via normal equations + Gaussian elimination.
+fn ols(xs: &[[f64; 7]], ys: &[f64]) -> Result<[f64; 7]> {
+    const D: usize = 7;
+    if xs.len() < D {
+        return Err(CoreError::Calibration(format!(
+            "only {} samples for {D} coefficients",
+            xs.len()
+        )));
+    }
+    // Normal equations: A = XᵀX (D×D), b = Xᵀy.
+    let mut a = [[0.0f64; D]; D];
+    let mut b = [0.0f64; D];
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        for i in 0..D {
+            b[i] += x[i] * y;
+            for j in 0..D {
+                a[i][j] += x[i] * x[j];
+            }
+        }
+    }
+    // Scale columns for conditioning (features span ~10 orders).
+    let mut scale = [1.0f64; D];
+    for (j, s) in scale.iter_mut().enumerate() {
+        let m = a[j][j].sqrt();
+        if m > 0.0 {
+            *s = 1.0 / m;
+        }
+    }
+    for i in 0..D {
+        for j in 0..D {
+            a[i][j] *= scale[i] * scale[j];
+        }
+        b[i] *= scale[i];
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut aug = [[0.0f64; D + 1]; D];
+    for i in 0..D {
+        aug[i][..D].copy_from_slice(&a[i]);
+        aug[i][D] = b[i];
+    }
+    for col in 0..D {
+        let (pivot, max) = (col..D)
+            .map(|r| (r, aug[r][col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("no NaN"))
+            .expect("non-empty");
+        if max < 1e-12 {
+            return Err(CoreError::Calibration(format!(
+                "singular normal matrix at column {col}"
+            )));
+        }
+        aug.swap(col, pivot);
+        for row in 0..D {
+            if row == col {
+                continue;
+            }
+            let f = aug[row][col] / aug[col][col];
+            for k in col..=D {
+                aug[row][k] -= f * aug[col][k];
+            }
+        }
+    }
+    let mut c = [0.0f64; D];
+    for i in 0..D {
+        c[i] = aug[i][D] / aug[i][i] * scale[i];
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulon_cluster::instances::by_name;
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        // Deterministic pseudo-random design.
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for _ in 0..100 {
+            let x = [1.0, next(), next(), next(), next(), next(), next()];
+            let y: f64 = truth.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
+            xs.push(x);
+            ys.push(y);
+        }
+        let c = ols(&xs, &ys).unwrap();
+        for (got, want) in c.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-8, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn ols_rejects_underdetermined() {
+        assert!(ols(&[[1.0; 7]; 3], &[1.0, 2.0, 3.0]).is_err());
+        // Degenerate (all-identical rows) is singular.
+        assert!(ols(&[[1.0; 7]; 20], &[1.0; 20]).is_err());
+    }
+
+    #[test]
+    fn mem_penalty_kicks_in_over_capacity() {
+        let t = by_name("c1.medium").unwrap(); // 1.7 GB
+        assert_eq!(mem_penalty(&t, 2, 100.0), 1.0);
+        let p = mem_penalty(&t, 2, 3_000.0);
+        assert!(p > 10.0, "penalty {p}");
+    }
+
+    #[test]
+    fn featurize_contention() {
+        let t = by_name("m1.large").unwrap(); // 2 cores
+        let f = TaskFeatures {
+            flops: 1e9,
+            local_read: 1e8,
+            ..Default::default()
+        };
+        let x1 = featurize(&t, 1, &f);
+        let x4 = featurize(&t, 4, &f);
+        assert_eq!(x1[1], 1e9);
+        assert_eq!(x4[1], 2e9, "4 slots on 2 cores doubles cpu feature");
+        assert_eq!(x1[2], 1e8);
+        assert_eq!(x4[2], 4e8, "disk share scales with slots");
+    }
+
+    #[test]
+    fn calibration_fits_the_hardware() {
+        let instance = by_name("m1.large").unwrap();
+        let coeffs = calibrate_instance(&instance, &CalibrationConfig::default()).unwrap();
+        // Compare with the closed-form (hardware-truth) coefficients.
+        let ideal = OpCoefficients::idealized(&instance, 2.0, 0.85);
+        for (i, (got, want)) in coeffs.c.iter().zip(ideal.c.iter()).enumerate() {
+            let rel = (got - want).abs() / want.abs().max(1e-12);
+            assert!(rel < 0.15, "coef {i}: got {got}, want {want} (rel {rel})");
+        }
+        // Straggler sigma recovered near the simulator's 0.08.
+        assert!((coeffs.sigma - 0.08).abs() < 0.04, "sigma {}", coeffs.sigma);
+    }
+
+    #[test]
+    fn calibrated_model_predicts_probe_times() {
+        let instance = by_name("c1.xlarge").unwrap();
+        let coeffs = calibrate_instance(&instance, &CalibrationConfig::default()).unwrap();
+        let f = TaskFeatures {
+            flops: 3e9,
+            local_read: 2e8,
+            remote_read: 1e8,
+            local_write: 1e8,
+            remote_write: 2e8,
+            mem_mb: 100.0,
+            io_ops: 64.0,
+        };
+        let pred = coeffs.predict(&instance, 4, &f);
+        // Sanity band: seconds, not micro or kilo.
+        assert!(pred > 1.0 && pred < 60.0, "pred {pred}");
+    }
+
+    #[test]
+    fn cost_model_container() {
+        let i = by_name("m1.small").unwrap();
+        let mut m = CostModel::single("m1.small", OpCoefficients::idealized(&i, 2.0, 0.85));
+        assert!(m.for_instance("m1.small").is_some());
+        assert!(m.for_instance("nope").is_none());
+        m.insert("x", OpCoefficients::idealized(&i, 1.0, 0.9));
+        assert_eq!(m.instances(), vec!["m1.small", "x"]);
+    }
+}

@@ -1,0 +1,680 @@
+//! Analytic cost estimation: physical plans → predicted time and cost.
+//!
+//! The estimator never looks inside the cluster simulator. It combines:
+//!
+//! * **analytic per-task features** derived from the physical plan (tile
+//!   counts, densities, split parameters, replication, a locality
+//!   assumption);
+//! * a **fitted task-time model** ([`crate::calibrate::CostModel`]) —
+//!   coefficients regressed from benchmark runs;
+//! * a **wave model** of job completion: `⌈tasks / slots⌉` waves of the
+//!   mean task time plus a straggler tail correction
+//!   `σ·√(2·ln(min(tasks, slots)))` from extreme-value theory;
+//! * **plan composition** over topological levels, with jobs in a level
+//!   sharing the slot pool;
+//! * **hour-quantized billing** for the dollar figure.
+
+use cumulon_cluster::billing::{cluster_cost, BillingPolicy};
+use cumulon_cluster::instances::InstanceType;
+use cumulon_cluster::job::GEN_FLOPS_PER_CELL;
+use serde::{Deserialize, Serialize};
+
+use crate::calibrate::CostModel;
+use crate::error::{CoreError, Result};
+use crate::physical::{MulSplit, OperandStats, PhysJob, PhysPlan};
+
+/// The deployment a plan is being estimated for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterView {
+    /// Instance type.
+    pub instance: InstanceType,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Task slots per node.
+    pub slots: u32,
+    /// DFS replication factor.
+    pub replication: u32,
+}
+
+impl ClusterView {
+    /// Total slots in the cluster.
+    pub fn total_slots(&self) -> u32 {
+        self.nodes * self.slots
+    }
+
+    /// Probability an arbitrary stored tile has a replica on a given node.
+    pub fn base_locality(&self) -> f64 {
+        (self.replication as f64 / self.nodes as f64).min(1.0)
+    }
+
+    /// Locality assumed for a task's *hinted* input: the scheduler prefers
+    /// node-local tasks, so hinted reads are local far more often than
+    /// chance. The boost is an empirical constant validated by E5.
+    pub fn hinted_locality(&self) -> f64 {
+        (self.base_locality() + 0.6).min(1.0)
+    }
+}
+
+/// Analytic per-task resource features, mirroring
+/// [`cumulon_cluster::TaskReceipt`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskFeatures {
+    /// Kernel flops.
+    pub flops: f64,
+    /// Bytes read from node-local replicas.
+    pub local_read: f64,
+    /// Bytes read over the network.
+    pub remote_read: f64,
+    /// Bytes written to the local replica.
+    pub local_write: f64,
+    /// Bytes written to remote replicas.
+    pub remote_write: f64,
+    /// Peak resident memory, MB.
+    pub mem_mb: f64,
+    /// DFS file operations (tile reads + writes; generated reads are free).
+    pub io_ops: f64,
+}
+
+/// Bytes one tile of a matrix occupies, on average, given its stats.
+fn avg_tile_bytes(s: &OperandStats) -> f64 {
+    s.meta.stored_bytes_at_density(s.density) as f64 / s.meta.tile_count() as f64
+}
+
+/// Average megabytes per tile of an operand at its density.
+pub fn tile_mb(s: &OperandStats) -> f64 {
+    avg_tile_bytes(s) / 1e6
+}
+
+/// Splits `bytes` of reads into (local, remote) under locality `rho`.
+fn split_read(bytes: f64, rho: f64) -> (f64, f64) {
+    (bytes * rho, bytes * (1.0 - rho))
+}
+
+/// Read features of `tiles` tiles of an operand: generated operands cost
+/// generation flops instead of I/O.
+fn read_cost(s: &OperandStats, tiles: f64, rho: f64) -> TaskFeatures {
+    let tile_cells = (s.meta.rows as f64 * s.meta.cols as f64) / s.meta.tile_count() as f64;
+    if s.generated {
+        return TaskFeatures {
+            flops: GEN_FLOPS_PER_CELL * tile_cells * tiles,
+            mem_mb: avg_tile_bytes(s) * tiles / 1e6,
+            ..Default::default()
+        };
+    }
+    let bytes = avg_tile_bytes(s) * tiles;
+    let (local, remote) = split_read(bytes, rho);
+    TaskFeatures {
+        local_read: local,
+        remote_read: remote,
+        mem_mb: bytes / 1e6,
+        io_ops: tiles,
+        ..Default::default()
+    }
+}
+
+/// Write features of `tiles` output tiles: one local replica plus
+/// `replication − 1` remote copies (capped by the node count).
+fn write_cost(s: &OperandStats, tiles: f64, view: &ClusterView) -> TaskFeatures {
+    let bytes = avg_tile_bytes(s) * tiles;
+    let replicas = view.replication.min(view.nodes).max(1) as f64;
+    TaskFeatures {
+        local_write: bytes,
+        remote_write: bytes * (replicas - 1.0),
+        mem_mb: bytes / 1e6,
+        io_ops: tiles,
+        ..Default::default()
+    }
+}
+
+fn add_features(a: TaskFeatures, b: TaskFeatures) -> TaskFeatures {
+    TaskFeatures {
+        flops: a.flops + b.flops,
+        local_read: a.local_read + b.local_read,
+        remote_read: a.remote_read + b.remote_read,
+        local_write: a.local_write + b.local_write,
+        remote_write: a.remote_write + b.remote_write,
+        mem_mb: a.mem_mb + b.mem_mb,
+        io_ops: a.io_ops + b.io_ops,
+    }
+}
+
+/// Average dimensions of one tile of an operand (tiles may be rectangular
+/// when a matrix dimension is narrower than the tile size, and ragged at
+/// the trailing edges).
+fn avg_tile_dims(s: &OperandStats) -> (f64, f64) {
+    let g = s.meta.grid();
+    (
+        s.meta.rows as f64 / g.tile_rows as f64,
+        s.meta.cols as f64 / g.tile_cols as f64,
+    )
+}
+
+/// Average cells per tile.
+fn avg_tile_cells(s: &OperandStats) -> f64 {
+    let (r, c) = avg_tile_dims(s);
+    r * c
+}
+
+/// Estimated flops of multiplying one tile of `a` by one tile of `b` at
+/// the operands' densities (mirrors [`cumulon_matrix::ops::mul_work`]).
+fn tile_mul_flops(a: &OperandStats, b: &OperandStats) -> f64 {
+    let (ar, ac) = avg_tile_dims(a);
+    let (_, bc) = avg_tile_dims(b);
+    2.0 * ar * ac * bc * (a.density * b.density).clamp(0.0, 1.0)
+}
+
+/// Per-task features and task count for one physical job.
+pub fn job_features(job: &PhysJob, view: &ClusterView) -> (usize, TaskFeatures) {
+    match job {
+        PhysJob::Mul {
+            a_stats,
+            b_stats,
+            out_stats,
+            split,
+            ..
+        } => mul_features(a_stats, b_stats, out_stats, *split, view),
+        PhysJob::AddPartials {
+            partials,
+            out_stats,
+            tiles_per_task,
+            ..
+        } => {
+            let n_tasks = out_stats
+                .meta
+                .tile_count()
+                .div_ceil((*tiles_per_task).max(1));
+            let tiles = (*tiles_per_task).max(1) as f64;
+            let reads = read_cost(
+                out_stats,
+                tiles * partials.len() as f64,
+                view.hinted_locality(),
+            );
+            let writes = write_cost(out_stats, tiles, view);
+            let flops = TaskFeatures {
+                flops: tiles
+                    * partials.len() as f64
+                    * out_stats.density
+                    * avg_tile_cells(out_stats),
+                ..Default::default()
+            };
+            (n_tasks, add_features(add_features(reads, writes), flops))
+        }
+        PhysJob::Fused {
+            inputs,
+            expr,
+            out_stats,
+            tiles_per_task,
+            ..
+        } => {
+            let n_tasks = out_stats
+                .meta
+                .tile_count()
+                .div_ceil((*tiles_per_task).max(1));
+            let tiles = (*tiles_per_task).max(1) as f64;
+            let mut f = TaskFeatures::default();
+            for (idx, (_, s)) in inputs.iter().enumerate() {
+                let rho = if idx == 0 {
+                    view.hinted_locality()
+                } else {
+                    view.base_locality()
+                };
+                f = add_features(f, read_cost(s, tiles, rho));
+            }
+            f = add_features(f, write_cost(out_stats, tiles, view));
+            f.flops += expr.op_count() as f64 * tiles * avg_tile_cells(out_stats);
+            (n_tasks, f)
+        }
+    }
+}
+
+fn mul_features(
+    a: &OperandStats,
+    b: &OperandStats,
+    out: &OperandStats,
+    split: MulSplit,
+    view: &ClusterView,
+) -> (usize, TaskFeatures) {
+    let ga = a.meta.grid();
+    let gb = b.meta.grid();
+    let (mt, kt, nt) = (ga.tile_rows, ga.tile_cols, gb.tile_cols);
+    let n_tasks = split.task_count(mt, kt, nt);
+    // Effective band extents (last bands may be ragged; use the average).
+    let ri = mt as f64 / mt.div_ceil(split.ri) as f64;
+    let rj = nt as f64 / nt.div_ceil(split.rj) as f64;
+    let rk = kt as f64 / kt.div_ceil(split.rk) as f64;
+
+    let a_reads = read_cost(a, ri * rk, view.hinted_locality());
+    let b_reads = read_cost(b, rk * rj, view.base_locality());
+    let writes = write_cost(out, ri * rj, view);
+    let mul_flops = TaskFeatures {
+        flops: tile_mul_flops(a, b) * ri * rj * rk
+            // accumulating rk partial tiles into each output tile
+            + (rk - 1.0).max(0.0) * ri * rj * out.density * avg_tile_cells(out),
+        ..Default::default()
+    };
+    let f = add_features(
+        add_features(a_reads, b_reads),
+        add_features(writes, mul_flops),
+    );
+    (n_tasks, f)
+}
+
+/// Wave-model job completion time given a mean task time, the task count
+/// and the fitted straggler sigma (closed-form approximation).
+pub fn job_time_s(mean_task_s: f64, n_tasks: usize, total_slots: u32, sigma: f64) -> f64 {
+    if n_tasks == 0 {
+        return 0.0;
+    }
+    let s = total_slots.max(1) as usize;
+    let waves = n_tasks.div_ceil(s) as f64;
+    let tail_k = n_tasks.min(s) as f64;
+    let tail = sigma * (2.0 * tail_k.max(1.0).ln()).sqrt();
+    mean_task_s * (waves + tail)
+}
+
+/// Monte-Carlo job completion time: simulates greedy list scheduling of
+/// `n_tasks` lognormal task durations over `total_slots` slots, averaged
+/// over `trials` — the paper's *simulation* technique for job-time
+/// prediction, as opposed to the closed-form wave model above. More
+/// accurate when waves are ragged or sigma is large; costs O(trials · n).
+pub fn job_time_mc(
+    mean_task_s: f64,
+    n_tasks: usize,
+    total_slots: u32,
+    sigma: f64,
+    seed: u64,
+    trials: usize,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    if n_tasks == 0 {
+        return 0.0;
+    }
+    let s = (total_slots.max(1) as usize).min(n_tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    // Greedy list scheduling: each task goes to the earliest-free slot.
+    let mut free_at = vec![0.0f64; s];
+    for _ in 0..trials.max(1) {
+        free_at.iter_mut().for_each(|t| *t = 0.0);
+        for _ in 0..n_tasks {
+            let duration = if sigma == 0.0 {
+                mean_task_s
+            } else {
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0f64..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean_task_s * (sigma * z - sigma * sigma / 2.0).exp()
+            };
+            // Earliest-free slot.
+            let (slot, _) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("at least one slot");
+            free_at[slot] += duration;
+        }
+        total += free_at.iter().copied().fold(0.0, f64::max);
+    }
+    total / trials.max(1) as f64
+}
+
+/// Which job-completion-time predictor [`estimate_plan`] composes with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobTimeModel {
+    /// Closed-form wave approximation (fast; the default).
+    WaveApprox,
+    /// Monte-Carlo list-scheduling simulation with this many trials.
+    MonteCarlo {
+        /// Simulation trials per job.
+        trials: usize,
+        /// RNG seed (deterministic predictions).
+        seed: u64,
+    },
+}
+
+impl JobTimeModel {
+    /// Predicted completion time for one job under this model.
+    pub fn job_time(&self, mean_task_s: f64, n_tasks: usize, slots: u32, sigma: f64) -> f64 {
+        match *self {
+            JobTimeModel::WaveApprox => job_time_s(mean_task_s, n_tasks, slots, sigma),
+            JobTimeModel::MonteCarlo { trials, seed } => {
+                job_time_mc(mean_task_s, n_tasks, slots, sigma, seed, trials)
+            }
+        }
+    }
+}
+
+/// Full plan estimate on a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEstimate {
+    /// Per-job `(mean task seconds, task count)` in plan order.
+    pub jobs: Vec<(f64, usize)>,
+    /// Estimated end-to-end makespan, seconds.
+    pub makespan_s: f64,
+    /// Estimated cost, dollars (hourly billing).
+    pub cost_dollars: f64,
+}
+
+/// Estimates a physical plan on a deployment with a fitted cost model,
+/// priced under hourly billing.
+pub fn estimate_plan(
+    plan: &PhysPlan,
+    view: &ClusterView,
+    model: &CostModel,
+) -> Result<PlanEstimate> {
+    estimate_plan_with(plan, view, model, BillingPolicy::HourlyCeil)
+}
+
+/// [`estimate_plan`] under an explicit billing policy (the per-second
+/// ablation removes the step structure from cost curves).
+pub fn estimate_plan_with(
+    plan: &PhysPlan,
+    view: &ClusterView,
+    model: &CostModel,
+    billing: BillingPolicy,
+) -> Result<PlanEstimate> {
+    estimate_plan_full(plan, view, model, billing, JobTimeModel::WaveApprox)
+}
+
+/// The fully-general estimator: explicit billing *and* job-time model.
+pub fn estimate_plan_full(
+    plan: &PhysPlan,
+    view: &ClusterView,
+    model: &CostModel,
+    billing: BillingPolicy,
+    job_model: JobTimeModel,
+) -> Result<PlanEstimate> {
+    let coeffs = model
+        .for_instance(view.instance.name)
+        .ok_or_else(|| CoreError::Calibration(format!("no model for {}", view.instance.name)))?;
+    let mut per_job = Vec::with_capacity(plan.jobs.len());
+    for job in &plan.jobs {
+        let (n_tasks, features) = job_features(job, view);
+        let mean = coeffs.predict(&view.instance, view.slots, &features);
+        per_job.push((mean, n_tasks));
+    }
+    // Compose over topological levels: jobs in a level share the slot pool.
+    let total_slots = view.total_slots();
+    let mut makespan = 0.0;
+    for level in plan.levels() {
+        let pooled_tasks: usize = level.iter().map(|&j| per_job[j].1).sum();
+        let max_mean = level.iter().map(|&j| per_job[j].0).fold(0.0, f64::max);
+        let weighted_mean = if pooled_tasks == 0 {
+            0.0
+        } else {
+            level
+                .iter()
+                .map(|&j| per_job[j].0 * per_job[j].1 as f64)
+                .sum::<f64>()
+                / pooled_tasks as f64
+        };
+        let level_time = job_model
+            .job_time(weighted_mean, pooled_tasks, total_slots, coeffs.sigma)
+            .max(max_mean);
+        makespan += level_time;
+    }
+    let cost = cluster_cost(billing, view.nodes, view.instance.price_per_hour, makespan);
+    Ok(PlanEstimate {
+        jobs: per_job,
+        makespan_s: makespan,
+        cost_dollars: cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::OpCoefficients;
+    use crate::physical::MatRef;
+    use cumulon_cluster::instances::by_name;
+    use cumulon_matrix::MatrixMeta;
+
+    fn view(nodes: u32, slots: u32) -> ClusterView {
+        ClusterView {
+            instance: by_name("m1.large").unwrap(),
+            nodes,
+            slots,
+            replication: 3,
+        }
+    }
+
+    fn stats(rows: usize, cols: usize, density: f64) -> OperandStats {
+        OperandStats {
+            meta: MatrixMeta::new(rows, cols, 10),
+            density,
+            generated: false,
+        }
+    }
+
+    fn mul_job(split: MulSplit) -> PhysJob {
+        PhysJob::Mul {
+            a: MatRef::plain("A"),
+            a_stats: stats(40, 60, 1.0),
+            b: MatRef::plain("B"),
+            b_stats: stats(60, 20, 1.0),
+            out: "C".into(),
+            out_stats: stats(40, 20, 1.0),
+            split,
+        }
+    }
+
+    #[test]
+    fn locality_model() {
+        let v = view(10, 2);
+        assert!((v.base_locality() - 0.3).abs() < 1e-12);
+        assert!((v.hinted_locality() - 0.9).abs() < 1e-12);
+        let tiny = view(2, 2);
+        assert_eq!(tiny.base_locality(), 1.0);
+        assert_eq!(tiny.hinted_locality(), 1.0);
+    }
+
+    #[test]
+    fn mul_feature_scaling() {
+        let v = view(10, 2);
+        let (n1, f1) = job_features(&mul_job(MulSplit::unit()), &v);
+        let (n2, f2) = job_features(
+            &mul_job(MulSplit {
+                ri: 2,
+                rj: 2,
+                rk: 2,
+            }),
+            &v,
+        );
+        assert_eq!(n1, 4 * 2 * 6);
+        assert_eq!(n2, 2 * 1 * 3);
+        // Bigger bands per task → more flops per task.
+        assert!(f2.flops > 3.0 * f1.flops);
+        // Total flops across the job roughly conserved.
+        let t1 = f1.flops * n1 as f64;
+        let t2 = f2.flops * n2 as f64;
+        assert!((t1 / t2 - 1.0).abs() < 0.3, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn k_split_amortizes_b_reads() {
+        // rk = Kt reads B's band once per task; rk = 1 re-reads per k.
+        let v = view(10, 2);
+        let (n_whole, f_whole) = job_features(
+            &mul_job(MulSplit {
+                ri: 1,
+                rj: 1,
+                rk: 6,
+            }),
+            &v,
+        );
+        let (n_split, f_split) = job_features(
+            &mul_job(MulSplit {
+                ri: 1,
+                rj: 1,
+                rk: 1,
+            }),
+            &v,
+        );
+        let whole_reads = (f_whole.local_read + f_whole.remote_read) * n_whole as f64;
+        let split_reads = (f_split.local_read + f_split.remote_read) * n_split as f64;
+        assert!(
+            (whole_reads - split_reads).abs() < 1.0,
+            "total read bytes equal"
+        );
+        // But the split version writes 6× the partial output volume.
+        let whole_writes = f_whole.local_write * n_whole as f64;
+        let split_writes = f_split.local_write * n_split as f64;
+        assert!((split_writes / whole_writes - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn generated_inputs_read_free() {
+        let v = view(4, 2);
+        let mut gen = stats(40, 60, 1.0);
+        gen.generated = true;
+        let job = PhysJob::Mul {
+            a: MatRef::plain("G"),
+            a_stats: gen,
+            b: MatRef::plain("B"),
+            b_stats: stats(60, 20, 1.0),
+            out: "C".into(),
+            out_stats: stats(40, 20, 1.0),
+            split: MulSplit::unit(),
+        };
+        let (_, f) = job_features(&job, &v);
+        let (_, f_stored) = job_features(&mul_job(MulSplit::unit()), &v);
+        assert!(f.local_read + f.remote_read < f_stored.local_read + f_stored.remote_read);
+        assert!(f.flops > f_stored.flops, "generation flops charged instead");
+    }
+
+    #[test]
+    fn sparse_mul_cheaper() {
+        let sparse = PhysJob::Mul {
+            a: MatRef::plain("S"),
+            a_stats: stats(40, 60, 0.01),
+            b: MatRef::plain("B"),
+            b_stats: stats(60, 20, 1.0),
+            out: "C".into(),
+            out_stats: stats(40, 20, 0.5),
+            split: MulSplit::unit(),
+        };
+        let v = view(4, 2);
+        let (_, fs) = job_features(&sparse, &v);
+        let (_, fd) = job_features(&mul_job(MulSplit::unit()), &v);
+        assert!(fs.flops < fd.flops / 20.0);
+        assert!(fs.local_read + fs.remote_read < fd.local_read + fd.remote_read);
+    }
+
+    #[test]
+    fn wave_model_shapes() {
+        // 100 tasks of 10s on 10 slots, no noise: exactly 10 waves.
+        assert_eq!(job_time_s(10.0, 100, 10, 0.0), 100.0);
+        // Remainder adds a wave.
+        assert_eq!(job_time_s(10.0, 101, 10, 0.0), 110.0);
+        // Noise adds a tail.
+        assert!(job_time_s(10.0, 100, 10, 0.1) > 100.0);
+        // Empty job takes no time.
+        assert_eq!(job_time_s(10.0, 0, 10, 0.1), 0.0);
+        // More slots never slower.
+        assert!(job_time_s(10.0, 100, 20, 0.05) <= job_time_s(10.0, 100, 10, 0.05));
+    }
+
+    #[test]
+    fn estimate_plan_composes_levels() {
+        let mut plan = PhysPlan::default();
+        let j0 = plan.push(
+            mul_job(MulSplit {
+                ri: 1,
+                rj: 1,
+                rk: 1,
+            }),
+            vec![],
+        );
+        plan.push(
+            PhysJob::AddPartials {
+                partials: (0..6).map(|k| format!("C__p{k}")).collect(),
+                out: "C".into(),
+                out_stats: stats(40, 20, 1.0),
+                tiles_per_task: 2,
+            },
+            vec![j0],
+        );
+        let v = view(4, 2);
+        let model = CostModel::single(
+            v.instance.name,
+            OpCoefficients::idealized(&v.instance, 2.0, 0.85),
+        );
+        let est = estimate_plan(&plan, &v, &model).unwrap();
+        assert_eq!(est.jobs.len(), 2);
+        assert!(est.makespan_s > 0.0);
+        assert!(est.cost_dollars > 0.0);
+        // Levels serialize: makespan at least the sum of single-task times.
+        assert!(est.makespan_s >= est.jobs[0].0);
+    }
+
+    #[test]
+    fn missing_instance_model_errors() {
+        let plan = {
+            let mut p = PhysPlan::default();
+            p.push(mul_job(MulSplit::unit()), vec![]);
+            p
+        };
+        let v = view(2, 1);
+        let model = CostModel::default();
+        assert!(matches!(
+            estimate_plan(&plan, &v, &model),
+            Err(CoreError::Calibration(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod mc_tests {
+    use super::*;
+
+    #[test]
+    fn mc_matches_closed_form_without_noise() {
+        // No noise: greedy scheduling of equal tasks = exact waves.
+        let wave = job_time_s(10.0, 25, 8, 0.0);
+        let mc = job_time_mc(10.0, 25, 8, 0.0, 1, 5);
+        assert!((wave - mc).abs() < 1e-9, "wave {wave} vs mc {mc}");
+    }
+
+    #[test]
+    fn mc_is_deterministic_given_seed() {
+        let a = job_time_mc(5.0, 40, 6, 0.2, 99, 50);
+        let b = job_time_mc(5.0, 40, 6, 0.2, 99, 50);
+        assert_eq!(a, b);
+        let c = job_time_mc(5.0, 40, 6, 0.2, 100, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mc_close_to_wave_model_at_mild_noise() {
+        let wave = job_time_s(10.0, 64, 16, 0.08);
+        let mc = job_time_mc(10.0, 64, 16, 0.08, 7, 200);
+        let rel = (wave - mc).abs() / mc;
+        assert!(rel < 0.1, "wave {wave} vs mc {mc} (rel {rel})");
+    }
+
+    #[test]
+    fn mc_captures_heavy_tails_better() {
+        // With huge sigma the closed-form underestimates the tail; MC should
+        // exceed the no-noise floor substantially.
+        let floor = job_time_s(10.0, 16, 16, 0.0);
+        let mc = job_time_mc(10.0, 16, 16, 1.0, 3, 300);
+        assert!(
+            mc > 1.3 * floor,
+            "heavy tails must show: {mc} vs floor {floor}"
+        );
+    }
+
+    #[test]
+    fn mc_empty_job_is_free() {
+        assert_eq!(job_time_mc(10.0, 0, 4, 0.5, 1, 10), 0.0);
+    }
+
+    #[test]
+    fn job_time_model_dispatch() {
+        let wave = JobTimeModel::WaveApprox.job_time(10.0, 25, 8, 0.0);
+        let mc = JobTimeModel::MonteCarlo { trials: 5, seed: 1 }.job_time(10.0, 25, 8, 0.0);
+        assert!((wave - mc).abs() < 1e-9);
+    }
+}

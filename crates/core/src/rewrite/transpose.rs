@@ -1,0 +1,228 @@
+//! Transpose pushdown: after this pass, `Transpose` nodes appear only
+//! directly above `Input` nodes, where the physical layer satisfies them
+//! with transposed tile reads (no data movement at all).
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::expr::{ExprId, ExprNode, Program};
+
+/// Pushes every transpose down to the input leaves.
+pub fn push_down(program: &Program) -> Result<Program> {
+    let mut out = Program::default();
+    // Memoise on (node, transposed-context) so shared subtrees stay shared.
+    let mut memo: HashMap<(ExprId, bool), ExprId> = HashMap::new();
+    let mut outputs = Vec::with_capacity(program.outputs.len());
+    for (name, root) in &program.outputs {
+        let new_root = push(program, *root, false, &mut out, &mut memo)?;
+        outputs.push((name.clone(), new_root));
+    }
+    out.outputs = outputs;
+    Ok(out)
+}
+
+fn push(
+    src: &Program,
+    id: ExprId,
+    transposed: bool,
+    out: &mut Program,
+    memo: &mut HashMap<(ExprId, bool), ExprId>,
+) -> Result<ExprId> {
+    if let Some(&done) = memo.get(&(id, transposed)) {
+        return Ok(done);
+    }
+    let node = src.node(id)?.clone();
+    let new_id = match node {
+        ExprNode::Input(name) => {
+            let input = push_node(out, ExprNode::Input(name));
+            if transposed {
+                push_node(out, ExprNode::Transpose(input))
+            } else {
+                input
+            }
+        }
+        ExprNode::Transpose(a) => push(src, a, !transposed, out, memo)?,
+        ExprNode::Mul(a, b) => {
+            if transposed {
+                // (AB)ᵀ = Bᵀ Aᵀ
+                let bt = push(src, b, true, out, memo)?;
+                let at = push(src, a, true, out, memo)?;
+                push_node(out, ExprNode::Mul(bt, at))
+            } else {
+                let na = push(src, a, false, out, memo)?;
+                let nb = push(src, b, false, out, memo)?;
+                push_node(out, ExprNode::Mul(na, nb))
+            }
+        }
+        ExprNode::Elem(op, a, b) => {
+            let na = push(src, a, transposed, out, memo)?;
+            let nb = push(src, b, transposed, out, memo)?;
+            push_node(out, ExprNode::Elem(op, na, nb))
+        }
+        ExprNode::Scale(a, f) => {
+            let na = push(src, a, transposed, out, memo)?;
+            push_node(out, ExprNode::Scale(na, f))
+        }
+        ExprNode::Unary(op, a) => {
+            let na = push(src, a, transposed, out, memo)?;
+            push_node(out, ExprNode::Unary(op, na))
+        }
+    };
+    memo.insert((id, transposed), new_id);
+    Ok(new_id)
+}
+
+fn push_node(out: &mut Program, node: ExprNode) -> ExprId {
+    out.nodes.push(node);
+    out.nodes.len() - 1
+}
+
+/// Checks the pass' postcondition: every `Transpose` sits on an `Input`.
+pub fn verify_normalized(program: &Program) -> Result<()> {
+    for (id, node) in program.nodes.iter().enumerate() {
+        if let ExprNode::Transpose(a) = node {
+            if !matches!(program.node(*a)?, ExprNode::Input(_)) {
+                return Err(CoreError::Invariant(format!(
+                    "Transpose@{id} sits on non-input node {a}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{InputDesc, ProgramBuilder};
+    use cumulon_matrix::MatrixMeta;
+    use std::collections::BTreeMap;
+
+    fn square_inputs() -> BTreeMap<String, InputDesc> {
+        let mut m = BTreeMap::new();
+        for n in ["A", "B"] {
+            m.insert(n.into(), InputDesc::dense(MatrixMeta::new(8, 8, 4)));
+        }
+        m
+    }
+
+    #[test]
+    fn double_transpose_cancels() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let t1 = b.transpose(a);
+        let t2 = b.transpose(t1);
+        b.output("O", t2);
+        let p = push_down(&b.build()).unwrap();
+        verify_normalized(&p).unwrap();
+        assert!(!p.nodes.iter().any(|n| matches!(n, ExprNode::Transpose(_))));
+    }
+
+    #[test]
+    fn product_transpose_swaps_and_pushes() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let bb = b.input("B");
+        let ab = b.mul(a, bb);
+        let t = b.transpose(ab);
+        b.output("O", t);
+        let p = push_down(&b.build()).unwrap();
+        verify_normalized(&p).unwrap();
+        // Root must be Mul(Bᵀ, Aᵀ).
+        let (_, root) = &p.outputs[0];
+        let ExprNode::Mul(l, r) = p.node(*root).unwrap() else {
+            panic!("root should be a Mul");
+        };
+        let ExprNode::Transpose(li) = p.node(*l).unwrap() else {
+            panic!("left not transposed")
+        };
+        let ExprNode::Transpose(ri) = p.node(*r).unwrap() else {
+            panic!("right not transposed")
+        };
+        assert_eq!(p.node(*li).unwrap(), &ExprNode::Input("B".into()));
+        assert_eq!(p.node(*ri).unwrap(), &ExprNode::Input("A".into()));
+    }
+
+    #[test]
+    fn elementwise_commutes_with_transpose() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let bb = b.input("B");
+        let s = b.add(a, bb);
+        let t = b.transpose(s);
+        b.output("O", t);
+        let p = push_down(&b.build()).unwrap();
+        verify_normalized(&p).unwrap();
+        let info = p.infer(&square_inputs()).unwrap();
+        let (_, root) = &p.outputs[0];
+        assert_eq!(info[*root].meta, MatrixMeta::new(8, 8, 4));
+        // Transposes exist, but only on inputs.
+        assert!(p.nodes.iter().any(|n| matches!(n, ExprNode::Transpose(_))));
+    }
+
+    #[test]
+    fn semantics_preserved_under_inference() {
+        // (Aᵀ (A B))ᵀ — shape-check before and after.
+        let mut inputs = BTreeMap::new();
+        inputs.insert("A".into(), InputDesc::dense(MatrixMeta::new(12, 8, 4)));
+        inputs.insert("B".into(), InputDesc::dense(MatrixMeta::new(8, 6, 4)));
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let bb = b.input("B");
+        let at = b.transpose(a);
+        let ab = b.mul(a, bb); // 12x6
+        let g = b.mul(at, ab); // 8x6
+        let t = b.transpose(g); // 6x8
+        b.output("O", t);
+        let src = b.build();
+        let src_info = src.infer(&inputs).unwrap();
+        let (_, src_root) = &src.outputs[0];
+        let p = push_down(&src).unwrap();
+        verify_normalized(&p).unwrap();
+        let info = p.infer(&inputs).unwrap();
+        let (_, root) = &p.outputs[0];
+        assert_eq!(info[*root].meta, src_info[*src_root].meta);
+    }
+
+    #[test]
+    fn shared_subtrees_stay_shared() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let bb = b.input("B");
+        let s = b.add(a, bb);
+        let prod = b.mul(s, s);
+        b.output("O", prod);
+        let p = push_down(&b.build()).unwrap();
+        // The Add node must appear exactly once (memoisation).
+        let adds = p
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, ExprNode::Elem(cumulon_matrix::tile::ElemOp::Add, _, _)))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn scale_and_unary_pass_through() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let sc = b.scale(a, 3.0);
+        let u = b.unary(crate::expr::UnaryOp::Abs, sc);
+        let t = b.transpose(u);
+        b.output("O", t);
+        let p = push_down(&b.build()).unwrap();
+        verify_normalized(&p).unwrap();
+        let (_, root) = &p.outputs[0];
+        assert!(matches!(p.node(*root).unwrap(), ExprNode::Unary(_, _)));
+    }
+
+    #[test]
+    fn verify_rejects_unnormalized() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let s = b.scale(a, 2.0);
+        let t = b.transpose(s);
+        b.output("O", t);
+        assert!(verify_normalized(&b.build()).is_err());
+    }
+}

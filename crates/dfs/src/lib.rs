@@ -1,0 +1,33 @@
+//! # cumulon-dfs
+//!
+//! A simulated HDFS-like distributed file system, plus the tile store
+//! Cumulon layers on it.
+//!
+//! The real Cumulon runs on HDFS and communicates between jobs exclusively
+//! through files of matrix tiles. This crate reproduces the pieces of that
+//! stack the system and its optimizer actually interact with:
+//!
+//! * a [`namenode::NameNode`] holding the file → block → replica-location
+//!   mapping and the live-datanode registry;
+//! * [`datanode`] storage for block payloads, with capacity accounting;
+//! * the [`Dfs`] façade offering create/read/delete with a replica
+//!   placement policy (writer-local first replica, random remotes after,
+//!   like HDFS) and **I/O receipts** — every operation reports how many
+//!   bytes moved and whether the read was node-local, so the cluster
+//!   simulator can charge time to the right resources;
+//! * a [`TileStore`] that names matrices, maps tile coordinates to DFS
+//!   files, and (de)serializes tiles via `cumulon-matrix`.
+//!
+//! Nothing here keeps wall-clock time; the DFS reports *what happened* and
+//! the discrete-event simulator in `cumulon-cluster` decides *how long it
+//! took*.
+
+pub mod datanode;
+pub mod dfs;
+pub mod error;
+pub mod namenode;
+pub mod tilestore;
+
+pub use dfs::{Dfs, DfsConfig, IoReceipt, NodeId};
+pub use error::{DfsError, Result};
+pub use tilestore::{MatrixHandle, TileStore};

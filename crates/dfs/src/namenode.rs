@@ -1,0 +1,313 @@
+//! Namenode metadata: the file namespace and the datanode registry.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::datanode::BlockId;
+use crate::dfs::NodeId;
+use crate::error::{DfsError, Result};
+
+/// Metadata of one block: id, size and replica locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Block identifier.
+    pub id: BlockId,
+    /// Payload size in bytes.
+    pub len: u64,
+    /// Datanodes currently holding a replica.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Metadata of one file: an ordered list of blocks.
+#[derive(Debug, Clone, Default)]
+pub struct FileMeta {
+    /// Blocks in file order.
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl FileMeta {
+    /// Total file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// True when the file holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The namenode: file namespace, block allocation, and node liveness.
+///
+/// Uses a `BTreeMap` namespace so listings are deterministic — important
+/// for reproducible simulations.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    files: BTreeMap<String, FileMeta>,
+    live_nodes: HashSet<NodeId>,
+    next_block: u64,
+    /// Reverse index: block → owning path + index, for failure handling.
+    block_index: HashMap<BlockId, (String, usize)>,
+}
+
+impl NameNode {
+    /// Creates a namenode with `nodes` live datanodes (ids `0..nodes`).
+    pub fn new(nodes: u32) -> Self {
+        NameNode {
+            files: BTreeMap::new(),
+            live_nodes: (0..nodes).map(NodeId).collect(),
+            next_block: 0,
+            block_index: HashMap::new(),
+        }
+    }
+
+    /// Registers an additional datanode (cluster grow).
+    pub fn register_node(&mut self, node: NodeId) {
+        self.live_nodes.insert(node);
+    }
+
+    /// Marks a datanode dead, removing it from all replica lists. Returns
+    /// the blocks that dropped below one replica (lost) and those that
+    /// still have replicas but fewer than before (under-replicated).
+    pub fn decommission_node(&mut self, node: NodeId) -> DecommissionReport {
+        self.live_nodes.remove(&node);
+        let mut lost = Vec::new();
+        let mut under_replicated = Vec::new();
+        for (path, meta) in &mut self.files {
+            for (idx, block) in meta.blocks.iter_mut().enumerate() {
+                let before = block.replicas.len();
+                block.replicas.retain(|&n| n != node);
+                if block.replicas.len() < before {
+                    if block.replicas.is_empty() {
+                        lost.push((path.clone(), idx));
+                    } else {
+                        under_replicated.push(block.id);
+                    }
+                }
+            }
+        }
+        DecommissionReport {
+            lost,
+            under_replicated,
+        }
+    }
+
+    /// Live datanode ids, sorted (deterministic placement).
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.live_nodes.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// True when the node is live.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.live_nodes.contains(&node)
+    }
+
+    /// Allocates a fresh block id.
+    pub fn allocate_block(&mut self) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        id
+    }
+
+    /// Creates a file entry; fails if the path exists.
+    pub fn create_file(&mut self, path: &str) -> Result<()> {
+        if self.files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        self.files.insert(path.to_string(), FileMeta::default());
+        Ok(())
+    }
+
+    /// Appends a block record to an existing file.
+    pub fn append_block(&mut self, path: &str, block: BlockMeta) -> Result<()> {
+        let meta = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        self.block_index
+            .insert(block.id, (path.to_string(), meta.blocks.len()));
+        meta.blocks.push(block);
+        Ok(())
+    }
+
+    /// Looks up file metadata.
+    pub fn stat(&self, path: &str) -> Result<&FileMeta> {
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// True if the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a file, returning its block metadata for replica cleanup.
+    pub fn delete_file(&mut self, path: &str) -> Result<Vec<BlockMeta>> {
+        let meta = self
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        for b in &meta.blocks {
+            self.block_index.remove(&b.id);
+        }
+        Ok(meta.blocks)
+    }
+
+    /// Lists paths under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Records an extra replica for a block (re-replication).
+    pub fn add_replica(&mut self, id: BlockId, node: NodeId) -> Result<()> {
+        let (path, idx) = self
+            .block_index
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| DfsError::FileNotFound(format!("block {id:?}")))?;
+        let meta = self
+            .files
+            .get_mut(&path)
+            .expect("index points at live file");
+        let block = &mut meta.blocks[idx];
+        if !block.replicas.contains(&node) {
+            block.replicas.push(node);
+        }
+        Ok(())
+    }
+
+    /// Total bytes across all files (logical, not × replication).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(FileMeta::len).sum()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// Outcome of a node decommission.
+#[derive(Debug, Default)]
+pub struct DecommissionReport {
+    /// `(path, block index)` pairs whose last replica was on the dead node.
+    pub lost: Vec<(String, usize)>,
+    /// Blocks that survive but are now under-replicated.
+    pub under_replicated: Vec<BlockId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(nn: &mut NameNode, replicas: Vec<NodeId>) -> BlockMeta {
+        BlockMeta {
+            id: nn.allocate_block(),
+            len: 100,
+            replicas,
+        }
+    }
+
+    #[test]
+    fn create_and_stat() {
+        let mut nn = NameNode::new(3);
+        nn.create_file("/m/a").unwrap();
+        let b = block(&mut nn, vec![NodeId(0), NodeId(1)]);
+        nn.append_block("/m/a", b).unwrap();
+        assert_eq!(nn.stat("/m/a").unwrap().len(), 100);
+        assert!(nn.exists("/m/a"));
+        assert_eq!(nn.total_bytes(), 100);
+        assert_eq!(nn.file_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut nn = NameNode::new(1);
+        nn.create_file("/x").unwrap();
+        assert!(matches!(
+            nn.create_file("/x"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut nn = NameNode::new(1);
+        assert!(nn.stat("/nope").is_err());
+        assert!(nn.delete_file("/nope").is_err());
+        let b = BlockMeta {
+            id: BlockId(0),
+            len: 1,
+            replicas: vec![],
+        };
+        assert!(nn.append_block("/nope", b).is_err());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut nn = NameNode::new(1);
+        for p in ["/m/a/0_0", "/m/a/0_1", "/m/b/0_0", "/z"] {
+            nn.create_file(p).unwrap();
+        }
+        assert_eq!(nn.list("/m/a/"), vec!["/m/a/0_0", "/m/a/0_1"]);
+        assert_eq!(nn.list("/m/").len(), 3);
+        assert!(nn.list("/q").is_empty());
+    }
+
+    #[test]
+    fn decommission_tracks_loss_and_under_replication() {
+        let mut nn = NameNode::new(3);
+        nn.create_file("/f").unwrap();
+        let b1 = block(&mut nn, vec![NodeId(0), NodeId(1)]);
+        let b1_id = b1.id;
+        let b2 = block(&mut nn, vec![NodeId(0)]);
+        nn.append_block("/f", b1).unwrap();
+        nn.append_block("/f", b2).unwrap();
+
+        let report = nn.decommission_node(NodeId(0));
+        assert_eq!(report.lost, vec![("/f".to_string(), 1)]);
+        assert_eq!(report.under_replicated, vec![b1_id]);
+        assert!(!nn.is_live(NodeId(0)));
+        assert_eq!(nn.live_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn add_replica_after_rereplication() {
+        let mut nn = NameNode::new(3);
+        nn.create_file("/f").unwrap();
+        let b = block(&mut nn, vec![NodeId(0)]);
+        let id = b.id;
+        nn.append_block("/f", b).unwrap();
+        nn.add_replica(id, NodeId(2)).unwrap();
+        nn.add_replica(id, NodeId(2)).unwrap(); // idempotent
+        assert_eq!(
+            nn.stat("/f").unwrap().blocks[0].replicas,
+            vec![NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn delete_returns_blocks() {
+        let mut nn = NameNode::new(2);
+        nn.create_file("/f").unwrap();
+        let b = block(&mut nn, vec![NodeId(1)]);
+        nn.append_block("/f", b).unwrap();
+        let blocks = nn.delete_file("/f").unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert!(!nn.exists("/f"));
+    }
+
+    #[test]
+    fn register_node_grows_cluster() {
+        let mut nn = NameNode::new(1);
+        nn.register_node(NodeId(5));
+        assert!(nn.is_live(NodeId(5)));
+        assert_eq!(nn.live_nodes().len(), 2);
+    }
+}

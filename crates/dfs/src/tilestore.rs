@@ -1,0 +1,467 @@
+//! The tile store: named matrices whose tiles live in the DFS.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cumulon_matrix::gen::Generator;
+use cumulon_matrix::serialize::{decode_tile, encode_tile};
+use cumulon_matrix::{LocalMatrix, MatrixMeta, Tile};
+
+use crate::dfs::{Dfs, IoReceipt, NodeId};
+use crate::error::{DfsError, Result};
+
+/// Registry entry for a stored matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixHandle {
+    /// Matrix name (unique within the store).
+    pub name: String,
+    /// Logical dimensions and tiling.
+    pub meta: MatrixMeta,
+    /// Optional generator: tiles of generated matrices are produced on
+    /// demand by tasks instead of being read from the DFS.
+    pub generator: Option<Generator>,
+}
+
+struct StoreState {
+    matrices: BTreeMap<String, MatrixHandle>,
+}
+
+/// Rescales an I/O receipt from the `actual` on-the-wire byte count to the
+/// tile's `logical` stored size, preserving the local/remote split. Only
+/// changes anything for phantom tiles (dense/sparse tiles encode at their
+/// logical size, modulo a small header).
+fn scale_receipt(r: IoReceipt, actual: u64, logical: u64) -> IoReceipt {
+    if actual == 0 || actual == logical {
+        return r;
+    }
+    let f = logical as f64 / actual as f64;
+    IoReceipt {
+        bytes: (r.bytes as f64 * f).round() as u64,
+        local_bytes: (r.local_bytes as f64 * f).round() as u64,
+        remote_bytes: (r.remote_bytes as f64 * f).round() as u64,
+    }
+}
+
+/// Maps `(matrix, ti, tj)` to DFS files and handles tile (de)serialization.
+///
+/// Cheap to clone; shares state through `Arc`.
+#[derive(Clone)]
+pub struct TileStore {
+    dfs: Dfs,
+    state: Arc<RwLock<StoreState>>,
+}
+
+impl TileStore {
+    /// Creates a tile store over a DFS.
+    pub fn new(dfs: Dfs) -> Self {
+        TileStore {
+            dfs,
+            state: Arc::new(RwLock::new(StoreState {
+                matrices: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The underlying DFS.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    fn tile_path(name: &str, ti: usize, tj: usize) -> String {
+        format!("/matrix/{name}/{ti}_{tj}")
+    }
+
+    /// Registers a stored (non-generated) matrix.
+    pub fn register(&self, name: &str, meta: MatrixMeta) -> Result<MatrixHandle> {
+        self.register_inner(name, meta, None)
+    }
+
+    /// Registers a generated matrix: no tiles are written; readers invoke
+    /// the generator on demand.
+    pub fn register_generated(
+        &self,
+        name: &str,
+        meta: MatrixMeta,
+        generator: Generator,
+    ) -> Result<MatrixHandle> {
+        self.register_inner(name, meta, Some(generator))
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        meta: MatrixMeta,
+        generator: Option<Generator>,
+    ) -> Result<MatrixHandle> {
+        let mut st = self.state.write();
+        if st.matrices.contains_key(name) {
+            return Err(DfsError::AlreadyExists(format!("matrix {name}")));
+        }
+        let handle = MatrixHandle {
+            name: name.to_string(),
+            meta,
+            generator,
+        };
+        st.matrices.insert(name.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Looks up a matrix by name.
+    pub fn lookup(&self, name: &str) -> Result<MatrixHandle> {
+        self.state
+            .read()
+            .matrices
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DfsError::MatrixNotFound(name.to_string()))
+    }
+
+    /// All registered matrix names.
+    pub fn names(&self) -> Vec<String> {
+        self.state.read().matrices.keys().cloned().collect()
+    }
+
+    /// Writes one tile of a registered matrix from `writer`'s node.
+    pub fn write_tile(
+        &self,
+        name: &str,
+        ti: usize,
+        tj: usize,
+        tile: &Tile,
+        writer: Option<NodeId>,
+    ) -> Result<IoReceipt> {
+        // Validate registration and dims.
+        let handle = self.lookup(name)?;
+        let want = handle.meta.tile_dims(ti, tj);
+        if (tile.rows(), tile.cols()) != want {
+            return Err(DfsError::Codec(format!(
+                "tile ({ti},{tj}) of {name} has dims ({}, {}), expected {want:?}",
+                tile.rows(),
+                tile.cols()
+            )));
+        }
+        let path = Self::tile_path(name, ti, tj);
+        if self.dfs.exists(&path) {
+            // Re-execution after task failure overwrites the old output.
+            self.dfs.delete_file(&path)?;
+        }
+        let encoded = encode_tile(tile);
+        let actual = encoded.len() as u64;
+        let receipt = self.dfs.write_file(&path, encoded, writer)?;
+        // Phantom tiles are tiny on the wire but stand in for full-size
+        // data: rescale the receipt to the tile's logical stored size so
+        // simulated-scale runs charge realistic I/O.
+        Ok(scale_receipt(receipt, actual, tile.stored_bytes()))
+    }
+
+    /// Reads one tile; generated matrices synthesize the tile locally (no
+    /// I/O receipt — generation is CPU, charged by the caller via
+    /// [`cumulon_matrix::ops`]).
+    ///
+    /// `phantom` requests metadata-only tiles for simulated-scale runs.
+    pub fn read_tile(
+        &self,
+        name: &str,
+        ti: usize,
+        tj: usize,
+        reader: Option<NodeId>,
+        phantom: bool,
+    ) -> Result<(Tile, IoReceipt)> {
+        let handle = self.lookup(name)?;
+        if let Some(generator) = handle.generator {
+            let tile = if phantom {
+                generator.generate_phantom(&handle.meta, ti, tj)
+            } else {
+                generator.generate(&handle.meta, ti, tj)
+            };
+            return Ok((tile, IoReceipt::default()));
+        }
+        let path = Self::tile_path(name, ti, tj);
+        if !self.dfs.exists(&path) {
+            return Err(DfsError::TileNotFound {
+                matrix: name.to_string(),
+                tile: (ti, tj),
+            });
+        }
+        let (bytes, receipt) = self.dfs.read_file(&path, reader)?;
+        let actual = bytes.len() as u64;
+        let tile = decode_tile(bytes)?;
+        let receipt = scale_receipt(receipt, actual, tile.stored_bytes());
+        Ok((tile, receipt))
+    }
+
+    /// True when every tile of the matrix has been written (generated
+    /// matrices are always complete).
+    pub fn is_complete(&self, name: &str) -> Result<bool> {
+        let handle = self.lookup(name)?;
+        if handle.generator.is_some() {
+            return Ok(true);
+        }
+        Ok(handle
+            .meta
+            .grid()
+            .iter()
+            .all(|(ti, tj)| self.dfs.exists(&Self::tile_path(name, ti, tj))))
+    }
+
+    /// Whether tile `(ti, tj)` of `name` is fully resident on `node`.
+    pub fn tile_is_local(&self, name: &str, ti: usize, tj: usize, node: NodeId) -> bool {
+        self.dfs.is_local(&Self::tile_path(name, ti, tj), node)
+    }
+
+    /// Drops a matrix: namespace entry plus all tile files.
+    pub fn drop_matrix(&self, name: &str) -> Result<()> {
+        let handle = {
+            let mut st = self.state.write();
+            st.matrices
+                .remove(name)
+                .ok_or_else(|| DfsError::MatrixNotFound(name.to_string()))?
+        };
+        if handle.generator.is_none() {
+            for (ti, tj) in handle.meta.grid().iter() {
+                let path = Self::tile_path(name, ti, tj);
+                if self.dfs.exists(&path) {
+                    self.dfs.delete_file(&path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Uploads a whole in-memory matrix (driver-side convenience used by
+    /// tests, examples and workload setup).
+    pub fn put_local(&self, name: &str, matrix: &LocalMatrix) -> Result<MatrixHandle> {
+        let handle = self.register(name, matrix.meta())?;
+        for ((ti, tj), tile) in matrix.iter_tiles() {
+            self.write_tile(name, ti, tj, tile, None)?;
+        }
+        Ok(handle)
+    }
+
+    /// Downloads a whole matrix into memory.
+    pub fn get_local(&self, name: &str) -> Result<LocalMatrix> {
+        let handle = self.lookup(name)?;
+        let tiles = handle
+            .meta
+            .grid()
+            .iter()
+            .map(|(ti, tj)| self.read_tile(name, ti, tj, None, false).map(|(t, _)| t))
+            .collect::<Result<Vec<_>>>()?;
+        LocalMatrix::from_tiles(handle.meta, tiles).map_err(DfsError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+    use cumulon_matrix::gen::Generator;
+
+    fn store() -> TileStore {
+        TileStore::new(Dfs::new(
+            4,
+            DfsConfig {
+                replication: 2,
+                block_size: 1 << 20,
+                seed: 3,
+                racks: 1,
+            },
+        ))
+    }
+
+    #[test]
+    fn register_write_read_roundtrip() {
+        let s = store();
+        let meta = MatrixMeta::new(5, 5, 3);
+        s.register("A", meta).unwrap();
+        let m = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform {
+                seed: 1,
+                lo: 0.0,
+                hi: 1.0,
+            },
+        );
+        for ((ti, tj), tile) in m.iter_tiles() {
+            s.write_tile("A", ti, tj, tile, Some(NodeId(0))).unwrap();
+        }
+        assert!(s.is_complete("A").unwrap());
+        let back = s.get_local("A").unwrap();
+        assert_eq!(back.to_dense_vec().unwrap(), m.to_dense_vec().unwrap());
+    }
+
+    #[test]
+    fn put_get_local_convenience() {
+        let s = store();
+        let meta = MatrixMeta::new(7, 4, 3);
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 9 });
+        s.put_local("G", &m).unwrap();
+        let back = s.get_local("G").unwrap();
+        assert_eq!(back.max_abs_diff(&m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn generated_matrix_needs_no_io() {
+        let s = store();
+        let meta = MatrixMeta::new(6, 6, 4);
+        s.register_generated(
+            "R",
+            meta,
+            Generator::DenseUniform {
+                seed: 5,
+                lo: -1.0,
+                hi: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(s.is_complete("R").unwrap());
+        let (tile, receipt) = s.read_tile("R", 0, 0, Some(NodeId(1)), false).unwrap();
+        assert_eq!((tile.rows(), tile.cols()), (4, 4));
+        assert_eq!(receipt, IoReceipt::default());
+        // Deterministic across reads.
+        let (tile2, _) = s.read_tile("R", 0, 0, Some(NodeId(2)), false).unwrap();
+        assert_eq!(tile, tile2);
+    }
+
+    #[test]
+    fn phantom_reads() {
+        let s = store();
+        let meta = MatrixMeta::new(100, 100, 50);
+        s.register_generated(
+            "P",
+            meta,
+            Generator::SparseUniform {
+                seed: 2,
+                density: 0.1,
+            },
+        )
+        .unwrap();
+        let (tile, _) = s.read_tile("P", 1, 1, None, true).unwrap();
+        assert!(tile.is_phantom());
+        assert_eq!(tile.nnz(), 250);
+    }
+
+    #[test]
+    fn wrong_dims_rejected() {
+        let s = store();
+        s.register("A", MatrixMeta::new(4, 4, 2)).unwrap();
+        let bad = Tile::zeros(3, 3);
+        assert!(s.write_tile("A", 0, 0, &bad, None).is_err());
+    }
+
+    #[test]
+    fn missing_matrix_and_tile() {
+        let s = store();
+        assert!(matches!(s.lookup("nope"), Err(DfsError::MatrixNotFound(_))));
+        s.register("A", MatrixMeta::new(4, 4, 2)).unwrap();
+        assert!(matches!(
+            s.read_tile("A", 0, 0, None, false),
+            Err(DfsError::TileNotFound { .. })
+        ));
+        assert!(!s.is_complete("A").unwrap());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let s = store();
+        s.register("A", MatrixMeta::new(2, 2, 2)).unwrap();
+        assert!(s.register("A", MatrixMeta::new(2, 2, 2)).is_err());
+    }
+
+    #[test]
+    fn overwrite_on_reexecution() {
+        let s = store();
+        s.register("A", MatrixMeta::new(2, 2, 2)).unwrap();
+        s.write_tile("A", 0, 0, &Tile::zeros(2, 2), None).unwrap();
+        let mut t = Tile::zeros(2, 2);
+        t.add_assign(&Tile::dense(cumulon_matrix::DenseTile::identity(2)))
+            .unwrap();
+        s.write_tile("A", 0, 0, &t, None).unwrap();
+        let (back, _) = s.read_tile("A", 0, 0, None, false).unwrap();
+        assert_eq!(back.sum(), 2.0);
+    }
+
+    #[test]
+    fn drop_matrix_frees_storage() {
+        let s = store();
+        let meta = MatrixMeta::new(4, 4, 2);
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 1 });
+        s.put_local("A", &m).unwrap();
+        assert!(s.dfs().storage_stats().1 > 0);
+        s.drop_matrix("A").unwrap();
+        assert_eq!(s.dfs().storage_stats().1, 0);
+        assert!(s.lookup("A").is_err());
+        // Name reusable after drop.
+        s.register("A", meta).unwrap();
+    }
+
+    #[test]
+    fn locality_hint_via_store() {
+        let s = store();
+        s.register("A", MatrixMeta::new(2, 2, 2)).unwrap();
+        s.write_tile("A", 0, 0, &Tile::zeros(2, 2), Some(NodeId(3)))
+            .unwrap();
+        assert!(s.tile_is_local("A", 0, 0, NodeId(3)));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let s = store();
+        s.register("B", MatrixMeta::new(1, 1, 1)).unwrap();
+        s.register("A", MatrixMeta::new(1, 1, 1)).unwrap();
+        assert_eq!(s.names(), vec!["A", "B"]);
+    }
+}
+
+#[cfg(test)]
+mod phantom_receipt_tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+
+    #[test]
+    fn phantom_write_and_read_charge_logical_bytes() {
+        let s = TileStore::new(Dfs::new(
+            2,
+            DfsConfig {
+                replication: 2,
+                block_size: 1 << 20,
+                seed: 1,
+                racks: 1,
+            },
+        ));
+        let meta = MatrixMeta::new(1000, 1000, 1000);
+        s.register("P", meta).unwrap();
+        let tile = Tile::phantom_dense(1000, 1000);
+        let w = s.write_tile("P", 0, 0, &tile, Some(NodeId(0))).unwrap();
+        let logical = tile.stored_bytes();
+        assert_eq!(w.bytes, logical, "write receipt must be logical size");
+        assert_eq!(
+            w.local_bytes + w.remote_bytes,
+            2 * logical,
+            "both replicas charged"
+        );
+        let (_, r) = s.read_tile("P", 0, 0, Some(NodeId(0)), false).unwrap();
+        assert_eq!(r.bytes, logical);
+        assert_eq!(r.local_bytes, logical, "writer-local replica read locally");
+    }
+
+    #[test]
+    fn dense_receipts_unchanged_in_spirit() {
+        let s = TileStore::new(Dfs::new(
+            1,
+            DfsConfig {
+                replication: 1,
+                block_size: 1 << 20,
+                seed: 1,
+                racks: 1,
+            },
+        ));
+        let meta = MatrixMeta::new(10, 10, 10);
+        s.register("D", meta).unwrap();
+        let tile = Tile::zeros(10, 10);
+        let w = s.write_tile("D", 0, 0, &tile, Some(NodeId(0))).unwrap();
+        assert_eq!(w.bytes, tile.stored_bytes());
+    }
+}

@@ -1,0 +1,161 @@
+//! Model-based property tests for the DFS: a random sequence of
+//! operations is replayed against a trivial in-memory model, and the DFS
+//! must agree with the model wherever the model is defined.
+
+use bytes::Bytes;
+use cumulon_dfs::dfs::NodeId;
+use cumulon_dfs::{Dfs, DfsConfig, DfsError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write file `f` (of the fixed name pool) with `len` bytes of `fill`.
+    Write {
+        f: u8,
+        len: u16,
+        fill: u8,
+        writer: u8,
+    },
+    /// Read file `f` from node `reader`.
+    Read { f: u8, reader: u8 },
+    /// Delete file `f`.
+    Delete { f: u8 },
+    /// Kill node `n`.
+    KillNode { n: u8 },
+    /// Add a node.
+    AddNode,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (0u8..6, 1u16..2000, any::<u8>(), 0u8..4)
+            .prop_map(|(f, len, fill, writer)| Op::Write { f, len, fill, writer }),
+        3 => (0u8..6, 0u8..4).prop_map(|(f, reader)| Op::Read { f, reader }),
+        2 => (0u8..6).prop_map(|f| Op::Delete { f }),
+        1 => (0u8..4).prop_map(|n| Op::KillNode { n }),
+        1 => Just(Op::AddNode),
+    ];
+    proptest::collection::vec(op, 1..40)
+}
+
+fn name(f: u8) -> String {
+    format!("/f{f}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replication ≥ live-node failures ⇒ reads always return exactly what
+    /// the model says, and namespace state matches.
+    #[test]
+    fn dfs_agrees_with_model(op_list in ops(), seed in 0u64..100) {
+        let dfs = Dfs::new(4, DfsConfig { replication: 4, block_size: 256, seed, racks: 1 });
+        // Model: file name → payload, plus whether any node failure has
+        // happened since the file was written (the only legitimate cause
+        // of data loss).
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut kills_since_write: HashMap<String, bool> = HashMap::new();
+        let mut live_nodes = 4i32;
+        let mut next_node = 4u32;
+        let mut killed = [false; 64];
+
+        for op in &op_list {
+            match op {
+                Op::Write { f, len, fill, writer } => {
+                    let path = name(*f);
+                    let payload = vec![*fill; *len as usize];
+                    let writer_node = NodeId(*writer as u32);
+                    let result = dfs.write_file(&path, Bytes::from(payload.clone()), Some(writer_node));
+                    match result {
+                        Ok(receipt) => {
+                            prop_assert!(!model.contains_key(&path), "write over existing must fail");
+                            prop_assert_eq!(receipt.bytes, *len as u64);
+                            kills_since_write.insert(path.clone(), false);
+                            model.insert(path, payload);
+                        }
+                        Err(DfsError::AlreadyExists(_)) => {
+                            prop_assert!(model.contains_key(&path));
+                        }
+                        Err(DfsError::InsufficientNodes { .. }) => {
+                            prop_assert!(live_nodes == 0);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected write error {e}"),
+                    }
+                }
+                Op::Read { f, reader } => {
+                    let path = name(*f);
+                    let result = dfs.read_file(&path, Some(NodeId(*reader as u32)));
+                    match (result, model.get(&path)) {
+                        (Ok((data, receipt)), Some(expect)) => {
+                            prop_assert_eq!(data.as_ref(), expect.as_slice());
+                            prop_assert_eq!(receipt.local_bytes + receipt.remote_bytes, receipt.bytes);
+                        }
+                        (Err(DfsError::FileNotFound(_)), None) => {}
+                        (Ok(_), None) => prop_assert!(false, "read of unwritten file succeeded"),
+                        // Loss is only legitimate after a node failure
+                        // postdating the write (every replica holder may
+                        // have died before re-replication found a target).
+                        (Err(DfsError::BlockLost { .. }), Some(_)) => {
+                            prop_assert!(
+                                kills_since_write[&path],
+                                "data lost without any node failure since the write"
+                            );
+                        }
+                        (Err(e), Some(_)) => {
+                            prop_assert!(false, "wrong error for written file: {e}");
+                        }
+                        (Err(e), None) => prop_assert!(
+                            matches!(e, DfsError::FileNotFound(_)),
+                            "wrong error {e}"
+                        ),
+                    }
+                }
+                Op::Delete { f } => {
+                    let path = name(*f);
+                    kills_since_write.remove(&path);
+                    match (dfs.delete_file(&path), model.remove(&path)) {
+                        (Ok(()), Some(_)) => {}
+                        (Err(DfsError::FileNotFound(_)), None) => {}
+                        (r, m) => prop_assert!(false, "delete mismatch: {r:?} vs model {:?}", m.is_some()),
+                    }
+                }
+                Op::KillNode { n } => {
+                    if !killed[*n as usize] {
+                        killed[*n as usize] = true;
+                        live_nodes -= 1;
+                        for flag in kills_since_write.values_mut() {
+                            *flag = true;
+                        }
+                        let _ = dfs.kill_node(NodeId(*n as u32));
+                    }
+                }
+                Op::AddNode => {
+                    let id = dfs.add_node();
+                    prop_assert_eq!(id.0, next_node);
+                    killed[next_node as usize] = false;
+                    next_node += 1;
+                    live_nodes += 1;
+                }
+            }
+        }
+
+        // Final invariant: logical bytes equal the model's totals.
+        let (logical, physical) = dfs.storage_stats();
+        let expect_logical: u64 = model.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(logical, expect_logical);
+        prop_assert!(physical >= logical || model.is_empty() || live_nodes <= 1,
+            "physical {physical} < logical {logical}");
+    }
+
+    /// Writes are never silently truncated or padded across block splits.
+    #[test]
+    fn block_splitting_roundtrip(len in 0usize..5000, block in 1u64..512) {
+        let dfs = Dfs::new(3, DfsConfig { replication: 2, block_size: block, seed: 1, racks: 1 });
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        dfs.write_file("/x", Bytes::from(payload.clone()), Some(NodeId(0))).unwrap();
+        let (data, receipt) = dfs.read_file("/x", Some(NodeId(1))).unwrap();
+        prop_assert_eq!(data.as_ref(), payload.as_slice());
+        prop_assert_eq!(receipt.bytes, len as u64);
+    }
+}

@@ -1,0 +1,340 @@
+//! Recursive-descent parser for the surface language.
+
+use cumulon_core::error::CoreError;
+use cumulon_core::Result;
+
+use crate::ast::{BinOp, Expr, Script, Stmt, UnFn};
+use crate::lexer::{Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> CoreError {
+    CoreError::Invariant(format!("parse error at line {line}: {}", msg.into()))
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        let line = self.line();
+        match self.bump() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(err(t.line, format!("expected {what}, found {:?}", t.kind))),
+            None => Err(err(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn parse_script(&mut self) -> Result<Script> {
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Script { stmts })
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Some(TokenKind::Out) => {
+                self.bump();
+                let mut names = vec![self.parse_ident()?];
+                while self.peek() == Some(&TokenKind::Comma) {
+                    self.bump();
+                    names.push(self.parse_ident()?);
+                }
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Out { names, line })
+            }
+            Some(TokenKind::Ident(_)) => {
+                let name = self.parse_ident()?;
+                self.expect(&TokenKind::Assign, "'='")?;
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Assign { name, expr, line })
+            }
+            Some(other) => Err(err(line, format!("expected a statement, found {other:?}"))),
+            None => Err(err(line, "expected a statement, found end of input")),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(n),
+                ..
+            }) => Ok(n.clone()),
+            Some(t) => Err(err(
+                t.line,
+                format!("expected an identifier, found {:?}", t.kind),
+            )),
+            None => Err(err(line, "expected an identifier, found end of input")),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::MatMul,
+                Some(TokenKind::DotStar) => BinOp::ElemMul,
+                Some(TokenKind::DotSlash) => BinOp::ElemDiv,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(TokenKind::Minus) => {
+                self.bump();
+                let inner = self.parse_factor()?;
+                Ok(Expr::Scale(-1.0, Box::new(inner)))
+            }
+            Some(&TokenKind::Number(value)) => {
+                self.bump();
+                // A bare number is a scalar factor: `2 * A`, `2 A`… only
+                // the explicit-`*` form and direct juxtaposition with a
+                // postfix expression are accepted.
+                match self.peek() {
+                    Some(TokenKind::Star) => {
+                        self.bump();
+                        let inner = self.parse_factor()?;
+                        Ok(Expr::Scale(value, Box::new(inner)))
+                    }
+                    Some(TokenKind::Ident(_)) | Some(TokenKind::LParen) => {
+                        let inner = self.parse_postfix()?;
+                        Ok(Expr::Scale(value, Box::new(inner)))
+                    }
+                    _ => Err(err(
+                        self.line(),
+                        "a number must scale a matrix (write `2 * A` or `2A`)",
+                    )),
+                }
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_atom()?;
+        while self.peek() == Some(&TokenKind::Tick) {
+            self.bump();
+            e = Expr::Transpose(Box::new(e));
+        }
+        Ok(e)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump().cloned() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+            }) => {
+                // Function application?
+                let func = match name.as_str() {
+                    "abs" => Some(UnFn::Abs),
+                    "sqrt" => Some(UnFn::Sqrt),
+                    "sq" => Some(UnFn::Sq),
+                    _ => None,
+                };
+                if let (Some(f), Some(TokenKind::LParen)) = (func, self.peek()) {
+                    let _ = f;
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Expr::Apply(func.expect("checked above"), Box::new(inner)));
+                }
+                let _ = line;
+                Ok(Expr::Var(name))
+            }
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(t) => Err(err(
+                t.line,
+                format!("expected an expression, found {:?}", t.kind),
+            )),
+            None => Err(err(line, "expected an expression, found end of input")),
+        }
+    }
+}
+
+/// Parses a token stream into a script.
+pub fn parse(tokens: &[Token]) -> Result<Script> {
+    Parser { tokens, pos: 0 }.parse_script()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Script {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    fn expr_of(src: &str) -> Expr {
+        let script = parse_src(&format!("X = {src};"));
+        match &script.stmts[0] {
+            Stmt::Assign { expr, .. } => expr.clone(),
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        // A + B * C = A + (B*C)
+        let e = expr_of("A + B * C");
+        let Expr::Bin(BinOp::Add, _, rhs) = e else {
+            panic!("top must be Add")
+        };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::MatMul, _, _)));
+    }
+
+    #[test]
+    fn left_associativity() {
+        // A * B * C = (A*B)*C
+        let e = expr_of("A * B * C");
+        let Expr::Bin(BinOp::MatMul, lhs, _) = e else {
+            panic!()
+        };
+        assert!(matches!(*lhs, Expr::Bin(BinOp::MatMul, _, _)));
+    }
+
+    #[test]
+    fn transpose_binds_tightest() {
+        // A * B' = A * (B')
+        let e = expr_of("A * B'");
+        let Expr::Bin(BinOp::MatMul, _, rhs) = e else {
+            panic!()
+        };
+        assert!(matches!(*rhs, Expr::Transpose(_)));
+        // Double transpose parses.
+        let e = expr_of("A''");
+        assert!(matches!(e, Expr::Transpose(_)));
+    }
+
+    #[test]
+    fn parenthesised_transpose() {
+        let e = expr_of("(A * B)'");
+        assert!(matches!(e, Expr::Transpose(_)));
+    }
+
+    #[test]
+    fn scalar_scaling_forms() {
+        assert_eq!(
+            expr_of("2 * A"),
+            Expr::Scale(2.0, Box::new(Expr::Var("A".into())))
+        );
+        assert_eq!(
+            expr_of("2A"),
+            Expr::Scale(2.0, Box::new(Expr::Var("A".into())))
+        );
+        assert_eq!(
+            expr_of("0.5 (A + B)"),
+            Expr::Scale(
+                0.5,
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var("A".into())),
+                    Box::new(Expr::Var("B".into()))
+                ))
+            )
+        );
+        assert_eq!(
+            expr_of("-A"),
+            Expr::Scale(-1.0, Box::new(Expr::Var("A".into())))
+        );
+    }
+
+    #[test]
+    fn functions() {
+        assert!(matches!(expr_of("abs(A)"), Expr::Apply(UnFn::Abs, _)));
+        assert!(matches!(
+            expr_of("sqrt(A .* A)"),
+            Expr::Apply(UnFn::Sqrt, _)
+        ));
+        assert!(matches!(expr_of("sq(A)"), Expr::Apply(UnFn::Sq, _)));
+        // A variable can still be called `absolute`.
+        assert_eq!(expr_of("absolute"), Expr::Var("absolute".into()));
+        // And `abs` without parens is a plain variable.
+        assert_eq!(expr_of("abs"), Expr::Var("abs".into()));
+    }
+
+    #[test]
+    fn statements_and_outputs() {
+        let s = parse_src("X = A; out X, Y;");
+        assert_eq!(s.stmts.len(), 2);
+        assert!(matches!(&s.stmts[1], Stmt::Out { names, .. } if names == &["X", "Y"]));
+    }
+
+    #[test]
+    fn elementwise_chain() {
+        let e = expr_of("H .* WtV ./ (WtW * H)");
+        let Expr::Bin(BinOp::ElemDiv, lhs, _) = e else {
+            panic!("left-assoc chain")
+        };
+        assert!(matches!(*lhs, Expr::Bin(BinOp::ElemMul, _, _)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let toks = tokenize("X = A;\nY = ;").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&tokenize("= A;").unwrap()).is_err());
+        assert!(parse(&tokenize("X = A").unwrap()).is_err()); // missing semi
+        assert!(parse(&tokenize("X = 2;").unwrap()).is_err()); // bare scalar
+        assert!(parse(&tokenize("out;").unwrap()).is_err());
+        assert!(parse(&tokenize("X = (A;").unwrap()).is_err());
+    }
+}

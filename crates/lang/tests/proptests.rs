@@ -1,0 +1,95 @@
+//! Property tests for the surface language: total functions (no panics on
+//! arbitrary input) and semantic equivalence between scripted and
+//! builder-built programs.
+
+use std::collections::BTreeMap;
+
+use cumulon_core::expr::InputDesc;
+use cumulon_lang::{compile_source, parse, tokenize};
+use cumulon_matrix::MatrixMeta;
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer/parser/compiler never panic, whatever the input.
+    #[test]
+    fn frontend_is_total(src in ".{0,200}") {
+        let _ = compile_source(&src); // may Err, must not panic
+    }
+
+    /// Structured garbage (valid tokens, random order) never panics.
+    #[test]
+    fn parser_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("A".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("*".to_string()),
+                Just(".*".to_string()),
+                Just("./".to_string()),
+                Just("'".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just("out".to_string()),
+                Just("2".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let src = words.join(" ");
+        if let Ok(tokens) = tokenize(&src) {
+            let _ = parse(&tokens); // may Err, must not panic
+        }
+    }
+
+    /// Whitespace and comments never change the compiled program.
+    #[test]
+    fn whitespace_insensitive(extra_ws in 0usize..5) {
+        let tight = "G=A'*A;S=G+0.5(G.*G);";
+        let pad = " ".repeat(extra_ws + 1);
+        let loose = format!(
+            "G ={pad}A'{pad}* A ;{pad}# comment\nS = G +{pad}0.5 (G .* G) ;"
+        );
+        let a = compile_source(tight).unwrap();
+        let b = compile_source(&loose).unwrap();
+        prop_assert_eq!(a.program.nodes, b.program.nodes);
+        prop_assert_eq!(a.program.outputs, b.program.outputs);
+    }
+}
+
+/// A scripted GNMF H-update compiles to a program semantically equal (same
+/// inference results) to the hand-built one.
+#[test]
+fn script_matches_builder_semantics() {
+    let script =
+        compile_source("WtV = W' * V;\nWtW = W' * W;\nH1 = H .* WtV ./ (WtW * H);").unwrap();
+
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "V".to_string(),
+        InputDesc::sparse(MatrixMeta::new(60, 40, 10), 0.1),
+    );
+    inputs.insert(
+        "W".to_string(),
+        InputDesc::dense(MatrixMeta::new(60, 5, 10)),
+    );
+    inputs.insert(
+        "H".to_string(),
+        InputDesc::dense(MatrixMeta::new(5, 40, 10)),
+    );
+
+    let info = script.program.infer(&inputs).unwrap();
+    let (_, root) = &script.program.outputs[0];
+    assert_eq!((info[*root].meta.rows, info[*root].meta.cols), (5, 40));
+
+    // Same number of multiply nodes as the hand-built version.
+    use cumulon_core::expr::ExprNode;
+    let muls = script
+        .program
+        .nodes
+        .iter()
+        .filter(|n| matches!(n, ExprNode::Mul(_, _)))
+        .count();
+    assert_eq!(muls, 3, "WᵀV, WᵀW, (WᵀW)H");
+}

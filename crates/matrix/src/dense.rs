@@ -1,0 +1,555 @@
+//! Dense row-major tiles and their kernels.
+
+use crate::error::{MatrixError, Result};
+
+/// A dense row-major `f64` tile.
+///
+/// Tiles are small enough (a few MB) that row-major with a register-blocked
+/// GEMM microkernel is competitive without further packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTile {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseTile {
+    /// Creates a zero-filled tile.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseTile {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tile from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "dense tile data length must equal rows*cols"
+        );
+        DenseTile { rows, cols, data }
+    }
+
+    /// Creates a tile by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseTile { rows, cols, data }
+    }
+
+    /// Creates an identity-pattern tile (1.0 where `row == col`).
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tile, returning its backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Number of non-zero entries (exact count).
+    pub fn nnz(&self) -> u64 {
+        self.data.iter().filter(|&&v| v != 0.0).count() as u64
+    }
+
+    /// `self += other`, element-wise.
+    pub fn add_assign(&mut self, other: &DenseTile) -> Result<()> {
+        self.check_same_shape("add", other)?;
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// `self -= other`, element-wise.
+    pub fn sub_assign(&mut self, other: &DenseTile) -> Result<()> {
+        self.check_same_shape("sub", other)?;
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= *b;
+        }
+        Ok(())
+    }
+
+    /// `self *= other`, element-wise (Hadamard product).
+    pub fn mul_assign_elem(&mut self, other: &DenseTile) -> Result<()> {
+        self.check_same_shape("elem_mul", other)?;
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= *b;
+        }
+        Ok(())
+    }
+
+    /// `self /= other`, element-wise. Division by zero yields zero, matching
+    /// the convention GNMF-style multiplicative updates rely on (a zero
+    /// denominator only occurs where the numerator is also zero).
+    pub fn div_assign_elem(&mut self, other: &DenseTile) -> Result<()> {
+        self.check_same_shape("elem_div", other)?;
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = if *b == 0.0 { 0.0 } else { *a / *b };
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Adds scalar `s` to every element.
+    pub fn add_scalar(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a += s;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Returns the transposed tile.
+    pub fn transpose(&self) -> DenseTile {
+        let mut out = DenseTile::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on larger tiles.
+        const B: usize = 32;
+        for bi in (0..self.rows).step_by(B) {
+            for bj in (0..self.cols).step_by(B) {
+                let imax = (bi + B).min(self.rows);
+                let jmax = (bj + B).min(self.cols);
+                for i in bi..imax {
+                    for j in bj..jmax {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Row sums as a `rows × 1` tile.
+    pub fn row_sums(&self) -> DenseTile {
+        let mut out = DenseTile::zeros(self.rows, 1);
+        for i in 0..self.rows {
+            out.data[i] = self.data[i * self.cols..(i + 1) * self.cols].iter().sum();
+        }
+        out
+    }
+
+    /// Column sums as a `1 × cols` tile.
+    pub fn col_sums(&self) -> DenseTile {
+        let mut out = DenseTile::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, v) in out.data.iter_mut().zip(row.iter()) {
+                *o += *v;
+            }
+        }
+        out
+    }
+
+    /// `c += a × b` (accumulating GEMM). This is the workhorse of the whole
+    /// system: partial products over the shared dimension accumulate into
+    /// the same output tile.
+    ///
+    /// Dispatches between a streaming i-k-j kernel (small/skinny operands)
+    /// and a cache-blocked kernel with a 4-row microkernel (large square-ish
+    /// tiles) — see [`DenseTile::gemm_acc_blocked`].
+    pub fn gemm_acc(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
+        Self::check_gemm_shapes(c, a, b)?;
+        // The blocked kernel wins once operands outgrow L1/L2; below that,
+        // blocking overhead and the microkernel's edge handling cost more
+        // than they save.
+        const BLOCKED_MIN_DIM: usize = 128;
+        if a.rows >= BLOCKED_MIN_DIM && a.cols >= BLOCKED_MIN_DIM && b.cols >= BLOCKED_MIN_DIM {
+            Self::gemm_acc_blocked(c, a, b)
+        } else {
+            Self::gemm_acc_streaming(c, a, b)
+        }
+    }
+
+    fn check_gemm_shapes(c: &DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
+        if a.cols != b.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "gemm",
+                left: (a.rows, a.cols),
+                right: (b.rows, b.cols),
+            });
+        }
+        if c.rows != a.rows || c.cols != b.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "gemm-out",
+                left: (c.rows, c.cols),
+                right: (a.rows, b.cols),
+            });
+        }
+        Ok(())
+    }
+
+    /// The streaming i-k-j kernel: the inner loop runs over whole rows of
+    /// `b` and `c`, vectorized via `axpy_row`; zero entries of `a` are
+    /// skipped (helpful for nearly-sparse dense tiles).
+    pub fn gemm_acc_streaming(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
+        Self::check_gemm_shapes(c, a, b)?;
+        let n = b.cols;
+        for i in 0..a.rows {
+            let c_row = &mut c.data[i * n..(i + 1) * n];
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * n..(k + 1) * n];
+                axpy_row(c_row, b_row, aik);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cache-blocked GEMM: panels of `b` sized to stay L2-resident, with a
+    /// 4×row microkernel that keeps four accumulator rows of `c` live while
+    /// streaming each `b` row exactly once per 4 output rows — quartering
+    /// `b` traffic versus the streaming kernel.
+    pub fn gemm_acc_blocked(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
+        Self::check_gemm_shapes(c, a, b)?;
+        // Block sizes: KC·NC·8B ≈ 256 KiB keeps the b-panel in L2.
+        const KC: usize = 128;
+        const NC: usize = 256;
+        const MR: usize = 4;
+        let (m, l, n) = (a.rows, a.cols, b.cols);
+        for k0 in (0..l).step_by(KC) {
+            let k1 = (k0 + KC).min(l);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                let mut i = 0;
+                // --- 4-row microkernel ---------------------------------
+                while i + MR <= m {
+                    // Four a-rows of this k-panel.
+                    let a0 = &a.data[i * l + k0..i * l + k1];
+                    let a1 = &a.data[(i + 1) * l + k0..(i + 1) * l + k1];
+                    let a2 = &a.data[(i + 2) * l + k0..(i + 2) * l + k1];
+                    let a3 = &a.data[(i + 3) * l + k0..(i + 3) * l + k1];
+                    // Split c into four disjoint row slices.
+                    let (c01, c23) = c.data[i * n..(i + 4) * n].split_at_mut(2 * n);
+                    let (c0, c1) = c01.split_at_mut(n);
+                    let (c2, c3) = c23.split_at_mut(n);
+                    let c0 = &mut c0[j0..j1];
+                    let c1 = &mut c1[j0..j1];
+                    let c2 = &mut c2[j0..j1];
+                    let c3 = &mut c3[j0..j1];
+                    for (kk, k) in (k0..k1).enumerate() {
+                        let b_row = &b.data[k * n + j0..k * n + j1];
+                        let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                        for (idx, &bv) in b_row.iter().enumerate() {
+                            c0[idx] += v0 * bv;
+                            c1[idx] += v1 * bv;
+                            c2[idx] += v2 * bv;
+                            c3[idx] += v3 * bv;
+                        }
+                    }
+                    i += MR;
+                }
+                // --- remainder rows -------------------------------------
+                while i < m {
+                    let a_row = &a.data[i * l + k0..i * l + k1];
+                    let c_row = &mut c.data[i * n + j0..i * n + j1];
+                    for (kk, k) in (k0..k1).enumerate() {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b.data[k * n + j0..k * n + j1];
+                        axpy_row(c_row, b_row, aik);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: returns `a × b` as a fresh tile.
+    pub fn matmul(a: &DenseTile, b: &DenseTile) -> Result<DenseTile> {
+        let mut c = DenseTile::zeros(a.rows, b.cols);
+        DenseTile::gemm_acc(&mut c, a, b)?;
+        Ok(c)
+    }
+
+    fn check_same_shape(&self, op: &'static str, other: &DenseTile) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op,
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `y += alpha * x` over whole rows; written so LLVM vectorizes the loop.
+#[inline]
+fn axpy_row(y: &mut [f64], x: &[f64], alpha: f64) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_abc() -> (DenseTile, DenseTile) {
+        let a = DenseTile::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseTile::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_small() {
+        let (a, b) = tile_abc();
+        let c = DenseTile::matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let (a, b) = tile_abc();
+        let mut c = DenseTile::from_vec(2, 2, vec![1.0; 4]);
+        DenseTile::gemm_acc(&mut c, &a, &b).unwrap();
+        assert_eq!(c.data(), &[59.0, 65.0, 140.0, 155.0]);
+    }
+
+    #[test]
+    fn gemm_shape_mismatch() {
+        let a = DenseTile::zeros(2, 3);
+        let b = DenseTile::zeros(4, 2);
+        let mut c = DenseTile::zeros(2, 2);
+        let err = DenseTile::gemm_acc(&mut c, &a, &b).unwrap_err();
+        assert!(matches!(err, MatrixError::ShapeMismatch { op: "gemm", .. }));
+    }
+
+    #[test]
+    fn gemm_out_shape_mismatch() {
+        let (a, b) = tile_abc();
+        let mut c = DenseTile::zeros(3, 3);
+        let err = DenseTile::gemm_acc(&mut c, &a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::ShapeMismatch { op: "gemm-out", .. }
+        ));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let (a, _) = tile_abc();
+        let i3 = DenseTile::identity(3);
+        let c = DenseTile::matmul(&a, &i3).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let (a, _) = tile_abc();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive_on_odd_sizes() {
+        let a = DenseTile::from_fn(37, 53, |i, j| (i * 53 + j) as f64);
+        let t = a.transpose();
+        for i in 0..37 {
+            for j in 0..53 {
+                assert_eq!(t.get(j, i), a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = DenseTile::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseTile::from_vec(1, 4, vec![2.0, 2.0, 0.0, 4.0]);
+        a.mul_assign_elem(&b).unwrap();
+        assert_eq!(a.data(), &[2.0, 4.0, 0.0, 16.0]);
+        a.div_assign_elem(&b).unwrap();
+        assert_eq!(a.data(), &[1.0, 2.0, 0.0, 4.0]); // 0/0 -> 0
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[3.0, 4.0, 0.0, 8.0]);
+        a.sub_assign(&b).unwrap();
+        assert_eq!(a.data(), &[1.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_check() {
+        let mut a = DenseTile::zeros(2, 2);
+        let b = DenseTile::zeros(2, 3);
+        assert!(a.add_assign(&b).is_err());
+        assert!(a.sub_assign(&b).is_err());
+        assert!(a.mul_assign_elem(&b).is_err());
+        assert!(a.div_assign_elem(&b).is_err());
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let mut a = DenseTile::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[2.0, -4.0, 6.0]);
+        a.map_inplace(f64::abs);
+        assert_eq!(a.data(), &[2.0, 4.0, 6.0]);
+        a.add_scalar(1.0);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = DenseTile::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.frob_sq(), 91.0);
+        assert_eq!(a.row_sums().data(), &[6.0, 15.0]);
+        assert_eq!(a.col_sums().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn nnz_counts_zeros() {
+        let a = DenseTile::from_vec(2, 2, vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(a.nnz(), 2);
+    }
+}
+
+#[cfg(test)]
+mod blocked_gemm_tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_agree(m: usize, l: usize, n: usize, seed: u64) {
+        let a = gen::dense_uniform_tile(seed, 0, 0, m, l, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(seed, 0, 1, l, n, -1.0, 1.0);
+        let mut c_stream = DenseTile::from_fn(m, n, |i, j| (i + j) as f64 * 0.01);
+        let mut c_block = c_stream.clone();
+        DenseTile::gemm_acc_streaming(&mut c_stream, &a, &b).unwrap();
+        DenseTile::gemm_acc_blocked(&mut c_block, &a, &b).unwrap();
+        for (x, y) in c_stream.data().iter().zip(c_block.data().iter()) {
+            assert!(
+                (x - y).abs() < 1e-9 * l as f64,
+                "kernels disagree: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_varied_shapes() {
+        // Shapes straddling every block boundary and the MR=4 remainder.
+        for (m, l, n) in [
+            (4, 4, 4),
+            (5, 7, 3),
+            (127, 129, 131),
+            (128, 128, 128),
+            (130, 257, 259),
+            (257, 100, 33),
+            (3, 300, 300),
+        ] {
+            check_agree(m, l, n, (m * 31 + l * 7 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn dispatcher_uses_blocked_for_large_tiles() {
+        // Behavioural check: results identical through the dispatcher.
+        let a = gen::dense_uniform_tile(1, 0, 0, 200, 200, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(2, 0, 0, 200, 200, -1.0, 1.0);
+        let via_dispatch = DenseTile::matmul(&a, &b).unwrap();
+        let mut via_stream = DenseTile::zeros(200, 200);
+        DenseTile::gemm_acc_streaming(&mut via_stream, &a, &b).unwrap();
+        for (x, y) in via_dispatch.data().iter().zip(via_stream.data().iter()) {
+            assert!((x - y).abs() < 1e-9 * 200.0);
+        }
+    }
+
+    #[test]
+    fn blocked_accumulates_like_streaming() {
+        let a = gen::dense_uniform_tile(3, 0, 0, 140, 140, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(4, 0, 0, 140, 140, -1.0, 1.0);
+        let mut c = DenseTile::from_fn(140, 140, |_, _| 1.0);
+        DenseTile::gemm_acc_blocked(&mut c, &a, &b).unwrap();
+        let mut expect = DenseTile::from_fn(140, 140, |_, _| 1.0);
+        DenseTile::gemm_acc_streaming(&mut expect, &a, &b).unwrap();
+        for (x, y) in c.data().iter().zip(expect.data().iter()) {
+            assert!((x - y).abs() < 1e-9 * 140.0);
+        }
+    }
+
+    #[test]
+    fn blocked_shape_checks() {
+        let a = DenseTile::zeros(130, 130);
+        let b = DenseTile::zeros(131, 130);
+        let mut c = DenseTile::zeros(130, 130);
+        assert!(DenseTile::gemm_acc_blocked(&mut c, &a, &b).is_err());
+    }
+}

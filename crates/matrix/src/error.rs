@@ -1,0 +1,96 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Errors raised by tile and matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation being attempted, e.g. `"gemm"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A tile index was outside the matrix' tile grid.
+    TileOutOfBounds {
+        /// Requested tile coordinate.
+        tile: (usize, usize),
+        /// Grid extent in tiles.
+        grid: (usize, usize),
+    },
+    /// An operation that needs materialised data received a phantom tile.
+    PhantomData {
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// A serialized tile could not be decoded.
+    Corrupt(String),
+    /// Sparse structure is internally inconsistent (bad CSR arrays).
+    InvalidSparse(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::TileOutOfBounds { tile, grid } => write!(
+                f,
+                "tile ({}, {}) out of bounds for {}x{} tile grid",
+                tile.0, tile.1, grid.0, grid.1
+            ),
+            MatrixError::PhantomData { op } => {
+                write!(
+                    f,
+                    "operation {op} requires materialised data but got a phantom tile"
+                )
+            }
+            MatrixError::Corrupt(msg) => write!(f, "corrupt tile encoding: {msg}"),
+            MatrixError::InvalidSparse(msg) => write!(f, "invalid sparse structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Convenient result alias for the matrix substrate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = MatrixError::ShapeMismatch {
+            op: "gemm",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in gemm: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = MatrixError::TileOutOfBounds {
+            tile: (9, 0),
+            grid: (3, 3),
+        };
+        assert!(e.to_string().contains("tile (9, 0)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&MatrixError::Corrupt("x".into()));
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic, tile-addressable random data generation.
+//!
+//! Distributed matrix generation must be reproducible regardless of which
+//! task generates which tile, so tile content is a pure function of
+//! `(matrix seed, tile row, tile col)`. Every generator here derives a
+//! per-tile RNG from those three values with a splitmix-style hash.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dense::DenseTile;
+use crate::meta::MatrixMeta;
+use crate::sparse::CsrTile;
+use crate::tile::Tile;
+
+/// Derives the per-tile seed from a matrix seed and tile coordinates.
+pub fn tile_seed(matrix_seed: u64, ti: usize, tj: usize) -> u64 {
+    // splitmix64 over a combination of the three inputs.
+    let mut z = matrix_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + ti as u64))
+        .wrapping_add(0x2545_f491_4f6c_dd1du64.wrapping_mul(1 + tj as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates a dense tile with uniform values in `[lo, hi)`.
+pub fn dense_uniform_tile(
+    matrix_seed: u64,
+    ti: usize,
+    tj: usize,
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+) -> DenseTile {
+    let mut rng = StdRng::seed_from_u64(tile_seed(matrix_seed, ti, tj));
+    let data = (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect();
+    DenseTile::from_vec(rows, cols, data)
+}
+
+/// Generates a dense tile with standard-normal values (Box–Muller, so only
+/// `rand`'s uniform source is needed).
+pub fn dense_gaussian_tile(
+    matrix_seed: u64,
+    ti: usize,
+    tj: usize,
+    rows: usize,
+    cols: usize,
+) -> DenseTile {
+    let mut rng = StdRng::seed_from_u64(tile_seed(matrix_seed, ti, tj));
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0f64..1.0);
+        let r: f64 = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(r * theta.cos());
+        if data.len() < n {
+            data.push(r * theta.sin());
+        }
+    }
+    DenseTile::from_vec(rows, cols, data)
+}
+
+/// Generates a sparse tile where each cell is non-zero independently with
+/// probability `density`; values are uniform in `[0, 1)` (non-negative, as
+/// GNMF requires).
+pub fn sparse_uniform_tile(
+    matrix_seed: u64,
+    ti: usize,
+    tj: usize,
+    rows: usize,
+    cols: usize,
+    density: f64,
+) -> CsrTile {
+    let mut rng = StdRng::seed_from_u64(tile_seed(matrix_seed, ti, tj));
+    let expected = ((rows * cols) as f64 * density).ceil() as usize;
+    let mut triples = Vec::with_capacity(expected + expected / 4 + 4);
+    // Geometric skipping: visit only the non-zero cells, O(nnz) not O(cells).
+    let total = rows * cols;
+    if density >= 1.0 {
+        for idx in 0..total {
+            triples.push((idx / cols, idx % cols, rng.random_range(0.0..1.0)));
+        }
+    } else if density > 0.0 {
+        let mut idx = skip_len(&mut rng, density);
+        while idx < total {
+            triples.push((idx / cols, idx % cols, rng.random_range(0.0f64..1.0)));
+            idx += 1 + skip_len(&mut rng, density);
+        }
+    }
+    CsrTile::from_triples(rows, cols, triples)
+}
+
+/// Samples a geometric gap length for density-`p` Bernoulli cells.
+fn skip_len(rng: &mut StdRng, p: f64) -> usize {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as usize
+}
+
+/// Descriptor of how a matrix' content is generated; carried by matrix
+/// metadata so tasks can produce any tile on demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Generator {
+    /// Uniform dense values in `[lo, hi)`.
+    DenseUniform {
+        /// Matrix-level seed.
+        seed: u64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Standard normal dense values.
+    DenseGaussian {
+        /// Matrix-level seed.
+        seed: u64,
+    },
+    /// Bernoulli-sparse uniform non-negative values.
+    SparseUniform {
+        /// Matrix-level seed.
+        seed: u64,
+        /// Per-cell non-zero probability.
+        density: f64,
+    },
+    /// All-zero tiles (dense representation).
+    Zeros,
+    /// Identity pattern (1.0 on the global diagonal).
+    Identity,
+}
+
+impl Generator {
+    /// Materialises tile `(ti, tj)` of a matrix described by `meta`.
+    pub fn generate(&self, meta: &MatrixMeta, ti: usize, tj: usize) -> Tile {
+        let (r, c) = meta.tile_dims(ti, tj);
+        match *self {
+            Generator::DenseUniform { seed, lo, hi } => {
+                Tile::dense(dense_uniform_tile(seed, ti, tj, r, c, lo, hi))
+            }
+            Generator::DenseGaussian { seed } => {
+                Tile::dense(dense_gaussian_tile(seed, ti, tj, r, c))
+            }
+            Generator::SparseUniform { seed, density } => {
+                Tile::sparse(sparse_uniform_tile(seed, ti, tj, r, c, density))
+            }
+            Generator::Zeros => Tile::zeros(r, c),
+            Generator::Identity => {
+                let base_r = ti * meta.tile_size;
+                let base_c = tj * meta.tile_size;
+                Tile::dense(DenseTile::from_fn(r, c, |i, j| {
+                    if base_r + i == base_c + j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }))
+            }
+        }
+    }
+
+    /// Expected density of generated data, for phantom-mode nnz estimates.
+    pub fn expected_density(&self) -> f64 {
+        match *self {
+            Generator::DenseUniform { .. } | Generator::DenseGaussian { .. } => 1.0,
+            Generator::SparseUniform { density, .. } => density,
+            Generator::Zeros => 0.0,
+            Generator::Identity => 0.0, // ~1/n; negligible and shape-dependent
+        }
+    }
+
+    /// Phantom version of tile `(ti, tj)`: dims + nnz estimate only.
+    pub fn generate_phantom(&self, meta: &MatrixMeta, ti: usize, tj: usize) -> Tile {
+        let (r, c) = meta.tile_dims(ti, tj);
+        let nnz = match *self {
+            Generator::Identity => r.min(c) as u64,
+            _ => ((r * c) as f64 * self.expected_density()).round() as u64,
+        };
+        Tile::phantom(r, c, nnz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_seed_distinct_and_stable() {
+        let a = tile_seed(42, 0, 0);
+        let b = tile_seed(42, 0, 1);
+        let c = tile_seed(42, 1, 0);
+        let d = tile_seed(43, 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, tile_seed(42, 0, 0), "must be deterministic");
+    }
+
+    #[test]
+    fn dense_uniform_in_range() {
+        let t = dense_uniform_tile(7, 2, 3, 20, 30, -1.0, 2.0);
+        assert!(t.data().iter().all(|&v| (-1.0..2.0).contains(&v)));
+        // Deterministic.
+        assert_eq!(t, dense_uniform_tile(7, 2, 3, 20, 30, -1.0, 2.0));
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let t = dense_gaussian_tile(1, 0, 0, 100, 100);
+        let n = t.data().len() as f64;
+        let mean = t.sum() / n;
+        let var = t.frob_sq() / n - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_odd_element_count() {
+        let t = dense_gaussian_tile(1, 0, 0, 3, 3);
+        assert_eq!(t.data().len(), 9);
+    }
+
+    #[test]
+    fn sparse_density_close_to_target() {
+        let t = sparse_uniform_tile(11, 0, 0, 200, 200, 0.05);
+        let density = t.nnz() as f64 / 40_000.0;
+        assert!((density - 0.05).abs() < 0.01, "density {density}");
+        assert!(t.iter().all(|(_, _, v)| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sparse_extreme_densities() {
+        assert_eq!(sparse_uniform_tile(1, 0, 0, 10, 10, 0.0).nnz(), 0);
+        assert_eq!(sparse_uniform_tile(1, 0, 0, 10, 10, 1.0).nnz(), 100);
+    }
+
+    #[test]
+    fn generator_identity_tracks_global_diagonal() {
+        let meta = MatrixMeta::new(6, 6, 4);
+        let g = Generator::Identity;
+        // Tile (1,1) holds global rows/cols 4..6; its local diagonal is set.
+        let t = g.generate(&meta, 1, 1);
+        let d = t.to_dense().unwrap();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        // Off-diagonal tile is all zero.
+        let off = g.generate(&meta, 0, 1);
+        assert_eq!(off.nnz(), 0);
+    }
+
+    #[test]
+    fn generator_phantom_matches_real_nnz() {
+        let meta = MatrixMeta::new(100, 100, 50);
+        let g = Generator::SparseUniform {
+            seed: 3,
+            density: 0.1,
+        };
+        let real = g.generate(&meta, 0, 0);
+        let ph = g.generate_phantom(&meta, 0, 0);
+        assert!(ph.is_phantom());
+        let rel = (real.nnz() as f64 - ph.nnz() as f64).abs() / ph.nnz() as f64;
+        assert!(rel < 0.25, "estimate off by {rel}");
+    }
+
+    #[test]
+    fn generator_edge_tiles_sized_correctly() {
+        let meta = MatrixMeta::new(10, 7, 4);
+        let g = Generator::DenseUniform {
+            seed: 1,
+            lo: 0.0,
+            hi: 1.0,
+        };
+        let t = g.generate(&meta, 2, 1);
+        assert_eq!((t.rows(), t.cols()), (2, 3));
+    }
+}

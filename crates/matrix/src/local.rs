@@ -1,0 +1,350 @@
+//! In-process tiled matrices, used by tests, reference implementations and
+//! the driver-side pieces of workloads (small vectors/scalars).
+
+use crate::dense::DenseTile;
+use crate::error::{MatrixError, Result};
+use crate::gen::Generator;
+use crate::meta::MatrixMeta;
+use crate::tile::{ElemOp, Tile};
+
+/// A tiled matrix held entirely in memory, tile grid in row-major order.
+///
+/// `LocalMatrix` exists so that the distributed engine's results can be
+/// collected and compared against reference computations, and so workloads
+/// can manipulate driver-resident small matrices without a cluster round
+/// trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalMatrix {
+    meta: MatrixMeta,
+    tiles: Vec<Tile>,
+}
+
+impl LocalMatrix {
+    /// Assembles a matrix from tiles in row-major grid order.
+    pub fn from_tiles(meta: MatrixMeta, tiles: Vec<Tile>) -> Result<Self> {
+        let grid = meta.grid();
+        if tiles.len() != grid.count() {
+            return Err(MatrixError::Corrupt(format!(
+                "expected {} tiles, got {}",
+                grid.count(),
+                tiles.len()
+            )));
+        }
+        for (idx, (ti, tj)) in grid.iter().enumerate() {
+            let want = meta.tile_dims(ti, tj);
+            let got = (tiles[idx].rows(), tiles[idx].cols());
+            if want != got {
+                return Err(MatrixError::Corrupt(format!(
+                    "tile ({ti},{tj}) has dims {got:?}, expected {want:?}"
+                )));
+            }
+        }
+        Ok(LocalMatrix { meta, tiles })
+    }
+
+    /// Materialises a full matrix from a generator.
+    pub fn generate(meta: MatrixMeta, generator: &Generator) -> Self {
+        let tiles = meta
+            .grid()
+            .iter()
+            .map(|(ti, tj)| generator.generate(&meta, ti, tj))
+            .collect();
+        LocalMatrix { meta, tiles }
+    }
+
+    /// Builds from a dense row-major buffer of the full logical matrix.
+    pub fn from_dense(rows: usize, cols: usize, tile_size: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        let meta = MatrixMeta::new(rows, cols, tile_size);
+        let tiles = meta
+            .grid()
+            .iter()
+            .map(|(ti, tj)| {
+                let (r, c) = meta.tile_dims(ti, tj);
+                let base_r = ti * tile_size;
+                let base_c = tj * tile_size;
+                Tile::dense(DenseTile::from_fn(r, c, |i, j| {
+                    data[(base_r + i) * cols + (base_c + j)]
+                }))
+            })
+            .collect();
+        LocalMatrix { meta, tiles }
+    }
+
+    /// Flattens to a dense row-major buffer (fails on phantom tiles).
+    pub fn to_dense_vec(&self) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.meta.rows * self.meta.cols];
+        for (idx, (ti, tj)) in self.meta.grid().iter().enumerate() {
+            let d = self.tiles[idx].to_dense()?;
+            let base_r = ti * self.meta.tile_size;
+            let base_c = tj * self.meta.tile_size;
+            for i in 0..d.rows() {
+                for j in 0..d.cols() {
+                    out[(base_r + i) * self.meta.cols + (base_c + j)] = d.get(i, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Metadata accessor.
+    pub fn meta(&self) -> MatrixMeta {
+        self.meta
+    }
+
+    /// Tile accessor by grid coordinate.
+    pub fn tile(&self, ti: usize, tj: usize) -> Result<&Tile> {
+        let g = self.meta.grid();
+        if ti >= g.tile_rows || tj >= g.tile_cols {
+            return Err(MatrixError::TileOutOfBounds {
+                tile: (ti, tj),
+                grid: (g.tile_rows, g.tile_cols),
+            });
+        }
+        Ok(&self.tiles[ti * g.tile_cols + tj])
+    }
+
+    /// Iterates `((ti, tj), tile)`.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = ((usize, usize), &Tile)> + '_ {
+        self.meta.grid().iter().zip(self.tiles.iter())
+    }
+
+    /// Total non-zeros across tiles.
+    pub fn nnz(&self) -> u64 {
+        self.tiles.iter().map(Tile::nnz).sum()
+    }
+
+    /// Tiled matrix product. Requires matching tile sizes and inner
+    /// dimensions.
+    pub fn matmul(&self, other: &LocalMatrix) -> Result<LocalMatrix> {
+        if self.meta.cols != other.meta.rows || self.meta.tile_size != other.meta.tile_size {
+            return Err(MatrixError::ShapeMismatch {
+                op: "local_matmul",
+                left: (self.meta.rows, self.meta.cols),
+                right: (other.meta.rows, other.meta.cols),
+            });
+        }
+        let out_meta = MatrixMeta::new(self.meta.rows, other.meta.cols, self.meta.tile_size);
+        let lg = self.meta.grid();
+        let og = other.meta.grid();
+        let mut tiles = Vec::with_capacity(out_meta.tile_count());
+        for ti in 0..lg.tile_rows {
+            for tj in 0..og.tile_cols {
+                let mut acc: Option<Tile> = None;
+                for tk in 0..lg.tile_cols {
+                    let part = self.tile(ti, tk)?.mul(other.tile(tk, tj)?)?;
+                    match &mut acc {
+                        None => acc = Some(part),
+                        Some(a) => a.add_assign(&part)?,
+                    }
+                }
+                let (r, c) = out_meta.tile_dims(ti, tj);
+                tiles.push(acc.unwrap_or_else(|| Tile::zeros(r, c)));
+            }
+        }
+        LocalMatrix::from_tiles(out_meta, tiles)
+    }
+
+    /// Element-wise combination of two same-shape matrices.
+    pub fn elementwise(&self, other: &LocalMatrix, op: ElemOp) -> Result<LocalMatrix> {
+        if self.meta != other.meta {
+            return Err(MatrixError::ShapeMismatch {
+                op: op.name(),
+                left: (self.meta.rows, self.meta.cols),
+                right: (other.meta.rows, other.meta.cols),
+            });
+        }
+        let tiles = self
+            .tiles
+            .iter()
+            .zip(other.tiles.iter())
+            .map(|(a, b)| a.elementwise(b, op))
+            .collect::<Result<Vec<_>>>()?;
+        LocalMatrix::from_tiles(self.meta, tiles)
+    }
+
+    /// Transposes the whole matrix (tile grid and each tile).
+    pub fn transpose(&self) -> LocalMatrix {
+        let out_meta = self.meta.transposed();
+        let g = self.meta.grid();
+        let mut tiles = Vec::with_capacity(self.tiles.len());
+        for tj in 0..g.tile_cols {
+            for ti in 0..g.tile_rows {
+                tiles.push(self.tiles[ti * g.tile_cols + tj].transpose());
+            }
+        }
+        LocalMatrix {
+            meta: out_meta,
+            tiles,
+        }
+    }
+
+    /// Scales all tiles by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for t in &mut self.tiles {
+            t.scale(s);
+        }
+    }
+
+    /// Applies a scalar map element-wise.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Copy) -> LocalMatrix {
+        let tiles = self.tiles.iter().map(|t| t.map(f)).collect();
+        LocalMatrix {
+            meta: self.meta,
+            tiles,
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.tiles.iter().map(Tile::sum).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.tiles.iter().map(Tile::frob_sq).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element difference against another matrix, for
+    /// approximate equality checks in tests.
+    pub fn max_abs_diff(&self, other: &LocalMatrix) -> Result<f64> {
+        let a = self.to_dense_vec()?;
+        let b = other.to_dense_vec()?;
+        if a.len() != b.len() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "max_abs_diff",
+                left: (self.meta.rows, self.meta.cols),
+                right: (other.meta.rows, other.meta.cols),
+            });
+        }
+        Ok(a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn seq_matrix(rows: usize, cols: usize, tile: usize) -> LocalMatrix {
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i % 13) as f64 - 5.0).collect();
+        LocalMatrix::from_dense(rows, cols, tile, &data)
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let m = seq_matrix(7, 9, 4);
+        let flat = m.to_dense_vec().unwrap();
+        let expect: Vec<f64> = (0..63).map(|i| (i % 13) as f64 - 5.0).collect();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference() {
+        let a = seq_matrix(7, 5, 3);
+        let b = seq_matrix(5, 6, 3);
+        let c = a.matmul(&b).unwrap();
+        let expect = reference::matmul(
+            &a.to_dense_vec().unwrap(),
+            &b.to_dense_vec().unwrap(),
+            7,
+            5,
+            6,
+        );
+        let got = c.to_dense_vec().unwrap();
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_tile_size_mismatch() {
+        let a = seq_matrix(4, 4, 2);
+        let b = seq_matrix(4, 4, 4);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_reference() {
+        let a = seq_matrix(7, 5, 3);
+        let t = a.transpose();
+        assert_eq!((t.meta().rows, t.meta().cols), (5, 7));
+        let flat_a = a.to_dense_vec().unwrap();
+        let flat_t = t.to_dense_vec().unwrap();
+        for i in 0..7 {
+            for j in 0..5 {
+                assert_eq!(flat_t[j * 7 + i], flat_a[i * 5 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_and_reductions() {
+        let a = seq_matrix(4, 4, 3);
+        let sum2 = a.elementwise(&a, ElemOp::Add).unwrap();
+        assert!((sum2.sum() - 2.0 * a.sum()).abs() < 1e-9);
+        let diff = a.elementwise(&a, ElemOp::Sub).unwrap();
+        assert_eq!(diff.frob_norm(), 0.0);
+        let sq = a.elementwise(&a, ElemOp::Mul).unwrap();
+        assert!((sq.sum() - a.frob_norm().powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut a = seq_matrix(3, 3, 2);
+        let doubled = a.map(|v| 2.0 * v);
+        a.scale(2.0);
+        assert_eq!(a.max_abs_diff(&doubled).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_tiles_validates() {
+        let meta = MatrixMeta::new(4, 4, 2);
+        assert!(LocalMatrix::from_tiles(meta, vec![Tile::zeros(2, 2); 3]).is_err());
+        let bad_dims = vec![
+            Tile::zeros(2, 2),
+            Tile::zeros(2, 2),
+            Tile::zeros(2, 2),
+            Tile::zeros(1, 1),
+        ];
+        assert!(LocalMatrix::from_tiles(meta, bad_dims).is_err());
+        assert!(LocalMatrix::from_tiles(meta, vec![Tile::zeros(2, 2); 4]).is_ok());
+    }
+
+    #[test]
+    fn generated_identity_acts_as_identity() {
+        let meta = MatrixMeta::new(6, 6, 4);
+        let i = LocalMatrix::generate(meta, &Generator::Identity);
+        let a = seq_matrix(6, 6, 4);
+        let prod = a.matmul(&i).unwrap();
+        assert_eq!(prod.max_abs_diff(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tile_out_of_bounds() {
+        let a = seq_matrix(4, 4, 2);
+        assert!(matches!(
+            a.tile(5, 0),
+            Err(MatrixError::TileOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nnz_sums_tiles() {
+        let meta = MatrixMeta::new(10, 10, 5);
+        let z = LocalMatrix::generate(meta, &Generator::Zeros);
+        assert_eq!(z.nnz(), 0);
+        let u = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform {
+                seed: 1,
+                lo: 0.5,
+                hi: 1.0,
+            },
+        );
+        assert_eq!(u.nnz(), 100);
+    }
+}

@@ -1,0 +1,855 @@
+//! SystemML-style matrix operators on MapReduce.
+//!
+//! SystemML (and HAMA-style systems) execute linear algebra on Hadoop MR1
+//! one operator at a time, with matrices blocked into key-value records.
+//! This module reproduces the two classic matrix-multiply strategies and
+//! the shuffle-based unary/binary operators:
+//!
+//! * **RMM** (replication-based matrix multiply): one MR job; each A-block
+//!   `(i,k)` is replicated to every output column `j` and each B-block
+//!   `(k,j)` to every output row `i`, so the shuffle carries
+//!   `|A|·N + |B|·M` block copies.
+//! * **CPMM** (cross-product matrix multiply): two MR jobs; job 1 groups by
+//!   the shared dimension `k` and materialises *partial products* —
+//!   `K` full-size partial result matrices written to replicated DFS
+//!   storage — which job 2 re-reads, shuffles by output block, and sums.
+//! * element-wise and transpose operators each pay a full MR job whose
+//!   shuffle carries the entire result matrix; scalar ops are map-only.
+//!
+//! No fusion across operators and a per-job scheduling latency: exactly the
+//! structural overheads Cumulon's map-only, multi-input, fused execution
+//! model avoids.
+
+use std::sync::Arc;
+
+use cumulon_cluster::error::{ClusterError, Result};
+use cumulon_cluster::{ExecMode, RunReport};
+use cumulon_matrix::ops as mops;
+use cumulon_matrix::tile::ElemOp;
+use cumulon_matrix::{MatrixMeta, Tile};
+
+use crate::engine::{MapFn, MrEngine, MrJobSpec, ReduceFn, TaggedTile};
+
+/// Matrix-multiply execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulStrategy {
+    /// Replication-based, one MR job.
+    Rmm,
+    /// Cross-product, two MR jobs with materialised partials.
+    Cpmm,
+    /// Pick by estimated shuffle volume (SystemML's own heuristic).
+    Auto,
+}
+
+/// One SystemML-style operator over named matrices in the tile store.
+#[derive(Debug, Clone)]
+pub enum MrOp {
+    /// `out = a × b`
+    Mul {
+        /// Left operand name.
+        a: String,
+        /// Right operand name.
+        b: String,
+        /// Output name.
+        out: String,
+        /// Multiply strategy.
+        strategy: MulStrategy,
+    },
+    /// `out = a (op) b`, element-wise.
+    Elementwise {
+        /// Left operand name.
+        a: String,
+        /// Right operand name.
+        b: String,
+        /// Output name.
+        out: String,
+        /// The element-wise operator.
+        op: ElemOp,
+    },
+    /// `out = aᵀ`
+    Transpose {
+        /// Operand name.
+        a: String,
+        /// Output name.
+        out: String,
+    },
+    /// `out = factor · a` (map-only job).
+    Scale {
+        /// Operand name.
+        a: String,
+        /// Output name.
+        out: String,
+        /// Scalar factor.
+        factor: f64,
+    },
+}
+
+/// A straight-line program of operators, executed op-at-a-time (no fusion).
+#[derive(Debug, Clone, Default)]
+pub struct MrProgram {
+    /// Operators in execution order.
+    pub ops: Vec<MrOp>,
+}
+
+impl MrProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operator (builder style).
+    pub fn push(mut self, op: MrOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Executes the program on the MR engine. Output matrices are
+    /// registered in the engine's tile store as a side effect.
+    pub fn execute(&self, engine: &MrEngine, mode: ExecMode) -> Result<RunReport> {
+        let mut specs: Vec<MrJobSpec> = Vec::new();
+        for op in &self.ops {
+            // Serialize operators: each op's first job depends on the
+            // previous op's last job (SystemML's op-at-a-time execution).
+            let dep = specs
+                .len()
+                .checked_sub(1)
+                .map(|d| vec![d])
+                .unwrap_or_default();
+            match op {
+                MrOp::Mul {
+                    a,
+                    b,
+                    out,
+                    strategy,
+                } => {
+                    let (am, bm) = (lookup(engine, a)?, lookup(engine, b)?);
+                    check_mul(&am, &bm, a, b)?;
+                    let out_meta = MatrixMeta::new(am.rows, bm.cols, am.tile_size);
+                    register(engine, out, out_meta)?;
+                    let strategy = resolve_strategy(
+                        *strategy,
+                        &am,
+                        &bm,
+                        density_of(engine, a),
+                        density_of(engine, b),
+                        engine.spec().total_slots(),
+                    );
+                    match strategy {
+                        MulStrategy::Rmm => {
+                            specs.push(rmm_job(engine, a, b, out, am, bm, out_meta, dep));
+                        }
+                        MulStrategy::Cpmm => {
+                            let (j1, j2) = cpmm_jobs(engine, a, b, out, am, bm, out_meta, dep)?;
+                            specs.push(j1);
+                            let j1_idx = specs.len() - 1;
+                            let mut j2 = j2;
+                            j2.deps = vec![j1_idx];
+                            specs.push(j2);
+                        }
+                        MulStrategy::Auto => unreachable!("resolved above"),
+                    }
+                }
+                MrOp::Elementwise { a, b, out, op } => {
+                    let (am, bm) = (lookup(engine, a)?, lookup(engine, b)?);
+                    if am != bm {
+                        return Err(ClusterError::InvalidSpec(format!(
+                            "elementwise operands {a} and {b} have different shapes"
+                        )));
+                    }
+                    register(engine, out, am)?;
+                    specs.push(elementwise_job(engine, a, b, out, am, *op, dep));
+                }
+                MrOp::Transpose { a, out } => {
+                    let am = lookup(engine, a)?;
+                    register(engine, out, am.transposed())?;
+                    specs.push(transpose_job(engine, a, out, am, dep));
+                }
+                MrOp::Scale { a, out, factor } => {
+                    let am = lookup(engine, a)?;
+                    register(engine, out, am)?;
+                    specs.push(scale_job(engine, a, out, am, *factor, dep));
+                }
+            }
+        }
+        engine.run(specs, mode)
+    }
+}
+
+fn lookup(engine: &MrEngine, name: &str) -> Result<MatrixMeta> {
+    Ok(engine.store().lookup(name)?.meta)
+}
+
+/// Expected density of a matrix (from its generator if generator-backed,
+/// else assumed dense) — used only to size mapper input splits.
+fn density_of(engine: &MrEngine, name: &str) -> f64 {
+    engine
+        .store()
+        .lookup(name)
+        .ok()
+        .and_then(|h| h.generator.map(|g| g.expected_density()))
+        .unwrap_or(1.0)
+}
+
+/// Hadoop-style input split: one mapper per ~128 MB of stored tiles.
+const SPLIT_BYTES: u64 = 128 << 20;
+
+/// Groups a matrix' tile coordinates into mapper-sized chunks. `fan_out`
+/// is how many copies of each tile the mapper will emit (RMM replication):
+/// splits are sized by *emitted* volume so a replicating map phase
+/// parallelises the way Hadoop's many-small-files inputs do.
+fn mapper_chunks_fanout(
+    meta: MatrixMeta,
+    density: f64,
+    fan_out: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let tiles = meta.tile_count().max(1);
+    let avg_tile = meta.stored_bytes_at_density(density) / tiles as u64 * fan_out.max(1) as u64;
+    let per_mapper = (SPLIT_BYTES / avg_tile.max(1)).clamp(1, 8_192) as usize;
+    let coords: Vec<(usize, usize)> = meta.grid().iter().collect();
+    coords.chunks(per_mapper).map(|c| c.to_vec()).collect()
+}
+
+/// Groups a matrix' tile coordinates into plain ~128 MB input splits.
+fn mapper_chunks(meta: MatrixMeta, density: f64) -> Vec<Vec<(usize, usize)>> {
+    mapper_chunks_fanout(meta, density, 1)
+}
+
+fn register(engine: &MrEngine, name: &str, meta: MatrixMeta) -> Result<()> {
+    engine.store().register(name, meta)?;
+    Ok(())
+}
+
+fn check_mul(am: &MatrixMeta, bm: &MatrixMeta, a: &str, b: &str) -> Result<()> {
+    if am.cols != bm.rows || am.tile_size != bm.tile_size {
+        return Err(ClusterError::InvalidSpec(format!(
+            "cannot multiply {a} ({}x{}, tile {}) by {b} ({}x{}, tile {})",
+            am.rows, am.cols, am.tile_size, bm.rows, bm.cols, bm.tile_size
+        )));
+    }
+    Ok(())
+}
+
+/// SystemML's heuristic: RMM when the replicated shuffle is smaller than
+/// CPMM's traffic, measured in *bytes* (so sparse operands are cheap to
+/// replicate). RMM replicates every A block to each of the `Nt` output
+/// columns and every B block to each of the `Mt` output rows. CPMM
+/// shuffles each input once, then its `G` reduce groups
+/// (`G = min(Kt, slots)`, thanks to reducer-side pre-aggregation) each
+/// materialise one full-size partial matrix to 3×-replicated storage and
+/// job 2 reads it back.
+fn resolve_strategy(
+    s: MulStrategy,
+    am: &MatrixMeta,
+    bm: &MatrixMeta,
+    da: f64,
+    db: f64,
+    total_slots: u32,
+) -> MulStrategy {
+    match s {
+        MulStrategy::Auto => {
+            let ga = am.grid();
+            let (mt, nt) = (ga.tile_rows as f64, bm.grid().tile_cols as f64);
+            let kt = ga.tile_cols as f64;
+            let bytes_a = am.stored_bytes_at_density(da) as f64;
+            let bytes_b = bm.stored_bytes_at_density(db) as f64;
+            let out_dense = (am.rows as f64) * (bm.cols as f64) * 8.0;
+            let groups = kt.min(total_slots.max(1) as f64);
+            let rmm_vol = nt * bytes_a + mt * bytes_b;
+            let cpmm_vol = bytes_a + bytes_b + 4.0 * groups * out_dense;
+            if rmm_vol <= cpmm_vol {
+                MulStrategy::Rmm
+            } else {
+                MulStrategy::Cpmm
+            }
+        }
+        other => other,
+    }
+}
+
+/// Builds the single RMM job.
+#[allow(clippy::too_many_arguments)]
+fn rmm_job(
+    engine: &MrEngine,
+    a: &str,
+    b: &str,
+    out: &str,
+    am: MatrixMeta,
+    bm: MatrixMeta,
+    out_meta: MatrixMeta,
+    deps: Vec<usize>,
+) -> MrJobSpec {
+    let ga = am.grid();
+    let gb = bm.grid();
+    let (mt, nt) = (ga.tile_rows, gb.tile_cols);
+    let mut mappers: Vec<MapFn> = Vec::new();
+    for chunk in mapper_chunks_fanout(am, density_of(engine, a), nt) {
+        let a = a.to_string();
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(ti, tk) in &chunk {
+                let tile = ctx.read_tile(&a, ti, tk)?;
+                for j in 0..nt {
+                    em.emit(
+                        (ti as u32, j as u32),
+                        TaggedTile {
+                            tag: 0,
+                            k: tk as u32,
+                            tile: tile.clone(),
+                        },
+                    );
+                }
+            }
+            Ok(())
+        }));
+    }
+    for chunk in mapper_chunks_fanout(bm, density_of(engine, b), mt) {
+        let b = b.to_string();
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(tk, tj) in &chunk {
+                let tile = ctx.read_tile(&b, tk, tj)?;
+                for i in 0..mt {
+                    em.emit(
+                        (i as u32, tj as u32),
+                        TaggedTile {
+                            tag: 1,
+                            k: tk as u32,
+                            tile: tile.clone(),
+                        },
+                    );
+                }
+            }
+            Ok(())
+        }));
+    }
+    let out = out.to_string();
+    let reducer: ReduceFn = Arc::new(move |ctx, key, values| {
+        let (ti, tj) = (key.0 as usize, key.1 as usize);
+        let mut acc: Option<Tile> = None;
+        // Pair A and B contributions by shared index k. A streaming reducer
+        // holds the accumulator plus one pair at a time.
+        let mut a_by_k: Vec<Option<&Tile>> = Vec::new();
+        let mut b_by_k: Vec<Option<&Tile>> = Vec::new();
+        for v in values {
+            let side = if v.tag == 0 { &mut a_by_k } else { &mut b_by_k };
+            let k = v.k as usize;
+            if side.len() <= k {
+                side.resize(k + 1, None);
+            }
+            side[k] = Some(&v.tile);
+        }
+        for k in 0..a_by_k.len().min(b_by_k.len()) {
+            if let (Some(at), Some(bt)) = (a_by_k[k], b_by_k[k]) {
+                ctx.charge(mops::mul_work(at, bt));
+                let partial = at.mul(bt)?;
+                match &mut acc {
+                    None => acc = Some(partial),
+                    Some(c) => {
+                        ctx.charge(mops::add_work(c, &partial));
+                        c.add_assign(&partial)?;
+                    }
+                }
+            }
+        }
+        if let Some(c) = acc {
+            ctx.charge_mem_mb(c.stored_bytes() as f64 / 1e6 * 3.0);
+            ctx.write_tile(&out, ti, tj, &c)?;
+        }
+        Ok(())
+    });
+    let reducers = reducer_count(engine, out_meta);
+    MrJobSpec {
+        name: format!("rmm({a}x{b})"),
+        mappers,
+        reducer: Some(reducer),
+        reducers,
+        deps,
+    }
+}
+
+/// Builds the two CPMM jobs. Intermediate partial matrices `__cpmm_<out>_g`
+/// (one per reduce *group*, thanks to reducer-side pre-aggregation across
+/// the shared dimension) are registered and written to the (replicated)
+/// store between the jobs.
+#[allow(clippy::too_many_arguments)]
+fn cpmm_jobs(
+    engine: &MrEngine,
+    a: &str,
+    b: &str,
+    out: &str,
+    am: MatrixMeta,
+    bm: MatrixMeta,
+    out_meta: MatrixMeta,
+    deps: Vec<usize>,
+) -> Result<(MrJobSpec, MrJobSpec)> {
+    let ga = am.grid();
+    let kt = ga.tile_cols;
+    // Shared-dimension bands are hashed into `groups` reduce groups; each
+    // group pre-aggregates its partial products before materialising.
+    let groups = kt.min((engine.spec().total_slots() as usize).max(1));
+    for g in 0..groups {
+        register(engine, &cpmm_partial_name(out, g), out_meta)?;
+    }
+
+    // Job 1: group by k-band group, compute pre-aggregated partials.
+    let mut mappers: Vec<MapFn> = Vec::new();
+    for chunk in mapper_chunks(am, density_of(engine, a)) {
+        let a = a.to_string();
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(ti, tk) in &chunk {
+                let tile = ctx.read_tile(&a, ti, tk)?;
+                // Join index packs (shared k, own index) so the reducer
+                // can pair contributions with the same k.
+                let k = ((tk as u32) << 16) | ti as u32;
+                em.emit(((tk % groups) as u32, 0), TaggedTile { tag: 0, k, tile });
+            }
+            Ok(())
+        }));
+    }
+    for chunk in mapper_chunks(bm, density_of(engine, b)) {
+        let b = b.to_string();
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(tk, tj) in &chunk {
+                let tile = ctx.read_tile(&b, tk, tj)?;
+                let k = ((tk as u32) << 16) | tj as u32;
+                em.emit(((tk % groups) as u32, 0), TaggedTile { tag: 1, k, tile });
+            }
+            Ok(())
+        }));
+    }
+    let out1 = out.to_string();
+    let reducer1: ReduceFn = Arc::new(move |ctx, key, values| {
+        let g = key.0 as usize;
+        let partial_name = cpmm_partial_name(&out1, g);
+        // acc[(i, j)] accumulates over every shared band in this group:
+        // the pre-aggregation that makes CPMM competitive.
+        let mut acc: std::collections::BTreeMap<(usize, usize), Tile> =
+            std::collections::BTreeMap::new();
+        for va in values.iter().filter(|v| v.tag == 0) {
+            let (ka, i) = ((va.k >> 16) as usize, (va.k & 0xffff) as usize);
+            for vb in values.iter().filter(|v| v.tag == 1) {
+                let (kb, j) = ((vb.k >> 16) as usize, (vb.k & 0xffff) as usize);
+                if ka != kb {
+                    continue;
+                }
+                ctx.charge(mops::mul_work(&va.tile, &vb.tile));
+                let p = va.tile.mul(&vb.tile)?;
+                match acc.entry((i, j)) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        ctx.charge(mops::add_work(e.get(), &p));
+                        e.get_mut().add_assign(&p)?;
+                    }
+                }
+            }
+        }
+        let acc_bytes: u64 = acc.values().map(Tile::stored_bytes).sum();
+        ctx.charge_mem_mb(acc_bytes as f64 / 1e6);
+        for ((i, j), tile) in &acc {
+            ctx.write_tile(&partial_name, *i, *j, tile)?;
+        }
+        Ok(())
+    });
+    let job1 = MrJobSpec {
+        name: format!("cpmm1({a}x{b})"),
+        mappers,
+        reducer: Some(reducer1),
+        reducers: groups,
+        deps,
+    };
+
+    // Job 2: re-read partials, shuffle by output block, sum. Partial tiles
+    // for output blocks no group produced (possible only when a group saw
+    // no data) simply do not exist; mappers skip missing tiles.
+    let mut mappers2: Vec<MapFn> = Vec::with_capacity(groups);
+    let go = out_meta.grid();
+    for g in 0..groups {
+        let partial_name = cpmm_partial_name(out, g);
+        mappers2.push(Arc::new(move |ctx, em| {
+            for ti in 0..go.tile_rows {
+                for tj in 0..go.tile_cols {
+                    match ctx.read_tile(&partial_name, ti, tj) {
+                        Ok(tile) => em.emit(
+                            (ti as u32, tj as u32),
+                            TaggedTile {
+                                tag: 0,
+                                k: g as u32,
+                                tile,
+                            },
+                        ),
+                        Err(ClusterError::Storage(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok(())
+        }));
+    }
+    let out2 = out.to_string();
+    let reducer2: ReduceFn = Arc::new(move |ctx, key, values| {
+        let mut acc: Option<Tile> = None;
+        for v in values {
+            match &mut acc {
+                None => acc = Some(v.tile.clone()),
+                Some(c) => {
+                    ctx.charge(mops::add_work(c, &v.tile));
+                    c.add_assign(&v.tile)?;
+                }
+            }
+        }
+        if let Some(c) = acc {
+            ctx.write_tile(&out2, key.0 as usize, key.1 as usize, &c)?;
+        }
+        Ok(())
+    });
+    let job2 = MrJobSpec {
+        name: format!("cpmm2({a}x{b})"),
+        mappers: mappers2,
+        reducer: Some(reducer2),
+        reducers: reducer_count(engine, out_meta),
+        deps: vec![], // fixed up by the caller
+    };
+    Ok((job1, job2))
+}
+
+fn cpmm_partial_name(out: &str, k: usize) -> String {
+    format!("__cpmm_{out}_{k}")
+}
+
+fn elementwise_job(
+    engine: &MrEngine,
+    a: &str,
+    b: &str,
+    out: &str,
+    meta: MatrixMeta,
+    op: ElemOp,
+    deps: Vec<usize>,
+) -> MrJobSpec {
+    let mut mappers: Vec<MapFn> = Vec::new();
+    for chunk in mapper_chunks(meta, density_of(engine, a)) {
+        let (a, b) = (a.to_string(), b.to_string());
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(ti, tj) in &chunk {
+                let at = ctx.read_tile(&a, ti, tj)?;
+                let bt = ctx.read_tile(&b, ti, tj)?;
+                ctx.charge(mops::elementwise_work(&at, &bt));
+                let c = at.elementwise(&bt, op)?;
+                em.emit(
+                    (ti as u32, tj as u32),
+                    TaggedTile {
+                        tag: 0,
+                        k: 0,
+                        tile: c,
+                    },
+                );
+            }
+            Ok(())
+        }));
+    }
+    let out = out.to_string();
+    let reducer: ReduceFn = Arc::new(move |ctx, key, values| {
+        ctx.write_tile(&out, key.0 as usize, key.1 as usize, &values[0].tile)?;
+        Ok(())
+    });
+    let reducers = reducer_count(engine, meta);
+    MrJobSpec {
+        name: format!("elem_{}({a},{b})", op.name()),
+        mappers,
+        reducer: Some(reducer),
+        reducers,
+        deps,
+    }
+}
+
+fn transpose_job(
+    engine: &MrEngine,
+    a: &str,
+    out: &str,
+    meta: MatrixMeta,
+    deps: Vec<usize>,
+) -> MrJobSpec {
+    let mut mappers: Vec<MapFn> = Vec::new();
+    for chunk in mapper_chunks(meta, density_of(engine, a)) {
+        let a = a.to_string();
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(ti, tj) in &chunk {
+                let t = ctx.read_tile(&a, ti, tj)?;
+                ctx.charge(mops::transpose_work(&t));
+                em.emit(
+                    (tj as u32, ti as u32),
+                    TaggedTile {
+                        tag: 0,
+                        k: 0,
+                        tile: t.transpose(),
+                    },
+                );
+            }
+            Ok(())
+        }));
+    }
+    let out = out.to_string();
+    let reducer: ReduceFn = Arc::new(move |ctx, key, values| {
+        ctx.write_tile(&out, key.0 as usize, key.1 as usize, &values[0].tile)?;
+        Ok(())
+    });
+    let reducers = reducer_count(engine, meta.transposed());
+    MrJobSpec {
+        name: format!("transpose({a})"),
+        mappers,
+        reducer: Some(reducer),
+        reducers,
+        deps,
+    }
+}
+
+fn scale_job(
+    engine: &MrEngine,
+    a: &str,
+    out: &str,
+    meta: MatrixMeta,
+    factor: f64,
+    deps: Vec<usize>,
+) -> MrJobSpec {
+    let mut mappers: Vec<MapFn> = Vec::new();
+    for chunk in mapper_chunks(meta, density_of(engine, a)) {
+        let (a, out) = (a.to_string(), out.to_string());
+        mappers.push(Arc::new(move |ctx, em| {
+            for &(ti, tj) in &chunk {
+                let mut t = ctx.read_tile(&a, ti, tj)?;
+                ctx.charge(mops::map_work(&t));
+                t.scale(factor);
+                ctx.write_tile(&out, ti, tj, &t)?;
+            }
+            let _ = em; // map-only: nothing emitted
+            Ok(())
+        }));
+    }
+    MrJobSpec {
+        name: format!("scale({a})"),
+        mappers,
+        reducer: None,
+        reducers: 0,
+        deps,
+    }
+}
+
+fn reducer_count(engine: &MrEngine, out_meta: MatrixMeta) -> usize {
+    out_meta
+        .tile_count()
+        .min((engine.spec().total_slots() as usize).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulon_cluster::{ClusterSpec, HardwareModel};
+    use cumulon_dfs::{Dfs, DfsConfig, TileStore};
+    use cumulon_matrix::gen::Generator;
+    use cumulon_matrix::LocalMatrix;
+
+    use crate::engine::MrConfig;
+
+    fn engine() -> MrEngine {
+        let spec = ClusterSpec::named("m1.large", 3, 2).unwrap();
+        let store = TileStore::new(Dfs::new(spec.nodes, DfsConfig::default()));
+        MrEngine::new(spec, store, HardwareModel::default(), MrConfig::default())
+    }
+
+    fn load(engine: &MrEngine, name: &str, rows: usize, cols: usize, seed: u64) -> LocalMatrix {
+        let meta = MatrixMeta::new(rows, cols, 4);
+        let m = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform {
+                seed,
+                lo: -1.0,
+                hi: 1.0,
+            },
+        );
+        engine.store().put_local(name, &m).unwrap();
+        m
+    }
+
+    fn assert_close(a: &LocalMatrix, b: &LocalMatrix) {
+        assert!(a.max_abs_diff(b).unwrap() < 1e-9, "matrices differ");
+    }
+
+    #[test]
+    fn rmm_matches_local() {
+        let e = engine();
+        let a = load(&e, "A", 10, 6, 1);
+        let b = load(&e, "B", 6, 8, 2);
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "A".into(),
+            b: "B".into(),
+            out: "C".into(),
+            strategy: MulStrategy::Rmm,
+        });
+        let report = prog.execute(&e, ExecMode::Real).unwrap();
+        assert_close(&e.store().get_local("C").unwrap(), &a.matmul(&b).unwrap());
+        // One MR job = two phases.
+        assert_eq!(report.jobs.len(), 2);
+    }
+
+    #[test]
+    fn cpmm_matches_local() {
+        let e = engine();
+        let a = load(&e, "A", 8, 8, 3);
+        let b = load(&e, "B", 8, 5, 4);
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "A".into(),
+            b: "B".into(),
+            out: "C".into(),
+            strategy: MulStrategy::Cpmm,
+        });
+        let report = prog.execute(&e, ExecMode::Real).unwrap();
+        assert_close(&e.store().get_local("C").unwrap(), &a.matmul(&b).unwrap());
+        // Two MR jobs = four phases.
+        assert_eq!(report.jobs.len(), 4);
+    }
+
+    #[test]
+    fn cpmm_materialises_replicated_partials() {
+        let e = engine();
+        load(&e, "A", 8, 8, 3);
+        load(&e, "B", 8, 8, 4);
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "A".into(),
+            b: "B".into(),
+            out: "C".into(),
+            strategy: MulStrategy::Cpmm,
+        });
+        let report = prog.execute(&e, ExecMode::Real).unwrap();
+        let job1_reduce = report
+            .jobs
+            .iter()
+            .find(|j| j.name.starts_with("cpmm1") && j.name.ends_with(".reduce"))
+            .unwrap();
+        assert!(
+            job1_reduce.receipt.write.remote_bytes > 0,
+            "partials must pay replicated DFS writes"
+        );
+    }
+
+    #[test]
+    fn elementwise_and_transpose_match_local() {
+        let e = engine();
+        let a = load(&e, "A", 7, 5, 5);
+        let b = load(&e, "B", 7, 5, 6);
+        let prog = MrProgram::new()
+            .push(MrOp::Elementwise {
+                a: "A".into(),
+                b: "B".into(),
+                out: "S".into(),
+                op: ElemOp::Add,
+            })
+            .push(MrOp::Transpose {
+                a: "S".into(),
+                out: "St".into(),
+            });
+        prog.execute(&e, ExecMode::Real).unwrap();
+        let expect = a.elementwise(&b, ElemOp::Add).unwrap().transpose();
+        assert_close(&e.store().get_local("St").unwrap(), &expect);
+    }
+
+    #[test]
+    fn scale_is_map_only() {
+        let e = engine();
+        let a = load(&e, "A", 6, 6, 7);
+        let prog = MrProgram::new().push(MrOp::Scale {
+            a: "A".into(),
+            out: "A2".into(),
+            factor: 2.0,
+        });
+        let report = prog.execute(&e, ExecMode::Real).unwrap();
+        assert_eq!(report.jobs.len(), 1, "map-only job has a single phase");
+        let mut expect = a.clone();
+        expect.scale(2.0);
+        assert_close(&e.store().get_local("A2").unwrap(), &expect);
+    }
+
+    #[test]
+    fn auto_strategy_resolves() {
+        // Long shared dimension with a moderate output: RMM's replication
+        // (2·Mt·Kt·Nt) dwarfs CPMM's pre-aggregated partials → CPMM.
+        let a = MatrixMeta::new(16, 400, 4); // 4 × 100 tiles
+        let b = MatrixMeta::new(400, 16, 4); // 100 × 4 tiles
+        assert_eq!(
+            resolve_strategy(MulStrategy::Auto, &a, &b, 1.0, 1.0, 6),
+            MulStrategy::Cpmm
+        );
+        // Tiny shared dimension → RMM.
+        let a2 = MatrixMeta::new(400, 4, 4);
+        let b2 = MatrixMeta::new(4, 400, 4);
+        assert_eq!(
+            resolve_strategy(MulStrategy::Auto, &a2, &b2, 1.0, 1.0, 6),
+            MulStrategy::Rmm
+        );
+        // Explicit strategies pass through.
+        assert_eq!(
+            resolve_strategy(MulStrategy::Rmm, &a, &b, 1.0, 1.0, 6),
+            MulStrategy::Rmm
+        );
+        assert_eq!(
+            resolve_strategy(MulStrategy::Cpmm, &a2, &b2, 1.0, 1.0, 6),
+            MulStrategy::Cpmm
+        );
+    }
+
+    #[test]
+    fn mul_shape_mismatch_rejected() {
+        let e = engine();
+        load(&e, "A", 4, 4, 1);
+        load(&e, "B", 5, 4, 2);
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "A".into(),
+            b: "B".into(),
+            out: "C".into(),
+            strategy: MulStrategy::Rmm,
+        });
+        assert!(prog.execute(&e, ExecMode::Real).is_err());
+    }
+
+    #[test]
+    fn chain_of_ops_serializes() {
+        let e = engine();
+        let a = load(&e, "A", 6, 6, 8);
+        let prog = MrProgram::new()
+            .push(MrOp::Mul {
+                a: "A".into(),
+                b: "A".into(),
+                out: "A2".into(),
+                strategy: MulStrategy::Rmm,
+            })
+            .push(MrOp::Mul {
+                a: "A2".into(),
+                b: "A".into(),
+                out: "A3".into(),
+                strategy: MulStrategy::Rmm,
+            });
+        let report = prog.execute(&e, ExecMode::Real).unwrap();
+        let expect = a.matmul(&a).unwrap().matmul(&a).unwrap();
+        assert_close(&e.store().get_local("A3").unwrap(), &expect);
+        // Two ops × (map + reduce).
+        assert_eq!(report.jobs.len(), 4);
+    }
+
+    #[test]
+    fn phantom_mode_runs_at_scale() {
+        let e = engine();
+        let meta = MatrixMeta::new(4_000, 4_000, 1_000);
+        e.store()
+            .register_generated("BIG", meta, Generator::DenseGaussian { seed: 1 })
+            .unwrap();
+        let prog = MrProgram::new().push(MrOp::Mul {
+            a: "BIG".into(),
+            b: "BIG".into(),
+            out: "BIG2".into(),
+            strategy: MulStrategy::Rmm,
+        });
+        let report = prog.execute(&e, ExecMode::Simulated).unwrap();
+        assert!(report.makespan_s > 0.0);
+        // Output tiles exist but are phantoms.
+        let (tile, _) = e.store().read_tile("BIG2", 0, 0, None, false).unwrap();
+        assert!(tile.is_phantom());
+    }
+}

@@ -1,0 +1,47 @@
+//! # cumulon-workloads
+//!
+//! The statistical workloads used throughout the paper's evaluation,
+//! expressed as Cumulon matrix programs plus the thin driver-side logic
+//! that stitches iterations together:
+//!
+//! * [`gnmf`] — Gaussian non-negative matrix factorisation over a sparse
+//!   document-term matrix (multiplicative updates);
+//! * [`rsvd`] — randomized SVD: the cluster computes the heavy sketching
+//!   products, the driver finishes with small `k×k` factorisations;
+//! * [`regression`] — linear least squares, both one-shot via normal
+//!   equations and iterative gradient descent (ridge-regularised);
+//! * [`power`] — sparse power iteration (PageRank-style);
+//! * [`chains`] — multiply-chain microworkloads for the optimizer
+//!   experiments;
+//! * [`smallmat`] — from-scratch driver-side dense kernels for the small
+//!   matrices that never leave the driver (Cholesky, triangular solves,
+//!   Jacobi eigenvalues, Gaussian elimination).
+
+pub mod chains;
+pub mod gnmf;
+pub mod power;
+pub mod regression;
+pub mod rsvd;
+pub mod smallmat;
+
+use std::collections::BTreeMap;
+
+use cumulon_core::expr::InputDesc;
+use cumulon_core::Result;
+use cumulon_dfs::TileStore;
+
+/// A workload: named generated inputs plus per-iteration programs.
+pub trait Workload {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Input descriptions for iteration `iter` (names include iteration
+    /// suffixes where state evolves).
+    fn inputs(&self, iter: usize) -> BTreeMap<String, InputDesc>;
+
+    /// Registers iteration-0 inputs in a store.
+    fn setup(&self, store: &TileStore) -> Result<()>;
+
+    /// The matrix program of iteration `iter`.
+    fn program(&self, iter: usize) -> cumulon_core::Program;
+}

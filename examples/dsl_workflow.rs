@@ -1,0 +1,77 @@
+//! The full Cumulon story in the surface language: write linear algebra as
+//! a script, let the system infer inputs/outputs, pick a deployment, run,
+//! and verify.
+//!
+//! ```sh
+//! cargo run --release --example dsl_workflow
+//! ```
+
+use std::collections::BTreeMap;
+
+use cumulon::prelude::*;
+
+fn main() {
+    // Ridge-regression normal equations plus a residual-ish diagnostic,
+    // written the way a statistician would.
+    let source = r#"
+        # normal equations for ridge regression
+        G  = X' * X;
+        Xy = X' * y;
+
+        # a cheap data diagnostic on the side: 1.5 |X|
+        D  = sqrt(sq(X)) + abs(0.5 X);
+
+        out G, Xy, D;
+    "#;
+
+    let compiled = compile_source(source).expect("script compiles");
+    println!("script inputs : {:?}", compiled.inputs);
+    println!("script outputs: {:?}", compiled.outputs());
+
+    // Describe inputs and optimize the deployment.
+    let x_meta = MatrixMeta::new(3_000, 400, 200);
+    let y_meta = MatrixMeta::new(3_000, 1, 200);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("X".to_string(), InputDesc::dense(x_meta));
+    inputs.insert("y".to_string(), InputDesc::dense(y_meta));
+
+    let optimizer = Optimizer::new(idealized_cost_model());
+    let plan = optimizer
+        .optimize(
+            &compiled.program,
+            &inputs,
+            SearchSpace::default(),
+            Constraint::Deadline(3_600.0),
+        )
+        .expect("1h deadline feasible");
+    println!("deployment    : {}", plan.summary());
+
+    // Provision, load real data, execute, verify.
+    let cluster = optimizer.provision(&plan).expect("provision");
+    let x = LocalMatrix::generate(x_meta, &Generator::DenseGaussian { seed: 4 });
+    let y = LocalMatrix::generate(y_meta, &Generator::DenseGaussian { seed: 5 });
+    cluster.store().put_local("X", &x).expect("upload X");
+    cluster.store().put_local("y", &y).expect("upload y");
+    let report = optimizer
+        .execute_on(&cluster, &compiled.program, &inputs, "dsl", ExecMode::Real)
+        .expect("run");
+    println!("run           : {}", report.summary());
+
+    let g = cluster.store().get_local("G").expect("G");
+    let expect_g = x.transpose().matmul(&x).expect("XᵀX");
+    let err = g.max_abs_diff(&expect_g).expect("compare");
+    println!("max |G − XᵀX| : {err:.3e}");
+    assert!(err < 1e-6);
+
+    let xy = cluster.store().get_local("Xy").expect("Xy");
+    let expect_xy = x.transpose().matmul(&y).expect("Xᵀy");
+    assert!(xy.max_abs_diff(&expect_xy).expect("compare") < 1e-6);
+
+    // D = sqrt(X²) + |X/2| = 1.5 |X|.
+    let d = cluster.store().get_local("D").expect("D");
+    let mut expect_d = x.map(f64::abs);
+    expect_d.scale(1.5);
+    assert!(d.max_abs_diff(&expect_d).expect("compare") < 1e-9);
+
+    println!("all outputs verified ✓");
+}

@@ -1,0 +1,84 @@
+//! Quickstart: write a matrix program, optimize its deployment, run it on
+//! the simulated cloud, and verify the numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::BTreeMap;
+
+use cumulon::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A matrix program: the Gram matrix G = AᵀA plus an element-wise
+    //    output S = A + A (to show fusion into a single job).
+    // ------------------------------------------------------------------
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let at = b.transpose(a);
+    let g = b.mul(at, a);
+    let doubled = b.add(a, a);
+    b.output("G", g);
+    b.output("S", doubled);
+    let program = b.build();
+
+    // ------------------------------------------------------------------
+    // 2. Describe the input: a dense 2,000 × 500 matrix in 250-wide tiles.
+    // ------------------------------------------------------------------
+    let meta = MatrixMeta::new(2_000, 500, 250);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("A".to_string(), InputDesc::dense(meta));
+
+    // ------------------------------------------------------------------
+    // 3. Deployment optimization: cheapest cluster that finishes in 2 h.
+    // ------------------------------------------------------------------
+    let optimizer = Optimizer::new(idealized_cost_model());
+    let plan = optimizer
+        .optimize(
+            &program,
+            &inputs,
+            SearchSpace::default(),
+            Constraint::Deadline(7_200.0),
+        )
+        .expect("a 2h deadline is feasible for this tiny job");
+    println!("chosen deployment: {}", plan.summary());
+    println!(
+        "physical plan: {} jobs, {} tasks",
+        plan.plan.jobs.len(),
+        plan.plan.total_tasks()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Provision the (simulated) cluster, upload real data, execute.
+    // ------------------------------------------------------------------
+    let cluster = optimizer.provision(&plan).expect("provisioning");
+    let data = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 42 });
+    cluster.store().put_local("A", &data).expect("upload");
+    let report = optimizer
+        .execute_on(&cluster, &program, &inputs, "run0", ExecMode::Real)
+        .expect("execution");
+    println!("run: {}", report.summary());
+    for job in &report.jobs {
+        println!(
+            "  job {:<10} {:>7.1}s  {} tasks, locality {:.0}%",
+            job.name,
+            job.duration_s(),
+            job.tasks.len(),
+            100.0 * job.locality_rate()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 5. The results are real — check them.
+    // ------------------------------------------------------------------
+    let got = cluster.store().get_local("G").expect("fetch G");
+    let expect = data.transpose().matmul(&data).expect("reference");
+    let err = got.max_abs_diff(&expect).expect("compare");
+    println!("max |G - AᵀA| = {err:.3e}");
+    assert!(err < 1e-6, "distributed result must match the reference");
+
+    let s = cluster.store().get_local("S").expect("fetch S");
+    assert!((s.sum() - 2.0 * data.sum()).abs() < 1e-6);
+    println!("all results verified ✓");
+}

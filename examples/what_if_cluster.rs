@@ -1,0 +1,69 @@
+//! What-if analysis for a regression workload: sweep instance types and
+//! cluster sizes, print the estimated time/cost grid and the Pareto
+//! frontier — the "intelligent deployment" console a Cumulon user would
+//! stare at before swiping a credit card.
+//!
+//! ```sh
+//! cargo run --release --example what_if_cluster
+//! ```
+
+use cumulon::core::deploy::DeploymentSearch;
+use cumulon::prelude::*;
+
+fn main() {
+    // OLS normal equations over 2M × 2k observations.
+    let reg = Regression {
+        rows: 2_000_000,
+        features: 2_000,
+        tile_size: 1_000,
+        lambda: 1.0,
+        seed: 11,
+    };
+    let program = reg.normal_eq_program();
+    let inputs = reg.normal_eq_inputs();
+
+    let model = idealized_cost_model();
+    let space = SearchSpace {
+        instances: ["m1.large", "c1.xlarge", "m2.2xlarge", "cc1.4xlarge"]
+            .iter()
+            .filter_map(|n| cumulon::cluster::instances::by_name(n))
+            .collect(),
+        min_nodes: 2,
+        max_nodes: 32,
+        node_stride: 2,
+        slots_per_core: vec![1.0],
+        replication: 3,
+        billing: BillingPolicy::HourlyCeil,
+    };
+    let search = DeploymentSearch::new(&model, space);
+
+    println!("estimated time/cost grid (normal equations, X: 2M×2k):");
+    println!(
+        "{:<14} {:>6} {:>10} {:>10}",
+        "instance", "nodes", "time", "cost"
+    );
+    let sweep = search.sweep(&program, &inputs).expect("sweep");
+    for d in sweep.iter().filter(|d| d.nodes % 8 == 0 || d.nodes == 2) {
+        println!(
+            "{:<14} {:>6} {:>9.0}s {:>9.2}$",
+            d.instance.name, d.nodes, d.estimate.makespan_s, d.estimate.cost_dollars
+        );
+    }
+
+    println!("\nPareto frontier (no deployment is both faster and cheaper):");
+    let skyline = search.pareto(&program, &inputs).expect("pareto");
+    for d in &skyline {
+        println!("  {}", d.summary());
+    }
+
+    // Zoom in: what does the best sub-30-minute option cost?
+    match search.optimize(&program, &inputs, Constraint::Deadline(1_800.0)) {
+        Ok(best) => println!("\nbest under 30min: {}", best.summary()),
+        Err(e) => println!("\nno deployment finishes in 30min: {e}"),
+    }
+    // And how fast can $20 go?
+    match search.optimize(&program, &inputs, Constraint::Budget(20.0)) {
+        Ok(best) => println!("best under $20:   {}", best.summary()),
+        Err(e) => println!("no deployment fits $20: {e}"),
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-crate integration tests: programs flow from the builder through
+//! rewrite, lowering, the DFS and the scheduler, and the numbers that come
+//! back match driver-side references.
+
+use std::collections::BTreeMap;
+
+use cumulon::prelude::*;
+use cumulon::workloads::smallmat::SmallMat;
+
+fn optimizer() -> Optimizer {
+    Optimizer::new(idealized_cost_model())
+}
+
+fn dense_inputs(pairs: &[(&str, MatrixMeta)]) -> BTreeMap<String, InputDesc> {
+    pairs
+        .iter()
+        .map(|(n, m)| (n.to_string(), InputDesc::dense(*m)))
+        .collect()
+}
+
+#[test]
+fn gram_pipeline_matches_reference() {
+    let meta = MatrixMeta::new(40, 24, 8);
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let at = b.transpose(a);
+    let g = b.mul(at, a);
+    b.output("G", g);
+    let program = b.build();
+
+    let cluster = Cluster::provision(ClusterSpec::named("c1.medium", 3, 2).unwrap()).unwrap();
+    let data = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 100 });
+    cluster.store().put_local("A", &data).unwrap();
+    optimizer()
+        .execute_on(
+            &cluster,
+            &program,
+            &dense_inputs(&[("A", meta)]),
+            "t",
+            ExecMode::Real,
+        )
+        .unwrap();
+    let got = cluster.store().get_local("G").unwrap();
+    let expect = data.transpose().matmul(&data).unwrap();
+    assert!(got.max_abs_diff(&expect).unwrap() < 1e-9);
+}
+
+#[test]
+fn five_matrix_chain_through_full_stack() {
+    // Dims chosen so re-association matters and edge tiles are ragged.
+    let dims = [18usize, 30, 7, 25, 11, 9];
+    let mut inputs = BTreeMap::new();
+    let mut pb = ProgramBuilder::new();
+    let mut ids = Vec::new();
+    for i in 0..5 {
+        let meta = MatrixMeta::new(dims[i], dims[i + 1], 8);
+        inputs.insert(format!("M{i}"), InputDesc::dense(meta));
+        ids.push(pb.input(&format!("M{i}")));
+    }
+    let chain = pb.mul_chain(&ids);
+    pb.output("OUT", chain);
+    let program = pb.build();
+
+    let cluster = Cluster::provision(ClusterSpec::named("m1.xlarge", 2, 4).unwrap()).unwrap();
+    let mut locals = Vec::new();
+    for i in 0..5 {
+        let meta = MatrixMeta::new(dims[i], dims[i + 1], 8);
+        let m = LocalMatrix::generate(
+            meta,
+            &Generator::DenseUniform {
+                seed: i as u64,
+                lo: -1.0,
+                hi: 1.0,
+            },
+        );
+        cluster.store().put_local(&format!("M{i}"), &m).unwrap();
+        locals.push(m);
+    }
+    optimizer()
+        .execute_on(&cluster, &program, &inputs, "t", ExecMode::Real)
+        .unwrap();
+    let got = cluster.store().get_local("OUT").unwrap();
+    let mut expect = locals[0].clone();
+    for m in &locals[1..] {
+        expect = expect.matmul(m).unwrap();
+    }
+    assert!(got.max_abs_diff(&expect).unwrap() < 1e-6);
+}
+
+#[test]
+fn sparse_dense_mixed_program() {
+    let meta = MatrixMeta::new(30, 30, 10);
+    let mut b = ProgramBuilder::new();
+    let s = b.input("S");
+    let d = b.input("D");
+    let prod = b.mul(s, d); // sparse × dense
+    let masked = b.elem_mul(s, prod); // sparse mask of the product
+    b.output("P", prod);
+    b.output("M", masked);
+    let program = b.build();
+
+    let mut inputs = BTreeMap::new();
+    inputs.insert("S".into(), InputDesc::sparse(meta, 0.1));
+    inputs.insert("D".into(), InputDesc::dense(meta));
+
+    let cluster = Cluster::provision(ClusterSpec::named("m1.large", 2, 2).unwrap()).unwrap();
+    let sm = LocalMatrix::generate(
+        meta,
+        &Generator::SparseUniform {
+            seed: 5,
+            density: 0.1,
+        },
+    );
+    let dm = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 6 });
+    cluster.store().put_local("S", &sm).unwrap();
+    cluster.store().put_local("D", &dm).unwrap();
+    optimizer()
+        .execute_on(&cluster, &program, &inputs, "t", ExecMode::Real)
+        .unwrap();
+
+    let p = cluster.store().get_local("P").unwrap();
+    let expect_p = sm.matmul(&dm).unwrap();
+    assert!(p.max_abs_diff(&expect_p).unwrap() < 1e-9);
+    let m = cluster.store().get_local("M").unwrap();
+    let expect_m = sm
+        .elementwise(&expect_p, cumulon::matrix::tile::ElemOp::Mul)
+        .unwrap();
+    assert!(m.max_abs_diff(&expect_m).unwrap() < 1e-9);
+}
+
+#[test]
+fn run_survives_task_and_node_failures() {
+    use cumulon::cluster::scheduler::{FailurePlan, SchedulerConfig};
+    use cumulon::cluster::ExecMode;
+
+    let meta = MatrixMeta::new(24, 24, 6);
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let sq = b.mul(a, a);
+    b.output("SQ", sq);
+    let program = b.build();
+    let inputs = dense_inputs(&[("A", meta)]);
+
+    let cluster = Cluster::provision(ClusterSpec::named("m1.large", 4, 2).unwrap()).unwrap();
+    let data = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 8 });
+    cluster.store().put_local("A", &data).unwrap();
+
+    // Lower manually so we can inject failures into the run.
+    let plan =
+        cumulon::core::lower::build_plan(&program, &inputs, &cumulon::core::lower::UnitSplits, "t")
+            .unwrap();
+    let dag = cumulon::core::lower::instantiate(&plan, cluster.store()).unwrap();
+    let failures = FailurePlan {
+        task_failure_prob: 0.2,
+        node_failures: vec![(5.0, 3)],
+        seed: 77,
+    };
+    let report = cluster
+        .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+        .unwrap();
+    assert!(report.jobs.iter().map(|j| j.retries()).sum::<u32>() > 0);
+    let got = cluster.store().get_local("SQ").unwrap();
+    let expect = data.matmul(&data).unwrap();
+    assert!(
+        got.max_abs_diff(&expect).unwrap() < 1e-9,
+        "results correct despite failures"
+    );
+}
+
+#[test]
+fn phantom_and_real_agree_on_structure() {
+    // The same program in phantom and real mode must produce the same job
+    // structure and task counts; only the payloads differ.
+    let meta = MatrixMeta::new(36, 36, 12);
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let sq = b.mul(a, a);
+    let shifted = b.add(sq, a);
+    b.output("OUT", shifted);
+    let program = b.build();
+    let inputs = {
+        let mut m = BTreeMap::new();
+        m.insert("A".to_string(), InputDesc::dense(meta).generated());
+        m
+    };
+
+    let run = |mode| {
+        let cluster = Cluster::provision(ClusterSpec::named("m1.large", 2, 2).unwrap()).unwrap();
+        cluster
+            .store()
+            .register_generated("A", meta, Generator::DenseGaussian { seed: 1 })
+            .unwrap();
+        optimizer()
+            .execute_on(&cluster, &program, &inputs, "t", mode)
+            .unwrap()
+    };
+    let real = run(ExecMode::Real);
+    let sim = run(ExecMode::Simulated);
+    assert_eq!(real.jobs.len(), sim.jobs.len());
+    for (r, s) in real.jobs.iter().zip(sim.jobs.iter()) {
+        assert_eq!(r.tasks.len(), s.tasks.len(), "task structure must match");
+    }
+    // Same flop accounting in both modes (dense data).
+    let rf: f64 = real.jobs.iter().map(|j| j.receipt.work.flops).sum();
+    let sf: f64 = sim.jobs.iter().map(|j| j.receipt.work.flops).sum();
+    assert!((rf - sf).abs() / rf < 1e-9);
+}
+
+#[test]
+fn driver_side_small_algebra_consistency() {
+    // smallmat vs cumulon-matrix on the same data.
+    let meta = MatrixMeta::new(6, 6, 3);
+    let a = LocalMatrix::generate(
+        meta,
+        &Generator::DenseUniform {
+            seed: 2,
+            lo: 0.1,
+            hi: 1.0,
+        },
+    );
+    let flat = a.to_dense_vec().unwrap();
+    let sm = SmallMat::new(6, 6, flat.clone());
+    let prod_small = sm.matmul(&sm);
+    let prod_tiles = a.matmul(&a).unwrap().to_dense_vec().unwrap();
+    for (x, y) in prod_small.data.iter().zip(prod_tiles.iter()) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}

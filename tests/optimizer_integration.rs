@@ -1,0 +1,155 @@
+//! Optimizer integration: benchmark-calibrated models drive deployment
+//! choices whose predictions hold up against the simulator.
+
+use std::collections::BTreeMap;
+
+use cumulon::core::calibrate::{calibrate, CalibrationConfig};
+use cumulon::prelude::*;
+
+fn multiply_program(meta: MatrixMeta) -> (Program, BTreeMap<String, InputDesc>) {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.input("A");
+    let m = pb.mul(a, a);
+    pb.output("C", m);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("A".to_string(), InputDesc::dense(meta).generated());
+    (pb.build(), inputs)
+}
+
+#[test]
+fn calibrated_optimizer_end_to_end() {
+    // Calibrate two instance types from scratch (the paper's offline
+    // benchmarking step), then optimize and execute.
+    let instances: Vec<InstanceType> = ["m1.large", "c1.xlarge"]
+        .iter()
+        .filter_map(|n| cumulon::cluster::instances::by_name(n))
+        .collect();
+    let model = calibrate(&instances, &CalibrationConfig::default()).unwrap();
+    let optimizer = Optimizer::new(model);
+
+    let meta = MatrixMeta::new(8_000, 8_000, 1_000);
+    let (program, inputs) = multiply_program(meta);
+    let space = SearchSpace {
+        instances,
+        min_nodes: 1,
+        max_nodes: 16,
+        node_stride: 1,
+        slots_per_core: vec![1.0],
+        replication: 3,
+        billing: cumulon::cluster::billing::BillingPolicy::HourlyCeil,
+    };
+    let plan = optimizer
+        .optimize(&program, &inputs, space, Constraint::Deadline(3_600.0))
+        .unwrap();
+    assert!(plan.estimate.makespan_s <= 3_600.0);
+
+    // Execute on the chosen deployment and check the prediction held.
+    let cluster = optimizer.provision(&plan).unwrap();
+    cluster
+        .store()
+        .register_generated("A", meta, Generator::DenseGaussian { seed: 1 })
+        .unwrap();
+    let report = optimizer
+        .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+        .unwrap();
+    let rel = (plan.estimate.makespan_s - report.makespan_s).abs() / report.makespan_s;
+    assert!(
+        rel < 0.35,
+        "prediction {:.0}s vs simulated {:.0}s (rel {rel:.2})",
+        plan.estimate.makespan_s,
+        report.makespan_s
+    );
+    // The run should also respect the deadline (allow the straggler tail
+    // a little slack beyond the point estimate).
+    assert!(report.makespan_s <= 3_600.0 * 1.2);
+}
+
+#[test]
+fn prediction_accuracy_across_deployments() {
+    let optimizer = Optimizer::new(idealized_cost_model());
+    let meta = MatrixMeta::new(6_000, 6_000, 1_000);
+    let (program, inputs) = multiply_program(meta);
+
+    let mut worst = 0.0f64;
+    for (instance, nodes, slots) in [
+        ("m1.large", 4u32, 2u32),
+        ("c1.xlarge", 2, 8),
+        ("m2.2xlarge", 6, 4),
+    ] {
+        let cluster =
+            Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).unwrap();
+        cluster
+            .store()
+            .register_generated("A", meta, Generator::DenseGaussian { seed: 1 })
+            .unwrap();
+        let est = optimizer.estimate_on(&cluster, &program, &inputs).unwrap();
+        let run = optimizer
+            .execute_on(&cluster, &program, &inputs, "t", ExecMode::Simulated)
+            .unwrap();
+        let rel = (est.makespan_s - run.makespan_s).abs() / run.makespan_s;
+        worst = worst.max(rel);
+    }
+    assert!(worst < 0.4, "worst relative prediction error {worst:.2}");
+}
+
+#[test]
+fn tighter_deadline_costs_more_or_equal() {
+    let optimizer = Optimizer::new(idealized_cost_model());
+    let meta = MatrixMeta::new(16_000, 16_000, 1_000);
+    let (program, inputs) = multiply_program(meta);
+    let space = SearchSpace {
+        max_nodes: 32,
+        ..SearchSpace::quick()
+    };
+
+    let mut last_cost = f64::INFINITY;
+    // Loosening deadlines must never raise the optimal cost.
+    for deadline in [1_800.0, 3_600.0, 7_200.0, 14_400.0] {
+        if let Ok(plan) = optimizer.optimize(
+            &program,
+            &inputs,
+            space.clone(),
+            Constraint::Deadline(deadline),
+        ) {
+            assert!(
+                plan.estimate.cost_dollars <= last_cost + 1e-9,
+                "deadline {deadline}: cost went up"
+            );
+            last_cost = plan.estimate.cost_dollars;
+        }
+    }
+    assert!(
+        last_cost.is_finite(),
+        "at least the loosest deadline must be feasible"
+    );
+}
+
+#[test]
+fn pareto_frontier_brackets_constrained_optima() {
+    let optimizer = Optimizer::new(idealized_cost_model());
+    let meta = MatrixMeta::new(10_000, 10_000, 1_000);
+    let (program, inputs) = multiply_program(meta);
+    let space = SearchSpace {
+        max_nodes: 16,
+        ..SearchSpace::quick()
+    };
+
+    let skyline = optimizer.pareto(&program, &inputs, space.clone()).unwrap();
+    assert!(!skyline.is_empty());
+    let deadline = skyline[skyline.len() / 2].estimate.makespan_s * 1.01;
+    let best = optimizer
+        .optimize(&program, &inputs, space, Constraint::Deadline(deadline))
+        .unwrap();
+    // The constrained optimum can never beat the skyline's cost at that
+    // time point.
+    let floor = skyline
+        .iter()
+        .filter(|d| d.estimate.makespan_s <= deadline)
+        .map(|d| d.estimate.cost_dollars)
+        .fold(f64::INFINITY, f64::min);
+    assert!(best.estimate.cost_dollars >= floor - 1e-9);
+    assert!(
+        best.estimate.cost_dollars <= floor + 1e-9,
+        "optimize should find the skyline point"
+    );
+}
