@@ -14,7 +14,8 @@ fn bench_all_experiments(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
-    let targets: Vec<(&str, fn() -> experiments::Series)> = vec![
+    type Target = (&'static str, fn() -> experiments::Series);
+    let targets: Vec<Target> = vec![
         ("e1_split_sweep", experiments::e1),
         ("e2_vs_mapreduce", experiments::e2),
         ("e3_gnmf_scaleout", experiments::e3),
@@ -31,6 +32,7 @@ fn bench_all_experiments(c: &mut Criterion) {
         ("e14_fusion_ablation", experiments::e14),
         ("e15_predictor_comparison", experiments::e15),
         ("e16_replication", experiments::e16),
+        ("e17_recovery", experiments::e17),
         ("t1_catalog", experiments::t1),
         ("t2_calibration", experiments::t2),
         ("t3_chosen_deployments", experiments::t3),

@@ -25,7 +25,7 @@ fn main() {
                 Some(s) => out.push(s),
                 None => {
                     eprintln!(
-                        "unknown experiment '{id}' (valid: e1..e16, t1..t4, all; add --json for machine-readable output)"
+                        "unknown experiment '{id}' (valid: e1..e17, t1..t4, all; add --json for machine-readable output)"
                     );
                     std::process::exit(2);
                 }

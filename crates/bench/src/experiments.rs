@@ -503,22 +503,20 @@ pub fn e5() -> Series {
         power_iters: 0,
         seed: 2,
     };
-    for (instance, nodes, slots) in [("m2.2xlarge", 8u32, 4u32)] {
-        let cluster =
-            Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).unwrap();
-        rsvd.setup(cluster.store()).unwrap();
-        let program = cumulon::workloads::Workload::program(&rsvd, 0);
-        let inputs = cumulon::workloads::Workload::inputs(&rsvd, 0);
-        record(
-            "rsvd-sketch",
-            instance,
-            nodes,
-            slots,
-            &program,
-            &inputs,
-            &cluster,
-        );
-    }
+    let (instance, nodes, slots) = ("m2.2xlarge", 8u32, 4u32);
+    let cluster = Cluster::provision(ClusterSpec::named(instance, nodes, slots).unwrap()).unwrap();
+    rsvd.setup(cluster.store()).unwrap();
+    let program = cumulon::workloads::Workload::program(&rsvd, 0);
+    let inputs = cumulon::workloads::Workload::inputs(&rsvd, 0);
+    record(
+        "rsvd-sketch",
+        instance,
+        nodes,
+        slots,
+        &program,
+        &inputs,
+        &cluster,
+    );
     s
 }
 
@@ -1145,6 +1143,112 @@ pub fn e16() -> Series {
 }
 
 // ---------------------------------------------------------------------------
+// E17: lineage-recovery overhead under mid-run node failure
+// ---------------------------------------------------------------------------
+
+/// E17 — fault recovery: a node dies mid-run at replication 1, taking its
+/// intermediate tiles with it; lineage re-runs just the producing tasks of
+/// the lost tiles. Overhead over the failure-free run is the price paid,
+/// swept over when in the run the node dies.
+pub fn e17() -> Series {
+    use cumulon::cluster::{FailurePlan, SchedulerConfig};
+    use cumulon::core::RecoveryConfig;
+
+    let mut s = Series::new(
+        "E17",
+        "lineage recovery: (A*B)*C 8k^3 on m1.large x8, node killed mid-run (repl 1)",
+        &[
+            "kill at",
+            "time (s)",
+            "overhead",
+            "node deaths",
+            "lost blocks",
+            "recovered jobs",
+        ],
+    );
+    // A two-job multiply chain: the first job's output is the intermediate
+    // whose loss forces partial re-execution up the lineage.
+    let meta = MatrixMeta::new(8_000, 8_000, 1_000);
+    let mut pb = ProgramBuilder::new();
+    let a = pb.input("A");
+    let b = pb.input("B");
+    let c = pb.input("C");
+    let ab = pb.mul(a, b);
+    let abc = pb.mul(ab, c);
+    pb.output("D", abc);
+    let program = pb.build();
+    let mut inputs = BTreeMap::new();
+    for name in ["A", "B", "C"] {
+        inputs.insert(name.to_string(), InputDesc::dense(meta).generated());
+    }
+    // Replication 1, generator-backed inputs: a death loses *only*
+    // intermediates (source tiles re-synthesize on read), so every run is
+    // recoverable and the overhead isolates re-execution cost.
+    let provision = || {
+        let spec = ClusterSpec::named("m1.large", 8, 2).unwrap();
+        let cluster = Cluster::provision_with(
+            spec,
+            HardwareModel::default(),
+            DfsConfig {
+                replication: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (i, name) in ["A", "B", "C"].iter().enumerate() {
+            cluster
+                .store()
+                .register_generated(name, meta, Generator::DenseGaussian { seed: i as u64 + 1 })
+                .unwrap();
+        }
+        cluster
+    };
+    let opt = optimizer();
+    let clean = opt
+        .execute_on(&provision(), &program, &inputs, "t", ExecMode::Simulated)
+        .unwrap();
+    s.push(vec![
+        "(none)".to_string(),
+        f(clean.makespan_s),
+        "+0%".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+    ]);
+    for frac in [0.25, 0.5, 0.75, 0.9] {
+        let cluster = provision();
+        let failures = FailurePlan {
+            node_failures: vec![(clean.makespan_s * frac, 1)],
+            ..Default::default()
+        };
+        let report = opt
+            .execute_on_with(
+                &cluster,
+                &program,
+                &inputs,
+                "t",
+                ExecMode::Simulated,
+                SchedulerConfig::default(),
+                &failures,
+                RecoveryConfig::default(),
+            )
+            .unwrap();
+        s.push(vec![
+            format!("{:.0}%", 100.0 * frac),
+            f(report.makespan_s),
+            format!(
+                "{:+.0}%",
+                100.0 * (report.makespan_s / clean.makespan_s - 1.0)
+            ),
+            report.faults.node_deaths.to_string(),
+            report.faults.lost_block_events.to_string(),
+            report.faults.recovered_jobs.to_string(),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
 
@@ -1352,6 +1456,7 @@ pub fn all() -> Vec<Series> {
         e14(),
         e15(),
         e16(),
+        e17(),
         t1(),
         t2(),
         t3(),
@@ -1378,6 +1483,7 @@ pub fn by_id(id: &str) -> Option<Series> {
         "e14" => Some(e14()),
         "e15" => Some(e15()),
         "e16" => Some(e16()),
+        "e17" => Some(e17()),
         "t1" => Some(t1()),
         "t2" => Some(t2()),
         "t3" => Some(t3()),
@@ -1412,6 +1518,26 @@ mod tests {
             let speedup: f64 = row[3].trim_end_matches('x').parse().unwrap();
             assert!(speedup > 1.0, "baseline should be slower: {row:?}");
         }
+    }
+
+    #[test]
+    fn e17_shows_recovery_overhead() {
+        let s = e17();
+        assert_eq!(s.rows[0][3], "0", "baseline row must be failure-free");
+        for row in s.rows.iter().skip(1) {
+            assert_eq!(row[3], "1", "exactly one node death per run: {row:?}");
+            assert!(
+                row[2].starts_with('+') && row[2] != "+0%",
+                "recovery must cost time: {row:?}"
+            );
+        }
+        assert!(
+            s.rows
+                .iter()
+                .skip(1)
+                .any(|r| r[5].parse::<u64>().unwrap() > 0),
+            "at least one kill must force lineage re-execution"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::hw::HardwareModel;
 use crate::instances::{by_name, InstanceType};
 use crate::job::{ExecMode, JobDag};
 use crate::metrics::RunReport;
-use crate::scheduler::{FailurePlan, Scheduler, SchedulerConfig};
+use crate::scheduler::{FailurePlan, RunFailure, Scheduler, SchedulerConfig};
 
 /// A deployment choice: which instances, how many, how many task slots
 /// each. This is exactly the (hardware, configuration) half of the
@@ -107,6 +107,11 @@ impl Cluster {
         self.billing = policy;
     }
 
+    /// The billing policy in effect.
+    pub fn billing(&self) -> BillingPolicy {
+        self.billing
+    }
+
     /// Runs a job DAG to completion, returning the run report.
     pub fn run(&self, dag: &JobDag, mode: ExecMode) -> Result<RunReport> {
         self.run_with(
@@ -128,6 +133,23 @@ impl Cluster {
         dag.validate()?;
         let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
         scheduler.run(dag, mode, config, failures)
+    }
+
+    /// Like [`Cluster::run_with`] but surfacing the structured
+    /// [`RunFailure`] on error so a recovery driver can inspect lost
+    /// blocks, dead nodes, and completed jobs.
+    // The fat Err is the point: RunFailure carries the whole diagnostic
+    // payload lineage recovery needs, and failures are rare.
+    #[allow(clippy::result_large_err)]
+    pub fn try_run_with(
+        &self,
+        dag: &JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+    ) -> std::result::Result<RunReport, RunFailure> {
+        let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
+        scheduler.try_run(dag, mode, config, failures)
     }
 }
 

@@ -20,6 +20,14 @@ pub enum ClusterError {
     },
     /// The job DAG contains a cycle or a dangling dependency.
     InvalidDag(String),
+    /// A DFS block lost all replicas; the carrying path identifies which
+    /// tile so a recovery driver can recompute it from lineage.
+    BlockLost {
+        /// DFS path of the file whose block is gone.
+        path: String,
+        /// Index of the lost block within the file.
+        block: usize,
+    },
     /// Underlying storage failure.
     Storage(String),
     /// Matrix kernel failure inside a task.
@@ -42,6 +50,12 @@ impl fmt::Display for ClusterError {
                 )
             }
             ClusterError::InvalidDag(m) => write!(f, "invalid job DAG: {m}"),
+            ClusterError::BlockLost { path, block } => {
+                write!(
+                    f,
+                    "storage error: all replicas lost for block {block} of {path}"
+                )
+            }
             ClusterError::Storage(m) => write!(f, "storage error: {m}"),
             ClusterError::Kernel(m) => write!(f, "kernel error: {m}"),
         }
@@ -52,7 +66,12 @@ impl std::error::Error for ClusterError {}
 
 impl From<cumulon_dfs::DfsError> for ClusterError {
     fn from(e: cumulon_dfs::DfsError) -> Self {
-        ClusterError::Storage(e.to_string())
+        match e {
+            cumulon_dfs::DfsError::BlockLost { path, block } => {
+                ClusterError::BlockLost { path, block }
+            }
+            other => ClusterError::Storage(other.to_string()),
+        }
     }
 }
 
@@ -80,6 +99,13 @@ mod tests {
         assert!(e.to_string().contains("task 3 of job 'mul'"));
         let s: ClusterError = cumulon_dfs::DfsError::FileNotFound("/x".into()).into();
         assert!(matches!(s, ClusterError::Storage(_)));
+        let l: ClusterError = cumulon_dfs::DfsError::BlockLost {
+            path: "/matrix/T/0_0".into(),
+            block: 0,
+        }
+        .into();
+        assert!(matches!(l, ClusterError::BlockLost { .. }));
+        assert!(l.to_string().contains("all replicas lost"));
         let k: ClusterError = cumulon_matrix::MatrixError::PhantomData { op: "x" }.into();
         assert!(matches!(k, ClusterError::Kernel(_)));
     }

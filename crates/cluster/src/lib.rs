@@ -47,5 +47,5 @@ pub use error::{ClusterError, Result};
 pub use hw::{HardwareModel, NoiseModel};
 pub use instances::{catalog, InstanceType};
 pub use job::{ExecMode, Job, JobDag, Task, TaskCtx, TaskReceipt};
-pub use metrics::{JobStats, RunReport};
-pub use scheduler::{FailurePlan, Scheduler, SchedulerConfig};
+pub use metrics::{FaultStats, JobStats, RunReport};
+pub use scheduler::{FailurePlan, RunFailure, Scheduler, SchedulerConfig};

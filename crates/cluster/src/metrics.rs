@@ -85,6 +85,52 @@ impl JobStats {
     }
 }
 
+/// Fault-related counters for one run (or one recovery round). All zeros
+/// on a failure-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Task attempts launched, including retries and speculative copies.
+    pub task_attempts: u64,
+    /// Retry attempts (attempts beyond the first, speculation excluded).
+    pub retries: u64,
+    /// Speculative (backup) copies launched for stragglers.
+    pub speculative_launches: u64,
+    /// Speculative copies that finished before the original attempt.
+    pub speculative_wins: u64,
+    /// Nodes that died during the run.
+    pub node_deaths: u64,
+    /// Bytes copied to restore replication after node deaths.
+    pub rereplicated_bytes: u64,
+    /// Distinct `BlockLost` errors observed by task attempts.
+    pub lost_block_events: u64,
+    /// Jobs re-executed (fully or partially) by lineage recovery.
+    pub recovered_jobs: u64,
+}
+
+impl FaultStats {
+    /// Component-wise sum, for merging recovery rounds into one report.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.task_attempts += other.task_attempts;
+        self.retries += other.retries;
+        self.speculative_launches += other.speculative_launches;
+        self.speculative_wins += other.speculative_wins;
+        self.node_deaths += other.node_deaths;
+        self.rereplicated_bytes += other.rereplicated_bytes;
+        self.lost_block_events += other.lost_block_events;
+        self.recovered_jobs += other.recovered_jobs;
+    }
+
+    /// True when nothing fault-related happened.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.speculative_launches == 0
+            && self.node_deaths == 0
+            && self.rereplicated_bytes == 0
+            && self.lost_block_events == 0
+            && self.recovered_jobs == 0
+    }
+}
+
 /// A full program run on one deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -102,6 +148,9 @@ pub struct RunReport {
     pub billed_hours: f64,
     /// Dollar cost.
     pub cost_dollars: f64,
+    /// Fault counters (retries, speculation, node deaths, recovery).
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -115,9 +164,10 @@ impl RunReport {
         self.jobs.iter().map(|j| j.tasks.len()).sum()
     }
 
-    /// Human-readable one-line summary.
+    /// Human-readable one-line summary. Fault counters are appended only
+    /// when something fault-related actually happened.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} x{} ({} slots): {} jobs, {} tasks, makespan {:.1}s, {:.0} billed h, ${:.2}",
             self.instance,
             self.nodes,
@@ -127,7 +177,21 @@ impl RunReport {
             self.makespan_s,
             self.billed_hours,
             self.cost_dollars
-        )
+        );
+        if !self.faults.is_clean() {
+            let f = &self.faults;
+            line.push_str(&format!(
+                " [faults: {} retries, {} spec ({} won), {} node deaths, {} B re-replicated, {} lost blocks, {} jobs recovered]",
+                f.retries,
+                f.speculative_launches,
+                f.speculative_wins,
+                f.node_deaths,
+                f.rereplicated_bytes,
+                f.lost_block_events,
+                f.recovered_jobs
+            ));
+        }
+        line
     }
 }
 
@@ -198,10 +262,56 @@ mod tests {
             makespan_s: 10.0,
             billed_hours: 1.0,
             cost_dollars: 0.96,
+            faults: FaultStats::default(),
         };
         assert!(r.job("mul#0").is_some());
         assert!(r.job("nope").is_none());
         assert_eq!(r.total_tasks(), 2);
         assert!(r.summary().contains("m1.large x4"));
+        assert!(
+            !r.summary().contains("faults"),
+            "clean run should not print fault counters"
+        );
+    }
+
+    #[test]
+    fn fault_stats_merge_and_summary() {
+        let mut a = FaultStats {
+            retries: 2,
+            node_deaths: 1,
+            ..Default::default()
+        };
+        let b = FaultStats {
+            retries: 1,
+            speculative_launches: 3,
+            speculative_wins: 1,
+            rereplicated_bytes: 4096,
+            lost_block_events: 2,
+            recovered_jobs: 1,
+            task_attempts: 10,
+            node_deaths: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.speculative_wins, 1);
+        assert_eq!(a.node_deaths, 1);
+        assert_eq!(a.task_attempts, 10);
+        assert!(!a.is_clean());
+        assert!(FaultStats::default().is_clean());
+
+        let r = RunReport {
+            instance: "m1.large".into(),
+            nodes: 4,
+            slots: 2,
+            jobs: vec![stats()],
+            makespan_s: 10.0,
+            billed_hours: 1.0,
+            cost_dollars: 0.96,
+            faults: a,
+        };
+        let s = r.summary();
+        assert!(s.contains("3 retries"));
+        assert!(s.contains("1 node deaths"));
+        assert!(s.contains("1 jobs recovered"));
     }
 }

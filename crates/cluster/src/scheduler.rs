@@ -22,7 +22,7 @@ use crate::des::{EventQueue, SimTime};
 use crate::error::{ClusterError, Result};
 use crate::hw::HardwareModel;
 use crate::job::{ExecMode, JobDag, TaskCtx};
-use crate::metrics::{JobStats, RunReport, TaskStat};
+use crate::metrics::{FaultStats, JobStats, RunReport, TaskStat};
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +85,41 @@ impl FailurePlan {
             .wrapping_add(attempt as u64);
         let mut rng = StdRng::seed_from_u64(key);
         rng.random_range(0.0f64..1.0) < self.task_failure_prob
+    }
+}
+
+/// Structured description of a failed run: what broke, what was lost, and
+/// what still completed — enough for a lineage-based recovery driver to
+/// decide which producer jobs to re-execute instead of giving up.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// The terminal error that stopped the run.
+    pub error: ClusterError,
+    /// `(job name, task index)` of the task that exhausted its attempts,
+    /// when the failure was task-level.
+    pub failed: Option<(String, usize)>,
+    /// Distinct DFS paths whose blocks were observed lost by task attempts.
+    pub lost_blocks: Vec<String>,
+    /// Nodes that died during this run.
+    pub dead_nodes: Vec<u32>,
+    /// Jobs that fully completed before the failure (their outputs exist).
+    pub completed_jobs: Vec<JobStats>,
+    /// Simulated time consumed before the run aborted.
+    pub makespan_s: f64,
+    /// Fault counters accumulated up to the failure.
+    pub faults: FaultStats,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} jobs completed, {} blocks lost, {} nodes dead)",
+            self.error,
+            self.completed_jobs.len(),
+            self.lost_blocks.len(),
+            self.dead_nodes.len()
+        )
     }
 }
 
@@ -168,7 +203,9 @@ impl Scheduler {
         }
     }
 
-    /// Executes the DAG, returning the run report.
+    /// Executes the DAG, returning the run report. Failures are collapsed
+    /// to their terminal [`ClusterError`]; use [`Scheduler::try_run`] when
+    /// the caller wants the structured failure for recovery.
     pub fn run(
         &self,
         dag: &JobDag,
@@ -176,7 +213,53 @@ impl Scheduler {
         config: SchedulerConfig,
         failures: &FailurePlan,
     ) -> Result<RunReport> {
-        dag.validate()?;
+        self.try_run(dag, mode, config, failures)
+            .map_err(|f| f.error)
+    }
+
+    /// Executes the DAG. On failure, returns a [`RunFailure`] describing
+    /// which task broke, which DFS blocks were observed lost, which nodes
+    /// died, and which jobs still completed — the inputs a lineage-based
+    /// recovery driver needs.
+    // The fat Err is the point: RunFailure carries the whole diagnostic
+    // payload lineage recovery needs, and failures are rare.
+    #[allow(clippy::result_large_err)]
+    pub fn try_run(
+        &self,
+        dag: &JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+    ) -> std::result::Result<RunReport, RunFailure> {
+        let mut faults = FaultStats::default();
+        let mut lost_blocks: Vec<String> = Vec::new();
+        let mut dead_nodes: Vec<u32> = Vec::new();
+        let mut finished: Vec<JobStats> = Vec::new();
+        let mut makespan = SimTime::ZERO;
+
+        // Build a RunFailure from the terminal error plus accumulated state.
+        macro_rules! fail {
+            ($err:expr) => {{
+                let error: ClusterError = $err;
+                let failed = match &error {
+                    ClusterError::TaskFailed { job, task, .. } => Some((job.clone(), *task)),
+                    _ => None,
+                };
+                return Err(RunFailure {
+                    error,
+                    failed,
+                    lost_blocks,
+                    dead_nodes,
+                    completed_jobs: finished,
+                    makespan_s: makespan.secs(),
+                    faults,
+                });
+            }};
+        }
+
+        if let Err(e) = dag.validate() {
+            fail!(e);
+        }
         let n_jobs = dag.jobs.len();
         let mut jobs: Vec<JobState> = dag
             .jobs
@@ -216,11 +299,13 @@ impl Scheduler {
         let nodes = self.spec.nodes;
         let slots = self.spec.slots_per_node;
         let mut slot_state: Vec<Option<Running>> = vec![None; (nodes * slots) as usize];
-        let mut node_alive = vec![true; nodes as usize];
+        // Nodes share ids with DFS datanodes; a node killed by an earlier
+        // run on the same cluster stays dead for recovery re-runs.
+        let mut node_alive: Vec<bool> = (0..nodes)
+            .map(|n| self.store.dfs().is_node_live(NodeId(n)))
+            .collect();
         let mut next_epoch: u64 = 0;
         let mut completed_jobs = 0usize;
-        let mut finished: Vec<JobStats> = Vec::with_capacity(n_jobs);
-        let mut makespan = SimTime::ZERO;
 
         // Jobs with zero tasks complete the moment they become ready.
         let zero_task_scan = |jobs: &mut Vec<JobState>,
@@ -315,6 +400,12 @@ impl Scheduler {
                         }
                         jobs[j].attempts[t] += 1;
                         let attempt = jobs[j].attempts[t];
+                        faults.task_attempts += 1;
+                        if is_backup {
+                            faults.speculative_launches += 1;
+                        } else if attempt > 1 {
+                            faults.retries += 1;
+                        }
 
                         // Execute the logic now; time comes from the model.
                         let mut ctx = TaskCtx::new(self.store.clone(), NodeId(node), mode);
@@ -328,8 +419,14 @@ impl Scheduler {
                         let injected_failure = failures.attempt_fails(j, t, attempt);
                         let ok = logic_result.is_ok() && !injected_failure;
                         if let Err(e) = &logic_result {
+                            if let ClusterError::BlockLost { path, .. } = e {
+                                if !lost_blocks.contains(path) {
+                                    lost_blocks.push(path.clone());
+                                    faults.lost_block_events += 1;
+                                }
+                            }
                             if attempt >= config.max_attempts {
-                                return Err(ClusterError::TaskFailed {
+                                fail!(ClusterError::TaskFailed {
                                     job: dag.jobs[j].name.clone(),
                                     task: t,
                                     attempts: attempt,
@@ -375,7 +472,7 @@ impl Scheduler {
             let Some((now, event)) = queue.pop() else {
                 // No events but jobs remain: the cluster has no live nodes
                 // or a dependency can never complete.
-                return Err(ClusterError::InvalidDag(
+                fail!(ClusterError::InvalidDag(
                     "scheduler stalled: no runnable tasks but jobs remain (all nodes dead?)"
                         .to_string(),
                 ));
@@ -405,9 +502,14 @@ impl Scheduler {
                     }
                     if ok {
                         jobs[job].task_done[task] = true;
-                        // Kill any still-running copies of this task.
+                        // Kill any still-running copies of this task. If a
+                        // killed twin started earlier, the completing copy
+                        // is the backup — a speculative win.
                         for other in slot_state.iter_mut() {
                             if matches!(other, Some(r) if r.job == job && r.task == task) {
+                                if matches!(other, Some(r) if r.started < running.started) {
+                                    faults.speculative_wins += 1;
+                                }
                                 *other = None;
                             }
                         }
@@ -438,7 +540,7 @@ impl Scheduler {
                         }
                     } else {
                         if attempt >= config.max_attempts {
-                            return Err(ClusterError::TaskFailed {
+                            fail!(ClusterError::TaskFailed {
                                 job: dag.jobs[job].name.clone(),
                                 task,
                                 attempts: attempt,
@@ -461,11 +563,13 @@ impl Scheduler {
                         continue;
                     }
                     node_alive[node as usize] = false;
+                    faults.node_deaths += 1;
+                    dead_nodes.push(node);
                     // Storage consequences (re-replication of survivors).
-                    self.store
-                        .dfs()
-                        .kill_node(NodeId(node))
-                        .map_err(ClusterError::from)?;
+                    match self.store.dfs().kill_node(NodeId(node)) {
+                        Ok(receipt) => faults.rereplicated_bytes += receipt.bytes,
+                        Err(e) => fail!(ClusterError::from(e)),
+                    }
                     // Re-queue tasks that were running there (unless done
                     // or still running elsewhere as a speculative twin).
                     for slot in 0..slots {
@@ -481,7 +585,7 @@ impl Scheduler {
                         }
                     }
                     if !node_alive.iter().any(|&a| a) {
-                        return Err(ClusterError::InvalidDag(
+                        fail!(ClusterError::InvalidDag(
                             "all nodes failed; run cannot complete".to_string(),
                         ));
                     }
@@ -504,6 +608,7 @@ impl Scheduler {
                 self.spec.instance.price_per_hour,
                 makespan_s,
             ),
+            faults,
         })
     }
 
@@ -781,6 +886,94 @@ mod tests {
         assert_eq!(out.sum(), 8.0);
         assert!(r.jobs[0].receipt.read.bytes > 0);
         assert!(r.jobs[0].receipt.write.bytes > 0);
+    }
+
+    #[test]
+    fn try_run_reports_lost_blocks() {
+        use cumulon_dfs::DfsConfig;
+        // Replication 1: killing the tile's only holder loses the block.
+        let c = Cluster::provision_with(
+            ClusterSpec::named("m1.large", 3, 1).unwrap(),
+            HardwareModel::default(),
+            DfsConfig {
+                replication: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let meta = MatrixMeta::new(2, 2, 2);
+        c.store().register("A", meta).unwrap();
+        c.store()
+            .write_tile("A", 0, 0, &Tile::zeros(2, 2), Some(NodeId(2)))
+            .unwrap();
+        c.store().dfs().kill_node(NodeId(2)).unwrap();
+        let mut dag = JobDag::new();
+        let task = Task::new(|ctx| {
+            ctx.read_tile("A", 0, 0)?;
+            Ok(())
+        });
+        dag.push(Job::new("r#0", "read", vec![task]), vec![]);
+        let failure = c
+            .try_run_with(
+                &dag,
+                ExecMode::Real,
+                SchedulerConfig::default(),
+                &FailurePlan::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(failure.error, ClusterError::TaskFailed { .. }),
+            "{failure}"
+        );
+        assert_eq!(failure.failed, Some(("r#0".to_string(), 0)));
+        assert_eq!(failure.lost_blocks, vec!["/matrix/A/0_0".to_string()]);
+        assert_eq!(failure.faults.lost_block_events, 1);
+        assert!(failure.completed_jobs.is_empty());
+    }
+
+    #[test]
+    fn fault_counters_in_report() {
+        let c = cluster(2, 2);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("flaky", 12, 1e9), vec![]);
+        let failures = FailurePlan {
+            task_failure_prob: 0.3,
+            node_failures: vec![],
+            seed: 5,
+        };
+        let r = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap();
+        assert!(r.faults.retries > 0);
+        assert_eq!(r.faults.retries, r.jobs[0].retries() as u64);
+        assert_eq!(
+            r.faults.task_attempts,
+            12 + r.faults.retries,
+            "attempts = tasks + retries with no speculation"
+        );
+        assert!(r.summary().contains("retries"));
+    }
+
+    #[test]
+    fn dead_node_stays_dead_across_runs() {
+        let c = cluster(3, 1);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("long", 6, 5e10), vec![]);
+        let failures = FailurePlan {
+            task_failure_prob: 0.0,
+            node_failures: vec![(1.0, 2)],
+            seed: 0,
+        };
+        let r1 = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap();
+        assert_eq!(r1.faults.node_deaths, 1);
+        // A second run on the same cluster must not place work on node 2.
+        let r2 = c.run(&dag, ExecMode::Real).unwrap();
+        assert!(
+            r2.jobs[0].tasks.iter().all(|t| t.node != 2),
+            "node 2 is dead; nothing may run there"
+        );
     }
 
     #[test]

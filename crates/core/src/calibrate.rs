@@ -331,6 +331,9 @@ pub fn calibrate(instances: &[InstanceType], config: &CalibrationConfig) -> Resu
 }
 
 /// Ordinary least squares via normal equations + Gaussian elimination.
+// Index loops: the elimination updates aug[row][k] from aug[col][k], a
+// split borrow iterators can't express cleanly.
+#[allow(clippy::needless_range_loop)]
 fn ols(xs: &[[f64; 7]], ys: &[f64]) -> Result<[f64; 7]> {
     const D: usize = 7;
     if xs.len() < D {

@@ -56,6 +56,12 @@ pub struct SearchSpace {
     pub replication: u32,
     /// Billing policy to price candidates under.
     pub billing: cumulon_cluster::billing::BillingPolicy,
+    /// Expected failure behaviour of the rented hardware. When set, every
+    /// candidate is priced at its *expected* makespan under failures
+    /// (task-retry inflation + lineage-recovery rework), so "cheapest
+    /// under a deadline" means cheapest *at this failure rate* — bigger,
+    /// briefer clusters win more often as the rate rises.
+    pub failure: Option<crate::estimate::FailureModel>,
 }
 
 impl Default for SearchSpace {
@@ -68,6 +74,7 @@ impl Default for SearchSpace {
             slots_per_core: vec![0.5, 1.0, 2.0],
             replication: 3,
             billing: cumulon_cluster::billing::BillingPolicy::HourlyCeil,
+            failure: None,
         }
     }
 }
@@ -86,6 +93,7 @@ impl SearchSpace {
             slots_per_core: vec![1.0],
             replication: 3,
             billing: cumulon_cluster::billing::BillingPolicy::HourlyCeil,
+            failure: None,
         }
     }
 
@@ -173,8 +181,19 @@ impl<'a> DeploymentSearch<'a> {
             view,
         };
         let plan = build_plan(program, inputs, &chooser, "t")?;
-        let est =
-            crate::estimate::estimate_plan_with(&plan, &view, self.model, self.space.billing)?;
+        let est = match &self.space.failure {
+            Some(failure) => crate::estimate::estimate_plan_under_failures(
+                &plan,
+                &view,
+                self.model,
+                self.space.billing,
+                crate::estimate::JobTimeModel::WaveApprox,
+                failure,
+            )?,
+            None => {
+                crate::estimate::estimate_plan_with(&plan, &view, self.model, self.space.billing)?
+            }
+        };
         Ok((plan, est))
     }
 
@@ -568,6 +587,48 @@ mod tests {
             tight.summary()
         );
         assert!(tight.estimate.makespan_s <= 4_000.0);
+    }
+
+    #[test]
+    fn failure_rate_inflates_every_candidate() {
+        let m = model();
+        let (program, inputs) = big_multiply();
+        let reliable = DeploymentSearch::new(&m, SearchSpace::quick());
+        let flaky = DeploymentSearch::new(
+            &m,
+            SearchSpace {
+                failure: Some(crate::estimate::FailureModel {
+                    node_mtbf_s: 200_000.0,
+                    task_failure_prob: 0.05,
+                }),
+                ..SearchSpace::quick()
+            },
+        );
+        let base = reliable.sweep(&program, &inputs).unwrap();
+        let under = flaky.sweep(&program, &inputs).unwrap();
+        assert_eq!(base.len(), under.len());
+        for (b, u) in base.iter().zip(&under) {
+            assert_eq!(
+                (b.nodes, b.slots, b.instance.name),
+                (u.nodes, u.slots, u.instance.name)
+            );
+            assert!(
+                u.estimate.makespan_s > b.estimate.makespan_s,
+                "expected failures must lengthen {}",
+                b.summary()
+            );
+        }
+        // "Cheapest under a deadline at this failure rate" still holds the
+        // deadline against the inflated estimate.
+        let plan = flaky
+            .optimize(&program, &inputs, Constraint::Deadline(8_000.0))
+            .unwrap();
+        assert!(plan.estimate.makespan_s <= 8_000.0);
+        // At the same deadline the reliable cluster can only be cheaper.
+        let plan_reliable = reliable
+            .optimize(&program, &inputs, Constraint::Deadline(8_000.0))
+            .unwrap();
+        assert!(plan_reliable.estimate.cost_dollars <= plan.estimate.cost_dollars + 1e-9);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum CoreError {
     Calibration(String),
     /// Execution-layer failure.
     Exec(String),
+    /// Data was lost that no plan job can recompute (a source input or a
+    /// truncated-lineage matrix). Iterative drivers catch this to rewind
+    /// to their last checkpoint.
+    Unrecoverable {
+        /// Matrix whose tiles are gone.
+        matrix: String,
+        /// Details (which tile, what was tried).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +45,9 @@ impl fmt::Display for CoreError {
             CoreError::Infeasible(m) => write!(f, "no feasible deployment: {m}"),
             CoreError::Calibration(m) => write!(f, "calibration failed: {m}"),
             CoreError::Exec(m) => write!(f, "execution failed: {m}"),
+            CoreError::Unrecoverable { matrix, detail } => {
+                write!(f, "unrecoverable data loss in '{matrix}': {detail}")
+            }
         }
     }
 }

@@ -346,6 +346,67 @@ impl JobTimeModel {
     }
 }
 
+/// Expected-failure model for deployment planning: how often nodes die
+/// and tasks flake, so the optimizer can price the *expected* rework of
+/// lineage recovery into a plan instead of assuming a perfect cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time between failures of a single node, seconds. Cluster-wide
+    /// failure rate scales with the node count.
+    pub node_mtbf_s: f64,
+    /// Independent probability that any task attempt fails and is retried.
+    pub task_failure_prob: f64,
+}
+
+impl FailureModel {
+    /// A perfectly reliable cluster (no overhead).
+    pub fn none() -> Self {
+        FailureModel {
+            node_mtbf_s: f64::INFINITY,
+            task_failure_prob: 0.0,
+        }
+    }
+
+    /// Expected node failures over a run of `makespan_s` on `nodes` nodes.
+    pub fn expected_node_failures(&self, nodes: u32, makespan_s: f64) -> f64 {
+        if !self.node_mtbf_s.is_finite() || self.node_mtbf_s <= 0.0 {
+            return 0.0;
+        }
+        nodes as f64 * makespan_s / self.node_mtbf_s
+    }
+
+    /// Expected makespan under failures, from the failure-free estimate.
+    ///
+    /// Two terms:
+    /// * task retries inflate every task by the expected attempt count
+    ///   `1 / (1 − p)`;
+    /// * each node death forces rework. At replication 1 a death loses
+    ///   `1/nodes` of the stored intermediates, and the average death
+    ///   lands mid-run, so the expected rework per failure is
+    ///   `T / (2·nodes)` — multiplied by the expected failure count the
+    ///   per-node term cancels and overhead grows with `T²/mtbf`, which
+    ///   is exactly why long uncheckpointed runs are priced badly. At
+    ///   replication ≥ 2 stored data survives a single death and only
+    ///   in-flight work and re-replication are lost (a small fixed
+    ///   fraction per failure).
+    pub fn expected_makespan(&self, fail_free_s: f64, view: &ClusterView) -> f64 {
+        let p = self.task_failure_prob.clamp(0.0, 0.95);
+        let t = fail_free_s / (1.0 - p);
+        let failures = self.expected_node_failures(view.nodes, t);
+        if failures == 0.0 {
+            return t;
+        }
+        let rework_frac = if view.replication <= 1 { 0.5 } else { 0.05 };
+        t * (1.0 + failures * rework_frac / view.nodes as f64)
+    }
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel::none()
+    }
+}
+
 /// Full plan estimate on a deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanEstimate {
@@ -423,6 +484,28 @@ pub fn estimate_plan_full(
     })
 }
 
+/// [`estimate_plan_full`] plus the expected overhead of failures: the
+/// makespan is inflated by [`FailureModel::expected_makespan`] and the
+/// dollar figure re-priced from the inflated time.
+pub fn estimate_plan_under_failures(
+    plan: &PhysPlan,
+    view: &ClusterView,
+    model: &CostModel,
+    billing: BillingPolicy,
+    job_model: JobTimeModel,
+    failure: &FailureModel,
+) -> Result<PlanEstimate> {
+    let mut est = estimate_plan_full(plan, view, model, billing, job_model)?;
+    est.makespan_s = failure.expected_makespan(est.makespan_s, view);
+    est.cost_dollars = cluster_cost(
+        billing,
+        view.nodes,
+        view.instance.price_per_hour,
+        est.makespan_s,
+    );
+    Ok(est)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,7 +566,11 @@ mod tests {
             &v,
         );
         assert_eq!(n1, 4 * 2 * 6);
-        assert_eq!(n2, 2 * 1 * 3);
+        // Factored as rows × k-bands × cols to mirror the split geometry.
+        #[allow(clippy::identity_op)]
+        {
+            assert_eq!(n2, 2 * 1 * 3);
+        }
         // Bigger bands per task → more flops per task.
         assert!(f2.flops > 3.0 * f1.flops);
         // Total flops across the job roughly conserved.
@@ -607,6 +694,72 @@ mod tests {
         assert!(est.cost_dollars > 0.0);
         // Levels serialize: makespan at least the sum of single-task times.
         assert!(est.makespan_s >= est.jobs[0].0);
+    }
+
+    #[test]
+    fn failure_model_overheads() {
+        let v = view(10, 2);
+        // No failures: identity.
+        assert_eq!(FailureModel::none().expected_makespan(100.0, &v), 100.0);
+        assert_eq!(FailureModel::default().expected_node_failures(10, 1e6), 0.0);
+        // Task retries inflate by expected attempts.
+        let flaky = FailureModel {
+            node_mtbf_s: f64::INFINITY,
+            task_failure_prob: 0.5,
+        };
+        assert!((flaky.expected_makespan(100.0, &v) - 200.0).abs() < 1e-9);
+        // Node deaths: replication-1 clusters pay much more rework than
+        // replicated ones, and overhead grows superlinearly with runtime.
+        let dying = FailureModel {
+            node_mtbf_s: 100_000.0,
+            task_failure_prob: 0.0,
+        };
+        let mut v1 = v;
+        v1.replication = 1;
+        let t1 = dying.expected_makespan(1_000.0, &v1);
+        let t3 = dying.expected_makespan(1_000.0, &v);
+        assert!(t1 > t3, "replication 1 must pay more rework: {t1} vs {t3}");
+        let short = dying.expected_makespan(1_000.0, &v1) / 1_000.0;
+        let long = dying.expected_makespan(10_000.0, &v1) / 10_000.0;
+        assert!(long > short, "overhead fraction grows with runtime");
+    }
+
+    #[test]
+    fn failure_aware_estimate_costs_more() {
+        let mut plan = PhysPlan::default();
+        plan.push(mul_job(MulSplit::unit()), vec![]);
+        let v = view(4, 2);
+        let model = CostModel::single(
+            v.instance.name,
+            OpCoefficients::idealized(&v.instance, 2.0, 0.85),
+        );
+        let base = estimate_plan(&plan, &v, &model).unwrap();
+        let under = estimate_plan_under_failures(
+            &plan,
+            &v,
+            &model,
+            BillingPolicy::PerSecond,
+            JobTimeModel::WaveApprox,
+            &FailureModel {
+                node_mtbf_s: 50_000.0,
+                task_failure_prob: 0.1,
+            },
+        )
+        .unwrap();
+        assert!(under.makespan_s > base.makespan_s);
+        let base_ps = estimate_plan_with(&plan, &v, &model, BillingPolicy::PerSecond).unwrap();
+        assert!(under.cost_dollars > base_ps.cost_dollars);
+        // A perfect cluster adds nothing.
+        let same = estimate_plan_under_failures(
+            &plan,
+            &v,
+            &model,
+            BillingPolicy::HourlyCeil,
+            JobTimeModel::WaveApprox,
+            &FailureModel::none(),
+        )
+        .unwrap();
+        assert_eq!(same.makespan_s, base.makespan_s);
     }
 
     #[test]

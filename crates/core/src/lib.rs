@@ -37,12 +37,15 @@ pub mod expr;
 pub mod lower;
 pub mod optimizer;
 pub mod physical;
+pub mod recovery;
 pub mod rewrite;
 
 pub use calibrate::{CostModel, OpCoefficients};
 pub use deploy::{Constraint, DeploymentPlan, DeploymentSearch, SearchSpace};
 pub use error::{CoreError, Result};
+pub use estimate::FailureModel;
 pub use expr::{ExprId, InputDesc, Program, ProgramBuilder, UnaryOp};
 pub use lower::lower;
 pub use optimizer::Optimizer;
 pub use physical::{MatRef, MulSplit, PhysJob, PhysPlan};
+pub use recovery::{run_with_recovery, RecoveryConfig};

@@ -711,7 +711,10 @@ mod tests {
         };
         let plan = build_plan(&program, &inputs, &FixedSplit(split, 1), "tmp").unwrap();
         // 3 tile-rows/2 → 2;  3 tile-cols/3 → 1;  3 k/2 → 2 bands.
-        assert_eq!(plan.jobs[0].task_count(), 2 * 1 * 2);
+        #[allow(clippy::identity_op)]
+        {
+            assert_eq!(plan.jobs[0].task_count(), 2 * 1 * 2);
+        }
         let dag = instantiate(&plan, c.store()).unwrap();
         c.run(&dag, ExecMode::Real).unwrap();
         let got = c.store().get_local("C").unwrap();

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use cumulon_cluster::instances::InstanceType;
-use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, RunReport};
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, FailurePlan, RunReport, SchedulerConfig};
 
 use crate::calibrate::{calibrate, CalibrationConfig, CostModel};
 use crate::deploy::{Constraint, CostBasedChooser, DeploymentPlan, DeploymentSearch, SearchSpace};
@@ -12,6 +12,7 @@ use crate::error::{CoreError, Result};
 use crate::estimate::{estimate_plan, ClusterView, PlanEstimate};
 use crate::expr::{InputDesc, Program};
 use crate::lower::{build_plan, instantiate};
+use crate::recovery::{run_with_recovery, RecoveryConfig};
 use crate::rewrite;
 
 /// The Cumulon optimizer: a fitted cost model plus planning entry points.
@@ -140,13 +141,43 @@ impl Optimizer {
         temp_prefix: &str,
         mode: ExecMode,
     ) -> Result<RunReport> {
+        self.execute_on_with(
+            cluster,
+            program,
+            inputs,
+            temp_prefix,
+            mode,
+            SchedulerConfig::default(),
+            &FailurePlan::default(),
+            RecoveryConfig::default(),
+        )
+    }
+
+    /// Like [`Optimizer::execute_on`] with explicit scheduler
+    /// configuration, failure injection, and recovery policy. Runs under
+    /// lineage-based recovery: if a node death or block loss aborts the
+    /// run, only the producing tasks of the lost tiles are re-executed
+    /// (see [`crate::recovery`]). With no failures injected the recovery
+    /// path is never entered and this costs nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_on_with(
+        &self,
+        cluster: &Cluster,
+        program: &Program,
+        inputs: &BTreeMap<String, InputDesc>,
+        temp_prefix: &str,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+        recovery: RecoveryConfig,
+    ) -> Result<RunReport> {
         let view = self.view_of(cluster)?;
         let program = self.rewrite(program, inputs)?;
         let coeffs = self.coeffs_for(&view)?;
         let chooser = CostBasedChooser { coeffs, view };
         let plan = build_plan(&program, inputs, &chooser, temp_prefix)?;
         let dag = instantiate(&plan, cluster.store())?;
-        cluster.run(&dag, mode).map_err(CoreError::from)
+        run_with_recovery(cluster, &plan, &dag, mode, config, failures, recovery)
     }
 
     fn view_of(&self, cluster: &Cluster) -> Result<ClusterView> {

@@ -208,6 +208,86 @@ impl PhysJob {
         }
     }
 
+    /// Input matrix names this job reads (lineage edges).
+    pub fn input_names(&self) -> Vec<String> {
+        match self {
+            PhysJob::Mul { a, b, .. } => {
+                let mut v = vec![a.name.clone()];
+                if b.name != a.name {
+                    v.push(b.name.clone());
+                }
+                v
+            }
+            PhysJob::AddPartials { partials, .. } => partials.clone(),
+            PhysJob::Fused { inputs, .. } => {
+                let mut v: Vec<String> = inputs.iter().map(|(m, _)| m.name.clone()).collect();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// Task indices (in [`instantiate`](crate::lower::instantiate) order)
+    /// that write tile `(ti, tj)` of output matrix `matrix`. Empty when
+    /// `matrix` is not one of this job's outputs. This is the lineage map a
+    /// recovery driver uses to re-execute only the tasks whose output tiles
+    /// were lost.
+    pub fn tasks_for_tile(&self, matrix: &str, ti: usize, tj: usize) -> Vec<usize> {
+        match self {
+            PhysJob::Mul {
+                a_stats,
+                b_stats,
+                out,
+                split,
+                ..
+            } => {
+                let ga = a_stats.meta.grid();
+                let gb = b_stats.meta.grid();
+                let (mt, kt, nt) = (ga.tile_rows, ga.tile_cols, gb.tile_cols);
+                let bands = split.k_bands(kt);
+                // Which k-band wrote this matrix? The whole output for an
+                // unsplit k; partial `{out}__p{k}` selects band k.
+                let bk = if bands > 1 {
+                    let Some(k) = (0..bands).find(|&k| partial_name(out, k) == matrix) else {
+                        return Vec::new();
+                    };
+                    k
+                } else {
+                    if matrix != out {
+                        return Vec::new();
+                    }
+                    0
+                };
+                if ti >= mt || tj >= nt {
+                    return Vec::new();
+                }
+                let (bi, bj) = (ti / split.ri, tj / split.rj);
+                let nbj = nt.div_ceil(split.rj);
+                vec![(bi * nbj + bj) * bands + bk]
+            }
+            PhysJob::AddPartials {
+                out,
+                out_stats,
+                tiles_per_task,
+                ..
+            }
+            | PhysJob::Fused {
+                out,
+                out_stats,
+                tiles_per_task,
+                ..
+            } => {
+                if matrix != out {
+                    return Vec::new();
+                }
+                match out_stats.meta.grid().iter().position(|c| c == (ti, tj)) {
+                    Some(pos) => vec![pos / (*tiles_per_task).max(1)],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
     /// Number of tasks this job will spawn.
     pub fn task_count(&self) -> usize {
         match self {
@@ -263,6 +343,14 @@ impl PhysPlan {
     /// Total tasks across all jobs.
     pub fn total_tasks(&self) -> usize {
         self.jobs.iter().map(PhysJob::task_count).sum()
+    }
+
+    /// Index of the job that materialises `matrix`, if any. Partial
+    /// matrices (`{out}__p{k}`) resolve to their multiply job.
+    pub fn producer_of(&self, matrix: &str) -> Option<usize> {
+        self.jobs
+            .iter()
+            .position(|j| j.output_names().iter().any(|n| n == matrix))
     }
 
     /// Topological levels: jobs grouped by the longest dependency chain
@@ -325,7 +413,11 @@ mod tests {
             rj: 3,
             rk: 4,
         };
-        assert_eq!(s.task_count(4, 6, 2), 2 * 1 * 2);
+        // Factored as rows × cols × k-bands to mirror the split geometry.
+        #[allow(clippy::identity_op)]
+        {
+            assert_eq!(s.task_count(4, 6, 2), 2 * 1 * 2);
+        }
         assert_eq!(s.k_bands(6), 2);
     }
 
@@ -394,6 +486,71 @@ mod tests {
         assert_eq!(levels[0], vec![j0, j1]);
         assert_eq!(levels[1], vec![j2]);
         assert!(plan.total_tasks() > 0);
+    }
+
+    #[test]
+    fn tasks_for_tile_mul_banded() {
+        // Output grid 4 × 2 tiles; ri=2, rj=1 → 2 × 2 bands; kt=6, rk=3 →
+        // 2 k-bands. Task order: (bi, bj, bk) nested loops.
+        let job = mul_job(MulSplit {
+            ri: 2,
+            rj: 1,
+            rk: 3,
+        });
+        assert_eq!(job.tasks_for_tile("C__p0", 3, 1), vec![6]);
+        assert_eq!(job.tasks_for_tile("C__p1", 3, 1), vec![7]);
+        assert!(
+            job.tasks_for_tile("C", 3, 1).is_empty(),
+            "k-split writes partials"
+        );
+        assert!(
+            job.tasks_for_tile("C__p0", 9, 0).is_empty(),
+            "tile out of grid"
+        );
+
+        let whole = mul_job(MulSplit {
+            ri: 1,
+            rj: 1,
+            rk: 6,
+        });
+        assert_eq!(whole.tasks_for_tile("C", 2, 1), vec![5]);
+        assert!(whole.tasks_for_tile("C__p0", 0, 0).is_empty());
+    }
+
+    #[test]
+    fn tasks_for_tile_chunked() {
+        let add = PhysJob::AddPartials {
+            partials: vec!["C__p0".into(), "C__p1".into()],
+            out: "C".into(),
+            out_stats: stats(40, 20, 10, 1.0), // 4 × 2 grid, 8 tiles
+            tiles_per_task: 3,
+        };
+        assert_eq!(add.tasks_for_tile("C", 0, 0), vec![0]);
+        assert_eq!(add.tasks_for_tile("C", 2, 1), vec![1]); // position 5 / 3
+        assert_eq!(add.tasks_for_tile("C", 3, 1), vec![2]); // position 7 / 3
+        assert!(add.tasks_for_tile("X", 0, 0).is_empty());
+    }
+
+    #[test]
+    fn lineage_accessors() {
+        let job = mul_job(MulSplit::unit());
+        assert_eq!(job.input_names(), vec!["A", "B"]);
+        let mut plan = PhysPlan::default();
+        plan.push(
+            mul_job(MulSplit {
+                ri: 1,
+                rj: 1,
+                rk: 2,
+            }),
+            vec![],
+        );
+        assert_eq!(plan.producer_of("C__p1"), Some(0));
+        assert_eq!(
+            plan.producer_of("C"),
+            None,
+            "k-split mul makes partials only"
+        );
+        assert_eq!(plan.producer_of("A"), None);
     }
 
     #[test]

@@ -188,8 +188,8 @@ proptest! {
         // Transitive dependency closure per job.
         let n = plan.jobs.len();
         let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
-        for i in 0..n {
-            let mut stack = plan.deps[i].clone();
+        for (i, deps) in plan.deps.iter().enumerate() {
+            let mut stack = deps.clone();
             while let Some(d) = stack.pop() {
                 if !reach[i][d] {
                     reach[i][d] = true;

@@ -115,6 +115,17 @@ impl Dfs {
         self.state.lock().datanodes.len()
     }
 
+    /// True when the datanode is registered and alive. Compute schedulers
+    /// share node ids with the DFS, so this doubles as cluster liveness.
+    pub fn is_node_live(&self, node: NodeId) -> bool {
+        self.state.lock().namenode.is_live(node)
+    }
+
+    /// Ids of all live datanodes, sorted.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.state.lock().namenode.live_nodes()
+    }
+
     /// Chooses replica target nodes: writer-local first (if the writer is a
     /// live datanode), the second replica off the first replica's rack when
     /// the topology has racks, then distinct random live nodes — HDFS'
@@ -166,6 +177,19 @@ impl Dfs {
     /// Writes a new file with the given payload, splitting into blocks.
     /// `writer` is the node performing the write (None = external client).
     pub fn write_file(&self, path: &str, data: Bytes, writer: Option<NodeId>) -> Result<IoReceipt> {
+        self.write_file_with(path, data, writer, self.config.replication)
+    }
+
+    /// Like [`Dfs::write_file`] but with an explicit replication factor,
+    /// overriding the configured default. Checkpoints use this to persist
+    /// iterates more durably than intermediate data.
+    pub fn write_file_with(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer: Option<NodeId>,
+        replication: usize,
+    ) -> Result<IoReceipt> {
         let mut st = self.state.lock();
         st.namenode.create_file(path)?;
         let mut receipt = IoReceipt::default();
@@ -174,12 +198,7 @@ impl Dfs {
         loop {
             let len = (total - offset).min(self.config.block_size);
             let payload = data.slice(offset as usize..(offset + len) as usize);
-            let replicas = match Self::place_replicas(
-                &mut st,
-                &self.config,
-                writer,
-                self.config.replication,
-            ) {
+            let replicas = match Self::place_replicas(&mut st, &self.config, writer, replication) {
                 Ok(r) => r,
                 Err(e) => {
                     // Roll back the namespace entry so a failed write does
@@ -208,27 +227,48 @@ impl Dfs {
         Ok(receipt)
     }
 
-    /// Reads a whole file. Prefers replicas on `reader`'s node; the receipt
-    /// says how many bytes were local vs remote.
+    /// Reads a whole file. Per block, replicas are tried in locality order —
+    /// reader-local first, then same-rack, then the rest — and the read fails
+    /// over to the next replica when one does not actually hold the payload.
+    /// [`DfsError::BlockLost`] surfaces only when *no* replica can serve the
+    /// block. The receipt says how many bytes were local vs remote.
     pub fn read_file(&self, path: &str, reader: Option<NodeId>) -> Result<(Bytes, IoReceipt)> {
         let mut st = self.state.lock();
         let blocks = st.namenode.stat(path)?.blocks.clone();
         let mut out = bytes::BytesMut::with_capacity(blocks.iter().map(|b| b.len as usize).sum());
         let mut receipt = IoReceipt::default();
         for (idx, block) in blocks.iter().enumerate() {
-            let source = match reader.filter(|r| block.replicas.contains(r)) {
-                Some(local) => local,
-                None => *block.replicas.first().ok_or_else(|| DfsError::BlockLost {
-                    path: path.to_string(),
-                    block: idx,
-                })?,
-            };
-            let data = st.datanodes[source.0 as usize]
-                .get(block.id)
-                .ok_or_else(|| DfsError::BlockLost {
-                    path: path.to_string(),
-                    block: idx,
-                })?;
+            let mut candidates: Vec<NodeId> = Vec::with_capacity(block.replicas.len());
+            if let Some(r) = reader.filter(|r| block.replicas.contains(r)) {
+                candidates.push(r);
+            }
+            if let Some(reader_rack) = reader.map(|r| self.config.rack_of(r)) {
+                candidates.extend(
+                    block
+                        .replicas
+                        .iter()
+                        .copied()
+                        .filter(|&n| Some(n) != reader && self.config.rack_of(n) == reader_rack),
+                );
+            }
+            let rest: Vec<NodeId> = block
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| !candidates.contains(n))
+                .collect();
+            candidates.extend(rest);
+            let mut served = None;
+            for source in candidates {
+                if let Some(data) = st.datanodes[source.0 as usize].get(block.id) {
+                    served = Some((source, data));
+                    break;
+                }
+            }
+            let (source, data) = served.ok_or_else(|| DfsError::BlockLost {
+                path: path.to_string(),
+                block: idx,
+            })?;
             receipt.bytes += block.len;
             if reader == Some(source) {
                 receipt.local_bytes += block.len;
@@ -540,6 +580,69 @@ mod tests {
         assert!(data.is_empty());
         assert_eq!(r.bytes, 0);
     }
+
+    #[test]
+    fn read_fails_over_to_surviving_replica() {
+        // With replication 2 the first replica in the list may sit on a dead
+        // node whose metadata was never decommissioned (e.g. a transiently
+        // unreachable datanode). Simulate the "replica list stale" case by
+        // evicting the payload from the first replica without touching the
+        // namenode, and check the read fails over instead of surfacing loss.
+        let d = dfs(4, 2);
+        d.write_file("/f", Bytes::from(vec![5u8; 40]), Some(NodeId(1)))
+            .unwrap();
+        {
+            let mut st = d.state.lock();
+            let blocks = st.namenode.stat("/f").unwrap().blocks.clone();
+            for b in &blocks {
+                let first = b.replicas[0];
+                st.datanodes[first.0 as usize].evict(b.id);
+            }
+        }
+        let (data, r) = d.read_file("/f", None).unwrap();
+        assert_eq!(data.len(), 40);
+        assert_eq!(r.bytes, 40);
+    }
+
+    #[test]
+    fn block_lost_only_when_no_replica_serves() {
+        let d = dfs(3, 2);
+        d.write_file("/f", Bytes::from(vec![5u8; 16]), Some(NodeId(0)))
+            .unwrap();
+        {
+            let mut st = d.state.lock();
+            let blocks = st.namenode.stat("/f").unwrap().blocks.clone();
+            for b in &blocks {
+                for &rep in &b.replicas {
+                    st.datanodes[rep.0 as usize].evict(b.id);
+                }
+            }
+        }
+        assert!(matches!(
+            d.read_file("/f", None),
+            Err(DfsError::BlockLost { .. })
+        ));
+    }
+
+    #[test]
+    fn liveness_accessors() {
+        let d = dfs(3, 1);
+        assert!(d.is_node_live(NodeId(2)));
+        assert_eq!(d.live_nodes().len(), 3);
+        d.kill_node(NodeId(1)).unwrap();
+        assert!(!d.is_node_live(NodeId(1)));
+        assert_eq!(d.live_nodes(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn write_file_with_overrides_replication() {
+        let d = dfs(4, 1);
+        d.write_file_with("/ckpt", Bytes::from(vec![1u8; 30]), None, 3)
+            .unwrap();
+        let (logical, physical) = d.storage_stats();
+        assert_eq!(logical, 30);
+        assert_eq!(physical, 90);
+    }
 }
 
 #[cfg(test)]
@@ -670,6 +773,43 @@ mod rack_tests {
         assert_eq!(c.rack_of(NodeId(5)), 2);
         let flat = DfsConfig::default();
         assert_eq!(flat.rack_of(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn remote_read_prefers_same_rack_replica() {
+        // Replication 2 across 2 racks guarantees one replica per rack.
+        // A reader that holds no replica must be served by the replica in
+        // its own rack, not blindly by the first replica in the list.
+        let d = rack_dfs(6, 2, 2, 17);
+        for i in 0..10 {
+            let path = format!("/f{i}");
+            d.write_file(&path, Bytes::from(vec![1u8; 64]), Some(NodeId(i % 6)))
+                .unwrap();
+            let (replicas, before): (Vec<NodeId>, Vec<u64>) = {
+                let st = d.state.lock();
+                let reps = st.namenode.stat(&path).unwrap().blocks[0].replicas.clone();
+                let reads = reps
+                    .iter()
+                    .map(|&n| st.datanodes[n.0 as usize].bytes_read_total())
+                    .collect();
+                (reps, reads)
+            };
+            // A reader in rack 0 that holds no replica itself.
+            let reader = (0..6)
+                .map(NodeId)
+                .find(|n| d.config.rack_of(*n) == 0 && !replicas.contains(n))
+                .unwrap();
+            d.read_file(&path, Some(reader)).unwrap();
+            let st = d.state.lock();
+            for (j, &rep) in replicas.iter().enumerate() {
+                let after = st.datanodes[rep.0 as usize].bytes_read_total();
+                if d.config.rack_of(rep) == 0 {
+                    assert!(after > before[j], "same-rack replica should serve");
+                } else {
+                    assert_eq!(after, before[j], "off-rack replica should be idle");
+                }
+            }
+        }
     }
 
     #[test]

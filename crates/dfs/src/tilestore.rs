@@ -211,6 +211,38 @@ impl TileStore {
         self.dfs.is_local(&Self::tile_path(name, ti, tj), node)
     }
 
+    /// Re-persists every tile of a matrix at the given replication factor
+    /// (a *checkpoint*: iterative drivers call this every k iterations so
+    /// the iterate survives node deaths that would defeat lineage
+    /// recovery). Generated matrices need no checkpoint and return an
+    /// empty receipt. Returns the combined I/O receipt of the rewrite.
+    pub fn checkpoint_matrix(&self, name: &str, replication: usize) -> Result<IoReceipt> {
+        let handle = self.lookup(name)?;
+        if handle.generator.is_some() {
+            return Ok(IoReceipt::default());
+        }
+        let mut total = IoReceipt::default();
+        for (ti, tj) in handle.meta.grid().iter() {
+            let path = Self::tile_path(name, ti, tj);
+            let (bytes, read) = self.dfs.read_file(&path, None)?;
+            self.dfs.delete_file(&path)?;
+            let write = self.dfs.write_file_with(&path, bytes, None, replication)?;
+            for r in [read, write] {
+                total.bytes += r.bytes;
+                total.local_bytes += r.local_bytes;
+                total.remote_bytes += r.remote_bytes;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Whether a matrix is registered (without the error of [`lookup`]).
+    ///
+    /// [`lookup`]: TileStore::lookup
+    pub fn contains(&self, name: &str) -> bool {
+        self.state.read().matrices.contains_key(name)
+    }
+
     /// Drops a matrix: namespace entry plus all tile files.
     pub fn drop_matrix(&self, name: &str) -> Result<()> {
         let handle = {
@@ -404,6 +436,34 @@ mod tests {
         s.write_tile("A", 0, 0, &Tile::zeros(2, 2), Some(NodeId(3)))
             .unwrap();
         assert!(s.tile_is_local("A", 0, 0, NodeId(3)));
+    }
+
+    #[test]
+    fn checkpoint_raises_replication() {
+        let s = TileStore::new(Dfs::new(
+            4,
+            DfsConfig {
+                replication: 1,
+                block_size: 1 << 20,
+                seed: 7,
+                racks: 1,
+            },
+        ));
+        let meta = MatrixMeta::new(8, 8, 4);
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 4 });
+        s.put_local("W", &m).unwrap();
+        let receipt = s.checkpoint_matrix("W", 3).unwrap();
+        assert!(receipt.bytes > 0);
+        // At replication 3, losing two nodes cannot lose the checkpoint.
+        s.dfs().kill_node(NodeId(0)).unwrap();
+        s.dfs().kill_node(NodeId(1)).unwrap();
+        let back = s.get_local("W").unwrap();
+        assert_eq!(back.max_abs_diff(&m).unwrap(), 0.0);
+        // Generated matrices need no checkpoint.
+        s.register_generated("G", meta, Generator::DenseGaussian { seed: 5 })
+            .unwrap();
+        assert_eq!(s.checkpoint_matrix("G", 3).unwrap(), IoReceipt::default());
+        assert!(s.contains("W") && !s.contains("nope"));
     }
 
     #[test]

@@ -108,6 +108,9 @@ pub fn compile(script: &Script) -> Result<CompiledScript> {
     })
 }
 
+// `line` is threaded down so nested sub-expressions can report their
+// source line once arity/shape checks land here.
+#[allow(clippy::only_used_in_recursion)]
 fn compile_expr(
     expr: &Expr,
     b: &mut ProgramBuilder,

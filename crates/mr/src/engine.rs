@@ -461,7 +461,7 @@ mod tests {
 
     #[test]
     fn partitioner_covers_all_reducers() {
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for i in 0..16u32 {
             for j in 0..16u32 {
                 seen[partition((i, j), 4)] = true;

@@ -18,11 +18,14 @@
 //!   Jacobi eigenvalues, Gaussian elimination).
 
 pub mod chains;
+pub mod checkpoint;
 pub mod gnmf;
 pub mod power;
 pub mod regression;
 pub mod rsvd;
 pub mod smallmat;
+
+pub use checkpoint::{run_checkpointed, CheckpointPolicy, CheckpointedRun};
 
 use std::collections::BTreeMap;
 

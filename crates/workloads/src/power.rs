@@ -176,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // small dense mat-vec check
     fn converges_to_dominant_eigenvalue_magnitude() {
         let w = PowerIteration {
             n: 24,
@@ -210,7 +211,7 @@ mod tests {
         let xv = x.to_dense_vec().unwrap();
         let norm: f64 = xv.iter().map(|v| v * v).sum::<f64>().sqrt();
         let xhat: Vec<f64> = xv.iter().map(|v| v / norm).collect();
-        let mut px = vec![0.0; 24];
+        let mut px = [0.0; 24];
         for i in 0..24 {
             for j in 0..24 {
                 px[i] += pm.get(i, j) * xhat[j];

@@ -2,6 +2,10 @@
 //! factorisations a Cumulon driver performs locally after the cluster has
 //! crunched the big products.
 
+// Triangular solves and elimination read x[k] while writing x[i]; index
+// loops state the recurrences the way the math is written.
+#![allow(clippy::needless_range_loop)]
+
 use cumulon_core::error::{CoreError, Result};
 
 /// A small column-count dense matrix, row-major.
@@ -322,7 +326,7 @@ mod tests {
     #[test]
     fn cholesky_solve_roundtrip() {
         let a = spd(4, 9);
-        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let x_true = [1.0, -2.0, 0.5, 3.0];
         let b: Vec<f64> = (0..4)
             .map(|i| (0..4).map(|j| a.get(i, j) * x_true[j]).sum())
             .collect();
@@ -376,7 +380,7 @@ mod tests {
     #[test]
     fn solve_linear_general() {
         let a = SmallMat::new(3, 3, vec![0.0, 2.0, 1.0, 1.0, 0.0, 0.0, 3.0, 1.0, 2.0]);
-        let x_true = vec![2.0, -1.0, 3.0];
+        let x_true = [2.0, -1.0, 3.0];
         let b: Vec<f64> = (0..3)
             .map(|i| (0..3).map(|j| a.get(i, j) * x_true[j]).sum())
             .collect();

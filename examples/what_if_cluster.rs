@@ -34,6 +34,7 @@ fn main() {
         slots_per_core: vec![1.0],
         replication: 3,
         billing: BillingPolicy::HourlyCeil,
+        failure: None,
     };
     let search = DeploymentSearch::new(&model, space);
 

@@ -37,6 +37,7 @@ fn calibrated_optimizer_end_to_end() {
         slots_per_core: vec![1.0],
         replication: 3,
         billing: cumulon::cluster::billing::BillingPolicy::HourlyCeil,
+        failure: None,
     };
     let plan = optimizer
         .optimize(&program, &inputs, space, Constraint::Deadline(3_600.0))

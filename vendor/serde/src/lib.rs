@@ -1,0 +1,6 @@
+//! Minimal offline stand-in for `serde`. This workspace uses serde only
+//! for `#[derive(Serialize, Deserialize)]` annotations — no serializer
+//! backend (e.g. serde_json) is compiled in — so re-exporting no-op
+//! derives is sufficient for the source tree to build unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives. The workspace uses serde
+//! derives purely as declarations (no serializer backend is compiled in),
+//! so the derives only need to accept the `#[serde(...)]` attribute and
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attrs; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attrs; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
