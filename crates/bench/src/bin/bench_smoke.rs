@@ -1,0 +1,166 @@
+//! CI bench smoke: a quick GEMM kernel timing plus one end-to-end
+//! Real-mode run executed at 1 worker thread and at N, verifying the two
+//! runs are bitwise-identical while the parallel one is faster.
+//!
+//! Emits `BENCH_gemm.json` and `BENCH_e2e.json` in the working directory
+//! (machine-readable, one object per line) and prints a human summary.
+//! Exits non-zero if the parallel run diverges from the sequential one.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cumulon::cluster::instances::catalog;
+use cumulon::cluster::{set_default_threads, Cluster, ClusterSpec, ExecMode, RunReport};
+use cumulon::core::calibrate::{CostModel, OpCoefficients};
+use cumulon::core::{InputDesc, Optimizer, ProgramBuilder};
+use cumulon::dfs::DfsConfig;
+use cumulon::matrix::gen::Generator;
+use cumulon::matrix::{DenseTile, LocalMatrix, MatrixMeta};
+
+const E2E_THREADS: usize = 4;
+const META: MatrixMeta = MatrixMeta {
+    rows: 1536,
+    cols: 1536,
+    tile_size: 256,
+};
+
+fn main() {
+    gemm_smoke();
+    e2e_smoke();
+}
+
+fn gemm_smoke() {
+    let mut json = String::from("[");
+    for (i, n) in [256usize, 512].into_iter().enumerate() {
+        let a = cumulon::matrix::gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
+        let b = cumulon::matrix::gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
+        let mut c = DenseTile::zeros(n, n);
+        let reps = (1024 / n).max(1);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            DenseTile::gemm_acc_blocked(&mut c, &a, &b).unwrap();
+        }
+        let secs = t0.elapsed().as_secs_f64() / reps as f64;
+        let gflops = 2.0 * (n as f64).powi(3) / 1e9 / secs;
+        println!("gemm n={n}: {:.1}ms ({gflops:.2} GF/s)", secs * 1e3);
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"kernel\":\"gemm_blocked\",\"n\":{n},\"seconds\":{secs:.6},\"gflops\":{gflops:.3}}}"
+        );
+    }
+    json.push(']');
+    std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+}
+
+/// Canonical fingerprint of a run: every float by bit pattern, every
+/// counter verbatim. Two runs match iff their fingerprints are equal.
+fn fingerprint(report: &RunReport, outputs: &[LocalMatrix]) -> String {
+    let mut s = format!(
+        "mk{:016x} bh{:016x} $ {:016x} {:?}\n",
+        report.makespan_s.to_bits(),
+        report.billed_hours.to_bits(),
+        report.cost_dollars.to_bits(),
+        report.faults,
+    );
+    for j in &report.jobs {
+        let _ = write!(
+            s,
+            "{} [{:016x}-{:016x}] r({:016x},{},{},{:016x},{:016x},{})",
+            j.name,
+            j.start_s.to_bits(),
+            j.end_s.to_bits(),
+            j.receipt.work.flops.to_bits(),
+            j.receipt.read.bytes,
+            j.receipt.write.bytes,
+            j.receipt.mem_mb.to_bits(),
+            j.receipt.fixed_s.to_bits(),
+            j.receipt.io_ops,
+        );
+        for t in &j.tasks {
+            let _ = write!(
+                s,
+                " {}@{}[{:016x}-{:016x}]x{}",
+                t.task,
+                t.node,
+                t.start_s.to_bits(),
+                t.end_s.to_bits(),
+                t.attempts
+            );
+        }
+        s.push('\n');
+    }
+    for m in outputs {
+        let _ = writeln!(s, "out {:016x}", m.frob_norm().to_bits());
+    }
+    s
+}
+
+fn e2e_once(threads: usize) -> (f64, String, LocalMatrix) {
+    set_default_threads(threads);
+    let cluster = Cluster::provision_with(
+        ClusterSpec::named("m1.large", 4, 2).unwrap(),
+        Default::default(),
+        DfsConfig::default(),
+    )
+    .unwrap();
+    cluster
+        .store()
+        .register_generated("A", META, Generator::DenseGaussian { seed: 7 })
+        .unwrap();
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let at = b.transpose(a);
+    let g = b.mul(at, a);
+    b.output("G", g);
+    let program = b.build();
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "A".to_string(),
+        InputDesc {
+            meta: META,
+            density: 1.0,
+            sparse: false,
+            generated: true,
+        },
+    );
+    let mut model = CostModel::default();
+    for i in catalog() {
+        model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+    }
+    let opt = Optimizer::new(model);
+    let t0 = Instant::now();
+    let report = opt
+        .execute_on(&cluster, &program, &inputs, "smoke", ExecMode::Real)
+        .unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    let out = cluster.store().get_local("G").unwrap();
+    let fp = fingerprint(&report, std::slice::from_ref(&out));
+    (wall, fp, out)
+}
+
+fn e2e_smoke() {
+    let (seq_s, seq_fp, seq_out) = e2e_once(1);
+    let (par_s, par_fp, par_out) = e2e_once(E2E_THREADS);
+    let identical = seq_fp == par_fp && seq_out == par_out;
+    let speedup = seq_s / par_s;
+    println!(
+        "e2e G=A'A {}x{} t{}: 1 thread {seq_s:.2}s, {E2E_THREADS} threads {par_s:.2}s \
+         ({speedup:.2}x), bitwise identical: {identical}",
+        META.rows, META.cols, META.tile_size,
+    );
+    let json = format!(
+        "{{\"experiment\":\"e2e_gram_1536\",\"seq_seconds\":{seq_s:.4},\
+         \"par_seconds\":{par_s:.4},\"threads\":{E2E_THREADS},\
+         \"speedup\":{speedup:.3},\"bitwise_identical\":{identical}}}"
+    );
+    std::fs::write("BENCH_e2e.json", json).expect("write BENCH_e2e.json");
+    if !identical {
+        eprintln!("PARALLEL RUN DIVERGED FROM SEQUENTIAL RUN");
+        eprintln!("--- sequential ---\n{seq_fp}\n--- parallel ---\n{par_fp}");
+        std::process::exit(1);
+    }
+}

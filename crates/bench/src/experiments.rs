@@ -826,13 +826,20 @@ pub fn e11() -> Series {
     };
     row("no failures", base, 0, base);
     for p in [0.05, 0.15] {
+        // Enough retry headroom that even an unlucky task (all-failing
+        // draws) completes: the experiment measures retry overhead, not
+        // the give-up threshold.
+        let config = SchedulerConfig {
+            max_attempts: 10,
+            ..SchedulerConfig::default()
+        };
         let (t, r) = run(
             FailurePlan {
                 task_failure_prob: p,
                 node_failures: vec![],
                 seed: 7,
             },
-            SchedulerConfig::default(),
+            config,
             base_sigma,
         );
         row(&format!("task failures p={p}"), t, r, base);

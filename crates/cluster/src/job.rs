@@ -9,9 +9,11 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use cumulon_dfs::dfs::NodeId;
 use cumulon_dfs::{IoReceipt, TileStore};
 use cumulon_matrix::ops::Work;
+use cumulon_matrix::serialize::{decode_tile, encode_tile};
 use cumulon_matrix::Tile;
 
 use crate::error::{ClusterError, Result};
@@ -64,6 +66,31 @@ impl TaskReceipt {
     }
 }
 
+/// One output-tile write staged by a deferred-write [`TaskCtx`]. The tile
+/// is encoded on the worker (so the serialization cost parallelizes); the
+/// scheduler commits staged writes in canonical task order, which replays
+/// the DFS placement RNG draws exactly as a sequential run would.
+pub struct StagedWrite {
+    /// Destination matrix name.
+    pub matrix: String,
+    /// Tile row index.
+    pub ti: usize,
+    /// Tile column index.
+    pub tj: usize,
+    /// Pre-encoded tile payload.
+    pub encoded: Bytes,
+    /// Logical stored size of the tile (for receipt rescaling and memory
+    /// accounting).
+    pub stored_bytes: u64,
+}
+
+/// Whether tile writes hit the store immediately or are staged for an
+/// in-order commit by the scheduler.
+enum WriteMode {
+    Direct,
+    Deferred(Vec<StagedWrite>),
+}
+
 /// Execution context handed to a task's logic. Wraps the tile store with
 /// receipt accounting and carries the placement decided by the scheduler.
 pub struct TaskCtx {
@@ -73,23 +100,79 @@ pub struct TaskCtx {
     /// Execution mode for tile reads.
     pub mode: ExecMode,
     receipt: TaskReceipt,
+    writes: WriteMode,
 }
 
 impl TaskCtx {
     /// Creates a context (scheduler-internal, public for tests and custom
-    /// engines).
+    /// engines). Writes go straight to the tile store.
     pub fn new(store: TileStore, node: NodeId, mode: ExecMode) -> Self {
         TaskCtx {
             store,
             node,
             mode,
             receipt: TaskReceipt::default(),
+            writes: WriteMode::Direct,
         }
+    }
+
+    /// Creates a deferred-write context: [`TaskCtx::write_tile`] validates,
+    /// encodes, and stages instead of touching the DFS, so task compute can
+    /// run on a worker thread without perturbing the placement RNG. The
+    /// scheduler commits the staged writes in canonical task order via
+    /// [`TaskCtx::into_parts`].
+    pub fn new_deferred(store: TileStore, node: NodeId, mode: ExecMode) -> Self {
+        TaskCtx {
+            store,
+            node,
+            mode,
+            receipt: TaskReceipt::default(),
+            writes: WriteMode::Deferred(Vec::new()),
+        }
+    }
+
+    /// Consumes the context, returning the receipt accumulated so far plus
+    /// any staged writes (empty for direct-write contexts). For deferred
+    /// contexts the receipt's `write` field is still zero — the scheduler
+    /// adds the commit receipts in staging order, reproducing the exact
+    /// accumulation sequence of a direct-write run.
+    pub fn into_parts(self) -> (TaskReceipt, Vec<StagedWrite>) {
+        let staged = match self.writes {
+            WriteMode::Direct => Vec::new(),
+            WriteMode::Deferred(staged) => staged,
+        };
+        (self.receipt, staged)
     }
 
     /// Reads a tile of a registered matrix, charging I/O and memory (and,
     /// for generator-backed matrices, the generation CPU instead of I/O).
-    pub fn read_tile(&mut self, matrix: &str, ti: usize, tj: usize) -> Result<Tile> {
+    pub fn read_tile(&mut self, matrix: &str, ti: usize, tj: usize) -> Result<Arc<Tile>> {
+        // Read-your-own-writes for deferred contexts: a tile this task has
+        // already staged is served from the staging buffer with the receipt
+        // a committed-then-read-back tile would produce (the writer-local
+        // replica is always placed first and read first, so the read is
+        // fully local).
+        if let WriteMode::Deferred(staged) = &self.writes {
+            if let Some(w) = staged
+                .iter()
+                .rev()
+                .find(|w| w.matrix == matrix && w.ti == ti && w.tj == tj)
+            {
+                let stored = w.stored_bytes;
+                let tile = Arc::new(decode_tile(w.encoded.clone())?);
+                let io = IoReceipt {
+                    bytes: stored,
+                    local_bytes: stored,
+                    remote_bytes: 0,
+                };
+                self.receipt.read = self.receipt.read.add(io);
+                if io != IoReceipt::default() {
+                    self.receipt.io_ops += 1;
+                }
+                self.receipt.mem_mb += stored as f64 / 1e6;
+                return Ok(tile);
+            }
+        }
         let phantom = self.mode == ExecMode::Simulated;
         let (tile, io) = self
             .store
@@ -114,12 +197,28 @@ impl TaskCtx {
         Ok(tile)
     }
 
-    /// Writes an output tile, charging I/O and memory.
+    /// Writes an output tile, charging I/O and memory. Deferred contexts
+    /// validate and encode here (same in-task error points as a direct
+    /// write) but stage the payload for the scheduler to commit.
     pub fn write_tile(&mut self, matrix: &str, ti: usize, tj: usize, tile: &Tile) -> Result<()> {
-        let io = self
-            .store
-            .write_tile(matrix, ti, tj, tile, Some(self.node))?;
-        self.receipt.write = self.receipt.write.add(io);
+        match &mut self.writes {
+            WriteMode::Direct => {
+                let io = self
+                    .store
+                    .write_tile(matrix, ti, tj, tile, Some(self.node))?;
+                self.receipt.write = self.receipt.write.add(io);
+            }
+            WriteMode::Deferred(staged) => {
+                self.store.validate_tile(matrix, ti, tj, tile)?;
+                staged.push(StagedWrite {
+                    matrix: matrix.to_string(),
+                    ti,
+                    tj,
+                    encoded: encode_tile(tile),
+                    stored_bytes: tile.stored_bytes(),
+                });
+            }
+        }
         self.receipt.io_ops += 1;
         self.receipt.mem_mb += tile.stored_bytes() as f64 / 1e6;
         Ok(())

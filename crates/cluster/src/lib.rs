@@ -48,4 +48,6 @@ pub use hw::{HardwareModel, NoiseModel};
 pub use instances::{catalog, InstanceType};
 pub use job::{ExecMode, Job, JobDag, Task, TaskCtx, TaskReceipt};
 pub use metrics::{FaultStats, JobStats, RunReport};
-pub use scheduler::{FailurePlan, RunFailure, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    default_threads, set_default_threads, FailurePlan, RunFailure, Scheduler, SchedulerConfig,
+};

@@ -9,7 +9,9 @@
 //! queue and is fully deterministic for a given seed.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -21,8 +23,33 @@ use crate::cluster::ClusterSpec;
 use crate::des::{EventQueue, SimTime};
 use crate::error::{ClusterError, Result};
 use crate::hw::HardwareModel;
-use crate::job::{ExecMode, JobDag, TaskCtx};
+use crate::job::{ExecMode, JobDag, StagedWrite, TaskCtx, TaskReceipt};
 use crate::metrics::{FaultStats, JobStats, RunReport, TaskStat};
+
+/// Process-wide default worker-thread count, used when
+/// [`SchedulerConfig::threads`] is `0`. Starts at `1` (sequential) so
+/// library embedders opt into parallelism explicitly; binaries set it once
+/// at startup via [`set_default_threads`].
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default worker-thread count that
+/// [`SchedulerConfig::threads`]` == 0` resolves to. Passing `0` selects the
+/// host's available parallelism.
+pub fn set_default_threads(n: usize) {
+    let n = if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    };
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current process-wide default worker-thread count.
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed).max(1)
+}
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +65,12 @@ pub struct SchedulerConfig {
     pub speculation_factor: f64,
     /// Disable locality-aware task placement (ablation switch).
     pub ignore_locality: bool,
+    /// Worker threads for task compute. `1` runs task logic inline in the
+    /// DES loop (the legacy path); `N > 1` executes each slot wave on a
+    /// pool of `N` threads with effects committed in canonical task order,
+    /// which keeps the run bitwise-identical to a sequential one; `0`
+    /// resolves to the process-wide default (see [`set_default_threads`]).
+    pub threads: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -47,6 +80,7 @@ impl Default for SchedulerConfig {
             speculative: false,
             speculation_factor: 1.5,
             ignore_locality: false,
+            threads: 0,
         }
     }
 }
@@ -58,6 +92,12 @@ impl SchedulerConfig {
             speculative: true,
             ..Default::default()
         }
+    }
+
+    /// Returns the config with an explicit worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -231,37 +271,84 @@ impl Scheduler {
         config: SchedulerConfig,
         failures: &FailurePlan,
     ) -> std::result::Result<RunReport, RunFailure> {
-        let mut faults = FaultStats::default();
-        let mut lost_blocks: Vec<String> = Vec::new();
-        let mut dead_nodes: Vec<u32> = Vec::new();
-        let mut finished: Vec<JobStats> = Vec::new();
-        let mut makespan = SimTime::ZERO;
-
-        // Build a RunFailure from the terminal error plus accumulated state.
-        macro_rules! fail {
-            ($err:expr) => {{
-                let error: ClusterError = $err;
-                let failed = match &error {
-                    ClusterError::TaskFailed { job, task, .. } => Some((job.clone(), *task)),
-                    _ => None,
-                };
-                return Err(RunFailure {
-                    error,
-                    failed,
-                    lost_blocks,
-                    dead_nodes,
-                    completed_jobs: finished,
-                    makespan_s: makespan.secs(),
-                    faults,
-                });
-            }};
+        let threads = match config.threads {
+            0 => default_threads(),
+            n => n,
+        };
+        let mut exec = Exec::new(self, dag, mode, config, failures, threads);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for &(t, node) in &failures.node_failures {
+            queue.schedule(SimTime(t), Event::NodeFailure { node });
         }
-
-        if let Err(e) = dag.validate() {
-            fail!(e);
+        match exec.drive(&mut queue) {
+            Ok(()) => Ok(exec.report()),
+            Err(error) => Err(exec.into_failure(error)),
         }
+    }
+}
+
+/// A task assignment made at wave-fill time. Carries everything the
+/// executor and finalizer need so task *compute* can run off-thread while
+/// all bookkeeping stays with the DES loop, applied in canonical
+/// (assignment) order.
+struct WaveEntry {
+    job: usize,
+    task: usize,
+    /// Attempt number this assignment will become. Written back to
+    /// `JobState::attempts` only at finalize so entries of an aborted wave
+    /// leave no trace, exactly like a sequential run that never reached
+    /// them.
+    attempt: u32,
+    epoch: u64,
+    node: u32,
+    slot: u32,
+    is_backup: bool,
+}
+
+/// What one task attempt produced: its receipt (sans deferred write I/O),
+/// staged tile writes, and the logic error if any.
+struct ExecOutcome {
+    receipt: TaskReceipt,
+    staged: Vec<StagedWrite>,
+    error: Option<ClusterError>,
+}
+
+/// One in-flight DAG execution: all mutable scheduler state, so the run
+/// loop, wave fill, worker pool, and commit logic can share it through
+/// methods instead of a macro over locals.
+struct Exec<'a> {
+    sched: &'a Scheduler,
+    dag: &'a JobDag,
+    mode: ExecMode,
+    config: SchedulerConfig,
+    failures: &'a FailurePlan,
+    /// Resolved worker-thread count (`1` = inline legacy execution).
+    threads: usize,
+    jobs: Vec<JobState>,
+    /// `dependents[j]`: jobs whose deps include `j`.
+    dependents: Vec<Vec<usize>>,
+    slot_state: Vec<Option<Running>>,
+    node_alive: Vec<bool>,
+    next_epoch: u64,
+    completed_jobs: usize,
+    faults: FaultStats,
+    lost_blocks: Vec<String>,
+    dead_nodes: Vec<u32>,
+    finished: Vec<JobStats>,
+    makespan: SimTime,
+}
+
+impl<'a> Exec<'a> {
+    fn new(
+        sched: &'a Scheduler,
+        dag: &'a JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &'a FailurePlan,
+        threads: usize,
+    ) -> Self {
         let n_jobs = dag.jobs.len();
-        let mut jobs: Vec<JobState> = dag
+        let jobs: Vec<JobState> = dag
             .jobs
             .iter()
             .enumerate()
@@ -290,194 +377,50 @@ impl Scheduler {
                 dependents[d].push(j);
             }
         }
-
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        for &(t, node) in &failures.node_failures {
-            queue.schedule(SimTime(t), Event::NodeFailure { node });
-        }
-
-        let nodes = self.spec.nodes;
-        let slots = self.spec.slots_per_node;
-        let mut slot_state: Vec<Option<Running>> = vec![None; (nodes * slots) as usize];
+        let nodes = sched.spec.nodes;
+        let slots = sched.spec.slots_per_node;
         // Nodes share ids with DFS datanodes; a node killed by an earlier
         // run on the same cluster stays dead for recovery re-runs.
-        let mut node_alive: Vec<bool> = (0..nodes)
-            .map(|n| self.store.dfs().is_node_live(NodeId(n)))
+        let node_alive: Vec<bool> = (0..nodes)
+            .map(|n| sched.store.dfs().is_node_live(NodeId(n)))
             .collect();
-        let mut next_epoch: u64 = 0;
-        let mut completed_jobs = 0usize;
-
-        // Jobs with zero tasks complete the moment they become ready.
-        let zero_task_scan = |jobs: &mut Vec<JobState>,
-                              dependents: &Vec<Vec<usize>>,
-                              finished: &mut Vec<JobStats>,
-                              completed_jobs: &mut usize,
-                              at: SimTime| {
-            loop {
-                let mut progressed = false;
-                for j in 0..n_jobs {
-                    if !jobs[j].done && jobs[j].remaining_deps == 0 && jobs[j].unfinished_tasks == 0
-                    {
-                        jobs[j].done = true;
-                        jobs[j].stats.start_s = at.secs();
-                        jobs[j].stats.end_s = at.secs();
-                        finished.push(jobs[j].stats.clone());
-                        *completed_jobs += 1;
-                        for &dep in &dependents[j] {
-                            jobs[dep].remaining_deps -= 1;
-                        }
-                        progressed = true;
-                    }
-                }
-                if !progressed {
-                    break;
-                }
-            }
-        };
-        zero_task_scan(
-            &mut jobs,
-            &dependents,
-            &mut finished,
-            &mut completed_jobs,
-            SimTime::ZERO,
-        );
-
-        // Fill every free slot with the best pending task.
-        macro_rules! fill_slots {
-            ($queue:expr) => {
-                for node in 0..nodes {
-                    if !node_alive[node as usize] {
-                        continue;
-                    }
-                    for slot in 0..slots {
-                        let idx = (node * slots + slot) as usize;
-                        if slot_state[idx].is_some() {
-                            continue;
-                        }
-                        let picked = self
-                            .pick_task(dag, &jobs, NodeId(node), config.ignore_locality)
-                            .map(|(j, t)| (j, t, false));
-                        // No pending work for this slot: consider backing up
-                        // a straggler (speculative execution).
-                        let picked = picked.or_else(|| {
-                            if !config.speculative {
-                                return None;
-                            }
-                            let now = $queue.now();
-                            slot_state
-                                .iter()
-                                .flatten()
-                                .filter(|r| {
-                                    let js = &jobs[r.job];
-                                    !js.task_done[r.task]
-                                        && !js.speculated[r.task]
-                                        && js.pending.is_empty()
-                                        && js.mean_completed_s().is_some_and(|mean| {
-                                            now.secs() - r.started.secs()
-                                                > config.speculation_factor * mean
-                                        })
-                                })
-                                .max_by(|a, b| {
-                                    let ea = now.secs() - a.started.secs();
-                                    let eb = now.secs() - b.started.secs();
-                                    ea.partial_cmp(&eb).expect("finite elapsed")
-                                })
-                                .map(|r| (r.job, r.task, true))
-                        });
-                        let Some((j, t, is_backup)) = picked else {
-                            continue;
-                        };
-                        if is_backup {
-                            jobs[j].speculated[t] = true;
-                        } else {
-                            // Remove t from job j's pending queue.
-                            let pos = jobs[j]
-                                .pending
-                                .iter()
-                                .position(|&x| x == t)
-                                .expect("picked task is pending");
-                            jobs[j].pending.remove(pos);
-                        }
-                        jobs[j].attempts[t] += 1;
-                        let attempt = jobs[j].attempts[t];
-                        faults.task_attempts += 1;
-                        if is_backup {
-                            faults.speculative_launches += 1;
-                        } else if attempt > 1 {
-                            faults.retries += 1;
-                        }
-
-                        // Execute the logic now; time comes from the model.
-                        let mut ctx = TaskCtx::new(self.store.clone(), NodeId(node), mode);
-                        let input_local = dag.jobs[j].tasks[t]
-                            .locality_hint
-                            .as_ref()
-                            .map(|(m, ti, tj)| self.store.tile_is_local(m, *ti, *tj, NodeId(node)))
-                            .unwrap_or(true);
-                        let logic_result = (dag.jobs[j].tasks[t].run)(&mut ctx);
-                        let receipt = ctx.receipt();
-                        let injected_failure = failures.attempt_fails(j, t, attempt);
-                        let ok = logic_result.is_ok() && !injected_failure;
-                        if let Err(e) = &logic_result {
-                            if let ClusterError::BlockLost { path, .. } = e {
-                                if !lost_blocks.contains(path) {
-                                    lost_blocks.push(path.clone());
-                                    faults.lost_block_events += 1;
-                                }
-                            }
-                            if attempt >= config.max_attempts {
-                                fail!(ClusterError::TaskFailed {
-                                    job: dag.jobs[j].name.clone(),
-                                    task: t,
-                                    attempts: attempt,
-                                    last_error: e.to_string(),
-                                });
-                            }
-                        }
-                        let duration = self
-                            .hw
-                            .task_seconds(&self.spec.instance, slots, &receipt, j, t, attempt - 1)
-                            .max(1e-9);
-                        let epoch = next_epoch;
-                        next_epoch += 1;
-                        slot_state[idx] = Some(Running {
-                            job: j,
-                            task: t,
-                            epoch,
-                            started: $queue.now(),
-                            input_local,
-                        });
-                        jobs[j].stats.start_s = jobs[j].stats.start_s.min($queue.now().secs());
-                        jobs[j].stats.receipt = jobs[j].stats.receipt.add(receipt);
-                        $queue.schedule_in(
-                            duration,
-                            Event::TaskFinish {
-                                job: j,
-                                task: t,
-                                attempt,
-                                epoch,
-                                node,
-                                slot,
-                                ok,
-                            },
-                        );
-                    }
-                }
-            };
+        Exec {
+            sched,
+            dag,
+            mode,
+            config,
+            failures,
+            threads,
+            jobs,
+            dependents,
+            slot_state: vec![None; (nodes * slots) as usize],
+            node_alive,
+            next_epoch: 0,
+            completed_jobs: 0,
+            faults: FaultStats::default(),
+            lost_blocks: Vec::new(),
+            dead_nodes: Vec::new(),
+            finished: Vec::new(),
+            makespan: SimTime::ZERO,
         }
+    }
 
-        fill_slots!(queue);
-
-        while completed_jobs < n_jobs {
+    /// The main DES loop. Any `Err` is the terminal error of the run; the
+    /// caller wraps it into a [`RunFailure`] with the accumulated state.
+    fn drive(&mut self, queue: &mut EventQueue<Event>) -> Result<()> {
+        self.dag.validate()?;
+        self.zero_task_scan(SimTime::ZERO);
+        self.fill_slots(queue)?;
+        while self.completed_jobs < self.dag.jobs.len() {
             let Some((now, event)) = queue.pop() else {
                 // No events but jobs remain: the cluster has no live nodes
                 // or a dependency can never complete.
-                fail!(ClusterError::InvalidDag(
+                return Err(ClusterError::InvalidDag(
                     "scheduler stalled: no runnable tasks but jobs remain (all nodes dead?)"
                         .to_string(),
                 ));
             };
-            makespan = now;
+            self.makespan = now;
             match event {
                 Event::TaskFinish {
                     job,
@@ -487,150 +430,52 @@ impl Scheduler {
                     node,
                     slot,
                     ok,
-                } => {
-                    let idx = (node * slots + slot) as usize;
-                    let valid = matches!(slot_state[idx], Some(r) if r.epoch == epoch);
-                    if !valid {
-                        continue; // superseded by a node failure
-                    }
-                    let running = slot_state[idx].take().expect("checked above");
-                    if jobs[job].task_done[task] {
-                        // A speculative twin already completed this task;
-                        // just free the slot.
-                        fill_slots!(queue);
-                        continue;
-                    }
-                    if ok {
-                        jobs[job].task_done[task] = true;
-                        // Kill any still-running copies of this task. If a
-                        // killed twin started earlier, the completing copy
-                        // is the backup — a speculative win.
-                        for other in slot_state.iter_mut() {
-                            if matches!(other, Some(r) if r.job == job && r.task == task) {
-                                if matches!(other, Some(r) if r.started < running.started) {
-                                    faults.speculative_wins += 1;
-                                }
-                                *other = None;
-                            }
-                        }
-                        jobs[job].stats.tasks.push(TaskStat {
-                            task,
-                            node,
-                            start_s: running.started.secs(),
-                            end_s: now.secs(),
-                            attempts: attempt,
-                            input_local: running.input_local,
-                        });
-                        jobs[job].unfinished_tasks -= 1;
-                        if jobs[job].unfinished_tasks == 0 && !jobs[job].done {
-                            jobs[job].done = true;
-                            jobs[job].stats.end_s = now.secs();
-                            finished.push(jobs[job].stats.clone());
-                            completed_jobs += 1;
-                            for &dep in &dependents[job] {
-                                jobs[dep].remaining_deps -= 1;
-                            }
-                            zero_task_scan(
-                                &mut jobs,
-                                &dependents,
-                                &mut finished,
-                                &mut completed_jobs,
-                                now,
-                            );
-                        }
-                    } else {
-                        if attempt >= config.max_attempts {
-                            fail!(ClusterError::TaskFailed {
-                                job: dag.jobs[job].name.clone(),
-                                task,
-                                attempts: attempt,
-                                last_error: "injected task failure".to_string(),
-                            });
-                        }
-                        // Requeue unless a twin copy is still in flight.
-                        let twin_running = slot_state
-                            .iter()
-                            .flatten()
-                            .any(|r| r.job == job && r.task == task);
-                        if !twin_running {
-                            jobs[job].pending.push_front(task);
-                        }
-                    }
-                    fill_slots!(queue);
-                }
-                Event::NodeFailure { node } => {
-                    if !node_alive[node as usize] {
-                        continue;
-                    }
-                    node_alive[node as usize] = false;
-                    faults.node_deaths += 1;
-                    dead_nodes.push(node);
-                    // Storage consequences (re-replication of survivors).
-                    match self.store.dfs().kill_node(NodeId(node)) {
-                        Ok(receipt) => faults.rereplicated_bytes += receipt.bytes,
-                        Err(e) => fail!(ClusterError::from(e)),
-                    }
-                    // Re-queue tasks that were running there (unless done
-                    // or still running elsewhere as a speculative twin).
-                    for slot in 0..slots {
-                        let idx = (node * slots + slot) as usize;
-                        if let Some(r) = slot_state[idx].take() {
-                            let twin_running = slot_state
-                                .iter()
-                                .flatten()
-                                .any(|o| o.job == r.job && o.task == r.task);
-                            if !jobs[r.job].task_done[r.task] && !twin_running {
-                                jobs[r.job].pending.push_front(r.task);
-                            }
-                        }
-                    }
-                    if !node_alive.iter().any(|&a| a) {
-                        fail!(ClusterError::InvalidDag(
-                            "all nodes failed; run cannot complete".to_string(),
-                        ));
-                    }
-                    fill_slots!(queue);
-                }
+                } => self.on_task_finish(now, job, task, attempt, epoch, node, slot, ok, queue)?,
+                Event::NodeFailure { node } => self.on_node_failure(node, queue)?,
             }
         }
+        Ok(())
+    }
 
-        let makespan_s = makespan.secs();
-        Ok(RunReport {
-            instance: self.spec.instance.name.to_string(),
-            nodes,
-            slots,
-            jobs: finished,
-            makespan_s,
-            billed_hours: billed_hours(self.billing, makespan_s),
-            cost_dollars: cluster_cost(
-                self.billing,
-                nodes,
-                self.spec.instance.price_per_hour,
-                makespan_s,
-            ),
-            faults,
-        })
+    /// Jobs with zero tasks complete the moment they become ready.
+    fn zero_task_scan(&mut self, at: SimTime) {
+        loop {
+            let mut progressed = false;
+            for j in 0..self.dag.jobs.len() {
+                if !self.jobs[j].done
+                    && self.jobs[j].remaining_deps == 0
+                    && self.jobs[j].unfinished_tasks == 0
+                {
+                    self.jobs[j].done = true;
+                    self.jobs[j].stats.start_s = at.secs();
+                    self.jobs[j].stats.end_s = at.secs();
+                    self.finished.push(self.jobs[j].stats.clone());
+                    self.completed_jobs += 1;
+                    for &dep in &self.dependents[j] {
+                        self.jobs[dep].remaining_deps -= 1;
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
     }
 
     /// Picks the next task for a node: scan ready jobs in index order; within
     /// a job prefer a pending task whose dominant input is local to `node`
     /// (unless locality-aware placement is disabled).
-    fn pick_task(
-        &self,
-        dag: &JobDag,
-        jobs: &[JobState],
-        node: NodeId,
-        ignore_locality: bool,
-    ) -> Option<(usize, usize)> {
-        for (j, state) in jobs.iter().enumerate() {
+    fn pick_task(&self, node: NodeId) -> Option<(usize, usize)> {
+        for (j, state) in self.jobs.iter().enumerate() {
             if state.done || state.remaining_deps > 0 || state.pending.is_empty() {
                 continue;
             }
-            if !ignore_locality {
+            if !self.config.ignore_locality {
                 // Locality pass.
                 for &t in &state.pending {
-                    if let Some((m, ti, tj)) = &dag.jobs[j].tasks[t].locality_hint {
-                        if self.store.tile_is_local(m, *ti, *tj, node) {
+                    if let Some((m, ti, tj)) = &self.dag.jobs[j].tasks[t].locality_hint {
+                        if self.sched.store.tile_is_local(m, *ti, *tj, node) {
                             return Some((j, t));
                         }
                     } else {
@@ -643,6 +488,409 @@ impl Scheduler {
             return state.pending.front().map(|&t| (j, t));
         }
         None
+    }
+
+    /// Task choice for one free slot: a pending task, or — when slots would
+    /// otherwise idle — a speculative backup of a straggler.
+    fn pick_for_slot(&self, node: u32, now: SimTime) -> Option<(usize, usize, bool)> {
+        if let Some((j, t)) = self.pick_task(NodeId(node)) {
+            return Some((j, t, false));
+        }
+        if !self.config.speculative {
+            return None;
+        }
+        self.slot_state
+            .iter()
+            .flatten()
+            .filter(|r| {
+                let js = &self.jobs[r.job];
+                !js.task_done[r.task]
+                    && !js.speculated[r.task]
+                    && js.pending.is_empty()
+                    && js.mean_completed_s().is_some_and(|mean| {
+                        now.secs() - r.started.secs() > self.config.speculation_factor * mean
+                    })
+            })
+            .max_by(|a, b| {
+                let ea = now.secs() - a.started.secs();
+                let eb = now.secs() - b.started.secs();
+                ea.partial_cmp(&eb).expect("finite elapsed")
+            })
+            .map(|r| (r.job, r.task, true))
+    }
+
+    /// Assigns a task to a free slot: pending-queue/speculation bookkeeping,
+    /// epoch allocation, and slot occupation. Attempt numbers and fault
+    /// counters are only *computed* here — they are written back at
+    /// finalize, so a wave aborted mid-commit leaves no counters from
+    /// entries a sequential run would never have reached.
+    fn assign(&mut self, node: u32, slot: u32, now: SimTime) -> Option<WaveEntry> {
+        let (j, t, is_backup) = self.pick_for_slot(node, now)?;
+        if is_backup {
+            self.jobs[j].speculated[t] = true;
+        } else {
+            // Remove t from job j's pending queue.
+            let pos = self.jobs[j]
+                .pending
+                .iter()
+                .position(|&x| x == t)
+                .expect("picked task is pending");
+            self.jobs[j].pending.remove(pos);
+        }
+        let attempt = self.jobs[j].attempts[t] + 1;
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let input_local = self.dag.jobs[j].tasks[t]
+            .locality_hint
+            .as_ref()
+            .map(|(m, ti, tj)| self.sched.store.tile_is_local(m, *ti, *tj, NodeId(node)))
+            .unwrap_or(true);
+        let idx = (node * self.sched.spec.slots_per_node + slot) as usize;
+        self.slot_state[idx] = Some(Running {
+            job: j,
+            task: t,
+            epoch,
+            started: now,
+            input_local,
+        });
+        Some(WaveEntry {
+            job: j,
+            task: t,
+            attempt,
+            epoch,
+            node,
+            slot,
+            is_backup,
+        })
+    }
+
+    /// Runs one task attempt's logic. `deferred` routes tile writes into
+    /// the staging buffer (worker-pool mode) instead of the store.
+    fn execute(&self, e: &WaveEntry, deferred: bool) -> ExecOutcome {
+        let store = self.sched.store.clone();
+        let node = NodeId(e.node);
+        let mut ctx = if deferred {
+            TaskCtx::new_deferred(store, node, self.mode)
+        } else {
+            TaskCtx::new(store, node, self.mode)
+        };
+        let result = (self.dag.jobs[e.job].tasks[e.task].run)(&mut ctx);
+        let (receipt, staged) = ctx.into_parts();
+        ExecOutcome {
+            receipt,
+            staged,
+            error: result.err(),
+        }
+    }
+
+    /// Executes a wave of assigned tasks on a scoped worker pool. Workers
+    /// claim entries through an atomic cursor (work stealing); each entry's
+    /// outcome lands in its own slot so commit order is the caller's
+    /// choice, not completion order. Simulated time does not advance here —
+    /// only host time.
+    fn execute_wave(&self, entries: &[WaveEntry]) -> Vec<ExecOutcome> {
+        let results: Vec<Mutex<Option<ExecOutcome>>> =
+            entries.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(entries.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = entries.get(i) else {
+                        break;
+                    };
+                    *results[i].lock() = Some(self.execute(entry, true));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every wave entry was executed by a worker")
+            })
+            .collect()
+    }
+
+    /// Applies one executed entry's effects, in canonical order: commit
+    /// staged writes (replaying the DFS placement RNG draws a sequential
+    /// run would make), book attempts and fault counters, resolve injected
+    /// failures, charge stats, and schedule the completion event.
+    fn finalize(
+        &mut self,
+        e: &WaveEntry,
+        outcome: ExecOutcome,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<()> {
+        let ExecOutcome {
+            mut receipt,
+            staged,
+            mut error,
+        } = outcome;
+        for w in staged {
+            // A task that errored mid-logic still committed everything it
+            // wrote before the error in a sequential run; writes staged
+            // before the error point replay that.
+            match self.sched.store.write_tile_encoded(
+                &w.matrix,
+                w.ti,
+                w.tj,
+                w.encoded,
+                w.stored_bytes,
+                Some(NodeId(e.node)),
+            ) {
+                Ok(io) => receipt.write = receipt.write.add(io),
+                Err(commit_err) => {
+                    if error.is_none() {
+                        error = Some(commit_err.into());
+                    }
+                    break;
+                }
+            }
+        }
+        self.jobs[e.job].attempts[e.task] = e.attempt;
+        self.faults.task_attempts += 1;
+        if e.is_backup {
+            self.faults.speculative_launches += 1;
+        } else if e.attempt > 1 {
+            self.faults.retries += 1;
+        }
+        let injected_failure = self.failures.attempt_fails(e.job, e.task, e.attempt);
+        let ok = error.is_none() && !injected_failure;
+        if let Some(err) = &error {
+            if let ClusterError::BlockLost { path, .. } = err {
+                if !self.lost_blocks.contains(path) {
+                    self.lost_blocks.push(path.clone());
+                    self.faults.lost_block_events += 1;
+                }
+            }
+            if e.attempt >= self.config.max_attempts {
+                return Err(ClusterError::TaskFailed {
+                    job: self.dag.jobs[e.job].name.clone(),
+                    task: e.task,
+                    attempts: e.attempt,
+                    last_error: err.to_string(),
+                });
+            }
+        }
+        let duration = self
+            .sched
+            .hw
+            .task_seconds(
+                &self.sched.spec.instance,
+                self.sched.spec.slots_per_node,
+                &receipt,
+                e.job,
+                e.task,
+                e.attempt - 1,
+            )
+            .max(1e-9);
+        self.jobs[e.job].stats.start_s = self.jobs[e.job].stats.start_s.min(queue.now().secs());
+        self.jobs[e.job].stats.receipt = self.jobs[e.job].stats.receipt.add(receipt);
+        queue.schedule_in(
+            duration,
+            Event::TaskFinish {
+                job: e.job,
+                task: e.task,
+                attempt: e.attempt,
+                epoch: e.epoch,
+                node: e.node,
+                slot: e.slot,
+                ok,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fills every free slot with the best pending task. With one thread,
+    /// each assignment executes and finalizes inline (the legacy DES path);
+    /// with more, the whole wave is assigned first, executed concurrently,
+    /// then finalized in assignment order — bitwise-identical outcomes.
+    fn fill_slots(&mut self, queue: &mut EventQueue<Event>) -> Result<()> {
+        let nodes = self.sched.spec.nodes;
+        let slots = self.sched.spec.slots_per_node;
+        let now = queue.now();
+        let mut wave: Vec<WaveEntry> = Vec::new();
+        for node in 0..nodes {
+            if !self.node_alive[node as usize] {
+                continue;
+            }
+            for slot in 0..slots {
+                let idx = (node * slots + slot) as usize;
+                if self.slot_state[idx].is_some() {
+                    continue;
+                }
+                let Some(entry) = self.assign(node, slot, now) else {
+                    continue;
+                };
+                if self.threads == 1 {
+                    let outcome = self.execute(&entry, false);
+                    self.finalize(&entry, outcome, queue)?;
+                } else {
+                    wave.push(entry);
+                }
+            }
+        }
+        if !wave.is_empty() {
+            let outcomes = self.execute_wave(&wave);
+            for (entry, outcome) in wave.iter().zip(outcomes) {
+                self.finalize(entry, outcome, queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_task_finish(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        task: usize,
+        attempt: u32,
+        epoch: u64,
+        node: u32,
+        slot: u32,
+        ok: bool,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<()> {
+        let idx = (node * self.sched.spec.slots_per_node + slot) as usize;
+        let valid = matches!(self.slot_state[idx], Some(r) if r.epoch == epoch);
+        if !valid {
+            return Ok(()); // superseded by a node failure
+        }
+        let running = self.slot_state[idx].take().expect("checked above");
+        if self.jobs[job].task_done[task] {
+            // A speculative twin already completed this task; just free
+            // the slot.
+            return self.fill_slots(queue);
+        }
+        if ok {
+            self.jobs[job].task_done[task] = true;
+            // Kill any still-running copies of this task. If a killed twin
+            // started earlier, the completing copy is the backup — a
+            // speculative win.
+            for other in self.slot_state.iter_mut() {
+                if matches!(other, Some(r) if r.job == job && r.task == task) {
+                    if matches!(other, Some(r) if r.started < running.started) {
+                        self.faults.speculative_wins += 1;
+                    }
+                    *other = None;
+                }
+            }
+            self.jobs[job].stats.tasks.push(TaskStat {
+                task,
+                node,
+                start_s: running.started.secs(),
+                end_s: now.secs(),
+                attempts: attempt,
+                input_local: running.input_local,
+            });
+            self.jobs[job].unfinished_tasks -= 1;
+            if self.jobs[job].unfinished_tasks == 0 && !self.jobs[job].done {
+                self.jobs[job].done = true;
+                self.jobs[job].stats.end_s = now.secs();
+                self.finished.push(self.jobs[job].stats.clone());
+                self.completed_jobs += 1;
+                for &dep in &self.dependents[job] {
+                    self.jobs[dep].remaining_deps -= 1;
+                }
+                self.zero_task_scan(now);
+            }
+        } else {
+            if attempt >= self.config.max_attempts {
+                return Err(ClusterError::TaskFailed {
+                    job: self.dag.jobs[job].name.clone(),
+                    task,
+                    attempts: attempt,
+                    last_error: "injected task failure".to_string(),
+                });
+            }
+            // Requeue unless a twin copy is still in flight.
+            let twin_running = self
+                .slot_state
+                .iter()
+                .flatten()
+                .any(|r| r.job == job && r.task == task);
+            if !twin_running {
+                self.jobs[job].pending.push_front(task);
+            }
+        }
+        self.fill_slots(queue)
+    }
+
+    fn on_node_failure(&mut self, node: u32, queue: &mut EventQueue<Event>) -> Result<()> {
+        if !self.node_alive[node as usize] {
+            return Ok(());
+        }
+        self.node_alive[node as usize] = false;
+        self.faults.node_deaths += 1;
+        self.dead_nodes.push(node);
+        // Storage consequences (re-replication of survivors).
+        match self.sched.store.dfs().kill_node(NodeId(node)) {
+            Ok(receipt) => self.faults.rereplicated_bytes += receipt.bytes,
+            Err(e) => return Err(ClusterError::from(e)),
+        }
+        // Re-queue tasks that were running there (unless done or still
+        // running elsewhere as a speculative twin).
+        let slots = self.sched.spec.slots_per_node;
+        for slot in 0..slots {
+            let idx = (node * slots + slot) as usize;
+            if let Some(r) = self.slot_state[idx].take() {
+                let twin_running = self
+                    .slot_state
+                    .iter()
+                    .flatten()
+                    .any(|o| o.job == r.job && o.task == r.task);
+                if !self.jobs[r.job].task_done[r.task] && !twin_running {
+                    self.jobs[r.job].pending.push_front(r.task);
+                }
+            }
+        }
+        if !self.node_alive.iter().any(|&a| a) {
+            return Err(ClusterError::InvalidDag(
+                "all nodes failed; run cannot complete".to_string(),
+            ));
+        }
+        self.fill_slots(queue)
+    }
+
+    /// The run report of a completed execution.
+    fn report(self) -> RunReport {
+        let makespan_s = self.makespan.secs();
+        let spec = self.sched.spec;
+        RunReport {
+            instance: spec.instance.name.to_string(),
+            nodes: spec.nodes,
+            slots: spec.slots_per_node,
+            jobs: self.finished,
+            makespan_s,
+            billed_hours: billed_hours(self.sched.billing, makespan_s),
+            cost_dollars: cluster_cost(
+                self.sched.billing,
+                spec.nodes,
+                spec.instance.price_per_hour,
+                makespan_s,
+            ),
+            faults: self.faults,
+        }
+    }
+
+    /// Wraps a terminal error with the state accumulated up to it.
+    fn into_failure(self, error: ClusterError) -> RunFailure {
+        let failed = match &error {
+            ClusterError::TaskFailed { job, task, .. } => Some((job.clone(), *task)),
+            _ => None,
+        };
+        RunFailure {
+            error,
+            failed,
+            lost_blocks: self.lost_blocks,
+            dead_nodes: self.dead_nodes,
+            completed_jobs: self.finished,
+            makespan_s: self.makespan.secs(),
+            faults: self.faults,
+        }
     }
 }
 

@@ -1,0 +1,237 @@
+//! Determinism contract of the parallel wave executor: a run at any worker
+//! thread count is *bitwise-identical* to the sequential (`threads = 1`)
+//! run — run reports, fault accounting, and output matrices — including
+//! under injected task failures and node kills. Every float is compared by
+//! its bit pattern, not by `==`.
+
+use cumulon_cluster::hw::NoiseModel;
+use cumulon_cluster::metrics::JobStats;
+use cumulon_cluster::scheduler::{FailurePlan, RunFailure, SchedulerConfig};
+use cumulon_cluster::{
+    Cluster, ClusterSpec, ExecMode, HardwareModel, Job, JobDag, RunReport, Task, TaskReceipt,
+};
+use cumulon_dfs::DfsConfig;
+use cumulon_matrix::ops::Work;
+use cumulon_matrix::{LocalMatrix, MatrixMeta, Tile};
+use proptest::prelude::*;
+
+const TILE: usize = 4;
+
+/// Shape of a randomly generated tile-shuffling DAG.
+#[derive(Debug, Clone)]
+struct DagShape {
+    /// Tiles (grid rows) of each job's output matrix; one task per tile.
+    job_tiles: Vec<usize>,
+    /// `deps_mask[j]` selects dependencies among jobs `0..j` by bit.
+    deps_mask: Vec<u64>,
+}
+
+fn dag_shape() -> impl Strategy<Value = DagShape> {
+    proptest::collection::vec((1usize..5, any::<u64>()), 1..5).prop_map(|v| DagShape {
+        job_tiles: v.iter().map(|&(t, _)| t).collect(),
+        deps_mask: v.iter().map(|&(_, m)| m).collect(),
+    })
+}
+
+/// Builds the DAG over matrices `m0..mN` on `store`, one real tile task per
+/// output tile: each task seeds a deterministic tile, folds in one tile of
+/// every dependency matrix, and writes its own tile.
+fn build_dag(shape: &DagShape, store: &cumulon_dfs::TileStore) -> JobDag {
+    let mut dag = JobDag::new();
+    for (j, &tiles) in shape.job_tiles.iter().enumerate() {
+        store
+            .register(&format!("m{j}"), MatrixMeta::new(tiles * TILE, TILE, TILE))
+            .unwrap();
+        let deps: Vec<usize> = (0..j)
+            .filter(|d| shape.deps_mask[j] & (1 << d) != 0)
+            .collect();
+        let dep_tiles: Vec<(usize, usize)> =
+            deps.iter().map(|&d| (d, shape.job_tiles[d])).collect();
+        let mut tasks = Vec::with_capacity(tiles);
+        for t in 0..tiles {
+            let dep_tiles = dep_tiles.clone();
+            let out = format!("m{j}");
+            tasks.push(
+                Task::new(move |ctx| {
+                    let seed = (j * 31 + t * 7) as f64;
+                    let mut acc = Tile::zeros(TILE, TILE).map(move |_| seed * 0.5 + 1.0);
+                    for &(d, dt) in &dep_tiles {
+                        let dep = ctx.read_tile(&format!("m{d}"), t % dt, 0)?;
+                        ctx.charge(cumulon_matrix::ops::add_work(&acc, &dep));
+                        acc.add_assign(&dep)?;
+                    }
+                    ctx.charge(Work {
+                        flops: seed * 1e8 + 1e8,
+                        bytes_in: 0.0,
+                        bytes_out: 0.0,
+                    });
+                    acc.scale(0.75);
+                    ctx.write_tile(&out, t, 0, &acc)?;
+                    Ok(())
+                })
+                .with_locality(&format!("m{j}"), t, 0),
+            );
+        }
+        dag.push(Job::new(format!("j{j}"), "shuffle", tasks), deps);
+    }
+    dag
+}
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn receipt_key(r: &TaskReceipt) -> String {
+    format!(
+        "w[{},{},{}] r[{},{},{}] wr[{},{},{}] mem{} fix{} io{}",
+        bits(r.work.flops),
+        bits(r.work.bytes_in),
+        bits(r.work.bytes_out),
+        r.read.bytes,
+        r.read.local_bytes,
+        r.read.remote_bytes,
+        r.write.bytes,
+        r.write.local_bytes,
+        r.write.remote_bytes,
+        bits(r.mem_mb),
+        bits(r.fixed_s),
+        r.io_ops,
+    )
+}
+
+fn job_key(j: &JobStats) -> String {
+    let tasks: Vec<String> = j
+        .tasks
+        .iter()
+        .map(|t| {
+            format!(
+                "{}@{}[{}-{}]x{}l{}",
+                t.task,
+                t.node,
+                bits(t.start_s),
+                bits(t.end_s),
+                t.attempts,
+                t.input_local
+            )
+        })
+        .collect();
+    format!(
+        "{}/{} [{}-{}] tasks({}) {}",
+        j.name,
+        j.op_label,
+        bits(j.start_s),
+        bits(j.end_s),
+        tasks.join(","),
+        receipt_key(&j.receipt)
+    )
+}
+
+fn report_key(r: &RunReport) -> String {
+    let jobs: Vec<String> = r.jobs.iter().map(job_key).collect();
+    format!(
+        "{} n{} s{} mk{} bh{} $ {} {:?}\n{}",
+        r.instance,
+        r.nodes,
+        r.slots,
+        bits(r.makespan_s),
+        bits(r.billed_hours),
+        bits(r.cost_dollars),
+        r.faults,
+        jobs.join("\n")
+    )
+}
+
+fn failure_key(f: &RunFailure) -> String {
+    let jobs: Vec<String> = f.completed_jobs.iter().map(job_key).collect();
+    format!(
+        "err({}) failed{:?} lost{:?} dead{:?} mk{} {:?}\n{}",
+        f.error,
+        f.failed,
+        f.lost_blocks,
+        f.dead_nodes,
+        bits(f.makespan_s),
+        f.faults,
+        jobs.join("\n")
+    )
+}
+
+/// One full run at a given thread count: fresh cluster, fresh DFS state,
+/// same seeds. Returns a canonical key for whatever happened plus the
+/// output matrices of a successful run.
+fn run_once(
+    shape: &DagShape,
+    failures: &FailurePlan,
+    noise_seed: u64,
+    threads: usize,
+) -> (String, Vec<LocalMatrix>) {
+    let hw = HardwareModel {
+        noise: NoiseModel {
+            sigma: 0.3,
+            seed: noise_seed,
+        },
+        ..Default::default()
+    };
+    let cluster = Cluster::provision_with(
+        ClusterSpec::named("m1.large", 3, 2).unwrap(),
+        hw,
+        DfsConfig::default(),
+    )
+    .unwrap();
+    let dag = build_dag(shape, cluster.store());
+    let config = SchedulerConfig {
+        speculative: true,
+        ..SchedulerConfig::default()
+    }
+    .with_threads(threads);
+    match cluster.try_run_with(&dag, ExecMode::Real, config, failures) {
+        Ok(report) => {
+            let outputs = (0..shape.job_tiles.len())
+                .map(|j| cluster.store().get_local(&format!("m{j}")).unwrap())
+                .collect();
+            (report_key(&report), outputs)
+        }
+        Err(failure) => (failure_key(&failure), Vec::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel execution is bitwise-equal to sequential, for random DAGs,
+    /// thread counts, injected task failures, and node kill schedules.
+    #[test]
+    fn parallel_runs_bitwise_match_sequential(
+        shape in dag_shape(),
+        threads in 2usize..8,
+        fail_p in 0.0f64..0.35,
+        fail_seed in 0u64..1000,
+        noise_seed in 0u64..1000,
+        kills in proptest::collection::vec((1.0f64..500.0, 0u32..3), 0..3),
+    ) {
+        let failures = FailurePlan {
+            task_failure_prob: fail_p,
+            node_failures: kills.iter().map(|&(t, n)| (t, n)).collect(),
+            seed: fail_seed,
+        };
+        let (seq_key, seq_out) = run_once(&shape, &failures, noise_seed, 1);
+        let (par_key, par_out) = run_once(&shape, &failures, noise_seed, threads);
+        prop_assert_eq!(seq_key, par_key);
+        prop_assert_eq!(seq_out, par_out);
+    }
+
+    /// Thread count is not part of the outcome: every pool size produces
+    /// the same report as every other.
+    #[test]
+    fn all_pool_sizes_agree(
+        shape in dag_shape(),
+        noise_seed in 0u64..1000,
+    ) {
+        let failures = FailurePlan::default();
+        let (base, out_base) = run_once(&shape, &failures, noise_seed, 2);
+        for threads in [3, 5, 16] {
+            let (key, out) = run_once(&shape, &failures, noise_seed, threads);
+            prop_assert_eq!(&base, &key, "threads={} diverged", threads);
+            prop_assert_eq!(&out_base, &out);
+        }
+    }
+}

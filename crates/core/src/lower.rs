@@ -14,6 +14,7 @@
 //!    phantom execution.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use cumulon_cluster::error::Result as ClusterResult;
 use cumulon_cluster::{Job, JobDag, Task, TaskCtx};
@@ -393,11 +394,11 @@ pub fn instantiate(plan: &PhysPlan, store: &TileStore) -> Result<JobDag> {
 }
 
 /// Reads tile `(i, j)` of a (possibly transposed) matrix reference.
-fn read_ref(ctx: &mut TaskCtx, mat: &MatRef, i: usize, j: usize) -> ClusterResult<Tile> {
+fn read_ref(ctx: &mut TaskCtx, mat: &MatRef, i: usize, j: usize) -> ClusterResult<Arc<Tile>> {
     if mat.transposed {
         let t = ctx.read_tile(&mat.name, j, i)?;
         ctx.charge(mops::transpose_work(&t));
-        Ok(t.transpose())
+        Ok(Arc::new(t.transpose()))
     } else {
         ctx.read_tile(&mat.name, i, j)
     }
@@ -435,7 +436,7 @@ fn mul_tasks(
                 let hint_k = k_range.start;
                 let task = Task::new(move |ctx| {
                     // Read the A band once (ri × rk tiles).
-                    let mut a_tiles: Vec<Vec<Tile>> = Vec::with_capacity(i_range.len());
+                    let mut a_tiles: Vec<Vec<Arc<Tile>>> = Vec::with_capacity(i_range.len());
                     for i in i_range.clone() {
                         let mut row = Vec::with_capacity(k_range.len());
                         for k in k_range.clone() {
@@ -444,7 +445,7 @@ fn mul_tasks(
                         a_tiles.push(row);
                     }
                     // Read the B band once (rk × rj tiles).
-                    let mut b_tiles: Vec<Vec<Tile>> = Vec::with_capacity(k_range.len());
+                    let mut b_tiles: Vec<Vec<Arc<Tile>>> = Vec::with_capacity(k_range.len());
                     for k in k_range.clone() {
                         let mut row = Vec::with_capacity(j_range.len());
                         for j in j_range.clone() {
@@ -515,7 +516,7 @@ fn add_tasks(
                     for p in &partials {
                         let t = ctx.read_tile(p, i, j)?;
                         match &mut acc {
-                            None => acc = Some(t),
+                            None => acc = Some(Arc::unwrap_or_clone(t)),
                             Some(c) => {
                                 ctx.charge(mops::add_work(c, &t));
                                 c.add_assign(&t)?;
@@ -541,7 +542,7 @@ fn eval_fused(
     j: usize,
 ) -> ClusterResult<Tile> {
     match expr {
-        FusedExpr::Read(idx) => read_ref(ctx, &inputs[*idx].0, i, j),
+        FusedExpr::Read(idx) => Ok(Arc::unwrap_or_clone(read_ref(ctx, &inputs[*idx].0, i, j)?)),
         FusedExpr::Elem(op, a, b) => {
             let ta = eval_fused(ctx, a, inputs, i, j)?;
             let tb = eval_fused(ctx, b, inputs, i, j)?;

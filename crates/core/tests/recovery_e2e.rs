@@ -228,6 +228,47 @@ mod properties {
             let got = cluster.store().get_local("ABC").unwrap();
             prop_assert_eq!(got.max_abs_diff(&expect).unwrap(), 0.0);
         }
+
+        /// Lineage recovery composed with the worker pool: a mid-run node
+        /// death recovered at N threads matches the sequential recovery
+        /// run bitwise — same makespan, same fault counters, same output.
+        #[test]
+        fn parallel_recovery_bitwise_equals_sequential(
+            node in 0u32..4,
+            frac in 0.05f64..0.95,
+            threads in 2usize..6,
+        ) {
+            let opt = optimizer();
+            let (program, inputs) = chain_program();
+            let run = |threads: usize| {
+                let cluster = repl1_cluster(4);
+                let failures = FailurePlan {
+                    node_failures: vec![(40.0 * frac, node)],
+                    ..Default::default()
+                };
+                let report = opt
+                    .execute_on_with(
+                        &cluster,
+                        &program,
+                        &inputs,
+                        "t",
+                        ExecMode::Real,
+                        SchedulerConfig::default().with_threads(threads),
+                        &failures,
+                        RecoveryConfig::default(),
+                    )
+                    .unwrap();
+                let out = cluster.store().get_local("ABC").unwrap();
+                (report, out)
+            };
+            let (seq, seq_out) = run(1);
+            let (par, par_out) = run(threads);
+            prop_assert_eq!(seq.makespan_s.to_bits(), par.makespan_s.to_bits());
+            prop_assert_eq!(seq.cost_dollars.to_bits(), par.cost_dollars.to_bits());
+            prop_assert_eq!(seq.faults, par.faults);
+            prop_assert_eq!(seq.jobs.len(), par.jobs.len());
+            prop_assert_eq!(seq_out.max_abs_diff(&par_out).unwrap(), 0.0);
+        }
     }
 }
 

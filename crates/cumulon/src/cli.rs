@@ -135,6 +135,9 @@ pub enum Command {
         slots: u32,
         /// Real tile math instead of phantom.
         real: bool,
+        /// Worker threads for task compute (0 = all host cores, 1 = the
+        /// sequential legacy path). Results are identical either way.
+        threads: usize,
     },
     /// `explain`: show the compiled program and physical plan.
     Explain {
@@ -151,7 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         CoreError::Invariant(
             "usage: cumulon <plan|run|explain> <script> --input NAME=RxC[@D][:T] ...\n\
              plan:    [--deadline MIN | --budget DOLLARS] [--max-nodes N]\n\
-             run:     --instance TYPE --nodes N [--slots S] [--real]"
+             run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]"
                 .to_string(),
         )
     };
@@ -166,6 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut nodes: Option<u32> = None;
     let mut slots = 0u32;
     let mut real = false;
+    let mut threads = 0usize;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -211,6 +215,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .map_err(|_| CoreError::Invariant("--slots needs an integer".into()))?
             }
             "--real" => real = true,
+            "--threads" => {
+                threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| CoreError::Invariant("--threads needs an integer".into()))?
+            }
             other => {
                 return Err(CoreError::Invariant(format!("unknown argument '{other}'")));
             }
@@ -251,6 +260,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 nodes,
                 slots,
                 real,
+                threads,
             })
         }
         "explain" => Ok(Command::Explain { script, inputs }),
@@ -329,7 +339,9 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             nodes,
             slots,
             real,
+            threads,
         } => {
+            cumulon_cluster::set_default_threads(*threads);
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
             let spec_slots = if *slots == 0 {
@@ -480,7 +492,7 @@ mod tests {
     #[test]
     fn parse_run_command() {
         let cmd = parse_args(&args(
-            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --slots 2 --real",
+            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --slots 2 --real --threads 3",
         ))
         .unwrap();
         assert_eq!(
@@ -492,6 +504,7 @@ mod tests {
                 nodes: 4,
                 slots: 2,
                 real: true,
+                threads: 3,
             }
         );
     }
@@ -541,6 +554,7 @@ mod tests {
                 nodes: 2,
                 slots: 0,
                 real: true,
+                threads: 0,
             },
             &mut out,
         )

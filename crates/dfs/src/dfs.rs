@@ -227,6 +227,46 @@ impl Dfs {
         Ok(receipt)
     }
 
+    /// Per-block replica selection shared by [`Dfs::read_file`] and
+    /// [`Dfs::read_receipt`]: candidates are tried in locality order
+    /// (reader-local, same-rack, then the rest) and the first datanode
+    /// actually holding the payload serves. `DataNode::get` is called on the
+    /// serving node, so its read counter advances the same way for both
+    /// entry points. Returns `None` when no replica can serve.
+    fn serve_block(
+        st: &mut DfsState,
+        config: &DfsConfig,
+        reader: Option<NodeId>,
+        block: &BlockMeta,
+    ) -> Option<(NodeId, Bytes)> {
+        let mut candidates: Vec<NodeId> = Vec::with_capacity(block.replicas.len());
+        if let Some(r) = reader.filter(|r| block.replicas.contains(r)) {
+            candidates.push(r);
+        }
+        if let Some(reader_rack) = reader.map(|r| config.rack_of(r)) {
+            candidates.extend(
+                block
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != reader && config.rack_of(n) == reader_rack),
+            );
+        }
+        let rest: Vec<NodeId> = block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| !candidates.contains(n))
+            .collect();
+        candidates.extend(rest);
+        for source in candidates {
+            if let Some(data) = st.datanodes[source.0 as usize].get(block.id) {
+                return Some((source, data));
+            }
+        }
+        None
+    }
+
     /// Reads a whole file. Per block, replicas are tried in locality order —
     /// reader-local first, then same-rack, then the rest — and the read fails
     /// over to the next replica when one does not actually hold the payload.
@@ -238,37 +278,11 @@ impl Dfs {
         let mut out = bytes::BytesMut::with_capacity(blocks.iter().map(|b| b.len as usize).sum());
         let mut receipt = IoReceipt::default();
         for (idx, block) in blocks.iter().enumerate() {
-            let mut candidates: Vec<NodeId> = Vec::with_capacity(block.replicas.len());
-            if let Some(r) = reader.filter(|r| block.replicas.contains(r)) {
-                candidates.push(r);
-            }
-            if let Some(reader_rack) = reader.map(|r| self.config.rack_of(r)) {
-                candidates.extend(
-                    block
-                        .replicas
-                        .iter()
-                        .copied()
-                        .filter(|&n| Some(n) != reader && self.config.rack_of(n) == reader_rack),
-                );
-            }
-            let rest: Vec<NodeId> = block
-                .replicas
-                .iter()
-                .copied()
-                .filter(|n| !candidates.contains(n))
-                .collect();
-            candidates.extend(rest);
-            let mut served = None;
-            for source in candidates {
-                if let Some(data) = st.datanodes[source.0 as usize].get(block.id) {
-                    served = Some((source, data));
-                    break;
-                }
-            }
-            let (source, data) = served.ok_or_else(|| DfsError::BlockLost {
-                path: path.to_string(),
-                block: idx,
-            })?;
+            let (source, data) = Self::serve_block(&mut st, &self.config, reader, block)
+                .ok_or_else(|| DfsError::BlockLost {
+                    path: path.to_string(),
+                    block: idx,
+                })?;
             receipt.bytes += block.len;
             if reader == Some(source) {
                 receipt.local_bytes += block.len;
@@ -278,6 +292,31 @@ impl Dfs {
             out.extend_from_slice(&data);
         }
         Ok((out.freeze(), receipt))
+    }
+
+    /// Replays [`Dfs::read_file`]'s replica selection, failover, datanode
+    /// read counters, and receipt accounting without assembling the payload.
+    /// The tile cache uses this so a cache hit remains observationally
+    /// identical to a real read — including [`DfsError::BlockLost`] when the
+    /// underlying replicas have since been destroyed.
+    pub fn read_receipt(&self, path: &str, reader: Option<NodeId>) -> Result<IoReceipt> {
+        let mut st = self.state.lock();
+        let blocks = st.namenode.stat(path)?.blocks.clone();
+        let mut receipt = IoReceipt::default();
+        for (idx, block) in blocks.iter().enumerate() {
+            let (source, _data) = Self::serve_block(&mut st, &self.config, reader, block)
+                .ok_or_else(|| DfsError::BlockLost {
+                    path: path.to_string(),
+                    block: idx,
+                })?;
+            receipt.bytes += block.len;
+            if reader == Some(source) {
+                receipt.local_bytes += block.len;
+            } else {
+                receipt.remote_bytes += block.len;
+            }
+        }
+        Ok(receipt)
     }
 
     /// True if the path exists.

@@ -1,9 +1,12 @@
 //! The tile store: named matrices whose tiles live in the DFS.
 
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 
 use cumulon_matrix::gen::Generator;
 use cumulon_matrix::serialize::{decode_tile, encode_tile};
@@ -26,6 +29,94 @@ pub struct MatrixHandle {
 
 struct StoreState {
     matrices: BTreeMap<String, MatrixHandle>,
+}
+
+/// Number of independent cache shards; keyed reads on different tiles do
+/// not contend on one lock.
+const CACHE_SHARDS: usize = 16;
+
+/// Default decoded-tile cache budget.
+const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Bookkeeping size charged for phantom tiles, whose payload is metadata
+/// only (their `stored_bytes` is the *logical* size, which would evict the
+/// whole cache for no memory actually held).
+const PHANTOM_ENTRY_BYTES: u64 = 64;
+
+fn cache_entry_bytes(tile: &Tile) -> u64 {
+    if tile.is_phantom() {
+        PHANTOM_ENTRY_BYTES
+    } else {
+        tile.stored_bytes()
+    }
+}
+
+#[derive(Default)]
+struct CacheShard {
+    entries: HashMap<String, Arc<Tile>>,
+    /// FIFO eviction order of keys currently present.
+    order: VecDeque<String>,
+    bytes: u64,
+}
+
+impl CacheShard {
+    fn remove(&mut self, key: &str) {
+        if let Some(tile) = self.entries.remove(key) {
+            self.bytes = self.bytes.saturating_sub(cache_entry_bytes(&tile));
+            self.order.retain(|k| k != key);
+        }
+    }
+}
+
+/// A sharded, byte-budgeted, FIFO-evicting cache of decoded tiles. Holding
+/// `Arc<Tile>` handles means a cache hit costs no payload copy, and readers
+/// on different shards never serialize on one lock.
+struct TileCache {
+    shards: Vec<Mutex<CacheShard>>,
+    capacity: u64,
+}
+
+impl TileCache {
+    fn new(capacity: u64) -> Self {
+        TileCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            capacity,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<CacheShard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<Tile>> {
+        self.shard(key).lock().entries.get(key).cloned()
+    }
+
+    fn insert(&self, key: &str, tile: Arc<Tile>) {
+        let size = cache_entry_bytes(&tile);
+        if size > self.capacity {
+            return;
+        }
+        let mut shard = self.shard(key).lock();
+        shard.remove(key);
+        shard.entries.insert(key.to_string(), tile);
+        shard.order.push_back(key.to_string());
+        shard.bytes += size;
+        // Per-shard budget so the aggregate stays near `capacity`.
+        let budget = (self.capacity / CACHE_SHARDS as u64).max(size);
+        while shard.bytes > budget {
+            let Some(victim) = shard.order.front().cloned() else {
+                break;
+            };
+            shard.remove(&victim);
+        }
+    }
+
+    fn invalidate(&self, key: &str) {
+        self.shard(key).lock().remove(key);
+    }
 }
 
 /// Rescales an I/O receipt from the `actual` on-the-wire byte count to the
@@ -51,16 +142,24 @@ fn scale_receipt(r: IoReceipt, actual: u64, logical: u64) -> IoReceipt {
 pub struct TileStore {
     dfs: Dfs,
     state: Arc<RwLock<StoreState>>,
+    cache: Arc<TileCache>,
 }
 
 impl TileStore {
     /// Creates a tile store over a DFS.
     pub fn new(dfs: Dfs) -> Self {
+        Self::with_cache_capacity(dfs, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Creates a tile store with an explicit decoded-tile cache budget in
+    /// bytes (`0` disables caching).
+    pub fn with_cache_capacity(dfs: Dfs, cache_bytes: u64) -> Self {
         TileStore {
             dfs,
             state: Arc::new(RwLock::new(StoreState {
                 matrices: BTreeMap::new(),
             })),
+            cache: Arc::new(TileCache::new(cache_bytes)),
         }
     }
 
@@ -123,6 +222,28 @@ impl TileStore {
         self.state.read().matrices.keys().cloned().collect()
     }
 
+    /// Validates that a tile's dims match slot `(ti, tj)` of a registered
+    /// matrix, returning the handle. Deferred-write task contexts run this
+    /// at staging time so in-task error behavior matches an eager write.
+    pub fn validate_tile(
+        &self,
+        name: &str,
+        ti: usize,
+        tj: usize,
+        tile: &Tile,
+    ) -> Result<MatrixHandle> {
+        let handle = self.lookup(name)?;
+        let want = handle.meta.tile_dims(ti, tj);
+        if (tile.rows(), tile.cols()) != want {
+            return Err(DfsError::Codec(format!(
+                "tile ({ti},{tj}) of {name} has dims ({}, {}), expected {want:?}",
+                tile.rows(),
+                tile.cols()
+            )));
+        }
+        Ok(handle)
+    }
+
     /// Writes one tile of a registered matrix from `writer`'s node.
     pub fn write_tile(
         &self,
@@ -133,32 +254,46 @@ impl TileStore {
         writer: Option<NodeId>,
     ) -> Result<IoReceipt> {
         // Validate registration and dims.
-        let handle = self.lookup(name)?;
-        let want = handle.meta.tile_dims(ti, tj);
-        if (tile.rows(), tile.cols()) != want {
-            return Err(DfsError::Codec(format!(
-                "tile ({ti},{tj}) of {name} has dims ({}, {}), expected {want:?}",
-                tile.rows(),
-                tile.cols()
-            )));
-        }
+        self.validate_tile(name, ti, tj, tile)?;
+        self.write_tile_encoded(name, ti, tj, encode_tile(tile), tile.stored_bytes(), writer)
+    }
+
+    /// Writes one pre-encoded tile. Deferred-write task contexts encode at
+    /// staging time (so the compute cost lands on the worker) and commit
+    /// through this entry point; dims must already have been validated via
+    /// [`TileStore::validate_tile`].
+    pub fn write_tile_encoded(
+        &self,
+        name: &str,
+        ti: usize,
+        tj: usize,
+        encoded: Bytes,
+        stored_bytes: u64,
+        writer: Option<NodeId>,
+    ) -> Result<IoReceipt> {
         let path = Self::tile_path(name, ti, tj);
         if self.dfs.exists(&path) {
             // Re-execution after task failure overwrites the old output.
             self.dfs.delete_file(&path)?;
         }
-        let encoded = encode_tile(tile);
         let actual = encoded.len() as u64;
         let receipt = self.dfs.write_file(&path, encoded, writer)?;
+        self.cache.invalidate(&path);
         // Phantom tiles are tiny on the wire but stand in for full-size
         // data: rescale the receipt to the tile's logical stored size so
         // simulated-scale runs charge realistic I/O.
-        Ok(scale_receipt(receipt, actual, tile.stored_bytes()))
+        Ok(scale_receipt(receipt, actual, stored_bytes))
     }
 
-    /// Reads one tile; generated matrices synthesize the tile locally (no
-    /// I/O receipt — generation is CPU, charged by the caller via
-    /// [`cumulon_matrix::ops`]).
+    /// Reads one tile as a shared handle; generated matrices synthesize the
+    /// tile locally (no I/O receipt — generation is CPU, charged by the
+    /// caller via [`cumulon_matrix::ops`]).
+    ///
+    /// Decoded DFS-backed tiles are cached: a hit returns the shared handle
+    /// without copying the payload, while the receipt (and the datanode
+    /// read counters, and any [`DfsError::BlockLost`]) is replayed through
+    /// [`Dfs::read_receipt`] so timing and fault behavior are bit-identical
+    /// to a cold read.
     ///
     /// `phantom` requests metadata-only tiles for simulated-scale runs.
     pub fn read_tile(
@@ -168,14 +303,19 @@ impl TileStore {
         tj: usize,
         reader: Option<NodeId>,
         phantom: bool,
-    ) -> Result<(Tile, IoReceipt)> {
+    ) -> Result<(Arc<Tile>, IoReceipt)> {
         let handle = self.lookup(name)?;
         if let Some(generator) = handle.generator {
-            let tile = if phantom {
-                generator.generate_phantom(&handle.meta, ti, tj)
-            } else {
-                generator.generate(&handle.meta, ti, tj)
-            };
+            if phantom {
+                let tile = generator.generate_phantom(&handle.meta, ti, tj);
+                return Ok((Arc::new(tile), IoReceipt::default()));
+            }
+            let path = Self::tile_path(name, ti, tj);
+            if let Some(tile) = self.cache.get(&path) {
+                return Ok((tile, IoReceipt::default()));
+            }
+            let tile = Arc::new(generator.generate(&handle.meta, ti, tj));
+            self.cache.insert(&path, tile.clone());
             return Ok((tile, IoReceipt::default()));
         }
         let path = Self::tile_path(name, ti, tj);
@@ -185,10 +325,16 @@ impl TileStore {
                 tile: (ti, tj),
             });
         }
+        if let Some(tile) = self.cache.get(&path) {
+            let receipt = self.dfs.read_receipt(&path, reader)?;
+            let receipt = scale_receipt(receipt, receipt.bytes, tile.stored_bytes());
+            return Ok((tile, receipt));
+        }
         let (bytes, receipt) = self.dfs.read_file(&path, reader)?;
         let actual = bytes.len() as u64;
-        let tile = decode_tile(bytes)?;
+        let tile = Arc::new(decode_tile(bytes)?);
         let receipt = scale_receipt(receipt, actual, tile.stored_bytes());
+        self.cache.insert(&path, tile.clone());
         Ok((tile, receipt))
     }
 
@@ -251,12 +397,11 @@ impl TileStore {
                 .remove(name)
                 .ok_or_else(|| DfsError::MatrixNotFound(name.to_string()))?
         };
-        if handle.generator.is_none() {
-            for (ti, tj) in handle.meta.grid().iter() {
-                let path = Self::tile_path(name, ti, tj);
-                if self.dfs.exists(&path) {
-                    self.dfs.delete_file(&path)?;
-                }
+        for (ti, tj) in handle.meta.grid().iter() {
+            let path = Self::tile_path(name, ti, tj);
+            self.cache.invalidate(&path);
+            if handle.generator.is_none() && self.dfs.exists(&path) {
+                self.dfs.delete_file(&path)?;
             }
         }
         Ok(())
@@ -279,7 +424,10 @@ impl TileStore {
             .meta
             .grid()
             .iter()
-            .map(|(ti, tj)| self.read_tile(name, ti, tj, None, false).map(|(t, _)| t))
+            .map(|(ti, tj)| {
+                self.read_tile(name, ti, tj, None, false)
+                    .map(|(t, _)| Arc::unwrap_or_clone(t))
+            })
             .collect::<Result<Vec<_>>>()?;
         LocalMatrix::from_tiles(handle.meta, tiles).map_err(DfsError::from)
     }

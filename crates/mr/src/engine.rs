@@ -15,7 +15,7 @@
 //! Values are [`TaggedTile`]s so joins (e.g. pairing A- and B-operand tiles
 //! in a matrix-multiply reducer) can tell their inputs apart.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -41,8 +41,9 @@ pub struct TaggedTile {
     pub tag: u8,
     /// Join index (e.g. the shared dimension `k` in a multiply).
     pub k: u32,
-    /// The payload.
-    pub tile: Tile,
+    /// The payload. Shared so a mapper fanning one tile out to many keys
+    /// emits handles, not deep copies.
+    pub tile: Arc<Tile>,
 }
 
 impl TaggedTile {
@@ -120,7 +121,12 @@ pub struct MrJobSpec {
     pub deps: Vec<usize>,
 }
 
-type ShuffleBuf = Arc<Mutex<HashMap<ReduceKey, Vec<TaggedTile>>>>;
+/// One slot per map task, filled with that mapper's emissions. Slots keep
+/// shuffle contents independent of mapper *completion* order (map tasks may
+/// run concurrently on the worker pool, and a retried attempt simply
+/// overwrites its own slot); reducers merge slots in mapper-index order, so
+/// reduce input order is canonical.
+type ShuffleBuf = Arc<Mutex<Vec<Option<Vec<(ReduceKey, TaggedTile)>>>>>;
 
 /// Deterministic key → reducer partitioner.
 pub fn partition(key: ReduceKey, reducers: usize) -> usize {
@@ -176,7 +182,7 @@ impl MrEngine {
 
         for spec in &specs {
             let cluster_deps: Vec<usize> = spec.deps.iter().map(|&d| final_phase[d]).collect();
-            let shuffle: ShuffleBuf = Arc::new(Mutex::new(HashMap::new()));
+            let shuffle: ShuffleBuf = Arc::new(Mutex::new(vec![None; spec.mappers.len()]));
 
             // --- map phase -------------------------------------------------
             let mut map_tasks = Vec::with_capacity(spec.mappers.len());
@@ -204,10 +210,7 @@ impl MrEngine {
                             remote_bytes: 0,
                         });
                     }
-                    let mut buf = shuffle.lock();
-                    for (key, value) in emitter.out {
-                        buf.entry(key).or_default().push(value);
-                    }
+                    shuffle.lock()[idx] = Some(emitter.out);
                     Ok(())
                 }));
             }
@@ -240,16 +243,20 @@ impl MrEngine {
                     };
                     reduce_tasks.push(Task::new(move |ctx| {
                         ctx.charge_seconds(startup);
-                        // This reducer's partition, in deterministic order.
+                        // This reducer's partition: keys sorted, values in
+                        // mapper-index order then emission order — canonical
+                        // regardless of which order the map tasks finished.
                         let mine: Vec<(ReduceKey, Vec<TaggedTile>)> = {
                             let buf = shuffle.lock();
-                            let mut keys: Vec<ReduceKey> = buf
-                                .keys()
-                                .copied()
-                                .filter(|&k| partition(k, reducers) == r)
-                                .collect();
-                            keys.sort_unstable();
-                            keys.iter().map(|k| (*k, buf[k].clone())).collect()
+                            let mut grouped: BTreeMap<ReduceKey, Vec<TaggedTile>> = BTreeMap::new();
+                            for entries in buf.iter().flatten() {
+                                for (key, value) in entries {
+                                    if partition(*key, reducers) == r {
+                                        grouped.entry(*key).or_default().push(value.clone());
+                                    }
+                                }
+                            }
+                            grouped.into_iter().collect()
                         };
                         let fetched: u64 = mine
                             .iter()
@@ -331,7 +338,7 @@ mod tests {
                 TaggedTile {
                     tag: 0,
                     k: 0,
-                    tile: identity_tile(2),
+                    tile: Arc::new(identity_tile(2)),
                 },
             );
             Ok(())
@@ -368,7 +375,7 @@ mod tests {
                 TaggedTile {
                     tag: 0,
                     k: 0,
-                    tile: identity_tile(2),
+                    tile: Arc::new(identity_tile(2)),
                 },
             );
             Ok(())
@@ -483,7 +490,7 @@ mod tests {
                         TaggedTile {
                             tag: 0,
                             k: 0,
-                            tile: identity_tile(2),
+                            tile: Arc::new(identity_tile(2)),
                         },
                     );
                 }

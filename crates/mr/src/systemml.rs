@@ -490,7 +490,7 @@ fn cpmm_jobs(
         let mut acc: Option<Tile> = None;
         for v in values {
             match &mut acc {
-                None => acc = Some(v.tile.clone()),
+                None => acc = Some((*v.tile).clone()),
                 Some(c) => {
                     ctx.charge(mops::add_work(c, &v.tile));
                     c.add_assign(&v.tile)?;
@@ -539,7 +539,7 @@ fn elementwise_job(
                     TaggedTile {
                         tag: 0,
                         k: 0,
-                        tile: c,
+                        tile: Arc::new(c),
                     },
                 );
             }
@@ -580,7 +580,7 @@ fn transpose_job(
                     TaggedTile {
                         tag: 0,
                         k: 0,
-                        tile: t.transpose(),
+                        tile: Arc::new(t.transpose()),
                     },
                 );
             }
@@ -615,8 +615,9 @@ fn scale_job(
         let (a, out) = (a.to_string(), out.to_string());
         mappers.push(Arc::new(move |ctx, em| {
             for &(ti, tj) in &chunk {
-                let mut t = ctx.read_tile(&a, ti, tj)?;
+                let t = ctx.read_tile(&a, ti, tj)?;
                 ctx.charge(mops::map_work(&t));
+                let mut t = Arc::unwrap_or_clone(t);
                 t.scale(factor);
                 ctx.write_tile(&out, ti, tj, &t)?;
             }
