@@ -1,10 +1,18 @@
-//! CI bench smoke: a quick GEMM kernel timing plus one end-to-end
-//! Real-mode run executed at 1 worker thread and at N, verifying the two
-//! runs are bitwise-identical while the parallel one is faster.
+//! CI bench smoke and regression gate: GEMM kernel timings, a parallel
+//! GEMM end-to-end row, and one end-to-end Real-mode run executed at 1
+//! worker thread and at N, verifying the two runs are bitwise-identical
+//! and that the parallel executor clears committed speed thresholds.
 //!
 //! Emits `BENCH_gemm.json` and `BENCH_e2e.json` in the working directory
-//! (machine-readable, one object per line) and prints a human summary.
-//! Exits non-zero if the parallel run diverges from the sequential one.
+//! (machine-readable) and prints a human summary. Exit is non-zero if:
+//!
+//! * the parallel run diverges bitwise from the sequential one (any host);
+//! * the e2e speedup at [`E2E_THREADS`] threads falls below
+//!   [`MIN_SPEEDUP`] on a host with at least [`E2E_THREADS`] cores;
+//! * the speedup falls below [`OVERHEAD_FLOOR`] on any host — parallel
+//!   execution must never be materially slower than sequential (the
+//!   regression class this gate exists for: the pre-lookahead executor
+//!   ran at 0.49x on a single-core host).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,11 +27,22 @@ use cumulon::matrix::gen::Generator;
 use cumulon::matrix::{DenseTile, LocalMatrix, MatrixMeta};
 
 const E2E_THREADS: usize = 4;
+/// Committed e2e speedup floor at `E2E_THREADS` threads, enforced only on
+/// hosts with at least that many cores (wall-clock parallel speedup is
+/// unattainable on fewer).
+const MIN_SPEEDUP: f64 = 1.5;
+/// Committed overhead floor on any host: the parallel executor may never
+/// run materially slower than the sequential one.
+const OVERHEAD_FLOOR: f64 = 0.8;
 const META: MatrixMeta = MatrixMeta {
     rows: 1536,
     cols: 1536,
     tile_size: 256,
 };
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 fn main() {
     gemm_smoke();
@@ -32,7 +51,7 @@ fn main() {
 
 fn gemm_smoke() {
     let mut json = String::from("[");
-    for (i, n) in [256usize, 512].into_iter().enumerate() {
+    for (i, n) in [256usize, 512, 1024].into_iter().enumerate() {
         let a = cumulon::matrix::gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
         let b = cumulon::matrix::gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
         let mut c = DenseTile::zeros(n, n);
@@ -52,8 +71,74 @@ fn gemm_smoke() {
             "{{\"kernel\":\"gemm_blocked\",\"n\":{n},\"seconds\":{secs:.6},\"gflops\":{gflops:.3}}}"
         );
     }
+    // Parallel-GEMM smoke: the same multiply driven through the cluster
+    // executor with threads = 0 (all host cores), exercising the lookahead
+    // pool end to end.
+    let (secs, n) = gemm_parallel_e2e();
+    let gflops = 2.0 * (n as f64).powi(3) / 1e9 / secs;
+    println!(
+        "gemm e2e n={n} threads=0: {:.1}ms ({gflops:.2} GF/s)",
+        secs * 1e3
+    );
+    let _ = write!(
+        json,
+        ",{{\"kernel\":\"gemm_parallel_e2e\",\"n\":{n},\"threads\":0,\
+         \"seconds\":{secs:.6},\"gflops\":{gflops:.3}}}"
+    );
     json.push(']');
     std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+}
+
+/// One Real-mode C = A x B at 1024^2 (4x4 tile grid) on all host cores.
+/// Returns (wall seconds, n).
+fn gemm_parallel_e2e() -> (f64, usize) {
+    const N: usize = 1024;
+    set_default_threads(0);
+    let meta = MatrixMeta {
+        rows: N,
+        cols: N,
+        tile_size: 256,
+    };
+    let cluster = Cluster::provision_with(
+        ClusterSpec::named("m1.large", 4, 2).unwrap(),
+        Default::default(),
+        DfsConfig::default(),
+    )
+    .unwrap();
+    let store = cluster.store();
+    store
+        .register_generated("A", meta, Generator::DenseGaussian { seed: 11 })
+        .unwrap();
+    store
+        .register_generated("B", meta, Generator::DenseGaussian { seed: 13 })
+        .unwrap();
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let bb = b.input("B");
+    let c = b.mul(a, bb);
+    b.output("C", c);
+    let program = b.build();
+    let mut inputs = BTreeMap::new();
+    for name in ["A", "B"] {
+        inputs.insert(
+            name.to_string(),
+            InputDesc {
+                meta,
+                density: 1.0,
+                sparse: false,
+                generated: true,
+            },
+        );
+    }
+    let mut model = CostModel::default();
+    for i in catalog() {
+        model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+    }
+    let opt = Optimizer::new(model);
+    let t0 = Instant::now();
+    opt.execute_on(&cluster, &program, &inputs, "gemm_par", ExecMode::Real)
+        .unwrap();
+    (t0.elapsed().as_secs_f64(), N)
 }
 
 /// Canonical fingerprint of a run: every float by bit pattern, every
@@ -143,24 +228,40 @@ fn e2e_once(threads: usize) -> (f64, String, LocalMatrix) {
 }
 
 fn e2e_smoke() {
+    let cores = host_cores();
     let (seq_s, seq_fp, seq_out) = e2e_once(1);
     let (par_s, par_fp, par_out) = e2e_once(E2E_THREADS);
     let identical = seq_fp == par_fp && seq_out == par_out;
     let speedup = seq_s / par_s;
     println!(
         "e2e G=A'A {}x{} t{}: 1 thread {seq_s:.2}s, {E2E_THREADS} threads {par_s:.2}s \
-         ({speedup:.2}x), bitwise identical: {identical}",
+         ({speedup:.2}x on {cores} core(s)), bitwise identical: {identical}",
         META.rows, META.cols, META.tile_size,
     );
     let json = format!(
         "{{\"experiment\":\"e2e_gram_1536\",\"seq_seconds\":{seq_s:.4},\
          \"par_seconds\":{par_s:.4},\"threads\":{E2E_THREADS},\
-         \"speedup\":{speedup:.3},\"bitwise_identical\":{identical}}}"
+         \"speedup\":{speedup:.3},\"host_cores\":{cores},\
+         \"bitwise_identical\":{identical}}}"
     );
     std::fs::write("BENCH_e2e.json", json).expect("write BENCH_e2e.json");
     if !identical {
-        eprintln!("PARALLEL RUN DIVERGED FROM SEQUENTIAL RUN");
+        eprintln!("GATE FAIL: parallel run diverged from sequential run");
         eprintln!("--- sequential ---\n{seq_fp}\n--- parallel ---\n{par_fp}");
+        std::process::exit(1);
+    }
+    if speedup < OVERHEAD_FLOOR {
+        eprintln!(
+            "GATE FAIL: parallel executor overhead: speedup {speedup:.3} \
+             below floor {OVERHEAD_FLOOR} (host has {cores} core(s))"
+        );
+        std::process::exit(1);
+    }
+    if cores >= E2E_THREADS && speedup < MIN_SPEEDUP {
+        eprintln!(
+            "GATE FAIL: e2e speedup {speedup:.3} below committed threshold \
+             {MIN_SPEEDUP} at {E2E_THREADS} threads on {cores} cores"
+        );
         std::process::exit(1);
     }
 }

@@ -9,11 +9,9 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
 use cumulon_dfs::dfs::NodeId;
 use cumulon_dfs::{IoReceipt, TileStore};
 use cumulon_matrix::ops::Work;
-use cumulon_matrix::serialize::{decode_tile, encode_tile};
 use cumulon_matrix::Tile;
 
 use crate::error::{ClusterError, Result};
@@ -67,9 +65,10 @@ impl TaskReceipt {
 }
 
 /// One output-tile write staged by a deferred-write [`TaskCtx`]. The tile
-/// is encoded on the worker (so the serialization cost parallelizes); the
-/// scheduler commits staged writes in canonical task order, which replays
-/// the DFS placement RNG draws exactly as a sequential run would.
+/// stays a shared handle (no encoding on the write path); the scheduler
+/// commits staged writes in canonical task order, which replays the DFS
+/// placement RNG draws exactly as a sequential run would.
+#[derive(Clone)]
 pub struct StagedWrite {
     /// Destination matrix name.
     pub matrix: String,
@@ -77,11 +76,55 @@ pub struct StagedWrite {
     pub ti: usize,
     /// Tile column index.
     pub tj: usize,
-    /// Pre-encoded tile payload.
-    pub encoded: Bytes,
+    /// The output tile, shared.
+    pub tile: Arc<Tile>,
     /// Logical stored size of the tile (for receipt rescaling and memory
     /// accounting).
     pub stored_bytes: u64,
+}
+
+/// One operation recorded by a recording [`TaskCtx`] (see
+/// [`TaskCtx::new_recording`]). A speculative execution logs every
+/// context interaction in program order; replaying the log against a fresh
+/// context at the canonical time reproduces the exact receipt — including
+/// f64 accumulation order — the task would have produced had it run then,
+/// as long as every replayed read still returns the recorded tile.
+#[derive(Clone)]
+pub enum TaskOp {
+    /// A successful tile read and the handle it returned.
+    Read {
+        /// Source matrix name.
+        matrix: String,
+        /// Tile row index.
+        ti: usize,
+        /// Tile column index.
+        tj: usize,
+        /// The tile the recording read returned (for replay validation).
+        tile: Arc<Tile>,
+    },
+    /// A successful tile write.
+    Write {
+        /// Destination matrix name.
+        matrix: String,
+        /// Tile row index.
+        ti: usize,
+        /// Tile column index.
+        tj: usize,
+        /// The written tile, shared.
+        tile: Arc<Tile>,
+    },
+    /// [`TaskCtx::charge`].
+    Charge(Work),
+    /// [`TaskCtx::charge_mem_mb`].
+    ChargeMem(f64),
+    /// [`TaskCtx::charge_read_io`].
+    ChargeReadIo(IoReceipt),
+    /// [`TaskCtx::charge_write_io`].
+    ChargeWriteIo(IoReceipt),
+    /// [`TaskCtx::charge_seconds`].
+    ChargeSeconds(f64),
+    /// [`TaskCtx::charge_io_ops`].
+    ChargeIoOps(u64),
 }
 
 /// Whether tile writes hit the store immediately or are staged for an
@@ -101,6 +144,8 @@ pub struct TaskCtx {
     pub mode: ExecMode,
     receipt: TaskReceipt,
     writes: WriteMode,
+    /// Present in recording mode: the op log for later replay.
+    ops: Option<Vec<TaskOp>>,
 }
 
 impl TaskCtx {
@@ -113,13 +158,14 @@ impl TaskCtx {
             mode,
             receipt: TaskReceipt::default(),
             writes: WriteMode::Direct,
+            ops: None,
         }
     }
 
-    /// Creates a deferred-write context: [`TaskCtx::write_tile`] validates,
-    /// encodes, and stages instead of touching the DFS, so task compute can
-    /// run on a worker thread without perturbing the placement RNG. The
-    /// scheduler commits the staged writes in canonical task order via
+    /// Creates a deferred-write context: [`TaskCtx::write_tile`] validates
+    /// and stages instead of touching the DFS, so task compute can run on a
+    /// worker thread without perturbing the placement RNG. The scheduler
+    /// commits the staged writes in canonical task order via
     /// [`TaskCtx::into_parts`].
     pub fn new_deferred(store: TileStore, node: NodeId, mode: ExecMode) -> Self {
         TaskCtx {
@@ -128,7 +174,29 @@ impl TaskCtx {
             mode,
             receipt: TaskReceipt::default(),
             writes: WriteMode::Deferred(Vec::new()),
+            ops: None,
         }
+    }
+
+    /// Creates a recording context for lookahead speculation: deferred
+    /// writes plus an op log of every context interaction. The node is a
+    /// placeholder — recording runs before the scheduler knows where the
+    /// task will land, and nothing node-dependent survives into the log
+    /// (receipts are recomputed at replay against the real node).
+    pub fn new_recording(store: TileStore, mode: ExecMode) -> Self {
+        TaskCtx {
+            store,
+            node: NodeId(u32::MAX),
+            mode,
+            receipt: TaskReceipt::default(),
+            writes: WriteMode::Deferred(Vec::new()),
+            ops: Some(Vec::new()),
+        }
+    }
+
+    /// Consumes a recording context, returning the op log.
+    pub fn into_ops(self) -> Vec<TaskOp> {
+        self.ops.unwrap_or_default()
     }
 
     /// Consumes the context, returning the receipt accumulated so far plus
@@ -159,7 +227,7 @@ impl TaskCtx {
                 .find(|w| w.matrix == matrix && w.ti == ti && w.tj == tj)
             {
                 let stored = w.stored_bytes;
-                let tile = Arc::new(decode_tile(w.encoded.clone())?);
+                let tile = Arc::clone(&w.tile);
                 let io = IoReceipt {
                     bytes: stored,
                     local_bytes: stored,
@@ -170,6 +238,14 @@ impl TaskCtx {
                     self.receipt.io_ops += 1;
                 }
                 self.receipt.mem_mb += stored as f64 / 1e6;
+                if let Some(ops) = &mut self.ops {
+                    ops.push(TaskOp::Read {
+                        matrix: matrix.to_string(),
+                        ti,
+                        tj,
+                        tile: Arc::clone(&tile),
+                    });
+                }
                 return Ok(tile);
             }
         }
@@ -194,66 +270,113 @@ impl TaskCtx {
         // *dense logical* footprint when the tile participates in dense
         // kernels and its stored size otherwise.
         self.receipt.mem_mb += tile.stored_bytes() as f64 / 1e6;
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::Read {
+                matrix: matrix.to_string(),
+                ti,
+                tj,
+                tile: Arc::clone(&tile),
+            });
+        }
         Ok(tile)
     }
 
-    /// Writes an output tile, charging I/O and memory. Deferred contexts
-    /// validate and encode here (same in-task error points as a direct
-    /// write) but stage the payload for the scheduler to commit.
-    pub fn write_tile(&mut self, matrix: &str, ti: usize, tj: usize, tile: &Tile) -> Result<()> {
+    /// Writes an output tile, charging I/O and memory. Accepts an owned
+    /// `Tile`, an `Arc<Tile>`, or `&Tile` (cloned); hot paths hand over
+    /// ownership so no payload copy happens anywhere on the write path.
+    /// Deferred contexts validate here (same in-task error points as a
+    /// direct write) but stage the handle for the scheduler to commit.
+    pub fn write_tile(
+        &mut self,
+        matrix: &str,
+        ti: usize,
+        tj: usize,
+        tile: impl Into<Arc<Tile>>,
+    ) -> Result<()> {
+        let tile: Arc<Tile> = tile.into();
         match &mut self.writes {
             WriteMode::Direct => {
-                let io = self
-                    .store
-                    .write_tile(matrix, ti, tj, tile, Some(self.node))?;
+                let io = self.store.write_tile_arc(
+                    matrix,
+                    ti,
+                    tj,
+                    Arc::clone(&tile),
+                    Some(self.node),
+                )?;
                 self.receipt.write = self.receipt.write.add(io);
             }
             WriteMode::Deferred(staged) => {
-                self.store.validate_tile(matrix, ti, tj, tile)?;
+                self.store.validate_tile(matrix, ti, tj, &tile)?;
                 staged.push(StagedWrite {
                     matrix: matrix.to_string(),
                     ti,
                     tj,
-                    encoded: encode_tile(tile),
+                    tile: Arc::clone(&tile),
                     stored_bytes: tile.stored_bytes(),
                 });
             }
         }
         self.receipt.io_ops += 1;
         self.receipt.mem_mb += tile.stored_bytes() as f64 / 1e6;
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::Write {
+                matrix: matrix.to_string(),
+                ti,
+                tj,
+                tile,
+            });
+        }
         Ok(())
     }
 
     /// Charges kernel work (the operators call this after each kernel).
     pub fn charge(&mut self, work: Work) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::Charge(work));
+        }
         self.receipt.work = self.receipt.work.add(work);
     }
 
     /// Charges additional resident memory in MB (accumulators etc.).
     pub fn charge_mem_mb(&mut self, mb: f64) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::ChargeMem(mb));
+        }
         self.receipt.mem_mb += mb;
     }
 
     /// Charges raw read I/O not mediated by the tile store (e.g. a
     /// baseline engine's shuffle fetch).
     pub fn charge_read_io(&mut self, io: IoReceipt) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::ChargeReadIo(io));
+        }
         self.receipt.read = self.receipt.read.add(io);
     }
 
     /// Charges raw write I/O not mediated by the tile store (e.g. map
     /// output spills).
     pub fn charge_write_io(&mut self, io: IoReceipt) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::ChargeWriteIo(io));
+        }
         self.receipt.write = self.receipt.write.add(io);
     }
 
     /// Charges a fixed framework delay in seconds.
     pub fn charge_seconds(&mut self, secs: f64) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::ChargeSeconds(secs));
+        }
         self.receipt.fixed_s += secs;
     }
 
     /// Charges `n` extra DFS file operations (for engines doing raw I/O
     /// outside the tile helpers).
     pub fn charge_io_ops(&mut self, n: u64) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(TaskOp::ChargeIoOps(n));
+        }
         self.receipt.io_ops += n;
     }
 
@@ -398,7 +521,7 @@ mod tests {
     fn ctx_accounts_reads_and_writes() {
         let mut c = ctx(ExecMode::Real);
         let t = c.read_tile("A", 0, 0).unwrap();
-        c.write_tile("B", 0, 0, &t).unwrap();
+        c.write_tile("B", 0, 0, t).unwrap();
         let r = c.receipt();
         assert!(r.read.bytes > 0);
         assert_eq!(
@@ -474,6 +597,59 @@ mod tests {
     fn locality_hint_builder() {
         let t = Task::new(|_| Ok(())).with_locality("A", 1, 2);
         assert_eq!(t.locality_hint, Some(("A".to_string(), 1, 2)));
+    }
+
+    #[test]
+    fn recording_ctx_logs_ops_in_program_order() {
+        let store = TileStore::new(Dfs::new(
+            2,
+            DfsConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        ));
+        store.register("A", MatrixMeta::new(4, 4, 4)).unwrap();
+        store
+            .write_tile("A", 0, 0, &Tile::zeros(4, 4), Some(NodeId(0)))
+            .unwrap();
+        store.register("B", MatrixMeta::new(4, 4, 4)).unwrap();
+        let mut c = TaskCtx::new_recording(store, ExecMode::Real);
+        let t = c.read_tile("A", 0, 0).unwrap();
+        c.charge(Work {
+            flops: 7.0,
+            bytes_in: 0.0,
+            bytes_out: 0.0,
+        });
+        c.write_tile("B", 0, 0, Arc::clone(&t)).unwrap();
+        // Read-your-own-writes inside a recording is logged too, and the
+        // handle it returns is the staged one.
+        let back = c.read_tile("B", 0, 0).unwrap();
+        assert!(Arc::ptr_eq(&back, &t));
+        let ops = c.into_ops();
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(&ops[0], TaskOp::Read { matrix, tile, .. }
+            if matrix == "A" && Arc::ptr_eq(tile, &t)));
+        assert!(matches!(&ops[1], TaskOp::Charge(w) if w.flops == 7.0));
+        assert!(matches!(&ops[2], TaskOp::Write { matrix, .. } if matrix == "B"));
+        assert!(matches!(&ops[3], TaskOp::Read { matrix, .. } if matrix == "B"));
+    }
+
+    #[test]
+    fn staged_writes_share_the_handle() {
+        let store = TileStore::new(Dfs::new(
+            2,
+            DfsConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        ));
+        store.register("B", MatrixMeta::new(4, 4, 4)).unwrap();
+        let mut c = TaskCtx::new_deferred(store, NodeId(0), ExecMode::Real);
+        let t = Arc::new(Tile::zeros(4, 4));
+        c.write_tile("B", 0, 0, Arc::clone(&t)).unwrap();
+        let (_, staged) = c.into_parts();
+        assert_eq!(staged.len(), 1);
+        assert!(Arc::ptr_eq(&staged[0].tile, &t), "staging must not copy");
     }
 
     #[test]

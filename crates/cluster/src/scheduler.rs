@@ -1,4 +1,4 @@
-//! Wave scheduling of job DAGs over `nodes × slots`, with locality
+//! Slot-wave scheduling of job DAGs over `nodes × slots`, with locality
 //! preference, retry on task failure, and node-failure handling.
 //!
 //! The scheduler is a discrete-event simulation. When a task is assigned to
@@ -7,11 +7,29 @@
 //! the receipt into a simulated duration and a completion event is
 //! scheduled. Simulated time therefore advances only through the event
 //! queue and is fully deterministic for a given seed.
+//!
+//! ## Lookahead speculation (host parallelism)
+//!
+//! With `threads > 1`, Real-mode task *compute* runs ahead of simulated
+//! time on a persistent worker pool ([`SpecPool`], created once per run).
+//! The moment a job's dependencies complete, all its tasks are enqueued;
+//! workers execute each one against a recording [`TaskCtx`] that logs every
+//! context interaction ([`crate::job::TaskOp`]) without touching the DFS.
+//! When the DES loop later assigns the task to a slot, the recorded log is
+//! *replayed* against a fresh context bound to the real node: replayed
+//! reads recompute canonical receipts and are validated against the
+//! recorded tiles (`Arc` identity or deep equality); any mismatch or error
+//! discards the speculation and the task runs inline at canonical time,
+//! which is always sound. Replay preserves the exact operation order —
+//! including f64 accumulation order — so results, receipts, reports, and
+//! placement RNG draws are bitwise-identical at any thread count.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -23,7 +41,7 @@ use crate::cluster::ClusterSpec;
 use crate::des::{EventQueue, SimTime};
 use crate::error::{ClusterError, Result};
 use crate::hw::HardwareModel;
-use crate::job::{ExecMode, JobDag, StagedWrite, TaskCtx, TaskReceipt};
+use crate::job::{ExecMode, JobDag, StagedWrite, TaskCtx, TaskFn, TaskOp, TaskReceipt};
 use crate::metrics::{FaultStats, JobStats, RunReport, TaskStat};
 
 /// Process-wide default worker-thread count, used when
@@ -66,10 +84,11 @@ pub struct SchedulerConfig {
     /// Disable locality-aware task placement (ablation switch).
     pub ignore_locality: bool,
     /// Worker threads for task compute. `1` runs task logic inline in the
-    /// DES loop (the legacy path); `N > 1` executes each slot wave on a
-    /// pool of `N` threads with effects committed in canonical task order,
-    /// which keeps the run bitwise-identical to a sequential one; `0`
-    /// resolves to the process-wide default (see [`set_default_threads`]).
+    /// DES loop (the legacy path); `N > 1` speculates task logic ahead of
+    /// simulated time on a persistent pool of `N` workers, replaying each
+    /// recording at canonical assignment time, which keeps the run
+    /// bitwise-identical to a sequential one; `0` resolves to the
+    /// process-wide default (see [`set_default_threads`]).
     pub threads: usize,
 }
 
@@ -287,7 +306,7 @@ impl Scheduler {
     }
 }
 
-/// A task assignment made at wave-fill time. Carries everything the
+/// A task assignment made at slot-fill time. Carries everything the
 /// executor and finalizer need so task *compute* can run off-thread while
 /// all bookkeeping stays with the DES loop, applied in canonical
 /// (assignment) order.
@@ -295,7 +314,7 @@ struct WaveEntry {
     job: usize,
     task: usize,
     /// Attempt number this assignment will become. Written back to
-    /// `JobState::attempts` only at finalize so entries of an aborted wave
+    /// `JobState::attempts` only at finalize so entries of an aborted pass
     /// leave no trace, exactly like a sequential run that never reached
     /// them.
     attempt: u32,
@@ -313,8 +332,156 @@ struct ExecOutcome {
     error: Option<ClusterError>,
 }
 
+/// A task execution recorded ahead of simulated time: the operation log to
+/// replay at canonical finalize time, plus the logic error if the task
+/// failed while recording (in which case the log is discarded and the task
+/// re-runs inline — an errored recording may have stopped mid-logic).
+struct Recorded {
+    ops: Vec<TaskOp>,
+    error: Option<ClusterError>,
+}
+
+/// One unit of lookahead work: everything a worker needs to run a task's
+/// logic against a recording context, detached from any node or slot.
+struct SpecJob {
+    job: usize,
+    task: usize,
+    run: TaskFn,
+    store: TileStore,
+    mode: ExecMode,
+}
+
+/// Result slot for one speculated task. `Running` means a worker has
+/// claimed it; `take` waits on the condvar until it flips to `Done`.
+enum SpecSlot {
+    Running,
+    Done(std::thread::Result<Recorded>),
+}
+
+struct SpecState {
+    queue: VecDeque<SpecJob>,
+    results: HashMap<(usize, usize), SpecSlot>,
+    shutdown: bool,
+}
+
+/// Persistent worker pool for lookahead speculation. Created once per run
+/// (not per wave); workers park on a condvar between jobs, so feeding a
+/// task costs a queue push, not a thread spawn.
+struct SpecPool {
+    state: Arc<(Mutex<SpecState>, Condvar)>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SpecPool {
+    fn new(threads: usize) -> Self {
+        let state = Arc::new((
+            Mutex::new(SpecState {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let workers = (0..threads)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || Self::worker(state))
+            })
+            .collect();
+        SpecPool { state, workers }
+    }
+
+    fn worker(state: Arc<(Mutex<SpecState>, Condvar)>) {
+        let (lock, cvar) = &*state;
+        loop {
+            let job = {
+                let mut st = lock.lock();
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        // Marked Running under the same lock as the pop, so
+                        // `take` always sees a job as queued or slotted,
+                        // never in between.
+                        st.results.insert((job.job, job.task), SpecSlot::Running);
+                        break job;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = cvar.wait(st);
+                }
+            };
+            let recorded = catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = TaskCtx::new_recording(job.store.clone(), job.mode);
+                let error = (job.run)(&mut ctx).err();
+                Recorded {
+                    ops: ctx.into_ops(),
+                    error,
+                }
+            }));
+            let mut st = lock.lock();
+            st.results
+                .insert((job.job, job.task), SpecSlot::Done(recorded));
+            cvar.notify_all();
+        }
+    }
+
+    fn enqueue(&self, jobs: Vec<SpecJob>) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().queue.extend(jobs);
+        cvar.notify_all();
+    }
+
+    /// Claims the speculative result for `(job, task)`. A finished
+    /// recording is returned; a running one is waited for; a still-queued
+    /// one is withdrawn and `None` returned (the caller executes inline).
+    /// Each recording is consumed at most once — retries and backup copies
+    /// find nothing and fall back to inline execution, which must re-run
+    /// the logic anyway for side effects a new attempt would redo.
+    fn take(&self, job: usize, task: usize) -> Option<Recorded> {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        loop {
+            match st.results.get(&(job, task)) {
+                Some(SpecSlot::Done(_)) => {
+                    let Some(SpecSlot::Done(recorded)) = st.results.remove(&(job, task)) else {
+                        unreachable!("matched Done above");
+                    };
+                    drop(st);
+                    match recorded {
+                        Ok(rec) => return Some(rec),
+                        Err(panic) => resume_unwind(panic),
+                    }
+                }
+                Some(SpecSlot::Running) => st = cvar.wait(st),
+                None => {
+                    if let Some(pos) = st.queue.iter().position(|q| q.job == job && q.task == task)
+                    {
+                        st.queue.remove(pos);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SpecPool {
+    fn drop(&mut self) {
+        {
+            let (lock, cvar) = &*self.state;
+            let mut st = lock.lock();
+            st.shutdown = true;
+            st.queue.clear();
+            cvar.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// One in-flight DAG execution: all mutable scheduler state, so the run
-/// loop, wave fill, worker pool, and commit logic can share it through
+/// loop, slot fill, worker pool, and commit logic can share it through
 /// methods instead of a macro over locals.
 struct Exec<'a> {
     sched: &'a Scheduler,
@@ -322,8 +489,12 @@ struct Exec<'a> {
     mode: ExecMode,
     config: SchedulerConfig,
     failures: &'a FailurePlan,
-    /// Resolved worker-thread count (`1` = inline legacy execution).
-    threads: usize,
+    /// Lookahead worker pool; `None` when the run is single-threaded
+    /// (inline legacy execution).
+    pool: Option<SpecPool>,
+    /// Per-job flag: its tasks were handed to the pool (set once, the
+    /// first `fill_slots` after the job's dependencies complete).
+    spec_enqueued: Vec<bool>,
     jobs: Vec<JobState>,
     /// `dependents[j]`: jobs whose deps include `j`.
     dependents: Vec<Vec<usize>>,
@@ -390,7 +561,8 @@ impl<'a> Exec<'a> {
             mode,
             config,
             failures,
-            threads,
+            pool: (threads > 1).then(|| SpecPool::new(threads)),
+            spec_enqueued: vec![false; n_jobs],
             jobs,
             dependents,
             slot_state: vec![None; (nodes * slots) as usize],
@@ -564,16 +736,12 @@ impl<'a> Exec<'a> {
         })
     }
 
-    /// Runs one task attempt's logic. `deferred` routes tile writes into
-    /// the staging buffer (worker-pool mode) instead of the store.
-    fn execute(&self, e: &WaveEntry, deferred: bool) -> ExecOutcome {
-        let store = self.sched.store.clone();
-        let node = NodeId(e.node);
-        let mut ctx = if deferred {
-            TaskCtx::new_deferred(store, node, self.mode)
-        } else {
-            TaskCtx::new(store, node, self.mode)
-        };
+    /// Runs one task attempt's logic inline, at canonical time, writing
+    /// straight through to the store. This is the reference semantics:
+    /// the `threads == 1` path, and the fallback whenever a speculative
+    /// recording is missing, errored, or fails replay validation.
+    fn execute(&self, e: &WaveEntry) -> ExecOutcome {
+        let mut ctx = TaskCtx::new(self.sched.store.clone(), NodeId(e.node), self.mode);
         let result = (self.dag.jobs[e.job].tasks[e.task].run)(&mut ctx);
         let (receipt, staged) = ctx.into_parts();
         ExecOutcome {
@@ -583,34 +751,91 @@ impl<'a> Exec<'a> {
         }
     }
 
-    /// Executes a wave of assigned tasks on a scoped worker pool. Workers
-    /// claim entries through an atomic cursor (work stealing); each entry's
-    /// outcome lands in its own slot so commit order is the caller's
-    /// choice, not completion order. Simulated time does not advance here —
-    /// only host time.
-    fn execute_wave(&self, entries: &[WaveEntry]) -> Vec<ExecOutcome> {
-        let results: Vec<Mutex<Option<ExecOutcome>>> =
-            entries.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(entries.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(entry) = entries.get(i) else {
-                        break;
-                    };
-                    *results[i].lock() = Some(self.execute(entry, true));
+    /// Hands every task of every newly-ready job to the lookahead pool.
+    /// A job is enqueued exactly once, the first `fill_slots` after its
+    /// dependencies complete — at which point all its inputs are durable
+    /// in the DFS, so workers can read them ahead of simulated time.
+    fn spec_enqueue_ready(&mut self) {
+        let Some(pool) = &self.pool else { return };
+        let mut batch = Vec::new();
+        for j in 0..self.dag.jobs.len() {
+            if self.spec_enqueued[j] || self.jobs[j].done || self.jobs[j].remaining_deps > 0 {
+                continue;
+            }
+            self.spec_enqueued[j] = true;
+            for (t, task) in self.dag.jobs[j].tasks.iter().enumerate() {
+                batch.push(SpecJob {
+                    job: j,
+                    task: t,
+                    run: Arc::clone(&task.run),
+                    store: self.sched.store.clone(),
+                    mode: self.mode,
                 });
             }
-        });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("every wave entry was executed by a worker")
-            })
-            .collect()
+        }
+        if !batch.is_empty() {
+            pool.enqueue(batch);
+        }
+    }
+
+    /// Replays a recorded operation log against a fresh context bound to
+    /// the assignment's real node, reproducing the exact receipts and
+    /// accumulation order an inline run would produce. Reads are
+    /// re-performed (recomputing canonical read receipts) and validated
+    /// against the recorded tiles; any divergence or error returns `None`
+    /// and the caller falls back to inline execution.
+    fn try_replay(&self, e: &WaveEntry, ops: Vec<TaskOp>) -> Option<ExecOutcome> {
+        let mut ctx = TaskCtx::new_deferred(self.sched.store.clone(), NodeId(e.node), self.mode);
+        for op in ops {
+            match op {
+                TaskOp::Read {
+                    matrix,
+                    ti,
+                    tj,
+                    tile,
+                } => {
+                    let got = ctx.read_tile(&matrix, ti, tj).ok()?;
+                    if !(Arc::ptr_eq(&got, &tile) || *got == *tile) {
+                        return None;
+                    }
+                }
+                TaskOp::Write {
+                    matrix,
+                    ti,
+                    tj,
+                    tile,
+                } => ctx.write_tile(&matrix, ti, tj, tile).ok()?,
+                TaskOp::Charge(w) => ctx.charge(w),
+                TaskOp::ChargeMem(mb) => ctx.charge_mem_mb(mb),
+                TaskOp::ChargeReadIo(io) => ctx.charge_read_io(io),
+                TaskOp::ChargeWriteIo(io) => ctx.charge_write_io(io),
+                TaskOp::ChargeSeconds(s) => ctx.charge_seconds(s),
+                TaskOp::ChargeIoOps(n) => ctx.charge_io_ops(n),
+            }
+        }
+        let (receipt, staged) = ctx.into_parts();
+        Some(ExecOutcome {
+            receipt,
+            staged,
+            error: None,
+        })
+    }
+
+    /// The outcome for one assignment: a validated replay of its lookahead
+    /// recording when available, else an inline run. Both paths produce
+    /// bitwise-identical outcomes, so which one is taken — a host-timing
+    /// artifact — is unobservable in the simulation.
+    fn obtain_outcome(&self, e: &WaveEntry) -> ExecOutcome {
+        if let Some(pool) = &self.pool {
+            if let Some(rec) = pool.take(e.job, e.task) {
+                if rec.error.is_none() {
+                    if let Some(outcome) = self.try_replay(e, rec.ops) {
+                        return outcome;
+                    }
+                }
+            }
+        }
+        self.execute(e)
     }
 
     /// Applies one executed entry's effects, in canonical order: commit
@@ -632,12 +857,11 @@ impl<'a> Exec<'a> {
             // A task that errored mid-logic still committed everything it
             // wrote before the error in a sequential run; writes staged
             // before the error point replay that.
-            match self.sched.store.write_tile_encoded(
+            match self.sched.store.write_tile_arc(
                 &w.matrix,
                 w.ti,
                 w.tj,
-                w.encoded,
-                w.stored_bytes,
+                w.tile,
                 Some(NodeId(e.node)),
             ) {
                 Ok(io) => receipt.write = receipt.write.add(io),
@@ -703,15 +927,18 @@ impl<'a> Exec<'a> {
         Ok(())
     }
 
-    /// Fills every free slot with the best pending task. With one thread,
-    /// each assignment executes and finalizes inline (the legacy DES path);
-    /// with more, the whole wave is assigned first, executed concurrently,
-    /// then finalized in assignment order — bitwise-identical outcomes.
+    /// Fills every free slot with the best pending task. Each assignment
+    /// is resolved (replayed from its lookahead recording or executed
+    /// inline) and finalized on the spot, in slot order — exactly the
+    /// `threads == 1` interleaving, which is the canonical semantics.
+    /// Assignment decisions are insensitive to same-pass commits: a ready
+    /// job's inputs come from jobs that finished before this pass, so
+    /// locality lookups see the same placement either way.
     fn fill_slots(&mut self, queue: &mut EventQueue<Event>) -> Result<()> {
+        self.spec_enqueue_ready();
         let nodes = self.sched.spec.nodes;
         let slots = self.sched.spec.slots_per_node;
         let now = queue.now();
-        let mut wave: Vec<WaveEntry> = Vec::new();
         for node in 0..nodes {
             if !self.node_alive[node as usize] {
                 continue;
@@ -724,18 +951,8 @@ impl<'a> Exec<'a> {
                 let Some(entry) = self.assign(node, slot, now) else {
                     continue;
                 };
-                if self.threads == 1 {
-                    let outcome = self.execute(&entry, false);
-                    self.finalize(&entry, outcome, queue)?;
-                } else {
-                    wave.push(entry);
-                }
-            }
-        }
-        if !wave.is_empty() {
-            let outcomes = self.execute_wave(&wave);
-            for (entry, outcome) in wave.iter().zip(outcomes) {
-                self.finalize(entry, outcome, queue)?;
+                let outcome = self.obtain_outcome(&entry);
+                self.finalize(&entry, outcome, queue)?;
             }
         }
         Ok(())

@@ -80,7 +80,7 @@ pub fn aggregate(
                     acc += kind.fold(&tile);
                 }
                 let out = Tile::dense(DenseTile::from_vec(1, 1, vec![acc]));
-                ctx.write_tile(&partials_name, task_idx, 0, &out)?;
+                ctx.write_tile(&partials_name, task_idx, 0, out)?;
                 Ok(())
             })
             .with_locality(matrix, hint.0, hint.1),

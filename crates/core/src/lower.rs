@@ -471,7 +471,7 @@ fn mul_tasks(
                                 }
                             }
                             let acc = acc.expect("k band is never empty");
-                            ctx.write_tile(&out_name, i, j, &acc)?;
+                            ctx.write_tile(&out_name, i, j, acc)?;
                         }
                     }
                     Ok(())
@@ -524,7 +524,7 @@ fn add_tasks(
                         }
                     }
                     let acc = acc.expect("at least one partial");
-                    ctx.write_tile(&out, i, j, &acc)?;
+                    ctx.write_tile(&out, i, j, acc)?;
                 }
                 Ok(())
             })
@@ -584,7 +584,7 @@ fn fused_tasks(
             Task::new(move |ctx| {
                 for &(i, j) in &chunk {
                     let t = eval_fused(ctx, &expr, &inputs, i, j)?;
-                    ctx.write_tile(&out, i, j, &t)?;
+                    ctx.write_tile(&out, i, j, t)?;
                 }
                 Ok(())
             })

@@ -138,6 +138,10 @@ pub enum Command {
         /// Worker threads for task compute (0 = all host cores, 1 = the
         /// sequential legacy path). Results are identical either way.
         threads: usize,
+        /// Materialize encoded bytes on every DFS tile write instead of
+        /// zero-copy handles. Results are identical; useful for testing
+        /// the byte plane.
+        materialize_bytes: bool,
     },
     /// `explain`: show the compiled program and physical plan.
     Explain {
@@ -154,7 +158,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         CoreError::Invariant(
             "usage: cumulon <plan|run|explain> <script> --input NAME=RxC[@D][:T] ...\n\
              plan:    [--deadline MIN | --budget DOLLARS] [--max-nodes N]\n\
-             run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]"
+             run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
+                      [--materialize-bytes]"
                 .to_string(),
         )
     };
@@ -170,6 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut slots = 0u32;
     let mut real = false;
     let mut threads = 0usize;
+    let mut materialize_bytes = false;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -215,6 +221,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .map_err(|_| CoreError::Invariant("--slots needs an integer".into()))?
             }
             "--real" => real = true,
+            "--materialize-bytes" => materialize_bytes = true,
             "--threads" => {
                 threads = next_value(&mut it, "--threads")?
                     .parse()
@@ -261,6 +268,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 slots,
                 real,
                 threads,
+                materialize_bytes,
             })
         }
         "explain" => Ok(Command::Explain { script, inputs }),
@@ -340,6 +348,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             slots,
             real,
             threads,
+            materialize_bytes,
         } => {
             cumulon_cluster::set_default_threads(*threads);
             let compiled = load_script(script)?;
@@ -355,6 +364,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 ClusterSpec::named(instance, *nodes, spec_slots).map_err(CoreError::from)?,
             )
             .map_err(CoreError::from)?;
+            cluster.store().set_materialize_bytes(*materialize_bytes);
             for (i, s) in inputs.iter().enumerate() {
                 cluster
                     .store()
@@ -492,7 +502,8 @@ mod tests {
     #[test]
     fn parse_run_command() {
         let cmd = parse_args(&args(
-            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --slots 2 --real --threads 3",
+            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --slots 2 --real --threads 3 \
+             --materialize-bytes",
         ))
         .unwrap();
         assert_eq!(
@@ -505,6 +516,7 @@ mod tests {
                 slots: 2,
                 real: true,
                 threads: 3,
+                materialize_bytes: true,
             }
         );
     }
@@ -555,6 +567,7 @@ mod tests {
                 slots: 0,
                 real: true,
                 threads: 0,
+                materialize_bytes: false,
             },
             &mut out,
         )

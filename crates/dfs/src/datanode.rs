@@ -1,17 +1,60 @@
 //! Datanode block storage.
+//!
+//! Blocks live on one of two planes:
+//!
+//! * the **byte plane** ([`BlockPayload::Bytes`]) — a materialized encoded
+//!   buffer, as a real DFS would store;
+//! * the **handle plane** ([`BlockPayload::Tile`]) — a shared `Arc<Tile>`
+//!   plus the exact wire length the encoded block *would* occupy. All
+//!   byte-accounting counters use that wire length, so the two planes are
+//!   indistinguishable to receipts, placement, and storage statistics.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
+use cumulon_matrix::Tile;
 
 /// Globally unique block identifier, allocated by the namenode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u64);
 
+/// The stored form of one block replica.
+#[derive(Debug, Clone)]
+pub enum BlockPayload {
+    /// Materialized encoded bytes (checkpoints, `--materialize-bytes` mode).
+    Bytes(Bytes),
+    /// Zero-copy tile handle. `len` is the wire length this block would have
+    /// if encoded — for single-block tile files that is the full encoding;
+    /// large tiles split into multiple handle blocks that each carry a slice
+    /// of the wire length while sharing the same `Arc`.
+    Tile {
+        /// Shared payload — cloning a replica clones the handle, not data.
+        tile: Arc<Tile>,
+        /// Wire length in bytes charged for this block.
+        len: u64,
+    },
+}
+
+impl BlockPayload {
+    /// The length used for every byte-accounting purpose.
+    pub fn len(&self) -> u64 {
+        match self {
+            BlockPayload::Bytes(b) => b.len() as u64,
+            BlockPayload::Tile { len, .. } => *len,
+        }
+    }
+
+    /// True for zero-length blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Storage of one simulated datanode: block payloads plus usage counters.
 #[derive(Debug, Default)]
 pub struct DataNode {
-    blocks: HashMap<BlockId, Bytes>,
+    blocks: HashMap<BlockId, BlockPayload>,
     bytes_stored: u64,
     /// Cumulative bytes ever written to this node (for balance statistics).
     bytes_written_total: u64,
@@ -26,20 +69,21 @@ impl DataNode {
     }
 
     /// Stores a block replica.
-    pub fn put(&mut self, id: BlockId, data: Bytes) {
-        let len = data.len() as u64;
+    pub fn put(&mut self, id: BlockId, data: impl Into<BlockPayload>) {
+        let data = data.into();
+        let len = data.len();
         if let Some(old) = self.blocks.insert(id, data) {
-            self.bytes_stored -= old.len() as u64;
+            self.bytes_stored -= old.len();
         }
         self.bytes_stored += len;
         self.bytes_written_total += len;
     }
 
     /// Fetches a block replica, counting the read.
-    pub fn get(&mut self, id: BlockId) -> Option<Bytes> {
+    pub fn get(&mut self, id: BlockId) -> Option<BlockPayload> {
         let data = self.blocks.get(&id).cloned();
         if let Some(d) = &data {
-            self.bytes_read_total += d.len() as u64;
+            self.bytes_read_total += d.len();
         }
         data
     }
@@ -53,8 +97,8 @@ impl DataNode {
     pub fn evict(&mut self, id: BlockId) -> u64 {
         match self.blocks.remove(&id) {
             Some(d) => {
-                self.bytes_stored -= d.len() as u64;
-                d.len() as u64
+                self.bytes_stored -= d.len();
+                d.len()
             }
             None => 0,
         }
@@ -86,6 +130,12 @@ impl DataNode {
     }
 }
 
+impl From<Bytes> for BlockPayload {
+    fn from(b: Bytes) -> Self {
+        BlockPayload::Bytes(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,7 +147,10 @@ mod tests {
         assert_eq!(n.bytes_stored(), 5);
         assert_eq!(n.block_count(), 1);
         assert!(n.contains(BlockId(1)));
-        assert_eq!(n.get(BlockId(1)).unwrap(), Bytes::from_static(b"hello"));
+        match n.get(BlockId(1)).unwrap() {
+            BlockPayload::Bytes(b) => assert_eq!(b, Bytes::from_static(b"hello")),
+            other => panic!("expected bytes, got {other:?}"),
+        }
         assert_eq!(n.bytes_read_total(), 5);
         assert_eq!(n.evict(BlockId(1)), 5);
         assert_eq!(n.bytes_stored(), 0);
@@ -128,5 +181,30 @@ mod tests {
         let mut ids = n.block_ids();
         ids.sort();
         assert_eq!(ids, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn tile_handle_counters_use_wire_len() {
+        let mut n = DataNode::new();
+        let tile = Arc::new(Tile::zeros(4, 4));
+        n.put(
+            BlockId(7),
+            BlockPayload::Tile {
+                tile: Arc::clone(&tile),
+                len: 152,
+            },
+        );
+        assert_eq!(n.bytes_stored(), 152);
+        assert_eq!(n.bytes_written_total(), 152);
+        match n.get(BlockId(7)).unwrap() {
+            BlockPayload::Tile { tile: t, len } => {
+                assert!(Arc::ptr_eq(&t, &tile), "replica shares the Arc");
+                assert_eq!(len, 152);
+            }
+            other => panic!("expected tile handle, got {other:?}"),
+        }
+        assert_eq!(n.bytes_read_total(), 152);
+        assert_eq!(n.evict(BlockId(7)), 152);
+        assert_eq!(n.bytes_stored(), 0);
     }
 }

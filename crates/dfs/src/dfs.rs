@@ -1,14 +1,25 @@
 //! The DFS façade: files of blocks with replica placement and I/O receipts.
+//!
+//! Files live on one of two planes (see [`crate::datanode::BlockPayload`]):
+//! the byte plane ([`Dfs::write_file`]) and the zero-copy handle plane
+//! ([`Dfs::write_tile_file`]). Both planes share the same placement policy,
+//! block-splitting rule, replica bookkeeping, and receipt accounting — a
+//! handle file charges exactly the wire bytes its encoding would occupy, so
+//! receipts are bit-identical across planes. Encoding happens only when a
+//! handle file is read *as bytes* ([`Dfs::read_file`]), which is the
+//! serialization boundary checkpoints and recovery verification go through.
 
 use std::sync::Arc;
 
 use bytes::Bytes;
+use cumulon_matrix::serialize::encode_tile;
+use cumulon_matrix::Tile;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::datanode::DataNode;
+use crate::datanode::{BlockPayload, DataNode};
 use crate::error::{DfsError, Result};
 use crate::namenode::{BlockMeta, NameNode};
 
@@ -75,6 +86,16 @@ impl IoReceipt {
             remote_bytes: self.remote_bytes + other.remote_bytes,
         }
     }
+}
+
+/// What a whole-file read yields: assembled bytes (byte plane) or the shared
+/// tile handle (handle plane — the caller skips decoding entirely).
+#[derive(Debug, Clone)]
+pub enum FilePayload {
+    /// Byte-plane file: the assembled encoded payload.
+    Bytes(Bytes),
+    /// Handle-plane file: the tile itself, shared, never encoded.
+    Tile(Arc<Tile>),
 }
 
 struct DfsState {
@@ -190,14 +211,53 @@ impl Dfs {
         writer: Option<NodeId>,
         replication: usize,
     ) -> Result<IoReceipt> {
+        let total = data.len() as u64;
+        self.write_blocks(path, total, writer, replication, |offset, len| {
+            BlockPayload::Bytes(data.slice(offset as usize..(offset + len) as usize))
+        })
+    }
+
+    /// Writes a tile onto the handle plane: blocks store the shared
+    /// `Arc<Tile>` instead of encoded bytes. `wire_len` must be the exact
+    /// encoded length (see `cumulon_matrix::serialize::encoded_len`) — the
+    /// file splits into blocks of that logical size, so placement, replica
+    /// counts, and receipts match a byte-plane write of the encoding
+    /// bit-for-bit, without paying for the encoding.
+    pub fn write_tile_file(
+        &self,
+        path: &str,
+        tile: Arc<Tile>,
+        wire_len: u64,
+        writer: Option<NodeId>,
+        replication: usize,
+    ) -> Result<IoReceipt> {
+        self.write_blocks(path, wire_len, writer, replication, |_offset, len| {
+            BlockPayload::Tile {
+                tile: Arc::clone(&tile),
+                len,
+            }
+        })
+    }
+
+    /// Shared write path: namespace entry, block splitting, placement,
+    /// replica stores, receipt accounting. `payload_for(offset, len)`
+    /// supplies each block's stored form; both planes use the identical
+    /// splitting rule so the placement RNG sees the same draw sequence.
+    fn write_blocks(
+        &self,
+        path: &str,
+        total: u64,
+        writer: Option<NodeId>,
+        replication: usize,
+        payload_for: impl Fn(u64, u64) -> BlockPayload,
+    ) -> Result<IoReceipt> {
         let mut st = self.state.lock();
         st.namenode.create_file(path)?;
         let mut receipt = IoReceipt::default();
-        let total = data.len() as u64;
         let mut offset = 0u64;
         loop {
             let len = (total - offset).min(self.config.block_size);
-            let payload = data.slice(offset as usize..(offset + len) as usize);
+            let payload = payload_for(offset, len);
             let replicas = match Self::place_replicas(&mut st, &self.config, writer, replication) {
                 Ok(r) => r,
                 Err(e) => {
@@ -238,7 +298,7 @@ impl Dfs {
         config: &DfsConfig,
         reader: Option<NodeId>,
         block: &BlockMeta,
-    ) -> Option<(NodeId, Bytes)> {
+    ) -> Option<(NodeId, BlockPayload)> {
         let mut candidates: Vec<NodeId> = Vec::with_capacity(block.replicas.len());
         if let Some(r) = reader.filter(|r| block.replicas.contains(r)) {
             candidates.push(r);
@@ -273,9 +333,29 @@ impl Dfs {
     /// [`DfsError::BlockLost`] surfaces only when *no* replica can serve the
     /// block. The receipt says how many bytes were local vs remote.
     pub fn read_file(&self, path: &str, reader: Option<NodeId>) -> Result<(Bytes, IoReceipt)> {
+        let (payload, receipt) = self.read_payload(path, reader)?;
+        let bytes = match payload {
+            FilePayload::Bytes(b) => b,
+            // Serialization boundary: a handle-plane file read as bytes is
+            // encoded here, on demand.
+            FilePayload::Tile(tile) => encode_tile(&tile),
+        };
+        Ok((bytes, receipt))
+    }
+
+    /// Reads a whole file in its native plane: byte-plane files yield their
+    /// assembled bytes, handle-plane files yield the shared `Arc<Tile>`
+    /// without any encoding. Replica selection, failover, datanode read
+    /// counters, and the receipt are identical to [`Dfs::read_file`].
+    pub fn read_payload(
+        &self,
+        path: &str,
+        reader: Option<NodeId>,
+    ) -> Result<(FilePayload, IoReceipt)> {
         let mut st = self.state.lock();
         let blocks = st.namenode.stat(path)?.blocks.clone();
-        let mut out = bytes::BytesMut::with_capacity(blocks.iter().map(|b| b.len as usize).sum());
+        let mut out = bytes::BytesMut::new();
+        let mut handle: Option<Arc<Tile>> = None;
         let mut receipt = IoReceipt::default();
         for (idx, block) in blocks.iter().enumerate() {
             let (source, data) = Self::serve_block(&mut st, &self.config, reader, block)
@@ -289,9 +369,17 @@ impl Dfs {
             } else {
                 receipt.remote_bytes += block.len;
             }
-            out.extend_from_slice(&data);
+            match data {
+                BlockPayload::Bytes(b) => out.extend_from_slice(&b),
+                // A handle file carries one tile; every block shares the
+                // same Arc, so the first one is the whole payload.
+                BlockPayload::Tile { tile, .. } => handle = Some(tile),
+            }
         }
-        Ok((out.freeze(), receipt))
+        match handle {
+            Some(tile) => Ok((FilePayload::Tile(tile), receipt)),
+            None => Ok((FilePayload::Bytes(out.freeze()), receipt)),
+        }
     }
 
     /// Replays [`Dfs::read_file`]'s replica selection, failover, datanode
@@ -393,10 +481,12 @@ impl Dfs {
                 .copied()
                 .find(|&n| n != holder && !st.datanodes[n.0 as usize].contains(id));
             let Some(target) = target else { continue };
+            // Re-replication clones the payload — for handle-plane blocks
+            // that is an Arc clone, still charged at wire length.
             let data = st.datanodes[holder.0 as usize]
                 .get(id)
                 .expect("holder was just checked to contain the block");
-            let len = data.len() as u64;
+            let len = data.len();
             st.datanodes[target.0 as usize].put(id, data);
             st.namenode.add_replica(id, target)?;
             receipt.bytes += len;
@@ -681,6 +771,129 @@ mod tests {
         let (logical, physical) = d.storage_stats();
         assert_eq!(logical, 30);
         assert_eq!(physical, 90);
+    }
+}
+
+#[cfg(test)]
+mod handle_plane_tests {
+    use super::*;
+    use cumulon_matrix::serialize::{decode_tile, encoded_len};
+
+    fn dfs(nodes: u32, replication: usize, seed: u64) -> Dfs {
+        Dfs::new(
+            nodes,
+            DfsConfig {
+                replication,
+                block_size: 64,
+                seed,
+                racks: 1,
+            },
+        )
+    }
+
+    fn tile() -> Arc<Tile> {
+        Arc::new(Tile::dense(cumulon_matrix::gen::dense_uniform_tile(
+            3, 0, 0, 5, 4, -1.0, 1.0,
+        )))
+    }
+
+    #[test]
+    fn handle_write_matches_byte_write_receipts_and_placement() {
+        // Two DFS instances with the same seed: one takes the encoding, one
+        // takes the handle. Receipts, block layout, and storage stats must
+        // be identical.
+        let t = tile();
+        let enc = encode_tile(&t);
+        let a = dfs(4, 2, 99);
+        let b = dfs(4, 2, 99);
+        let ra = a.write_file("/t", enc.clone(), Some(NodeId(1))).unwrap();
+        let rb = b
+            .write_tile_file("/t", Arc::clone(&t), encoded_len(&t), Some(NodeId(1)), 2)
+            .unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.storage_stats(), b.storage_stats());
+        let (ba, meta_a) = {
+            let st = a.state.lock();
+            let m = st.namenode.stat("/t").unwrap();
+            (
+                m.len(),
+                m.blocks
+                    .iter()
+                    .map(|x| x.replicas.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (bb, meta_b) = {
+            let st = b.state.lock();
+            let m = st.namenode.stat("/t").unwrap();
+            (
+                m.len(),
+                m.blocks
+                    .iter()
+                    .map(|x| x.replicas.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(ba, bb);
+        assert_eq!(meta_a, meta_b);
+        // Read receipts also agree, and the byte read of the handle file
+        // reproduces the encoding exactly.
+        let (bytes_a, rr_a) = a.read_file("/t", Some(NodeId(0))).unwrap();
+        let (bytes_b, rr_b) = b.read_file("/t", Some(NodeId(0))).unwrap();
+        assert_eq!(rr_a, rr_b);
+        assert_eq!(bytes_a, bytes_b);
+        assert_eq!(bytes_b, enc);
+    }
+
+    #[test]
+    fn read_payload_returns_shared_handle() {
+        let d = dfs(3, 2, 5);
+        let t = tile();
+        d.write_tile_file("/t", Arc::clone(&t), encoded_len(&t), Some(NodeId(0)), 2)
+            .unwrap();
+        let (payload, _) = d.read_payload("/t", Some(NodeId(0))).unwrap();
+        match payload {
+            FilePayload::Tile(got) => assert!(Arc::ptr_eq(&got, &t), "no copy on read"),
+            FilePayload::Bytes(_) => panic!("handle file came back as bytes"),
+        }
+        // Byte-plane files still come back as bytes.
+        d.write_file("/b", Bytes::from(vec![1u8; 10]), None)
+            .unwrap();
+        let (payload, _) = d.read_payload("/b", None).unwrap();
+        assert!(matches!(payload, FilePayload::Bytes(_)));
+    }
+
+    #[test]
+    fn handle_survives_node_kill_via_rereplication() {
+        let d = dfs(4, 2, 3);
+        let t = tile();
+        d.write_tile_file("/t", Arc::clone(&t), encoded_len(&t), Some(NodeId(0)), 2)
+            .unwrap();
+        d.kill_node(NodeId(0)).unwrap();
+        let (payload, _) = d.read_payload("/t", None).unwrap();
+        match payload {
+            FilePayload::Tile(got) => assert!(Arc::ptr_eq(&got, &t)),
+            FilePayload::Bytes(_) => panic!("handle file came back as bytes"),
+        }
+    }
+
+    #[test]
+    fn multi_block_handle_file_roundtrips() {
+        // block_size 64 forces the ~180-byte encoding into multiple handle
+        // blocks; the byte read must still reassemble the exact encoding.
+        let d = dfs(4, 2, 3);
+        let t = tile();
+        let wire = encoded_len(&t);
+        assert!(wire > 64, "test needs a multi-block file");
+        d.write_tile_file("/t", Arc::clone(&t), wire, None, 2)
+            .unwrap();
+        {
+            let st = d.state.lock();
+            assert!(st.namenode.stat("/t").unwrap().blocks.len() > 1);
+        }
+        let (bytes, r) = d.read_file("/t", None).unwrap();
+        assert_eq!(r.bytes, wire);
+        assert_eq!(decode_tile(bytes).unwrap(), *t);
     }
 }
 

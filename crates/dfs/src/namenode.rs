@@ -11,7 +11,9 @@ use crate::error::{DfsError, Result};
 pub struct BlockMeta {
     /// Block identifier.
     pub id: BlockId,
-    /// Payload size in bytes.
+    /// Payload size in bytes. Always the *wire* (encoded) length, even for
+    /// handle-plane blocks that store an `Arc<Tile>` instead of bytes — so
+    /// placement, stats, and receipts are plane-independent.
     pub len: u64,
     /// Datanodes currently holding a replica.
     pub replicas: Vec<NodeId>,

@@ -9,10 +9,10 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use cumulon_matrix::gen::Generator;
-use cumulon_matrix::serialize::{decode_tile, encode_tile};
+use cumulon_matrix::serialize::{decode_tile, encode_tile, encoded_len};
 use cumulon_matrix::{LocalMatrix, MatrixMeta, Tile};
 
-use crate::dfs::{Dfs, IoReceipt, NodeId};
+use crate::dfs::{Dfs, FilePayload, IoReceipt, NodeId};
 use crate::error::{DfsError, Result};
 
 /// Registry entry for a stored matrix.
@@ -29,6 +29,11 @@ pub struct MatrixHandle {
 
 struct StoreState {
     matrices: BTreeMap<String, MatrixHandle>,
+    /// When set, tile writes materialize encoded bytes (the pre-handle-plane
+    /// behavior) instead of storing `Arc<Tile>` handles. Kept for tests and
+    /// the `--materialize-bytes` CLI mode; receipts and results must be
+    /// identical either way.
+    materialize_bytes: bool,
 }
 
 /// Number of independent cache shards; keyed reads on different tiles do
@@ -158,6 +163,7 @@ impl TileStore {
             dfs,
             state: Arc::new(RwLock::new(StoreState {
                 matrices: BTreeMap::new(),
+                materialize_bytes: false,
             })),
             cache: Arc::new(TileCache::new(cache_bytes)),
         }
@@ -166,6 +172,19 @@ impl TileStore {
     /// The underlying DFS.
     pub fn dfs(&self) -> &Dfs {
         &self.dfs
+    }
+
+    /// Forces tile writes onto the byte plane (encode on write, decode on
+    /// read) instead of the zero-copy handle plane. Receipts, placement,
+    /// and results are identical either way; this mode exists so tests can
+    /// assert that equivalence and exercise the codec end-to-end.
+    pub fn set_materialize_bytes(&self, on: bool) {
+        self.state.write().materialize_bytes = on;
+    }
+
+    /// Whether writes currently materialize encoded bytes.
+    pub fn materialize_bytes(&self) -> bool {
+        self.state.read().materialize_bytes
     }
 
     fn tile_path(name: &str, ti: usize, tj: usize) -> String {
@@ -253,9 +272,39 @@ impl TileStore {
         tile: &Tile,
         writer: Option<NodeId>,
     ) -> Result<IoReceipt> {
+        self.write_tile_arc(name, ti, tj, Arc::new(tile.clone()), writer)
+    }
+
+    /// Writes one tile as a shared handle — the hot path. On the default
+    /// handle plane the `Arc<Tile>` goes into the DFS as-is, charged at its
+    /// exact wire length; under [`TileStore::set_materialize_bytes`] the
+    /// tile is encoded and written as bytes instead. Both paths produce
+    /// identical receipts and placement.
+    pub fn write_tile_arc(
+        &self,
+        name: &str,
+        ti: usize,
+        tj: usize,
+        tile: Arc<Tile>,
+        writer: Option<NodeId>,
+    ) -> Result<IoReceipt> {
         // Validate registration and dims.
-        self.validate_tile(name, ti, tj, tile)?;
-        self.write_tile_encoded(name, ti, tj, encode_tile(tile), tile.stored_bytes(), writer)
+        self.validate_tile(name, ti, tj, &tile)?;
+        let stored = tile.stored_bytes();
+        if self.materialize_bytes() {
+            return self.write_tile_encoded(name, ti, tj, encode_tile(&tile), stored, writer);
+        }
+        let path = Self::tile_path(name, ti, tj);
+        if self.dfs.exists(&path) {
+            // Re-execution after task failure overwrites the old output.
+            self.dfs.delete_file(&path)?;
+        }
+        let wire = encoded_len(&tile);
+        let receipt =
+            self.dfs
+                .write_tile_file(&path, tile, wire, writer, self.dfs.config().replication)?;
+        self.cache.invalidate(&path);
+        Ok(scale_receipt(receipt, wire, stored))
     }
 
     /// Writes one pre-encoded tile. Deferred-write task contexts encode at
@@ -330,12 +379,22 @@ impl TileStore {
             let receipt = scale_receipt(receipt, receipt.bytes, tile.stored_bytes());
             return Ok((tile, receipt));
         }
-        let (bytes, receipt) = self.dfs.read_file(&path, reader)?;
-        let actual = bytes.len() as u64;
-        let tile = Arc::new(decode_tile(bytes)?);
-        let receipt = scale_receipt(receipt, actual, tile.stored_bytes());
-        self.cache.insert(&path, tile.clone());
-        Ok((tile, receipt))
+        let (payload, receipt) = self.dfs.read_payload(&path, reader)?;
+        match payload {
+            // Handle-plane file: the DFS itself holds the Arc — no decode,
+            // no cache entry needed; identity is stable across reads.
+            FilePayload::Tile(tile) => {
+                let receipt = scale_receipt(receipt, receipt.bytes, tile.stored_bytes());
+                Ok((tile, receipt))
+            }
+            FilePayload::Bytes(bytes) => {
+                let actual = bytes.len() as u64;
+                let tile = Arc::new(decode_tile(bytes)?);
+                let receipt = scale_receipt(receipt, actual, tile.stored_bytes());
+                self.cache.insert(&path, tile.clone());
+                Ok((tile, receipt))
+            }
+        }
     }
 
     /// True when every tile of the matrix has been written (generated
@@ -620,6 +679,118 @@ mod tests {
         s.register("B", MatrixMeta::new(1, 1, 1)).unwrap();
         s.register("A", MatrixMeta::new(1, 1, 1)).unwrap();
         assert_eq!(s.names(), vec!["A", "B"]);
+    }
+}
+
+#[cfg(test)]
+mod data_plane_tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+    use cumulon_matrix::gen::Generator;
+
+    fn store_with(seed: u64) -> TileStore {
+        TileStore::new(Dfs::new(
+            4,
+            DfsConfig {
+                replication: 2,
+                block_size: 1 << 20,
+                seed,
+                racks: 1,
+            },
+        ))
+    }
+
+    /// The handle plane and the byte plane must be indistinguishable to
+    /// every observable: write receipts, read receipts, read-back values,
+    /// placement, and storage stats.
+    #[test]
+    fn materialize_bytes_mode_is_observationally_identical() {
+        let meta = MatrixMeta::new(20, 20, 8);
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 42 });
+        let handle_store = store_with(77);
+        let byte_store = store_with(77);
+        byte_store.set_materialize_bytes(true);
+        assert!(byte_store.materialize_bytes() && !handle_store.materialize_bytes());
+        for s in [&handle_store, &byte_store] {
+            s.register("A", meta).unwrap();
+        }
+        for ((ti, tj), tile) in m.iter_tiles() {
+            let rh = handle_store
+                .write_tile("A", ti, tj, tile, Some(NodeId(1)))
+                .unwrap();
+            let rb = byte_store
+                .write_tile("A", ti, tj, tile, Some(NodeId(1)))
+                .unwrap();
+            assert_eq!(rh, rb, "write receipts diverge at ({ti},{tj})");
+        }
+        assert_eq!(
+            handle_store.dfs().storage_stats(),
+            byte_store.dfs().storage_stats()
+        );
+        assert_eq!(
+            handle_store.dfs().per_node_bytes(),
+            byte_store.dfs().per_node_bytes()
+        );
+        for ((ti, tj), _) in m.iter_tiles() {
+            let (th, rh) = handle_store
+                .read_tile("A", ti, tj, Some(NodeId(0)), false)
+                .unwrap();
+            let (tb, rb) = byte_store
+                .read_tile("A", ti, tj, Some(NodeId(0)), false)
+                .unwrap();
+            assert_eq!(rh, rb, "read receipts diverge at ({ti},{tj})");
+            assert_eq!(th, tb, "tiles diverge at ({ti},{tj})");
+        }
+        assert_eq!(
+            handle_store.get_local("A").unwrap().to_dense_vec().unwrap(),
+            byte_store.get_local("A").unwrap().to_dense_vec().unwrap()
+        );
+    }
+
+    #[test]
+    fn handle_reads_share_identity_without_cache() {
+        // Handle-plane reads return the same Arc on every read even with a
+        // zero-capacity cache — the DFS holds the handle, not the cache.
+        let s = TileStore::with_cache_capacity(
+            Dfs::new(
+                2,
+                DfsConfig {
+                    replication: 2,
+                    block_size: 1 << 20,
+                    seed: 9,
+                    racks: 1,
+                },
+            ),
+            0,
+        );
+        s.register("A", MatrixMeta::new(4, 4, 4)).unwrap();
+        s.write_tile("A", 0, 0, &Tile::zeros(4, 4), Some(NodeId(0)))
+            .unwrap();
+        let (a, _) = s.read_tile("A", 0, 0, Some(NodeId(1)), false).unwrap();
+        let (b, _) = s.read_tile("A", 0, 0, Some(NodeId(0)), false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn checkpoint_moves_handle_file_to_byte_plane() {
+        // checkpoint_matrix reads files as bytes (the serialization
+        // boundary) and rewrites them durably — afterwards the file is a
+        // real byte-plane file that decodes to the same tile.
+        let s = store_with(3);
+        let meta = MatrixMeta::new(6, 6, 6);
+        s.register("W", meta).unwrap();
+        let tile = Tile::dense(cumulon_matrix::gen::dense_uniform_tile(
+            1, 0, 0, 6, 6, -1.0, 1.0,
+        ));
+        s.write_tile("W", 0, 0, &tile, Some(NodeId(0))).unwrap();
+        let (before, _) = s.read_tile("W", 0, 0, None, false).unwrap();
+        s.checkpoint_matrix("W", 3).unwrap();
+        match s.dfs().read_payload("/matrix/W/0_0", None).unwrap().0 {
+            FilePayload::Bytes(b) => assert_eq!(decode_tile(b).unwrap(), *before),
+            FilePayload::Tile(_) => panic!("checkpointed file still on the handle plane"),
+        }
+        let (after, _) = s.read_tile("W", 0, 0, None, false).unwrap();
+        assert_eq!(*after, *before);
     }
 }
 

@@ -369,6 +369,15 @@ impl Tile {
     }
 }
 
+/// Lets APIs take `impl Into<Arc<Tile>>` so callers can hand over an owned
+/// `Tile` or a shared `Arc<Tile>` without copying, while `&Tile` call sites
+/// keep working (at the cost of one clone, as before).
+impl From<&Tile> for std::sync::Arc<Tile> {
+    fn from(t: &Tile) -> Self {
+        std::sync::Arc::new(t.clone())
+    }
+}
+
 /// Estimated nnz of the union of two independent supports, capped.
 fn union_nnz(a: u64, b: u64, cap: u64) -> u64 {
     if cap == 0 {

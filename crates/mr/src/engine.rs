@@ -381,7 +381,7 @@ mod tests {
             Ok(())
         });
         let reducer: ReduceFn = Arc::new(|ctx, _k, vs| {
-            ctx.write_tile("out", 0, 0, &vs[0].tile)?;
+            ctx.write_tile("out", 0, 0, vs[0].tile.clone())?;
             Ok(())
         });
         let spec = MrJobSpec {
@@ -437,12 +437,12 @@ mod tests {
         e.store().register("a", MatrixMeta::new(2, 2, 2)).unwrap();
         e.store().register("b", MatrixMeta::new(2, 2, 2)).unwrap();
         let m1: MapFn = Arc::new(|ctx, _| {
-            ctx.write_tile("a", 0, 0, &identity_tile(2))?;
+            ctx.write_tile("a", 0, 0, identity_tile(2))?;
             Ok(())
         });
         let m2: MapFn = Arc::new(|ctx, _| {
             let t = ctx.read_tile("a", 0, 0)?; // requires job 0 to be done
-            ctx.write_tile("b", 0, 0, &t)?;
+            ctx.write_tile("b", 0, 0, t)?;
             Ok(())
         });
         let specs = vec![
@@ -498,7 +498,7 @@ mod tests {
             Ok(())
         });
         let reducer: ReduceFn = Arc::new(|ctx, key, vs| {
-            ctx.write_tile("out", key.0 as usize, key.1 as usize, &vs[0].tile)?;
+            ctx.write_tile("out", key.0 as usize, key.1 as usize, vs[0].tile.clone())?;
             Ok(())
         });
         let spec = MrJobSpec {

@@ -351,7 +351,7 @@ fn rmm_job(
         }
         if let Some(c) = acc {
             ctx.charge_mem_mb(c.stored_bytes() as f64 / 1e6 * 3.0);
-            ctx.write_tile(&out, ti, tj, &c)?;
+            ctx.write_tile(&out, ti, tj, c)?;
         }
         Ok(())
     });
@@ -445,8 +445,8 @@ fn cpmm_jobs(
         }
         let acc_bytes: u64 = acc.values().map(Tile::stored_bytes).sum();
         ctx.charge_mem_mb(acc_bytes as f64 / 1e6);
-        for ((i, j), tile) in &acc {
-            ctx.write_tile(&partial_name, *i, *j, tile)?;
+        for ((i, j), tile) in acc {
+            ctx.write_tile(&partial_name, i, j, tile)?;
         }
         Ok(())
     });
@@ -498,7 +498,7 @@ fn cpmm_jobs(
             }
         }
         if let Some(c) = acc {
-            ctx.write_tile(&out2, key.0 as usize, key.1 as usize, &c)?;
+            ctx.write_tile(&out2, key.0 as usize, key.1 as usize, c)?;
         }
         Ok(())
     });
@@ -548,7 +548,7 @@ fn elementwise_job(
     }
     let out = out.to_string();
     let reducer: ReduceFn = Arc::new(move |ctx, key, values| {
-        ctx.write_tile(&out, key.0 as usize, key.1 as usize, &values[0].tile)?;
+        ctx.write_tile(&out, key.0 as usize, key.1 as usize, values[0].tile.clone())?;
         Ok(())
     });
     let reducers = reducer_count(engine, meta);
@@ -589,7 +589,7 @@ fn transpose_job(
     }
     let out = out.to_string();
     let reducer: ReduceFn = Arc::new(move |ctx, key, values| {
-        ctx.write_tile(&out, key.0 as usize, key.1 as usize, &values[0].tile)?;
+        ctx.write_tile(&out, key.0 as usize, key.1 as usize, values[0].tile.clone())?;
         Ok(())
     });
     let reducers = reducer_count(engine, meta.transposed());
@@ -619,7 +619,7 @@ fn scale_job(
                 ctx.charge(mops::map_work(&t));
                 let mut t = Arc::unwrap_or_clone(t);
                 t.scale(factor);
-                ctx.write_tile(&out, ti, tj, &t)?;
+                ctx.write_tile(&out, ti, tj, t)?;
             }
             let _ = em; // map-only: nothing emitted
             Ok(())

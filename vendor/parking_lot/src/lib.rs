@@ -46,6 +46,34 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`]. Unlike real parking_lot this
+/// keeps `std`'s consuming `wait` signature (`guard in, guard out`), since
+/// the guard here *is* `std`'s; wakeups ignore poisoning like the locks.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// Reader–writer lock whose guards are not `Result`-wrapped.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
