@@ -4,7 +4,9 @@
 //! and that the parallel executor clears committed speed thresholds.
 //!
 //! Emits `BENCH_gemm.json` and `BENCH_e2e.json` in the working directory
-//! (machine-readable) and prints a human summary. Exit is non-zero if:
+//! (machine-readable), plus `BENCH_trace.json` — the sequential run's
+//! Chrome trace_event timeline, loadable in Perfetto — and prints a
+//! human summary. Exit is non-zero if:
 //!
 //! * the parallel run diverges bitwise from the sequential one (any host);
 //! * the e2e speedup at [`E2E_THREADS`] threads falls below
@@ -19,9 +21,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cumulon::cluster::instances::catalog;
-use cumulon::cluster::{set_default_threads, Cluster, ClusterSpec, ExecMode, RunReport};
+use cumulon::cluster::{
+    set_default_threads, Cluster, ClusterSpec, ExecMode, FailurePlan, RunReport, SchedulerConfig,
+    Trace, TraceLog,
+};
 use cumulon::core::calibrate::{CostModel, OpCoefficients};
-use cumulon::core::{InputDesc, Optimizer, ProgramBuilder};
+use cumulon::core::{InputDesc, Optimizer, ProgramBuilder, RecoveryConfig};
 use cumulon::dfs::DfsConfig;
 use cumulon::matrix::gen::Generator;
 use cumulon::matrix::{DenseTile, LocalMatrix, MatrixMeta};
@@ -184,7 +189,7 @@ fn fingerprint(report: &RunReport, outputs: &[LocalMatrix]) -> String {
     s
 }
 
-fn e2e_once(threads: usize) -> (f64, String, LocalMatrix) {
+fn e2e_once(threads: usize) -> (f64, String, LocalMatrix, TraceLog) {
     set_default_threads(threads);
     let cluster = Cluster::provision_with(
         ClusterSpec::named("m1.large", 4, 2).unwrap(),
@@ -217,20 +222,33 @@ fn e2e_once(threads: usize) -> (f64, String, LocalMatrix) {
         model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
     }
     let opt = Optimizer::new(model);
+    // Traced at every thread count: the fingerprint equality below doubles
+    // as a check that recording spans never perturbs results.
+    let trace = Trace::enabled();
     let t0 = Instant::now();
     let report = opt
-        .execute_on(&cluster, &program, &inputs, "smoke", ExecMode::Real)
+        .execute_on_traced(
+            &cluster,
+            &program,
+            &inputs,
+            "smoke",
+            ExecMode::Real,
+            SchedulerConfig::default(),
+            &FailurePlan::default(),
+            RecoveryConfig::default(),
+            &trace,
+        )
         .unwrap();
     let wall = t0.elapsed().as_secs_f64();
     let out = cluster.store().get_local("G").unwrap();
     let fp = fingerprint(&report, std::slice::from_ref(&out));
-    (wall, fp, out)
+    (wall, fp, out, trace.snapshot().expect("trace enabled"))
 }
 
 fn e2e_smoke() {
     let cores = host_cores();
-    let (seq_s, seq_fp, seq_out) = e2e_once(1);
-    let (par_s, par_fp, par_out) = e2e_once(E2E_THREADS);
+    let (seq_s, seq_fp, seq_out, seq_log) = e2e_once(1);
+    let (par_s, par_fp, par_out, _par_log) = e2e_once(E2E_THREADS);
     let identical = seq_fp == par_fp && seq_out == par_out;
     let speedup = seq_s / par_s;
     println!(
@@ -238,11 +256,17 @@ fn e2e_smoke() {
          ({speedup:.2}x on {cores} core(s)), bitwise identical: {identical}",
         META.rows, META.cols, META.tile_size,
     );
+    // The sequential run's timeline (deterministic span order at 1 thread).
+    std::fs::write("BENCH_trace.json", seq_log.to_chrome_json()).expect("write BENCH_trace.json");
+    let phases = seq_log.phase_totals();
     let json = format!(
         "{{\"experiment\":\"e2e_gram_1536\",\"seq_seconds\":{seq_s:.4},\
          \"par_seconds\":{par_s:.4},\"threads\":{E2E_THREADS},\
          \"speedup\":{speedup:.3},\"host_cores\":{cores},\
-         \"bitwise_identical\":{identical}}}"
+         \"bitwise_identical\":{identical},\
+         \"phase_compute_s\":{:.4},\"phase_read_s\":{:.4},\
+         \"phase_write_s\":{:.4},\"phase_overhead_s\":{:.4}}}",
+        phases.compute_s, phases.read_s, phases.write_s, phases.overhead_s,
     );
     std::fs::write("BENCH_e2e.json", json).expect("write BENCH_e2e.json");
     if !identical {

@@ -2,8 +2,9 @@
 //! evaluation.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin repro            # everything
-//! cargo run --release -p bench --bin repro e2 e7 t1   # selected ids
+//! cargo run --release -p bench --bin repro                      # everything
+//! cargo run --release -p bench --bin repro e2 e7 t1             # selected ids
+//! cargo run --release -p bench --bin repro e18 --trace e18.json # + timeline
 //! ```
 
 use bench::experiments;
@@ -34,6 +35,18 @@ fn main() {
     } else {
         0
     };
+    // --trace FILE: export the Chrome trace_event timeline of the E18
+    // Gram run (the traced experiment) alongside the tables.
+    let trace_path = if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--trace needs a file path");
+            std::process::exit(2);
+        }
+        Some(args.remove(pos))
+    } else {
+        None
+    };
     cumulon::cluster::set_default_threads(threads);
     let series = if args.is_empty() || args.iter().any(|a| a == "all") {
         experiments::all()
@@ -44,7 +57,7 @@ fn main() {
                 Some(s) => out.push(s),
                 None => {
                     eprintln!(
-                        "unknown experiment '{id}' (valid: e1..e17, t1..t4, all; add --json for machine-readable output)"
+                        "unknown experiment '{id}' (valid: e1..e18, t1..t4, all; add --json for machine-readable output)"
                     );
                     std::process::exit(2);
                 }
@@ -59,5 +72,16 @@ fn main() {
         for s in series {
             println!("{}", s.render());
         }
+    }
+    if let Some(path) = trace_path {
+        let (_, log) = experiments::e18_with_log();
+        if let Err(e) = std::fs::write(&path, log.to_chrome_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "trace: {} spans -> {path} (load in Perfetto or chrome://tracing)",
+            log.tasks.len()
+        );
     }
 }

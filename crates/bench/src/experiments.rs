@@ -1255,6 +1255,112 @@ pub fn e17() -> Series {
     s
 }
 
+/// E18 — where the time goes: critical-path phase attribution of the
+/// Gram-matrix program (G = AᵀA), from a span-level trace of the run,
+/// with the optimizer's analytic per-phase prediction alongside.
+pub fn e18() -> Series {
+    e18_with_log().0
+}
+
+/// The traced run behind [`e18`], also returning the raw trace log so
+/// `repro --trace FILE` can export the timeline JSON of the same run the
+/// table was computed from.
+pub fn e18_with_log() -> (Series, cumulon::cluster::TraceLog) {
+    use cumulon::cluster::{FailurePlan, SchedulerConfig, Trace};
+    use cumulon::core::RecoveryConfig;
+
+    let mut s = Series::new(
+        "E18",
+        "critical-path attribution: G = A'A 20000x4000 on m1.large x8 (traced run)",
+        &[
+            "phase",
+            "critical path (s)",
+            "% makespan",
+            "predicted (task-s)",
+            "actual (task-s)",
+        ],
+    );
+    let meta = MatrixMeta::new(20_000, 4_000, 1_000);
+    let mut pb = ProgramBuilder::new();
+    let a = pb.input("A");
+    let at = pb.transpose(a);
+    let g = pb.mul(at, a);
+    pb.output("G", g);
+    let program = pb.build();
+    let mut inputs = BTreeMap::new();
+    inputs.insert("A".to_string(), InputDesc::dense(meta).generated());
+    let cluster = Cluster::provision(ClusterSpec::named("m1.large", 8, 2).unwrap()).unwrap();
+    cluster
+        .store()
+        .register_generated("A", meta, Generator::DenseGaussian { seed: 1 })
+        .unwrap();
+    let opt = optimizer();
+    let trace = Trace::enabled();
+    let report = opt
+        .execute_on_traced(
+            &cluster,
+            &program,
+            &inputs,
+            "t",
+            ExecMode::Simulated,
+            SchedulerConfig::default(),
+            &FailurePlan::default(),
+            RecoveryConfig::default(),
+            &trace,
+        )
+        .unwrap();
+    let log = trace.snapshot().unwrap();
+    let cp = log.critical_path();
+    let (predicted, _) = opt.predict_phases_on(&cluster, &program, &inputs).unwrap();
+    let actual = log.phase_totals();
+    let mk = report.makespan_s.max(1e-12);
+    let phases = [
+        (
+            "compute",
+            cp.phases.compute_s,
+            predicted.compute_s,
+            actual.compute_s,
+        ),
+        ("read", cp.phases.read_s, predicted.read_s, actual.read_s),
+        (
+            "write",
+            cp.phases.write_s,
+            predicted.write_s,
+            actual.write_s,
+        ),
+        (
+            "overhead",
+            cp.phases.overhead_s,
+            predicted.overhead_s,
+            actual.overhead_s,
+        ),
+    ];
+    for (name, path_s, pred, act) in phases {
+        s.push(vec![
+            name.to_string(),
+            f(path_s),
+            format!("{:.1}%", 100.0 * path_s / mk),
+            f(pred),
+            f(act),
+        ]);
+    }
+    s.push(vec![
+        "idle".to_string(),
+        f(cp.idle_s),
+        format!("{:.1}%", 100.0 * cp.idle_s / mk),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    s.push(vec![
+        "makespan".to_string(),
+        f(report.makespan_s),
+        "100.0%".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    (s, log)
+}
+
 // ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
@@ -1464,6 +1570,7 @@ pub fn all() -> Vec<Series> {
         e15(),
         e16(),
         e17(),
+        e18(),
         t1(),
         t2(),
         t3(),
@@ -1491,6 +1598,7 @@ pub fn by_id(id: &str) -> Option<Series> {
         "e15" => Some(e15()),
         "e16" => Some(e16()),
         "e17" => Some(e17()),
+        "e18" => Some(e18()),
         "t1" => Some(t1()),
         "t2" => Some(t2()),
         "t3" => Some(t3()),
@@ -1545,6 +1653,19 @@ mod tests {
                 .any(|r| r[5].parse::<u64>().unwrap() > 0),
             "at least one kill must force lineage re-execution"
         );
+    }
+
+    #[test]
+    fn e18_critical_path_accounts_for_makespan() {
+        let (s, log) = e18_with_log();
+        let cp = log.critical_path();
+        let rel = (cp.accounted_s() - cp.makespan_s).abs() / cp.makespan_s.max(1e-12);
+        assert!(
+            rel < 0.01,
+            "critical path must account for the makespan within 1%: rel {rel}"
+        );
+        assert_eq!(s.rows.last().unwrap()[0], "makespan");
+        assert!(!log.tasks.is_empty(), "traced run must record spans");
     }
 
     #[test]

@@ -148,8 +148,30 @@ impl Cluster {
         config: SchedulerConfig,
         failures: &FailurePlan,
     ) -> std::result::Result<RunReport, RunFailure> {
+        self.try_run_with_traced(
+            dag,
+            mode,
+            config,
+            failures,
+            &cumulon_trace::Trace::disabled(),
+        )
+    }
+
+    /// Like [`Cluster::try_run_with`], recording every task attempt, job
+    /// and fault event into `trace`. Tracing is observational only: the
+    /// run's results, receipts and report are bitwise-identical whether
+    /// the handle is enabled or [`cumulon_trace::Trace::disabled`].
+    #[allow(clippy::result_large_err)]
+    pub fn try_run_with_traced(
+        &self,
+        dag: &JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+        trace: &cumulon_trace::Trace,
+    ) -> std::result::Result<RunReport, RunFailure> {
         let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
-        scheduler.try_run(dag, mode, config, failures)
+        scheduler.try_run_traced(dag, mode, config, failures, trace)
     }
 }
 

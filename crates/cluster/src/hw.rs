@@ -143,6 +143,47 @@ impl HardwareModel {
             + (read_s + write_s) * io_penalty
     }
 
+    /// Noise-free split of [`Self::task_seconds_base`] into execution
+    /// phases: fixed overhead (startup + op-fixed seconds + IO-op
+    /// latency), kernel compute, and penalized read/write time. The
+    /// components sum to the base duration up to floating-point rounding;
+    /// trace consumers rescale them to an attempt's *actual* (noisy)
+    /// duration via [`cumulon_trace::PhaseBreakdown::scaled_to`], so the
+    /// per-phase attribution always reproduces observed span totals.
+    pub fn task_phases(
+        &self,
+        instance: &InstanceType,
+        slots: u32,
+        receipt: &TaskReceipt,
+    ) -> cumulon_trace::PhaseBreakdown {
+        let slots = slots.max(1);
+        let core_share = (instance.cores as f64 / slots as f64).min(1.0);
+        let gflops = instance.gflops_per_core * core_share * self.cpu_efficiency;
+        let cpu_s = receipt.work.flops / (gflops * 1e9);
+        let disk_read_bps = instance.disk_read_mbs * 1e6 / slots as f64;
+        let disk_write_bps = instance.disk_write_mbs * 1e6 / slots as f64;
+        let net_bps = instance.net_mbs * 1e6 / slots as f64;
+        let read_s = receipt.read.local_bytes as f64 / disk_read_bps
+            + receipt.read.remote_bytes as f64 / net_bps;
+        let write_s = receipt.write.local_bytes as f64 / disk_write_bps
+            + receipt.write.remote_bytes as f64 / net_bps;
+        let demand_mb = slots as f64 * (receipt.mem_mb + self.task_mem_floor_mb);
+        let pressure = demand_mb / instance.memory_mb as f64;
+        let io_penalty = if pressure > 1.0 {
+            pressure.powf(self.mem_penalty_exp)
+        } else {
+            1.0
+        };
+        cumulon_trace::PhaseBreakdown {
+            compute_s: cpu_s,
+            read_s: read_s * io_penalty,
+            write_s: write_s * io_penalty,
+            overhead_s: self.task_startup_s
+                + receipt.fixed_s
+                + receipt.io_ops as f64 * self.io_op_overhead_s,
+        }
+    }
+
     /// Duration including straggler noise for a specific attempt.
     pub fn task_seconds(
         &self,
@@ -254,6 +295,25 @@ mod tests {
         let s_light = h.task_seconds_base(&t, 2, &light);
         let s_heavy = h.task_seconds_base(&t, 2, &heavy);
         assert!(s_heavy > 5.0 * s_light, "{s_heavy} vs {s_light}");
+    }
+
+    #[test]
+    fn task_phases_sum_to_base_duration() {
+        let t = by_name("m1.large").unwrap();
+        let h = hw();
+        let mut r = receipt(3e9, 200_000_000, 50_000_000, 100_000_000, 500.0);
+        r.fixed_s = 0.5;
+        r.io_ops = 7;
+        for slots in [1u32, 2, 4] {
+            let base = h.task_seconds_base(&t, slots, &r);
+            let phases = h.task_phases(&t, slots, &r);
+            assert!(
+                (phases.total_s() - base).abs() < 1e-9 * base,
+                "slots={slots}: {} vs {base}",
+                phases.total_s()
+            );
+            assert!(phases.compute_s > 0.0 && phases.read_s > 0.0 && phases.write_s > 0.0);
+        }
     }
 
     #[test]

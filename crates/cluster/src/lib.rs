@@ -51,3 +51,6 @@ pub use metrics::{FaultStats, JobStats, RunReport};
 pub use scheduler::{
     default_threads, set_default_threads, FailurePlan, RunFailure, Scheduler, SchedulerConfig,
 };
+// Re-exported so scheduler callers can drive tracing without naming the
+// trace crate explicitly.
+pub use cumulon_trace::{Trace, TraceLog};

@@ -164,16 +164,34 @@ impl RunReport {
         self.jobs.iter().map(|j| j.tasks.len()).sum()
     }
 
-    /// Human-readable one-line summary. Fault counters are appended only
-    /// when something fault-related actually happened.
+    /// Task-weighted locality rate across all jobs: the fraction of
+    /// completed tasks whose dominant input was node-local. `1.0` when
+    /// the run had no tasks (nothing could have been remote).
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.total_tasks();
+        if total == 0 {
+            return 1.0;
+        }
+        let local: usize = self
+            .jobs
+            .iter()
+            .map(|j| j.tasks.iter().filter(|t| t.input_local).count())
+            .sum();
+        local as f64 / total as f64
+    }
+
+    /// Human-readable one-line summary, including the run's locality
+    /// rate. Fault counters are appended only when something
+    /// fault-related actually happened (format pinned by unit test).
     pub fn summary(&self) -> String {
         let mut line = format!(
-            "{} x{} ({} slots): {} jobs, {} tasks, makespan {:.1}s, {:.0} billed h, ${:.2}",
+            "{} x{} ({} slots): {} jobs, {} tasks, locality {:.0}%, makespan {:.1}s, {:.0} billed h, ${:.2}",
             self.instance,
             self.nodes,
             self.slots,
             self.jobs.len(),
             self.total_tasks(),
+            self.locality_rate() * 100.0,
             self.makespan_s,
             self.billed_hours,
             self.cost_dollars
@@ -313,5 +331,66 @@ mod tests {
         assert!(s.contains("3 retries"));
         assert!(s.contains("1 node deaths"));
         assert!(s.contains("1 jobs recovered"));
+    }
+
+    #[test]
+    fn report_locality_rate() {
+        let r = RunReport {
+            instance: "m1.large".into(),
+            nodes: 4,
+            slots: 2,
+            jobs: vec![stats(), stats()],
+            makespan_s: 10.0,
+            billed_hours: 1.0,
+            cost_dollars: 0.96,
+            faults: FaultStats::default(),
+        };
+        // Each stats() job is 1 local / 2 tasks.
+        assert_eq!(r.locality_rate(), 0.5);
+        let empty = RunReport {
+            jobs: vec![],
+            ..r.clone()
+        };
+        assert_eq!(empty.locality_rate(), 1.0);
+    }
+
+    #[test]
+    fn summary_format_is_pinned() {
+        let clean = RunReport {
+            instance: "m1.large".into(),
+            nodes: 4,
+            slots: 2,
+            jobs: vec![stats()],
+            makespan_s: 10.0,
+            billed_hours: 1.0,
+            cost_dollars: 0.96,
+            faults: FaultStats::default(),
+        };
+        assert_eq!(
+            clean.summary(),
+            "m1.large x4 (2 slots): 1 jobs, 2 tasks, locality 50%, \
+             makespan 10.0s, 1 billed h, $0.96"
+        );
+
+        let faulted = RunReport {
+            faults: FaultStats {
+                task_attempts: 10,
+                retries: 3,
+                speculative_launches: 3,
+                speculative_wins: 1,
+                node_deaths: 1,
+                rereplicated_bytes: 4096,
+                lost_block_events: 2,
+                recovered_jobs: 1,
+            },
+            ..clean
+        };
+        assert_eq!(
+            faulted.summary(),
+            "m1.large x4 (2 slots): 1 jobs, 2 tasks, locality 50%, \
+             makespan 10.0s, 1 billed h, $0.96 \
+             [faults: 3 retries, 3 spec (1 won), 1 node deaths, \
+             4096 B re-replicated, 2 lost blocks, 1 jobs recovered]"
+        );
     }
 }

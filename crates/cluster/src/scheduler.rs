@@ -11,7 +11,7 @@
 //! ## Lookahead speculation (host parallelism)
 //!
 //! With `threads > 1`, Real-mode task *compute* runs ahead of simulated
-//! time on a persistent worker pool ([`SpecPool`], created once per run).
+//! time on a persistent worker pool (`SpecPool`, created once per run).
 //! The moment a job's dependencies complete, all its tasks are enqueued;
 //! workers execute each one against a recording [`TaskCtx`] that logs every
 //! context interaction ([`crate::job::TaskOp`]) without touching the DFS.
@@ -35,6 +35,7 @@ use rand::{RngExt, SeedableRng};
 
 use cumulon_dfs::dfs::NodeId;
 use cumulon_dfs::TileStore;
+use cumulon_trace::{JobSpan, PhaseBreakdown, TaskSpan, Trace, TraceEvent};
 
 use crate::billing::{billed_hours, cluster_cost, BillingPolicy};
 use crate::cluster::ClusterSpec;
@@ -290,16 +291,45 @@ impl Scheduler {
         config: SchedulerConfig,
         failures: &FailurePlan,
     ) -> std::result::Result<RunReport, RunFailure> {
+        self.try_run_traced(dag, mode, config, failures, &Trace::disabled())
+    }
+
+    /// [`Scheduler::try_run`] with span recording: every task attempt,
+    /// job, node failure and speculation outcome is recorded into
+    /// `trace` (a [`Trace::disabled`] handle records nothing and costs
+    /// one branch per site). Recording is strictly observational — it
+    /// never reads results back into scheduling decisions — so a traced
+    /// run is bitwise-identical to an untraced one.
+    #[allow(clippy::result_large_err)]
+    pub fn try_run_traced(
+        &self,
+        dag: &JobDag,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+        trace: &Trace,
+    ) -> std::result::Result<RunReport, RunFailure> {
         let threads = match config.threads {
             0 => default_threads(),
             n => n,
         };
-        let mut exec = Exec::new(self, dag, mode, config, failures, threads);
+        trace.set_run_meta(
+            self.spec.instance.name,
+            self.spec.nodes as usize,
+            self.spec.slots_per_node as usize,
+        );
+        // The store counts tile-cache hits/misses into the current run's
+        // trace; reset to disabled afterwards so driver-side reads
+        // (result downloads, later untraced runs) stop counting.
+        self.store.set_trace(trace.clone());
+        let mut exec = Exec::new(self, dag, mode, config, failures, threads, trace.clone());
         let mut queue: EventQueue<Event> = EventQueue::new();
         for &(t, node) in &failures.node_failures {
             queue.schedule(SimTime(t), Event::NodeFailure { node });
         }
-        match exec.drive(&mut queue) {
+        let outcome = exec.drive(&mut queue);
+        self.store.set_trace(Trace::disabled());
+        match outcome {
             Ok(()) => Ok(exec.report()),
             Err(error) => Err(exec.into_failure(error)),
         }
@@ -392,6 +422,11 @@ impl SpecPool {
     }
 
     fn worker(state: Arc<(Mutex<SpecState>, Condvar)>) {
+        // Lookahead executions run ahead of simulated time and may be
+        // discarded; only the canonical DES-loop replay may record trace
+        // state (e.g. tile-cache counters), so suppress recording for
+        // this worker thread's entire lifetime.
+        let _quiet = cumulon_trace::suppress();
         let (lock, cvar) = &*state;
         loop {
             let job = {
@@ -507,6 +542,27 @@ struct Exec<'a> {
     dead_nodes: Vec<u32>,
     finished: Vec<JobStats>,
     makespan: SimTime,
+    /// Span recorder (disabled = no-op). Purely observational.
+    trace: Trace,
+    /// Per-epoch span metadata stashed at finalize time (phases, byte
+    /// counts, wave) and consumed when the matching completion event
+    /// fires or the attempt is killed. Empty when tracing is disabled.
+    epoch_meta: HashMap<u64, SpanMeta>,
+    /// Monotone `fill_slots` pass counter; attempts assigned in the same
+    /// pass share a wave number in the trace.
+    wave: u64,
+}
+
+/// Trace metadata for one in-flight attempt, keyed by its epoch.
+struct SpanMeta {
+    attempt: u32,
+    is_backup: bool,
+    wave: u64,
+    phases: PhaseBreakdown,
+    read_bytes: u64,
+    read_local_bytes: u64,
+    write_bytes: u64,
+    io_ops: u64,
 }
 
 impl<'a> Exec<'a> {
@@ -517,6 +573,7 @@ impl<'a> Exec<'a> {
         config: SchedulerConfig,
         failures: &'a FailurePlan,
         threads: usize,
+        trace: Trace,
     ) -> Self {
         let n_jobs = dag.jobs.len();
         let jobs: Vec<JobState> = dag
@@ -574,6 +631,9 @@ impl<'a> Exec<'a> {
             dead_nodes: Vec::new(),
             finished: Vec::new(),
             makespan: SimTime::ZERO,
+            trace,
+            epoch_meta: HashMap::new(),
+            wave: 0,
         }
     }
 
@@ -621,6 +681,16 @@ impl<'a> Exec<'a> {
                     self.jobs[j].done = true;
                     self.jobs[j].stats.start_s = at.secs();
                     self.jobs[j].stats.end_s = at.secs();
+                    if self.trace.is_enabled() {
+                        self.trace.record_job(JobSpan {
+                            index: j,
+                            name: self.jobs[j].stats.name.clone(),
+                            op_label: self.jobs[j].stats.op_label.clone(),
+                            start_s: at.secs(),
+                            end_s: at.secs(),
+                            round: 0,
+                        });
+                    }
                     self.finished.push(self.jobs[j].stats.clone());
                     self.completed_jobs += 1;
                     for &dep in &self.dependents[j] {
@@ -910,6 +980,34 @@ impl<'a> Exec<'a> {
                 e.attempt - 1,
             )
             .max(1e-9);
+        if self.trace.is_enabled() {
+            // Phase fractions come from the noise-free model split and are
+            // rescaled to the attempt's actual (noisy) duration, so phase
+            // sums reproduce span durations — and hence the makespan —
+            // exactly.
+            let phases = self
+                .sched
+                .hw
+                .task_phases(
+                    &self.sched.spec.instance,
+                    self.sched.spec.slots_per_node,
+                    &receipt,
+                )
+                .scaled_to(duration);
+            self.epoch_meta.insert(
+                e.epoch,
+                SpanMeta {
+                    attempt: e.attempt,
+                    is_backup: e.is_backup,
+                    wave: self.wave,
+                    phases,
+                    read_bytes: receipt.read.bytes,
+                    read_local_bytes: receipt.read.local_bytes,
+                    write_bytes: receipt.write.bytes,
+                    io_ops: receipt.io_ops,
+                },
+            );
+        }
         self.jobs[e.job].stats.start_s = self.jobs[e.job].stats.start_s.min(queue.now().secs());
         self.jobs[e.job].stats.receipt = self.jobs[e.job].stats.receipt.add(receipt);
         queue.schedule_in(
@@ -936,6 +1034,7 @@ impl<'a> Exec<'a> {
     /// locality lookups see the same placement either way.
     fn fill_slots(&mut self, queue: &mut EventQueue<Event>) -> Result<()> {
         self.spec_enqueue_ready();
+        self.wave += 1;
         let nodes = self.sched.spec.nodes;
         let slots = self.sched.spec.slots_per_node;
         let now = queue.now();
@@ -987,12 +1086,68 @@ impl<'a> Exec<'a> {
             // Kill any still-running copies of this task. If a killed twin
             // started earlier, the completing copy is the backup — a
             // speculative win.
-            for other in self.slot_state.iter_mut() {
+            let mut killed: Vec<(usize, Running)> = Vec::new();
+            for (other_idx, other) in self.slot_state.iter_mut().enumerate() {
                 if matches!(other, Some(r) if r.job == job && r.task == task) {
-                    if matches!(other, Some(r) if r.started < running.started) {
+                    let twin = other.take().expect("matched Some above");
+                    if twin.started < running.started {
                         self.faults.speculative_wins += 1;
                     }
-                    *other = None;
+                    killed.push((other_idx, twin));
+                }
+            }
+            if self.trace.is_enabled() {
+                let slots = self.sched.spec.slots_per_node as usize;
+                for (twin_idx, twin) in &killed {
+                    if twin.started < running.started {
+                        self.trace.record_event(TraceEvent::SpeculativeWin {
+                            t_s: now.secs(),
+                            job,
+                            task,
+                        });
+                    }
+                    if let Some(m) = self.epoch_meta.remove(&twin.epoch) {
+                        self.trace.record_task(TaskSpan {
+                            job,
+                            task,
+                            attempt: m.attempt,
+                            node: twin_idx / slots,
+                            slot: twin_idx % slots,
+                            start_s: twin.started.secs(),
+                            end_s: now.secs(),
+                            ok: false,
+                            backup: m.is_backup,
+                            killed: true,
+                            wave: m.wave,
+                            round: 0,
+                            phases: m.phases.scaled_to(now.secs() - twin.started.secs()),
+                            read_bytes: m.read_bytes,
+                            read_local_bytes: m.read_local_bytes,
+                            write_bytes: m.write_bytes,
+                            io_ops: m.io_ops,
+                        });
+                    }
+                }
+                if let Some(m) = self.epoch_meta.remove(&epoch) {
+                    self.trace.record_task(TaskSpan {
+                        job,
+                        task,
+                        attempt,
+                        node: node as usize,
+                        slot: slot as usize,
+                        start_s: running.started.secs(),
+                        end_s: now.secs(),
+                        ok: true,
+                        backup: m.is_backup,
+                        killed: false,
+                        wave: m.wave,
+                        round: 0,
+                        phases: m.phases,
+                        read_bytes: m.read_bytes,
+                        read_local_bytes: m.read_local_bytes,
+                        write_bytes: m.write_bytes,
+                        io_ops: m.io_ops,
+                    });
                 }
             }
             self.jobs[job].stats.tasks.push(TaskStat {
@@ -1007,6 +1162,16 @@ impl<'a> Exec<'a> {
             if self.jobs[job].unfinished_tasks == 0 && !self.jobs[job].done {
                 self.jobs[job].done = true;
                 self.jobs[job].stats.end_s = now.secs();
+                if self.trace.is_enabled() {
+                    self.trace.record_job(JobSpan {
+                        index: job,
+                        name: self.jobs[job].stats.name.clone(),
+                        op_label: self.jobs[job].stats.op_label.clone(),
+                        start_s: self.jobs[job].stats.start_s,
+                        end_s: now.secs(),
+                        round: 0,
+                    });
+                }
                 self.finished.push(self.jobs[job].stats.clone());
                 self.completed_jobs += 1;
                 for &dep in &self.dependents[job] {
@@ -1015,6 +1180,29 @@ impl<'a> Exec<'a> {
                 self.zero_task_scan(now);
             }
         } else {
+            if self.trace.is_enabled() {
+                if let Some(m) = self.epoch_meta.remove(&epoch) {
+                    self.trace.record_task(TaskSpan {
+                        job,
+                        task,
+                        attempt,
+                        node: node as usize,
+                        slot: slot as usize,
+                        start_s: running.started.secs(),
+                        end_s: now.secs(),
+                        ok: false,
+                        backup: m.is_backup,
+                        killed: false,
+                        wave: m.wave,
+                        round: 0,
+                        phases: m.phases,
+                        read_bytes: m.read_bytes,
+                        read_local_bytes: m.read_local_bytes,
+                        write_bytes: m.write_bytes,
+                        io_ops: m.io_ops,
+                    });
+                }
+            }
             if attempt >= self.config.max_attempts {
                 return Err(ClusterError::TaskFailed {
                     job: self.dag.jobs[job].name.clone(),
@@ -1045,7 +1233,14 @@ impl<'a> Exec<'a> {
         self.dead_nodes.push(node);
         // Storage consequences (re-replication of survivors).
         match self.sched.store.dfs().kill_node(NodeId(node)) {
-            Ok(receipt) => self.faults.rereplicated_bytes += receipt.bytes,
+            Ok(receipt) => {
+                self.faults.rereplicated_bytes += receipt.bytes;
+                self.trace.record_event(TraceEvent::NodeFailure {
+                    t_s: queue.now().secs(),
+                    node: node as usize,
+                    rereplicated_bytes: receipt.bytes,
+                });
+            }
             Err(e) => return Err(ClusterError::from(e)),
         }
         // Re-queue tasks that were running there (unless done or still
@@ -1054,6 +1249,30 @@ impl<'a> Exec<'a> {
         for slot in 0..slots {
             let idx = (node * slots + slot) as usize;
             if let Some(r) = self.slot_state[idx].take() {
+                if self.trace.is_enabled() {
+                    if let Some(m) = self.epoch_meta.remove(&r.epoch) {
+                        let cut = queue.now().secs();
+                        self.trace.record_task(TaskSpan {
+                            job: r.job,
+                            task: r.task,
+                            attempt: m.attempt,
+                            node: node as usize,
+                            slot: slot as usize,
+                            start_s: r.started.secs(),
+                            end_s: cut,
+                            ok: false,
+                            backup: m.is_backup,
+                            killed: true,
+                            wave: m.wave,
+                            round: 0,
+                            phases: m.phases.scaled_to(cut - r.started.secs()),
+                            read_bytes: m.read_bytes,
+                            read_local_bytes: m.read_local_bytes,
+                            write_bytes: m.write_bytes,
+                            io_ops: m.io_ops,
+                        });
+                    }
+                }
                 let twin_running = self
                     .slot_state
                     .iter()
@@ -1075,6 +1294,9 @@ impl<'a> Exec<'a> {
     /// The run report of a completed execution.
     fn report(self) -> RunReport {
         let makespan_s = self.makespan.secs();
+        // Round-local makespan: the trace shifts it by the active round
+        // offset onto the global timeline.
+        self.trace.set_makespan(makespan_s);
         let spec = self.sched.spec;
         RunReport {
             instance: spec.instance.name.to_string(),
@@ -1095,6 +1317,7 @@ impl<'a> Exec<'a> {
 
     /// Wraps a terminal error with the state accumulated up to it.
     fn into_failure(self, error: ClusterError) -> RunFailure {
+        self.trace.set_makespan(self.makespan.secs());
         let failed = match &error {
             ClusterError::TaskFailed { job, task, .. } => Some((job.clone(), *task)),
             _ => None,

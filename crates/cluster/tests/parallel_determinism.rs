@@ -8,7 +8,7 @@ use cumulon_cluster::hw::NoiseModel;
 use cumulon_cluster::metrics::JobStats;
 use cumulon_cluster::scheduler::{FailurePlan, RunFailure, SchedulerConfig};
 use cumulon_cluster::{
-    Cluster, ClusterSpec, ExecMode, HardwareModel, Job, JobDag, RunReport, Task, TaskReceipt,
+    Cluster, ClusterSpec, ExecMode, HardwareModel, Job, JobDag, RunReport, Task, TaskReceipt, Trace,
 };
 use cumulon_dfs::DfsConfig;
 use cumulon_matrix::ops::Work;
@@ -157,12 +157,14 @@ fn failure_key(f: &RunFailure) -> String {
 
 /// One full run at a given thread count: fresh cluster, fresh DFS state,
 /// same seeds. Returns a canonical key for whatever happened plus the
-/// output matrices of a successful run.
+/// output matrices of a successful run. With `traced` the run records
+/// spans into an enabled [`Trace`] handle — the key must not change.
 fn run_once(
     shape: &DagShape,
     failures: &FailurePlan,
     noise_seed: u64,
     threads: usize,
+    traced: bool,
 ) -> (String, Vec<LocalMatrix>) {
     let hw = HardwareModel {
         noise: NoiseModel {
@@ -183,7 +185,12 @@ fn run_once(
         ..SchedulerConfig::default()
     }
     .with_threads(threads);
-    match cluster.try_run_with(&dag, ExecMode::Real, config, failures) {
+    let trace = if traced {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    match cluster.try_run_with_traced(&dag, ExecMode::Real, config, failures, &trace) {
         Ok(report) => {
             let outputs = (0..shape.job_tiles.len())
                 .map(|j| cluster.store().get_local(&format!("m{j}")).unwrap())
@@ -213,10 +220,34 @@ proptest! {
             node_failures: kills.iter().map(|&(t, n)| (t, n)).collect(),
             seed: fail_seed,
         };
-        let (seq_key, seq_out) = run_once(&shape, &failures, noise_seed, 1);
-        let (par_key, par_out) = run_once(&shape, &failures, noise_seed, threads);
+        let (seq_key, seq_out) = run_once(&shape, &failures, noise_seed, 1, false);
+        let (par_key, par_out) = run_once(&shape, &failures, noise_seed, threads, false);
         prop_assert_eq!(seq_key, par_key);
         prop_assert_eq!(seq_out, par_out);
+    }
+
+    /// Tracing is observational: an enabled trace handle never perturbs
+    /// the run — reports, fault accounting, and output matrices are
+    /// bitwise-identical with tracing on and off, at any thread count and
+    /// under injected faults.
+    #[test]
+    fn tracing_never_perturbs_results(
+        shape in dag_shape(),
+        threads in 1usize..8,
+        fail_p in 0.0f64..0.35,
+        fail_seed in 0u64..1000,
+        noise_seed in 0u64..1000,
+        kills in proptest::collection::vec((1.0f64..500.0, 0u32..3), 0..3),
+    ) {
+        let failures = FailurePlan {
+            task_failure_prob: fail_p,
+            node_failures: kills.iter().map(|&(t, n)| (t, n)).collect(),
+            seed: fail_seed,
+        };
+        let (off_key, off_out) = run_once(&shape, &failures, noise_seed, threads, false);
+        let (on_key, on_out) = run_once(&shape, &failures, noise_seed, threads, true);
+        prop_assert_eq!(off_key, on_key);
+        prop_assert_eq!(off_out, on_out);
     }
 
     /// Thread count is not part of the outcome: every pool size produces
@@ -227,9 +258,9 @@ proptest! {
         noise_seed in 0u64..1000,
     ) {
         let failures = FailurePlan::default();
-        let (base, out_base) = run_once(&shape, &failures, noise_seed, 2);
+        let (base, out_base) = run_once(&shape, &failures, noise_seed, 2, false);
         for threads in [3, 5, 16] {
-            let (key, out) = run_once(&shape, &failures, noise_seed, threads);
+            let (key, out) = run_once(&shape, &failures, noise_seed, threads, false);
             prop_assert_eq!(&base, &key, "threads={} diverged", threads);
             prop_assert_eq!(&out_base, &out);
         }

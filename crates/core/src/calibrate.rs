@@ -304,7 +304,20 @@ pub fn calibrate_instance(
             }
         }
     }
-    let c = ols(&xs, &ys)?;
+    fit_samples(&xs, &ys)
+}
+
+/// Fits [`OpCoefficients`] from pre-featurized samples: `xs` are
+/// [`featurize`] rows and `ys` the observed task durations in seconds.
+/// This is the regression core of [`calibrate_instance`], exposed so
+/// profiles harvested from *traced runs* (task spans from a
+/// [`cumulon_trace::TraceLog`] paired with their plan's analytic
+/// features) can refine a model without re-running the synthetic probe
+/// battery. Straggler `sigma` is estimated from the log-residuals of the
+/// fit. Needs at least 7 samples spanning the feature space; degenerate
+/// designs return [`CoreError::Calibration`].
+pub fn fit_samples(xs: &[[f64; 7]], ys: &[f64]) -> Result<OpCoefficients> {
+    let c = ols(xs, ys)?;
     // Residual spread → straggler sigma.
     let mut sq = 0.0;
     let mut n = 0.0;
@@ -427,6 +440,29 @@ mod tests {
         for (got, want) in c.iter().zip(truth.iter()) {
             assert!((got - want).abs() < 1e-8, "{c:?}");
         }
+    }
+
+    #[test]
+    fn fit_samples_recovers_exact_model_with_zero_sigma() {
+        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) + 0.1
+        };
+        for _ in 0..60 {
+            let x = [1.0, next(), next(), next(), next(), next(), next()];
+            let y: f64 = truth.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
+            xs.push(x);
+            ys.push(y);
+        }
+        let fit = fit_samples(&xs, &ys).unwrap();
+        for (got, want) in fit.c.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-8, "{:?}", fit.c);
+        }
+        assert!(fit.sigma < 1e-6, "noise-free fit: sigma {}", fit.sigma);
     }
 
     #[test]

@@ -484,6 +484,58 @@ pub fn estimate_plan_full(
     })
 }
 
+/// Splits one task's fitted time prediction into the trace subsystem's
+/// phase categories by coefficient group of the calibration model
+/// (see [`crate::calibrate::featurize`]): overhead is the startup
+/// intercept plus the per-file-operation term (`c₀ + c₆·ops`), compute is
+/// the contention-adjusted flop term (`c₁`), read is local + remote read
+/// bandwidth (`c₂ + c₃`), write is local + remote write bandwidth
+/// (`c₄ + c₅`). Comparable against a traced run's measured
+/// [`cumulon_trace::PhaseBreakdown`] per span.
+pub fn predicted_task_phases(
+    coeffs: &crate::calibrate::OpCoefficients,
+    instance: &InstanceType,
+    slots: u32,
+    f: &TaskFeatures,
+) -> cumulon_trace::PhaseBreakdown {
+    let x = crate::calibrate::featurize(instance, slots, f);
+    let c = &coeffs.c;
+    cumulon_trace::PhaseBreakdown {
+        overhead_s: c[0] * x[0] + c[6] * x[6],
+        compute_s: c[1] * x[1],
+        read_s: c[2] * x[2] + c[3] * x[3],
+        write_s: c[4] * x[4] + c[5] * x[5],
+    }
+}
+
+/// Predicted aggregate phase breakdown of a whole plan: per-task
+/// predicted phases times the task count, summed over jobs. This is the
+/// analytic counterpart of [`cumulon_trace::TraceLog::phase_totals`], so
+/// `log.diff_against(predict_plan_phases(..)?, est.makespan_s)` lines the
+/// optimizer's model up against what a traced run actually spent.
+pub fn predict_plan_phases(
+    plan: &PhysPlan,
+    view: &ClusterView,
+    model: &CostModel,
+) -> Result<cumulon_trace::PhaseBreakdown> {
+    let coeffs = model
+        .for_instance(view.instance.name)
+        .ok_or_else(|| CoreError::Calibration(format!("no model for {}", view.instance.name)))?;
+    let mut total = cumulon_trace::PhaseBreakdown::default();
+    for job in &plan.jobs {
+        let (n_tasks, features) = job_features(job, view);
+        let p = predicted_task_phases(coeffs, &view.instance, view.slots, &features);
+        let k = n_tasks as f64;
+        total.add(&cumulon_trace::PhaseBreakdown {
+            compute_s: p.compute_s * k,
+            read_s: p.read_s * k,
+            write_s: p.write_s * k,
+            overhead_s: p.overhead_s * k,
+        });
+    }
+    Ok(total)
+}
+
 /// [`estimate_plan_full`] plus the expected overhead of failures: the
 /// makespan is inflated by [`FailureModel::expected_makespan`] and the
 /// dollar figure re-priced from the inflated time.
@@ -694,6 +746,28 @@ mod tests {
         assert!(est.cost_dollars > 0.0);
         // Levels serialize: makespan at least the sum of single-task times.
         assert!(est.makespan_s >= est.jobs[0].0);
+    }
+
+    #[test]
+    fn predicted_phases_sum_to_the_fitted_prediction() {
+        let v = view(4, 2);
+        let coeffs = OpCoefficients::idealized(&v.instance, 2.0, 0.85);
+        let (n_tasks, f) = job_features(&mul_job(MulSplit::unit()), &v);
+        let phases = predicted_task_phases(&coeffs, &v.instance, v.slots, &f);
+        let pred = coeffs.predict(&v.instance, v.slots, &f);
+        assert!(
+            (phases.total_s() - pred).abs() / pred < 1e-9,
+            "phase groups must partition the prediction: {} vs {pred}",
+            phases.total_s()
+        );
+        assert!(phases.compute_s > 0.0 && phases.read_s > 0.0 && phases.write_s > 0.0);
+
+        let mut plan = PhysPlan::default();
+        plan.push(mul_job(MulSplit::unit()), vec![]);
+        let model = CostModel::single(v.instance.name, coeffs);
+        let total = predict_plan_phases(&plan, &v, &model).unwrap();
+        assert!((total.total_s() - pred * n_tasks as f64).abs() / total.total_s() < 1e-9);
+        assert!(predict_plan_phases(&plan, &v, &CostModel::default()).is_err());
     }
 
     #[test]

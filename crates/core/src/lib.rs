@@ -48,4 +48,6 @@ pub use expr::{ExprId, InputDesc, Program, ProgramBuilder, UnaryOp};
 pub use lower::lower;
 pub use optimizer::Optimizer;
 pub use physical::{MatRef, MulSplit, PhysJob, PhysPlan};
-pub use recovery::{run_with_recovery, RecoveryConfig};
+pub use recovery::{run_with_recovery, run_with_recovery_traced, RecoveryConfig};
+// Re-exported so traced execution drivers need not name the trace crate.
+pub use cumulon_trace::{PhaseBreakdown, Trace, TraceLog};

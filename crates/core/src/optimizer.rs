@@ -12,7 +12,7 @@ use crate::error::{CoreError, Result};
 use crate::estimate::{estimate_plan, ClusterView, PlanEstimate};
 use crate::expr::{InputDesc, Program};
 use crate::lower::{build_plan, instantiate};
-use crate::recovery::{run_with_recovery, RecoveryConfig};
+use crate::recovery::{run_with_recovery_traced, RecoveryConfig};
 use crate::rewrite;
 
 /// The Cumulon optimizer: a fitted cost model plus planning entry points.
@@ -171,13 +171,66 @@ impl Optimizer {
         failures: &FailurePlan,
         recovery: RecoveryConfig,
     ) -> Result<RunReport> {
+        self.execute_on_traced(
+            cluster,
+            program,
+            inputs,
+            temp_prefix,
+            mode,
+            config,
+            failures,
+            recovery,
+            &cumulon_trace::Trace::disabled(),
+        )
+    }
+
+    /// Like [`Optimizer::execute_on_with`], recording every task attempt,
+    /// job, fault event and recovery round of the execution into `trace`
+    /// (see [`cumulon_trace`]). Tracing is observational only: results,
+    /// outputs and the returned report are bitwise-identical whether the
+    /// handle is enabled or disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_on_traced(
+        &self,
+        cluster: &Cluster,
+        program: &Program,
+        inputs: &BTreeMap<String, InputDesc>,
+        temp_prefix: &str,
+        mode: ExecMode,
+        config: SchedulerConfig,
+        failures: &FailurePlan,
+        recovery: RecoveryConfig,
+        trace: &cumulon_trace::Trace,
+    ) -> Result<RunReport> {
         let view = self.view_of(cluster)?;
         let program = self.rewrite(program, inputs)?;
         let coeffs = self.coeffs_for(&view)?;
         let chooser = CostBasedChooser { coeffs, view };
         let plan = build_plan(&program, inputs, &chooser, temp_prefix)?;
         let dag = instantiate(&plan, cluster.store())?;
-        run_with_recovery(cluster, &plan, &dag, mode, config, failures, recovery)
+        run_with_recovery_traced(
+            cluster, &plan, &dag, mode, config, failures, recovery, trace,
+        )
+    }
+
+    /// Predicted phase breakdown and makespan for the plan
+    /// [`Optimizer::execute_on`] would run on this cluster — the model
+    /// side of a [`cumulon_trace::TraceLog::diff_against`] comparison
+    /// with a traced run of the same program.
+    pub fn predict_phases_on(
+        &self,
+        cluster: &Cluster,
+        program: &Program,
+        inputs: &BTreeMap<String, InputDesc>,
+    ) -> Result<(cumulon_trace::PhaseBreakdown, f64)> {
+        let view = self.view_of(cluster)?;
+        let program = self.rewrite(program, inputs)?;
+        let coeffs = self.coeffs_for(&view)?;
+        let chooser = CostBasedChooser { coeffs, view };
+        let plan = build_plan(&program, inputs, &chooser, "est")?;
+        let phases = crate::estimate::predict_plan_phases(&plan, &view, &self.model)?;
+        let est = estimate_plan(&plan, &view, &self.model)?;
+        Ok((phases, est.makespan_s))
     }
 
     fn view_of(&self, cluster: &Cluster) -> Result<ClusterView> {

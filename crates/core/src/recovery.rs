@@ -1,8 +1,10 @@
 //! Lineage-based recovery: re-run only the work whose outputs were lost.
 //!
-//! The physical plan *is* the lineage graph: every [`PhysJob`] records
-//! which matrices it reads and which it writes, and
-//! [`PhysJob::tasks_for_tile`] maps a lost output tile back to the task
+//! The physical plan *is* the lineage graph: every
+//! [`PhysJob`](crate::physical::PhysJob) records which matrices it reads
+//! and which it writes, and
+//! [`tasks_for_tile`](crate::physical::PhysJob::tasks_for_tile) maps a
+//! lost output tile back to the task
 //! that produced it. When a run fails — a node death took the only
 //! replica of some intermediate tiles, say — the driver here does not
 //! restart the program. It reads the scheduler's structured
@@ -71,6 +73,36 @@ pub fn run_with_recovery(
     failures: &FailurePlan,
     recovery: RecoveryConfig,
 ) -> Result<RunReport> {
+    run_with_recovery_traced(
+        cluster,
+        plan,
+        dag,
+        mode,
+        config,
+        failures,
+        recovery,
+        &cumulon_trace::Trace::disabled(),
+    )
+}
+
+/// [`run_with_recovery`] recording the whole multi-round execution into
+/// `trace`. Each round's spans are shifted onto the global timeline (round
+/// `r` starts at the accumulated makespan of rounds `0..r`) and tagged
+/// with the round number; every aborted round additionally emits a
+/// [`cumulon_trace::TraceEvent::RecoveryRound`] instant at the abort
+/// time. Tracing is observational: results are bitwise-identical with a
+/// disabled handle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_recovery_traced(
+    cluster: &Cluster,
+    plan: &PhysPlan,
+    dag: &JobDag,
+    mode: ExecMode,
+    config: SchedulerConfig,
+    failures: &FailurePlan,
+    recovery: RecoveryConfig,
+    trace: &cumulon_trace::Trace,
+) -> Result<RunReport> {
     let n = plan.jobs.len();
     debug_assert_eq!(n, dag.jobs.len(), "dag must be instantiated from plan");
     // done[i]: plan job i's outputs are fully materialised.
@@ -92,7 +124,8 @@ pub fn run_with_recovery(
             ..failures.clone()
         };
         let run_dag = sub.as_ref().unwrap_or(dag);
-        match cluster.try_run_with(run_dag, mode, config, &failures_round) {
+        trace.set_round(round as u32, total_makespan);
+        match cluster.try_run_with_traced(run_dag, mode, config, &failures_round, trace) {
             Ok(report) => {
                 for js in &report.jobs {
                     if let Some(i) = plan_index(&js.name) {
@@ -123,6 +156,14 @@ pub fn run_with_recovery(
             }
             Err(failure) => {
                 round += 1;
+                // Recorded before the next `set_round`, so the handle's
+                // offset is still this round's start and the instant lands
+                // at the global abort time.
+                trace.record_event(cumulon_trace::TraceEvent::RecoveryRound {
+                    t_s: failure.makespan_s,
+                    round: round as u32,
+                    lost_blocks: failure.lost_blocks.len(),
+                });
                 total_makespan += failure.makespan_s;
                 faults.merge(&failure.faults);
                 for js in &failure.completed_jobs {

@@ -13,9 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use cumulon_cluster::{Cluster, ClusterSpec, ExecMode};
+use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, FailurePlan, SchedulerConfig, Trace};
 use cumulon_core::error::CoreError;
 use cumulon_core::expr::InputDesc;
+use cumulon_core::recovery::RecoveryConfig;
 use cumulon_core::{Constraint, Optimizer, Result, SearchSpace};
 use cumulon_lang::{compile_source, CompiledScript};
 use cumulon_matrix::gen::Generator;
@@ -142,6 +143,31 @@ pub enum Command {
         /// zero-copy handles. Results are identical; useful for testing
         /// the byte plane.
         materialize_bytes: bool,
+        /// Write a Chrome `trace_event` JSON timeline of the run here
+        /// (load in Perfetto or `chrome://tracing`). Tracing never
+        /// changes results.
+        trace: Option<String>,
+    },
+    /// `trace`: execute like `run`, then print the critical-path,
+    /// slot-utilization and estimate-vs-actual reports for the traced
+    /// execution (optionally also exporting the timeline JSON).
+    Trace {
+        /// Script path.
+        script: String,
+        /// Input specs.
+        inputs: Vec<InputSpec>,
+        /// Instance type name.
+        instance: String,
+        /// Node count.
+        nodes: u32,
+        /// Slots per node (0 = one per core).
+        slots: u32,
+        /// Real tile math instead of phantom.
+        real: bool,
+        /// Worker threads for task compute (0 = all host cores).
+        threads: usize,
+        /// Also write the Chrome `trace_event` JSON timeline here.
+        out_json: Option<String>,
     },
     /// `explain`: show the compiled program and physical plan.
     Explain {
@@ -156,10 +182,13 @@ pub enum Command {
 pub fn parse_args(args: &[String]) -> Result<Command> {
     let usage = || {
         CoreError::Invariant(
-            "usage: cumulon <plan|run|explain> <script> --input NAME=RxC[@D][:T] ...\n\
+            "usage: cumulon <plan|run|trace|explain> <script> --input NAME=RxC[@D][:T] ...\n\
              plan:    [--deadline MIN | --budget DOLLARS] [--max-nodes N]\n\
              run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
-                      [--materialize-bytes]"
+                      [--materialize-bytes] [--trace FILE.json]\n\
+             trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
+                      [--trace FILE.json]   (prints critical-path, utilization\n\
+                      and estimate-diff reports for the traced run)"
                 .to_string(),
         )
     };
@@ -176,6 +205,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut real = false;
     let mut threads = 0usize;
     let mut materialize_bytes = false;
+    let mut trace: Option<String> = None;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -222,6 +252,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             }
             "--real" => real = true,
             "--materialize-bytes" => materialize_bytes = true,
+            "--trace" => trace = Some(next_value(&mut it, "--trace")?),
             "--threads" => {
                 threads = next_value(&mut it, "--threads")?
                     .parse()
@@ -269,6 +300,22 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 real,
                 threads,
                 materialize_bytes,
+                trace,
+            })
+        }
+        "trace" => {
+            let instance =
+                instance.ok_or_else(|| CoreError::Invariant("trace needs --instance".into()))?;
+            let nodes = nodes.ok_or_else(|| CoreError::Invariant("trace needs --nodes".into()))?;
+            Ok(Command::Trace {
+                script,
+                inputs,
+                instance,
+                nodes,
+                slots,
+                real,
+                threads,
+                out_json: trace,
             })
         }
         "explain" => Ok(Command::Explain { script, inputs }),
@@ -298,6 +345,78 @@ fn check_inputs(
         }
     }
     Ok(map)
+}
+
+/// Provisions the requested cluster and registers the generated inputs —
+/// the shared front half of `run` and `trace`.
+fn provision_for_run(
+    inputs: &[InputSpec],
+    instance: &str,
+    nodes: u32,
+    slots: u32,
+) -> Result<Cluster> {
+    let spec_slots = if slots == 0 {
+        cumulon_cluster::instances::by_name(instance)
+            .map(|i| i.cores)
+            .unwrap_or(1)
+    } else {
+        slots
+    };
+    let cluster = Cluster::provision(
+        ClusterSpec::named(instance, nodes, spec_slots).map_err(CoreError::from)?,
+    )
+    .map_err(CoreError::from)?;
+    for (i, s) in inputs.iter().enumerate() {
+        cluster
+            .store()
+            .register_generated(&s.name, s.meta(), s.generator(i as u64 + 1))
+            .map_err(CoreError::from)?;
+    }
+    Ok(cluster)
+}
+
+/// Runs a compiled script on a provisioned cluster, recording into
+/// `trace` when the handle is enabled.
+fn run_traced(
+    optimizer: &Optimizer,
+    cluster: &Cluster,
+    compiled: &CompiledScript,
+    descs: &BTreeMap<String, InputDesc>,
+    real: bool,
+    trace: &Trace,
+) -> Result<cumulon_cluster::RunReport> {
+    let mode = if real {
+        ExecMode::Real
+    } else {
+        ExecMode::Simulated
+    };
+    optimizer.execute_on_traced(
+        cluster,
+        &compiled.program,
+        descs,
+        "cli",
+        mode,
+        SchedulerConfig::default(),
+        &FailurePlan::default(),
+        RecoveryConfig::default(),
+        trace,
+    )
+}
+
+fn write_trace_json(
+    log: &cumulon_cluster::TraceLog,
+    path: &str,
+    out: &mut impl std::io::Write,
+) -> Result<()> {
+    std::fs::write(path, log.to_chrome_json())
+        .map_err(|e| CoreError::Invariant(format!("cannot write {path}: {e}")))?;
+    writeln!(
+        out,
+        "trace  : {} spans -> {path} (load in Perfetto or chrome://tracing)",
+        log.tasks.len()
+    )
+    .map_err(|e| CoreError::Invariant(format!("write failed: {e}")))?;
+    Ok(())
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -349,35 +468,20 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             real,
             threads,
             materialize_bytes,
+            trace,
         } => {
             cumulon_cluster::set_default_threads(*threads);
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
-            let spec_slots = if *slots == 0 {
-                cumulon_cluster::instances::by_name(instance)
-                    .map(|i| i.cores)
-                    .unwrap_or(1)
-            } else {
-                *slots
-            };
-            let cluster = Cluster::provision(
-                ClusterSpec::named(instance, *nodes, spec_slots).map_err(CoreError::from)?,
-            )
-            .map_err(CoreError::from)?;
+            let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
             cluster.store().set_materialize_bytes(*materialize_bytes);
-            for (i, s) in inputs.iter().enumerate() {
-                cluster
-                    .store()
-                    .register_generated(&s.name, s.meta(), s.generator(i as u64 + 1))
-                    .map_err(CoreError::from)?;
-            }
             let optimizer = Optimizer::new(crate::idealized_cost_model());
-            let mode = if *real {
-                ExecMode::Real
+            let handle = if trace.is_some() {
+                Trace::enabled()
             } else {
-                ExecMode::Simulated
+                Trace::disabled()
             };
-            let report = optimizer.execute_on(&cluster, &compiled.program, &descs, "cli", mode)?;
+            let report = run_traced(&optimizer, &cluster, &compiled, &descs, *real, &handle)?;
             writeln!(out, "{}", report.summary()).map_err(w)?;
             for job in &report.jobs {
                 writeln!(
@@ -389,6 +493,10 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                     100.0 * job.locality_rate()
                 )
                 .map_err(w)?;
+            }
+            if let Some(path) = trace {
+                let log = handle.snapshot().expect("trace handle is enabled");
+                write_trace_json(&log, path, out)?;
             }
             if *real {
                 for name in compiled.outputs() {
@@ -403,6 +511,41 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                     .map_err(w)?;
                 }
             }
+            Ok(())
+        }
+        Command::Trace {
+            script,
+            inputs,
+            instance,
+            nodes,
+            slots,
+            real,
+            threads,
+            out_json,
+        } => {
+            cumulon_cluster::set_default_threads(*threads);
+            let compiled = load_script(script)?;
+            let descs = check_inputs(&compiled, inputs)?;
+            let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
+            let optimizer = Optimizer::new(crate::idealized_cost_model());
+            let handle = Trace::enabled();
+            let report = run_traced(&optimizer, &cluster, &compiled, &descs, *real, &handle)?;
+            let log = handle.snapshot().expect("trace handle is enabled");
+            writeln!(out, "{}", report.summary()).map_err(w)?;
+            if let Some(path) = out_json {
+                write_trace_json(&log, path, out)?;
+            }
+            writeln!(out).map_err(w)?;
+            writeln!(out, "{}", log.critical_path().render()).map_err(w)?;
+            writeln!(out, "{}", log.utilization().render()).map_err(w)?;
+            let (phases, predicted_makespan) =
+                optimizer.predict_phases_on(&cluster, &compiled.program, &descs)?;
+            writeln!(
+                out,
+                "{}",
+                log.diff_against(phases, predicted_makespan).render()
+            )
+            .map_err(w)?;
             Ok(())
         }
         Command::Explain { script, inputs } => {
@@ -517,8 +660,39 @@ mod tests {
                 real: true,
                 threads: 3,
                 materialize_bytes: true,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_trace_flag_and_subcommand() {
+        let cmd = parse_args(&args(
+            "run s.cm --input A=10x10 --instance m1.large --nodes 2 --trace out.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { trace, .. } => assert_eq!(trace.as_deref(), Some("out.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&args(
+            "trace s.cm --input A=10x10 --instance m1.large --nodes 2 --slots 1 --trace t.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                script: "s.cm".into(),
+                inputs: vec![InputSpec::parse("A=10x10").unwrap()],
+                instance: "m1.large".into(),
+                nodes: 2,
+                slots: 1,
+                real: false,
+                threads: 0,
+                out_json: Some("t.json".into()),
+            }
+        );
+        assert!(parse_args(&args("trace s.cm --input A=1x1")).is_err());
     }
 
     #[test]
@@ -568,6 +742,7 @@ mod tests {
                 real: true,
                 threads: 0,
                 materialize_bytes: false,
+                trace: None,
             },
             &mut out,
         )
@@ -575,6 +750,39 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("output G: 20x20"), "{text}");
 
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_end_to_end() {
+        let path = write_script("G = A' * A;");
+        let script = path.to_str().unwrap().to_string();
+        let mut json_path = std::env::temp_dir();
+        json_path.push(format!("cumulon_cli_trace_{}.json", std::process::id()));
+
+        let mut out = Vec::new();
+        execute(
+            &Command::Trace {
+                script,
+                inputs: vec![InputSpec::parse("A=40x20:10").unwrap()],
+                instance: "m1.large".into(),
+                nodes: 2,
+                slots: 2,
+                real: true,
+                threads: 1,
+                out_json: Some(json_path.to_str().unwrap().to_string()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Critical path"), "{text}");
+        assert!(text.contains("Slot utilization"), "{text}");
+        assert!(text.contains("Estimate vs actual"), "{text}");
+
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "exported JSON malformed");
+        std::fs::remove_file(json_path).ok();
         std::fs::remove_file(path).ok();
     }
 

@@ -15,6 +15,8 @@
 //! * [`mr`] — the MapReduce/SystemML-style baseline engine;
 //! * [`core`] — matrix programs, logical rewrites, split-parameterised
 //!   physical plans, calibrated cost models and the deployment optimizer;
+//! * [`trace`] — span-level run tracing: Chrome/Perfetto timeline export,
+//!   slot-utilization and critical-path reports;
 //! * [`workloads`] — GNMF, RSVD, regression, power iteration, chains.
 //!
 //! ## Quickstart
@@ -63,6 +65,7 @@ pub use cumulon_dfs as dfs;
 pub use cumulon_lang as lang;
 pub use cumulon_matrix as matrix;
 pub use cumulon_mr as mr;
+pub use cumulon_trace as trace;
 pub use cumulon_workloads as workloads;
 
 /// A cost model with closed-form (spec-sheet) coefficients for every

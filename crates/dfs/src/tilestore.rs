@@ -148,6 +148,9 @@ pub struct TileStore {
     dfs: Dfs,
     state: Arc<RwLock<StoreState>>,
     cache: Arc<TileCache>,
+    /// Per-run trace handle for tile-cache hit/miss counters; swapped in
+    /// by the scheduler at run start (see `TileStore::set_trace`).
+    trace: Arc<RwLock<cumulon_trace::Trace>>,
 }
 
 impl TileStore {
@@ -166,12 +169,32 @@ impl TileStore {
                 materialize_bytes: false,
             })),
             cache: Arc::new(TileCache::new(cache_bytes)),
+            trace: Arc::new(RwLock::new(cumulon_trace::Trace::disabled())),
         }
     }
 
     /// The underlying DFS.
     pub fn dfs(&self) -> &Dfs {
         &self.dfs
+    }
+
+    /// Installs the trace handle that tile-cache hits and misses count
+    /// into. The scheduler sets this at run start (and resets it to a
+    /// disabled handle at run end); counters are advisory only — they
+    /// never influence reads, receipts or placement, and speculative
+    /// worker threads are suppressed (see `cumulon_trace::suppress`), so
+    /// tracing cannot perturb results.
+    pub fn set_trace(&self, trace: cumulon_trace::Trace) {
+        *self.trace.write() = trace;
+    }
+
+    fn trace_cache(&self, hit: bool) {
+        let trace = self.trace.read();
+        if hit {
+            trace.cache_hit();
+        } else {
+            trace.cache_miss();
+        }
     }
 
     /// Forces tile writes onto the byte plane (encode on write, decode on
@@ -361,8 +384,10 @@ impl TileStore {
             }
             let path = Self::tile_path(name, ti, tj);
             if let Some(tile) = self.cache.get(&path) {
+                self.trace_cache(true);
                 return Ok((tile, IoReceipt::default()));
             }
+            self.trace_cache(false);
             let tile = Arc::new(generator.generate(&handle.meta, ti, tj));
             self.cache.insert(&path, tile.clone());
             return Ok((tile, IoReceipt::default()));
@@ -375,6 +400,7 @@ impl TileStore {
             });
         }
         if let Some(tile) = self.cache.get(&path) {
+            self.trace_cache(true);
             let receipt = self.dfs.read_receipt(&path, reader)?;
             let receipt = scale_receipt(receipt, receipt.bytes, tile.stored_bytes());
             return Ok((tile, receipt));
@@ -382,12 +408,14 @@ impl TileStore {
         let (payload, receipt) = self.dfs.read_payload(&path, reader)?;
         match payload {
             // Handle-plane file: the DFS itself holds the Arc — no decode,
-            // no cache entry needed; identity is stable across reads.
+            // no cache entry needed; identity is stable across reads. Not
+            // counted as a cache miss: the read is cache-invisible.
             FilePayload::Tile(tile) => {
                 let receipt = scale_receipt(receipt, receipt.bytes, tile.stored_bytes());
                 Ok((tile, receipt))
             }
             FilePayload::Bytes(bytes) => {
+                self.trace_cache(false);
                 let actual = bytes.len() as u64;
                 let tile = Arc::new(decode_tile(bytes)?);
                 let receipt = scale_receipt(receipt, actual, tile.stored_bytes());

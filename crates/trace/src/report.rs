@@ -1,0 +1,413 @@
+//! Trace analysis: slot utilization, critical-path extraction, and the
+//! estimate-vs-actual phase diff.
+
+use std::fmt::Write as _;
+
+use crate::{PhaseBreakdown, TaskSpan, TraceLog};
+
+/// Busy time of one (node, slot) lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilizationRow {
+    /// Node index.
+    pub node: usize,
+    /// Slot index on the node.
+    pub slot: usize,
+    /// Simulated seconds the slot was occupied by any attempt.
+    pub busy_s: f64,
+    /// Number of attempts that ran on the slot (including killed ones).
+    pub tasks: usize,
+}
+
+/// Slot-occupancy timeline summary over a whole run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilizationReport {
+    /// One row per (node, slot) lane, node-major order.
+    pub rows: Vec<UtilizationRow>,
+    /// The run's end-to-end makespan.
+    pub makespan_s: f64,
+    /// Total busy time across lanes divided by `makespan x lanes`.
+    pub busy_fraction: f64,
+}
+
+impl UtilizationReport {
+    /// Renders a human-readable utilization table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Slot utilization: {:.1}% busy over {:.1}s makespan ({} lanes)\n",
+            self.busy_fraction * 100.0,
+            self.makespan_s,
+            self.rows.len()
+        );
+        for r in &self.rows {
+            let pct = if self.makespan_s > 0.0 {
+                100.0 * r.busy_s / self.makespan_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  node{}/slot{}: {:>8.1}s busy ({:>5.1}%), {} attempts",
+                r.node, r.slot, r.busy_s, pct, r.tasks
+            );
+        }
+        out
+    }
+}
+
+/// One hop on the critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalStep {
+    /// The task attempt occupying this stretch of the path.
+    pub span: TaskSpan,
+    /// Name of the span's job (empty if the log has no matching job).
+    pub job_name: String,
+    /// Idle gap between the previous step's end and this span's start.
+    pub wait_s: f64,
+}
+
+/// The longest chain of task attempts explaining the run's makespan,
+/// with simulated time attributed to phases plus scheduling idle time.
+///
+/// Constructed by [`TraceLog::critical_path`] via a backward walk: from
+/// the last-finishing successful attempt, each step's *enabler* is the
+/// latest-ending span that finished at or before the step started
+/// (preferring a span on the same slot on ties); any positive gap books
+/// as idle. Because per-span phases are rescaled to actual durations,
+/// `phases.total_s() + idle_s` reproduces the makespan exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalPathReport {
+    /// Path steps in chronological order.
+    pub steps: Vec<CriticalStep>,
+    /// Phase attribution summed over the path's spans.
+    pub phases: PhaseBreakdown,
+    /// Time on the path covered by no span (scheduling/dependency waits,
+    /// the lead-in before the first span, and any tail after the last).
+    pub idle_s: f64,
+    /// The makespan being explained.
+    pub makespan_s: f64,
+}
+
+impl CriticalPathReport {
+    /// `phases.total_s() + idle_s` — equals [`Self::makespan_s`] up to
+    /// floating-point rounding.
+    pub fn accounted_s(&self) -> f64 {
+        self.phases.total_s() + self.idle_s
+    }
+
+    /// Renders a human-readable critical-path breakdown.
+    pub fn render(&self) -> String {
+        let mk = self.makespan_s.max(1e-12);
+        let p = &self.phases;
+        let mut out = format!(
+            "Critical path: {} steps over {:.1}s makespan\n  \
+             compute {:.1}s ({:.1}%), read {:.1}s ({:.1}%), write {:.1}s ({:.1}%), \
+             overhead {:.1}s ({:.1}%), idle {:.1}s ({:.1}%)\n",
+            self.steps.len(),
+            self.makespan_s,
+            p.compute_s,
+            100.0 * p.compute_s / mk,
+            p.read_s,
+            100.0 * p.read_s / mk,
+            p.write_s,
+            100.0 * p.write_s / mk,
+            p.overhead_s,
+            100.0 * p.overhead_s / mk,
+            self.idle_s,
+            100.0 * self.idle_s / mk,
+        );
+        for s in &self.steps {
+            let t = &s.span;
+            let _ = writeln!(
+                out,
+                "  {:>9.1}s -> {:>9.1}s  {} t{}#{} @node{}/slot{} (wait {:.1}s)",
+                t.start_s, t.end_s, s.job_name, t.task, t.attempt, t.node, t.slot, s.wait_s
+            );
+        }
+        out
+    }
+}
+
+/// Side-by-side comparison of the estimator's predicted phase breakdown
+/// against the traced actuals (see [`TraceLog::diff_against`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateDiff {
+    /// Phase seconds predicted by `core::estimate` before the run.
+    pub predicted: PhaseBreakdown,
+    /// Phase seconds attributed by the trace after the run.
+    pub actual: PhaseBreakdown,
+    /// Predicted end-to-end makespan.
+    pub predicted_makespan_s: f64,
+    /// Actual (simulated) end-to-end makespan.
+    pub actual_makespan_s: f64,
+}
+
+impl EstimateDiff {
+    /// Renders a predicted-vs-actual table with per-phase ratios.
+    pub fn render(&self) -> String {
+        fn row(name: &str, predicted: f64, actual: f64) -> String {
+            let ratio = if predicted > 0.0 {
+                format!("{:.2}x", actual / predicted)
+            } else {
+                "-".to_string()
+            };
+            format!("  {name:<9} {predicted:>10.1}s {actual:>10.1}s {ratio:>8}\n")
+        }
+        let mut out = String::from(
+            "Estimate vs actual (per phase, task-seconds summed over attempts)\n  \
+             phase      predicted     actual    ratio\n",
+        );
+        out.push_str(&row(
+            "compute",
+            self.predicted.compute_s,
+            self.actual.compute_s,
+        ));
+        out.push_str(&row("read", self.predicted.read_s, self.actual.read_s));
+        out.push_str(&row("write", self.predicted.write_s, self.actual.write_s));
+        out.push_str(&row(
+            "overhead",
+            self.predicted.overhead_s,
+            self.actual.overhead_s,
+        ));
+        out.push_str(&row(
+            "makespan",
+            self.predicted_makespan_s,
+            self.actual_makespan_s,
+        ));
+        out
+    }
+}
+
+impl TraceLog {
+    /// The run's makespan, falling back to the latest span end when the
+    /// recorder never stamped one.
+    fn effective_makespan(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            return self.makespan_s;
+        }
+        self.tasks.iter().map(|t| t.end_s).fold(0.0, f64::max)
+    }
+
+    /// Computes per-lane busy time and the overall busy fraction.
+    pub fn utilization(&self) -> UtilizationReport {
+        let lanes = self.nodes * self.slots;
+        let mut rows: Vec<UtilizationRow> = (0..lanes)
+            .map(|i| UtilizationRow {
+                node: i / self.slots.max(1),
+                slot: i % self.slots.max(1),
+                busy_s: 0.0,
+                tasks: 0,
+            })
+            .collect();
+        for t in &self.tasks {
+            let lane = t.node * self.slots + t.slot;
+            if let Some(row) = rows.get_mut(lane) {
+                row.busy_s += t.duration_s();
+                row.tasks += 1;
+            }
+        }
+        let makespan_s = self.effective_makespan();
+        let busy: f64 = rows.iter().map(|r| r.busy_s).sum();
+        let busy_fraction = if makespan_s > 0.0 && lanes > 0 {
+            busy / (makespan_s * lanes as f64)
+        } else {
+            0.0
+        };
+        UtilizationReport {
+            rows,
+            makespan_s,
+            busy_fraction,
+        }
+    }
+
+    /// Extracts the critical path (see [`CriticalPathReport`]).
+    pub fn critical_path(&self) -> CriticalPathReport {
+        let makespan_s = self.effective_makespan();
+        let mut steps: Vec<CriticalStep> = Vec::new();
+        let mut idle_s = 0.0;
+        // Start from the last-finishing successful attempt; failed and
+        // killed attempts can still appear as enablers (a retry is gated
+        // on the attempt it replaces).
+        let mut cur = self
+            .tasks
+            .iter()
+            .filter(|t| t.ok)
+            .max_by(|a, b| a.end_s.total_cmp(&b.end_s));
+        if let Some(last) = cur {
+            idle_s += (makespan_s - last.end_s).max(0.0);
+        }
+        let mut guard = self.tasks.len() + 1;
+        while let Some(span) = cur {
+            let enabler = self
+                .tasks
+                .iter()
+                .filter(|t| t.end_s <= span.start_s && t.start_s < span.start_s)
+                .max_by(|a, b| {
+                    a.end_s.total_cmp(&b.end_s).then_with(|| {
+                        let a_here = (a.node, a.slot) == (span.node, span.slot);
+                        let b_here = (b.node, b.slot) == (span.node, span.slot);
+                        a_here
+                            .cmp(&b_here)
+                            .then_with(|| (b.job, b.task).cmp(&(a.job, a.task)))
+                    })
+                });
+            let wait_s = match enabler {
+                Some(e) => (span.start_s - e.end_s).max(0.0),
+                None => span.start_s.max(0.0),
+            };
+            idle_s += wait_s;
+            steps.push(CriticalStep {
+                span: span.clone(),
+                job_name: self
+                    .job_name(span.job, span.round)
+                    .unwrap_or_default()
+                    .to_string(),
+                wait_s,
+            });
+            cur = enabler;
+            guard -= 1;
+            if guard == 0 {
+                break;
+            }
+        }
+        steps.reverse();
+        let mut phases = PhaseBreakdown::default();
+        for s in &steps {
+            phases.add(&s.span.phases);
+        }
+        CriticalPathReport {
+            steps,
+            phases,
+            idle_s,
+            makespan_s,
+        }
+    }
+
+    /// Builds an [`EstimateDiff`] against a predicted breakdown computed
+    /// by the caller (e.g. `core::estimate`'s per-phase prediction).
+    pub fn diff_against(
+        &self,
+        predicted: PhaseBreakdown,
+        predicted_makespan_s: f64,
+    ) -> EstimateDiff {
+        EstimateDiff {
+            predicted,
+            actual: self.phase_totals(),
+            predicted_makespan_s,
+            actual_makespan_s: self.effective_makespan(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_span, JobSpan, Trace};
+
+    /// Two lanes, three chained spans with gaps:
+    /// lane (0,0): [0,4] then [5,9]; lane (0,1): [4.5, 12].
+    fn chained_log() -> TraceLog {
+        let t = Trace::enabled();
+        t.set_run_meta("m1.large", 1, 2);
+        t.record_task(sample_span(0, 0, 0.0, 4.0));
+        let mut b = sample_span(0, 1, 5.0, 9.0);
+        b.slot = 0;
+        t.record_task(b);
+        let mut c = sample_span(1, 0, 4.5, 12.0);
+        c.slot = 1;
+        t.record_task(c);
+        t.record_job(JobSpan {
+            index: 0,
+            name: "gen A".into(),
+            op_label: "GEN".into(),
+            start_s: 0.0,
+            end_s: 9.0,
+            round: 0,
+        });
+        t.record_job(JobSpan {
+            index: 1,
+            name: "mul C".into(),
+            op_label: "MUL".into(),
+            start_s: 4.5,
+            end_s: 12.0,
+            round: 0,
+        });
+        t.set_makespan(12.0);
+        t.snapshot().unwrap()
+    }
+
+    #[test]
+    fn critical_path_accounts_for_full_makespan() {
+        let log = chained_log();
+        let cp = log.critical_path();
+        // Path: span(1,0) [4.5,12] <- span(0,0) [0,4] (latest end <= 4.5).
+        assert_eq!(cp.steps.len(), 2);
+        assert_eq!((cp.steps[0].span.job, cp.steps[0].span.task), (0, 0));
+        assert_eq!((cp.steps[1].span.job, cp.steps[1].span.task), (1, 0));
+        assert_eq!(cp.steps[1].job_name, "mul C");
+        assert!((cp.steps[1].wait_s - 0.5).abs() < 1e-12);
+        assert!((cp.accounted_s() - cp.makespan_s).abs() < 1e-9 * cp.makespan_s);
+        assert!((cp.idle_s - 0.5).abs() < 1e-12);
+        let rendered = cp.render();
+        assert!(rendered.contains("Critical path: 2 steps"));
+        assert!(rendered.contains("mul C"));
+    }
+
+    #[test]
+    fn utilization_sums_lane_busy_time() {
+        let log = chained_log();
+        let u = log.utilization();
+        assert_eq!(u.rows.len(), 2);
+        assert!((u.rows[0].busy_s - 8.0).abs() < 1e-12);
+        assert_eq!(u.rows[0].tasks, 2);
+        assert!((u.rows[1].busy_s - 7.5).abs() < 1e-12);
+        assert!((u.busy_fraction - 15.5 / 24.0).abs() < 1e-12);
+        assert!(u.render().contains("node0/slot1"));
+    }
+
+    #[test]
+    fn failed_attempt_gates_its_retry_on_the_path() {
+        let t = Trace::enabled();
+        t.set_run_meta("m1.large", 1, 1);
+        let mut failed = sample_span(0, 0, 0.0, 3.0);
+        failed.ok = false;
+        t.record_task(failed);
+        let mut retry = sample_span(0, 0, 3.0, 7.0);
+        retry.attempt = 2;
+        t.record_task(retry);
+        t.set_makespan(7.0);
+        let cp = t.snapshot().unwrap().critical_path();
+        assert_eq!(cp.steps.len(), 2);
+        assert!(!cp.steps[0].span.ok);
+        assert_eq!(cp.steps[1].span.attempt, 2);
+        assert!((cp.accounted_s() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_reports() {
+        let log = Trace::enabled().snapshot().unwrap();
+        let cp = log.critical_path();
+        assert!(cp.steps.is_empty());
+        assert_eq!(cp.idle_s, 0.0);
+        assert_eq!(log.utilization().rows.len(), 0);
+    }
+
+    #[test]
+    fn estimate_diff_renders_ratios() {
+        let log = chained_log();
+        let predicted = PhaseBreakdown {
+            compute_s: 4.0,
+            read_s: 4.0,
+            write_s: 4.0,
+            overhead_s: 4.0,
+        };
+        let diff = log.diff_against(predicted, 10.0);
+        assert_eq!(diff.predicted_makespan_s, 10.0);
+        assert_eq!(diff.actual_makespan_s, 12.0);
+        // Actual totals: three spans of durations 4 + 4 + 7.5 = 15.5s,
+        // split evenly across four phases by sample_span.
+        assert!((diff.actual.total_s() - 15.5).abs() < 1e-9);
+        let rendered = diff.render();
+        assert!(rendered.contains("compute"));
+        assert!(rendered.contains("makespan"));
+    }
+}
