@@ -146,43 +146,10 @@ fn gemm_parallel_e2e() -> (f64, usize) {
     (t0.elapsed().as_secs_f64(), N)
 }
 
-/// Canonical fingerprint of a run: every float by bit pattern, every
-/// counter verbatim. Two runs match iff their fingerprints are equal.
+/// Run fingerprint: the canonical [`RunReport::fingerprint`] (shared with
+/// `cumulon check`) plus the bit pattern of every output's norm.
 fn fingerprint(report: &RunReport, outputs: &[LocalMatrix]) -> String {
-    let mut s = format!(
-        "mk{:016x} bh{:016x} $ {:016x} {:?}\n",
-        report.makespan_s.to_bits(),
-        report.billed_hours.to_bits(),
-        report.cost_dollars.to_bits(),
-        report.faults,
-    );
-    for j in &report.jobs {
-        let _ = write!(
-            s,
-            "{} [{:016x}-{:016x}] r({:016x},{},{},{:016x},{:016x},{})",
-            j.name,
-            j.start_s.to_bits(),
-            j.end_s.to_bits(),
-            j.receipt.work.flops.to_bits(),
-            j.receipt.read.bytes,
-            j.receipt.write.bytes,
-            j.receipt.mem_mb.to_bits(),
-            j.receipt.fixed_s.to_bits(),
-            j.receipt.io_ops,
-        );
-        for t in &j.tasks {
-            let _ = write!(
-                s,
-                " {}@{}[{:016x}-{:016x}]x{}",
-                t.task,
-                t.node,
-                t.start_s.to_bits(),
-                t.end_s.to_bits(),
-                t.attempts
-            );
-        }
-        s.push('\n');
-    }
+    let mut s = report.fingerprint();
     for m in outputs {
         let _ = writeln!(s, "out {:016x}", m.frob_norm().to_bits());
     }

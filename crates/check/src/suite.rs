@@ -1,0 +1,933 @@
+//! The invariant suite: a small workload set swept through the
+//! configuration lattice, with every global identity machine-checked.
+//!
+//! ## The lattice
+//!
+//! Three workloads (a multiply chain, a Gram matrix, and an iterative
+//! power method) each run through the *observational* configuration axes —
+//! axes that may change how a run is executed or measured but must never
+//! change what it computes:
+//!
+//! * worker threads: 1 vs. N (deterministic parallel executor);
+//! * payload plane: tile handles vs. materialized wire bytes;
+//! * tracing: off vs. on (spans are observational by design);
+//! * billing policy: hour-quantized vs. per-second (pricing only);
+//! * faults: a seeded [`FailurePlan`] plus lineage recovery vs. a clean
+//!   run.
+//!
+//! ## The invariants
+//!
+//! * `result-identity` — every lattice point reproduces the baseline
+//!   bitwise: identical [`RunReport::fingerprint`] and identical output
+//!   bits.
+//! * `reference-conformance` — the distributed result matches a naive
+//!   untiled reference to near machine precision (summation order
+//!   differs, so this one is a tight tolerance, not bitwise).
+//! * `byte-conservation` — after every run, namenode metadata and
+//!   datanode byte counters agree exactly, block for block, node for
+//!   node (checked on both payload planes, including after node kills).
+//! * `billing-identity` — every report's `billed_hours`/`cost_dollars`
+//!   equal the billing functions applied to its makespan, bitwise, and
+//!   `cluster_cost == nodes × price × billed_hours` for every policy.
+//! * `trace-accounting` — the critical-path phase breakdown plus idle
+//!   time accounts for the full makespan.
+//! * `recovery-idempotence` — a run with injected task faults and a node
+//!   kill, recovered via lineage, reproduces the fault-free output bits;
+//!   the check also demands the faults actually fired (a clean fault
+//!   counter would make the invariant vacuous).
+//! * `estimate-envelope` — the closed-form wave model stays within a
+//!   sigma-scaled envelope of the Monte-Carlo list-scheduling estimate,
+//!   and matches it exactly at `sigma = 0`.
+//! * `search-grid-coverage` — deployment search candidate generation
+//!   covers exactly the instance × slots × nodes cross product, with
+//!   `max_nodes` always included even under non-dividing strides.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use cumulon_cluster::billing::{billed_hours, cluster_cost, BillingPolicy};
+use cumulon_cluster::instances::catalog;
+use cumulon_cluster::{
+    Cluster, ClusterSpec, ExecMode, FailurePlan, RunReport, SchedulerConfig, Trace, TraceLog,
+};
+use cumulon_core::calibrate::{CostModel, OpCoefficients};
+use cumulon_core::error::CoreError;
+use cumulon_core::estimate::{job_time_mc, job_time_s};
+use cumulon_core::expr::{InputDesc, ProgramBuilder};
+use cumulon_core::recovery::RecoveryConfig;
+use cumulon_core::{DeploymentSearch, Optimizer, Program, Result, SearchSpace};
+use cumulon_dfs::StorageAccounting;
+use cumulon_matrix::gen::Generator;
+use cumulon_matrix::{reference, MatrixMeta};
+use cumulon_workloads::chains::MulChain;
+use cumulon_workloads::power::PowerIteration;
+use cumulon_workloads::Workload;
+
+use crate::report::CheckReport;
+
+/// Checker configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Run the reduced lattice (fewer points, fewer Monte-Carlo trials) —
+    /// the CI tier-1 budget. The invariants themselves are unchanged.
+    pub quick: bool,
+}
+
+/// Runs the full invariant suite and returns the structured report.
+///
+/// A violated invariant is *recorded*, not returned as an error; `Err` is
+/// reserved for the checker itself failing to run (which should never
+/// happen and is itself reported as a failed `run-completes` outcome
+/// where a specific configuration is at fault).
+pub fn run_checks(opts: &CheckOptions) -> Result<CheckReport> {
+    let mut report = CheckReport {
+        quick: opts.quick,
+        ..Default::default()
+    };
+    check_billing_function(&mut report);
+    check_estimate_envelope(opts, &mut report);
+    check_search_grid(&mut report);
+    for case in suite() {
+        check_case(&case, opts, &mut report);
+    }
+    Ok(report)
+}
+
+/// The cluster every lattice point provisions: homogeneous m1.large × 4
+/// with 2 slots per node (big enough for real waves, small enough that
+/// the whole lattice runs in CI).
+fn spec() -> ClusterSpec {
+    ClusterSpec::named("m1.large", 4, 2).expect("m1.large is in the catalog")
+}
+
+/// The idealized fitted model used by every execution (same construction
+/// as the bench harness).
+fn optimizer() -> Optimizer {
+    Optimizer::new(model())
+}
+
+fn model() -> CostModel {
+    let mut m = CostModel::default();
+    for i in catalog() {
+        m.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+    }
+    m
+}
+
+/// The N of the `threads ∈ {1, N}` axis: enough to exercise the parallel
+/// executor even on small CI hosts, bounded so the lattice stays cheap.
+fn threads_n() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4))
+}
+
+// ---------------------------------------------------------------------------
+// Workload cases
+// ---------------------------------------------------------------------------
+
+/// One workload in the suite, with the final output to compare and a
+/// naive-reference computation over the dense input snapshots.
+struct Case {
+    name: &'static str,
+    workload: Box<dyn Workload>,
+    /// Iterations to drive through the Workload trait.
+    iters: usize,
+    /// Name of the output matrix whose bits define the run's result.
+    output: &'static str,
+    /// Input matrices snapshotted (dense) for the reference computation.
+    ref_inputs: &'static [&'static str],
+    /// Naive untiled reference over those snapshots.
+    reference: fn(&BTreeMap<String, Vec<f64>>) -> Vec<f64>,
+}
+
+fn suite() -> Vec<Case> {
+    vec![
+        Case {
+            name: "chain",
+            workload: Box::new(MulChain::square(48, 3, 16, 11)),
+            iters: 1,
+            output: "CHAIN",
+            ref_inputs: &["M0", "M1", "M2"],
+            reference: |m| {
+                let p = reference::matmul(&m["M0"], &m["M1"], 48, 48, 48);
+                reference::matmul(&p, &m["M2"], 48, 48, 48)
+            },
+        },
+        Case {
+            name: "gram",
+            workload: Box::new(Gram {
+                meta: MatrixMeta::new(96, 48, 16),
+                seed: 23,
+            }),
+            iters: 1,
+            output: "G",
+            ref_inputs: &["A"],
+            reference: |m| {
+                let at = reference::transpose(&m["A"], 96, 48);
+                reference::matmul(&at, &m["A"], 48, 96, 48)
+            },
+        },
+        Case {
+            name: "power",
+            workload: Box::new(PowerIteration {
+                n: 60,
+                tile_size: 15,
+                density: 0.3,
+                seed: 21,
+            }),
+            iters: 2,
+            output: "x_2",
+            ref_inputs: &["P", "x_0"],
+            reference: |m| {
+                let y1 = reference::matmul(&m["P"], &m["x_0"], 60, 60, 1);
+                reference::matmul(&m["P"], &y1, 60, 60, 1)
+            },
+        },
+    ]
+}
+
+/// Gram-matrix workload `G = AᵀA` (the workloads crate has no standalone
+/// Gram case; regression uses it fused into the normal equations).
+struct Gram {
+    meta: MatrixMeta,
+    seed: u64,
+}
+
+impl Workload for Gram {
+    fn name(&self) -> &'static str {
+        "gram"
+    }
+
+    fn inputs(&self, _iter: usize) -> BTreeMap<String, InputDesc> {
+        let mut m = BTreeMap::new();
+        m.insert("A".into(), InputDesc::dense(self.meta).generated());
+        m
+    }
+
+    fn setup(&self, store: &cumulon_dfs::TileStore) -> Result<()> {
+        store
+            .register_generated("A", self.meta, Generator::DenseGaussian { seed: self.seed })
+            .map_err(CoreError::from)?;
+        Ok(())
+    }
+
+    fn program(&self, _iter: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let at = b.transpose(a);
+        let g = b.mul(at, a);
+        b.output("G", g);
+        b.build()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lattice execution
+// ---------------------------------------------------------------------------
+
+/// One point on the observational configuration lattice.
+#[derive(Debug, Clone, Copy)]
+struct LatticePoint {
+    threads: usize,
+    materialize_bytes: bool,
+    trace: bool,
+    billing: BillingPolicy,
+}
+
+const BASELINE: LatticePoint = LatticePoint {
+    threads: 1,
+    materialize_bytes: false,
+    trace: false,
+    billing: BillingPolicy::HourlyCeil,
+};
+
+impl LatticePoint {
+    fn label(&self, case: &str) -> String {
+        format!(
+            "{case}/t{}/{}/{}{}",
+            self.threads,
+            if self.materialize_bytes {
+                "bytes"
+            } else {
+                "tiles"
+            },
+            if self.trace { "trace" } else { "notrace" },
+            if self.billing == BillingPolicy::PerSecond {
+                "/sec"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// Everything one lattice run produces that an invariant looks at.
+struct RunArtifacts {
+    /// Concatenated per-iteration [`RunReport::fingerprint`]s.
+    fingerprint: String,
+    /// Bit pattern of the final output matrix, element by element.
+    output_bits: Vec<u64>,
+    /// The final output, dense row-major (for reference conformance).
+    output_dense: Vec<f64>,
+    /// Dense snapshots of the reference inputs.
+    ref_inputs: BTreeMap<String, Vec<f64>>,
+    /// Per-iteration reports.
+    reports: Vec<RunReport>,
+    /// Per-iteration trace logs (empty when tracing is off).
+    traces: Vec<TraceLog>,
+    /// DFS ledger snapshot after the last iteration.
+    accounting: StorageAccounting,
+}
+
+/// Executes one case at one lattice point on a fresh cluster.
+fn run_case(case: &Case, point: LatticePoint, failures: &FailurePlan) -> Result<RunArtifacts> {
+    let mut cluster = Cluster::provision(spec()).map_err(CoreError::from)?;
+    cluster.set_billing(point.billing);
+    cluster
+        .store()
+        .set_materialize_bytes(point.materialize_bytes);
+    case.workload.setup(cluster.store())?;
+    let opt = optimizer();
+    let config = SchedulerConfig::default().with_threads(point.threads);
+    let mut fingerprint = String::new();
+    let mut reports = Vec::new();
+    let mut traces = Vec::new();
+    for iter in 0..case.iters {
+        // Faults are injected into iteration 0 only, so iterative cases
+        // also prove that recovery leaves later iterations undisturbed.
+        let plan = if iter == 0 {
+            failures.clone()
+        } else {
+            FailurePlan::default()
+        };
+        // A fresh handle per iteration keeps each iteration's timeline
+        // self-contained (simulated time restarts at 0 every run).
+        let trace = if point.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let report = opt.execute_on_traced(
+            &cluster,
+            &case.workload.program(iter),
+            &case.workload.inputs(iter),
+            &format!("chk{iter}"),
+            ExecMode::Real,
+            config,
+            &plan,
+            RecoveryConfig::default(),
+            &trace,
+        )?;
+        fingerprint.push_str(&report.fingerprint());
+        reports.push(report);
+        if let Some(log) = trace.snapshot() {
+            traces.push(log);
+        }
+    }
+    let dense = |name: &str| -> Result<Vec<f64>> {
+        cluster
+            .store()
+            .get_local(name)
+            .map_err(CoreError::from)?
+            .to_dense_vec()
+            .map_err(|e| CoreError::Exec(e.to_string()))
+    };
+    let output_dense = dense(case.output)?;
+    let mut ref_inputs = BTreeMap::new();
+    for &name in case.ref_inputs {
+        ref_inputs.insert(name.to_string(), dense(name)?);
+    }
+    Ok(RunArtifacts {
+        fingerprint,
+        output_bits: output_dense.iter().map(|v| v.to_bits()).collect(),
+        output_dense,
+        ref_inputs,
+        reports,
+        traces,
+        accounting: cluster.store().dfs().storage_accounting(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Per-case checks
+// ---------------------------------------------------------------------------
+
+fn check_case(case: &Case, opts: &CheckOptions, report: &mut CheckReport) {
+    let no_faults = FailurePlan::default();
+    let base_label = BASELINE.label(case.name);
+    let base = match run_case(case, BASELINE, &no_faults) {
+        Ok(a) => a,
+        Err(e) => {
+            report.record(
+                "run-completes",
+                base_label,
+                false,
+                format!("baseline run failed: {e}"),
+            );
+            return;
+        }
+    };
+    per_run_invariants(case, BASELINE, &base, report);
+    check_reference_conformance(case, &base, report);
+
+    let n = threads_n();
+    let mut variants: Vec<LatticePoint> = Vec::new();
+    let combos: &[(usize, bool, bool)] = if opts.quick {
+        // One point per untested axis: threads+trace together, then the
+        // byte plane alone.
+        &[(0, false, true), (1, true, false)]
+    } else {
+        &[
+            (1, false, true),
+            (1, true, false),
+            (1, true, true),
+            (0, false, false),
+            (0, false, true),
+            (0, true, false),
+            (0, true, true),
+        ]
+    };
+    for &(t, mat, tr) in combos {
+        variants.push(LatticePoint {
+            threads: if t == 0 { n } else { t },
+            materialize_bytes: mat,
+            trace: tr,
+            billing: BillingPolicy::HourlyCeil,
+        });
+    }
+    for point in variants {
+        let label = point.label(case.name);
+        match run_case(case, point, &no_faults) {
+            Ok(art) => {
+                per_run_invariants(case, point, &art, report);
+                let identical =
+                    art.fingerprint == base.fingerprint && art.output_bits == base.output_bits;
+                let detail = if identical {
+                    format!(
+                        "fingerprint and {} output elements bitwise equal to {base_label}",
+                        art.output_bits.len()
+                    )
+                } else {
+                    diverged_detail(&base_label, &base, &art)
+                };
+                report.record("result-identity", label, identical, detail);
+            }
+            Err(e) => report.record("run-completes", label, false, format!("run failed: {e}")),
+        }
+    }
+
+    check_per_second_billing(case, &base, &base_label, report);
+    check_recovery_idempotence(case, &base, &base_label, report);
+}
+
+/// Invariants every run must satisfy regardless of configuration:
+/// DFS byte conservation, billing identity, trace-phase accounting.
+fn per_run_invariants(
+    case: &Case,
+    point: LatticePoint,
+    art: &RunArtifacts,
+    report: &mut CheckReport,
+) {
+    let label = point.label(case.name);
+    let a = &art.accounting;
+    report.record(
+        "byte-conservation",
+        label.clone(),
+        a.is_conserved(),
+        format!(
+            "namenode {} replica bytes ({} replicas) vs datanodes {} bytes \
+             ({} blocks); per-node match: {}",
+            a.namenode_replica_bytes,
+            a.namenode_replica_count,
+            a.datanode_bytes,
+            a.datanode_block_count,
+            a.per_node.iter().all(|&(want, got)| want == got),
+        ),
+    );
+
+    let s = spec();
+    let mut billing_ok = true;
+    let mut billing_detail = String::new();
+    for (i, r) in art.reports.iter().enumerate() {
+        let hours = billed_hours(point.billing, r.makespan_s);
+        let cost = cluster_cost(
+            point.billing,
+            s.nodes,
+            s.instance.price_per_hour,
+            r.makespan_s,
+        );
+        let product = s.nodes as f64 * s.instance.price_per_hour * hours;
+        let ok = r.billed_hours.to_bits() == hours.to_bits()
+            && r.cost_dollars.to_bits() == cost.to_bits()
+            && cost.to_bits() == product.to_bits();
+        if !ok {
+            billing_ok = false;
+            let _ = write!(
+                billing_detail,
+                "iter {i}: report ({:.6}h, ${:.6}) vs billing fns ({hours:.6}h, ${cost:.6}, \
+                 n×p×h ${product:.6}); ",
+                r.billed_hours, r.cost_dollars,
+            );
+        }
+    }
+    if billing_ok {
+        billing_detail = format!(
+            "{} iteration(s): billed_hours, cluster_cost and nodes×price×hours bitwise equal",
+            art.reports.len()
+        );
+    }
+    report.record(
+        "billing-identity",
+        label.clone(),
+        billing_ok,
+        billing_detail,
+    );
+
+    if point.trace {
+        let mut ok = true;
+        let mut detail = String::new();
+        for (i, log) in art.traces.iter().enumerate() {
+            let cp = log.critical_path();
+            let gap = (cp.accounted_s() - cp.makespan_s).abs();
+            let tol = 1e-9 * cp.makespan_s.abs().max(1.0);
+            if gap > tol {
+                ok = false;
+                let _ = write!(
+                    detail,
+                    "iter {i}: phases+idle {:.9}s vs makespan {:.9}s (gap {gap:.3e}); ",
+                    cp.accounted_s(),
+                    cp.makespan_s,
+                );
+            }
+        }
+        if ok {
+            detail = format!(
+                "{} iteration(s): phase totals + idle account for the full makespan",
+                art.traces.len()
+            );
+        }
+        report.record("trace-accounting", label, ok, detail);
+    }
+}
+
+/// The distributed result must match the naive untiled reference.
+fn check_reference_conformance(case: &Case, base: &RunArtifacts, report: &mut CheckReport) {
+    let expect = (case.reference)(&base.ref_inputs);
+    let label = format!("{}/vs-reference", case.name);
+    if expect.len() != base.output_dense.len() {
+        report.record(
+            "reference-conformance",
+            label,
+            false,
+            format!(
+                "shape mismatch: reference {} elements, cluster {}",
+                expect.len(),
+                base.output_dense.len()
+            ),
+        );
+        return;
+    }
+    let err2: f64 = expect
+        .iter()
+        .zip(&base.output_dense)
+        .map(|(e, g)| (e - g) * (e - g))
+        .sum();
+    let norm2: f64 = expect.iter().map(|e| e * e).sum();
+    let rel = (err2 / norm2.max(1e-300)).sqrt();
+    report.record(
+        "reference-conformance",
+        label,
+        rel < 1e-9,
+        format!(
+            "relative Frobenius error {rel:.3e} over {} elements (tolerance 1e-9)",
+            expect.len()
+        ),
+    );
+}
+
+/// Billing policy is pricing-only: a per-second run must reproduce the
+/// baseline schedule and outputs exactly, with only the bill differing.
+fn check_per_second_billing(
+    case: &Case,
+    base: &RunArtifacts,
+    base_label: &str,
+    report: &mut CheckReport,
+) {
+    let point = LatticePoint {
+        billing: BillingPolicy::PerSecond,
+        ..BASELINE
+    };
+    let label = point.label(case.name);
+    match run_case(case, point, &FailurePlan::default()) {
+        Ok(art) => {
+            per_run_invariants(case, point, &art, report);
+            // The fingerprint embeds the bill, which legitimately changes;
+            // the schedule (makespans) and results must not.
+            let same_makespans = art.reports.len() == base.reports.len()
+                && art
+                    .reports
+                    .iter()
+                    .zip(&base.reports)
+                    .all(|(a, b)| a.makespan_s.to_bits() == b.makespan_s.to_bits());
+            let ok = same_makespans && art.output_bits == base.output_bits;
+            report.record(
+                "result-identity",
+                label,
+                ok,
+                if ok {
+                    format!(
+                        "makespans and output bits equal to {base_label}; only the bill differs"
+                    )
+                } else {
+                    diverged_detail(base_label, base, &art)
+                },
+            );
+        }
+        Err(e) => report.record("run-completes", label, false, format!("run failed: {e}")),
+    }
+}
+
+/// Kill a node mid-run and flip task-failure coins; lineage recovery must
+/// reproduce the fault-free bits, and the faults must demonstrably fire.
+fn check_recovery_idempotence(
+    case: &Case,
+    base: &RunArtifacts,
+    base_label: &str,
+    report: &mut CheckReport,
+) {
+    let label = format!("{}/t1/tiles/notrace/faults", case.name);
+    let kill_at = 0.4 * base.reports[0].makespan_s;
+    let failures = FailurePlan {
+        task_failure_prob: 0.15,
+        node_failures: vec![(kill_at, 3)],
+        seed: 9,
+    };
+    match run_case(case, BASELINE, &failures) {
+        Ok(art) => {
+            per_run_invariants(case, BASELINE, &art, report);
+            let fired = art.reports.iter().any(|r| !r.faults.is_clean());
+            let identical = art.output_bits == base.output_bits;
+            let retries: u64 = art.reports.iter().map(|r| r.faults.retries).sum();
+            report.record(
+                "recovery-idempotence",
+                label,
+                fired && identical,
+                format!(
+                    "node 3 killed at {kill_at:.3}s + task faults (p=0.15): \
+                     faults fired: {fired} ({retries} retries); output bits equal \
+                     to {base_label}: {identical}"
+                ),
+            );
+        }
+        Err(e) => report.record(
+            "recovery-idempotence",
+            label,
+            false,
+            format!("faulted run did not recover: {e}"),
+        ),
+    }
+}
+
+/// First line of divergence between two runs' fingerprints, for evidence.
+fn diverged_detail(base_label: &str, base: &RunArtifacts, art: &RunArtifacts) -> String {
+    if let Some((i, (b, a))) = base
+        .fingerprint
+        .lines()
+        .zip(art.fingerprint.lines())
+        .enumerate()
+        .find(|(_, (b, a))| b != a)
+    {
+        return format!("fingerprint diverges from {base_label} at line {i}: `{b}` vs `{a}`");
+    }
+    if base.fingerprint.lines().count() != art.fingerprint.lines().count() {
+        return format!(
+            "fingerprint length differs from {base_label}: {} vs {} lines",
+            base.fingerprint.lines().count(),
+            art.fingerprint.lines().count()
+        );
+    }
+    match base
+        .output_bits
+        .iter()
+        .zip(&art.output_bits)
+        .position(|(b, a)| b != a)
+    {
+        Some(i) => format!(
+            "output bits diverge from {base_label} at element {i}: \
+             {:016x} vs {:016x}",
+            base.output_bits[i], art.output_bits[i]
+        ),
+        None => format!(
+            "output length differs from {base_label}: {} vs {} elements",
+            base.output_bits.len(),
+            art.output_bits.len()
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global (model-level) checks
+// ---------------------------------------------------------------------------
+
+/// `cluster_cost` must equal `nodes × price × billed_hours` bitwise for
+/// every policy across a makespan grid straddling the billing boundaries.
+fn check_billing_function(report: &mut CheckReport) {
+    for policy in [BillingPolicy::HourlyCeil, BillingPolicy::PerSecond] {
+        let mut ok = true;
+        let mut detail = String::new();
+        for &makespan in &[0.0, 1.0, 1799.5, 3599.99, 3600.0, 3600.01, 5400.0, 86_400.0] {
+            for &(nodes, price) in &[(1u32, 0.34), (7, 0.68), (64, 1.16)] {
+                let cost = cluster_cost(policy, nodes, price, makespan);
+                let product = nodes as f64 * price * billed_hours(policy, makespan);
+                if cost.to_bits() != product.to_bits() {
+                    ok = false;
+                    let _ = write!(
+                        detail,
+                        "{nodes}×${price}/h at {makespan}s: cluster_cost ${cost} != \
+                         nodes×price×billed_hours ${product}; ",
+                    );
+                }
+            }
+        }
+        if ok {
+            detail = "cluster_cost == nodes × price × billed_hours bitwise on a 24-point grid"
+                .to_string();
+        }
+        report.record(
+            "billing-identity",
+            format!("function/{policy:?}"),
+            ok,
+            detail,
+        );
+    }
+}
+
+/// The closed-form wave estimate must stay inside a sigma-scaled envelope
+/// of the Monte-Carlo list-scheduling estimate (and match exactly when
+/// `sigma = 0`, where both models are deterministic).
+fn check_estimate_envelope(opts: &CheckOptions, report: &mut CheckReport) {
+    let trials = if opts.quick { 150 } else { 600 };
+    for &sigma in &[0.0f64, 0.1, 0.3] {
+        let mut ok = true;
+        let mut worst_rel = 0.0f64;
+        let mut worst = String::new();
+        let mut detail = String::new();
+        for &tasks in &[1usize, 4, 7, 32, 96] {
+            for &slots in &[1u32, 8, 24] {
+                let wave = job_time_s(10.0, tasks, slots, sigma);
+                let mc = job_time_mc(10.0, tasks, slots, sigma, 0x5eed, trials);
+                let scale = mc.abs().max(wave.abs()).max(1e-12);
+                let rel = (wave - mc).abs() / scale;
+                let tol_rel = if sigma == 0.0 {
+                    1e-12
+                } else {
+                    0.05 + 0.75 * sigma
+                };
+                if rel > worst_rel {
+                    worst_rel = rel;
+                    worst = format!("tasks={tasks} slots={slots}: wave {wave:.4}s vs mc {mc:.4}s");
+                }
+                if rel > tol_rel {
+                    ok = false;
+                    let _ = write!(
+                        detail,
+                        "tasks={tasks} slots={slots}: wave {wave:.4}s vs mc {mc:.4}s \
+                         (rel {rel:.4} > tol {tol_rel:.4}); ",
+                    );
+                }
+            }
+        }
+        if ok {
+            detail =
+                format!("15-point (tasks × slots) grid, worst deviation {worst_rel:.4} ({worst})");
+        }
+        report.record(
+            "estimate-envelope",
+            format!("sigma{sigma}/trials{trials}"),
+            ok,
+            detail,
+        );
+    }
+}
+
+/// Deployment search must generate exactly the instance × slots × nodes
+/// cross product — `max_nodes` included even when the stride skips it.
+fn check_search_grid(report: &mut CheckReport) {
+    let model = model();
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let x = b.input("X");
+    let c = b.mul(a, x);
+    b.output("C", c);
+    let program = b.build();
+    let mut inputs = BTreeMap::new();
+    for name in ["A", "X"] {
+        inputs.insert(
+            name.to_string(),
+            InputDesc::dense(MatrixMeta::new(4_000, 4_000, 1_000)),
+        );
+    }
+
+    let spaces = [
+        ("stride1", SearchSpace::quick()),
+        (
+            "stride4",
+            SearchSpace {
+                node_stride: 4,
+                ..SearchSpace::quick()
+            },
+        ),
+        (
+            "stride5-min2-max13",
+            SearchSpace {
+                min_nodes: 2,
+                max_nodes: 13,
+                node_stride: 5,
+                slots_per_core: vec![0.5, 1.0],
+                ..SearchSpace::quick()
+            },
+        ),
+    ];
+    for (name, space) in spaces {
+        let nodes = space.node_options();
+        let sorted = nodes.windows(2).all(|w| w[0] < w[1]);
+        let in_range = nodes
+            .iter()
+            .all(|&n| (space.min_nodes..=space.max_nodes).contains(&n));
+        let endpoints =
+            nodes.first() == Some(&space.min_nodes) && nodes.last() == Some(&space.max_nodes);
+        report.record(
+            "search-grid-coverage",
+            format!("node-options/{name}"),
+            sorted && in_range && endpoints,
+            format!(
+                "candidates {nodes:?} for [{}, {}] stride {} (sorted: {sorted}, \
+                 in range: {in_range}, endpoints present: {endpoints})",
+                space.min_nodes, space.max_nodes, space.node_stride
+            ),
+        );
+
+        let mut expected: BTreeSet<(&str, u32, u32)> = BTreeSet::new();
+        for instance in &space.instances {
+            for slots in space.slot_options(instance) {
+                for &n in &nodes {
+                    expected.insert((instance.name, slots, n));
+                }
+            }
+        }
+        let search = DeploymentSearch::new(&model, space.clone());
+        match search.sweep(&program, &inputs) {
+            Ok(plans) => {
+                let got: BTreeSet<(&str, u32, u32)> = plans
+                    .iter()
+                    .map(|p| (p.instance.name, p.slots, p.nodes))
+                    .collect();
+                let missing: Vec<_> = expected.difference(&got).collect();
+                let extra: Vec<_> = got.difference(&expected).collect();
+                let ok = missing.is_empty() && extra.is_empty() && plans.len() == expected.len();
+                report.record(
+                    "search-grid-coverage",
+                    format!("sweep/{name}"),
+                    ok,
+                    if ok {
+                        format!(
+                            "sweep evaluated all {} grid points exactly once",
+                            plans.len()
+                        )
+                    } else {
+                        format!(
+                            "{} evaluated vs {} expected; missing {missing:?}; extra {extra:?}",
+                            plans.len(),
+                            expected.len()
+                        )
+                    },
+                );
+            }
+            Err(e) => report.record(
+                "search-grid-coverage",
+                format!("sweep/{name}"),
+                false,
+                format!("sweep failed: {e}"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick lattice at HEAD must pass clean — this is the CI gate's
+    /// in-process twin, so a reintroduced invariant violation fails
+    /// `cargo test` even before the `cumulon check` step runs.
+    #[test]
+    fn quick_suite_passes_at_head() {
+        let report = run_checks(&CheckOptions { quick: true }).unwrap();
+        assert!(
+            report.passed(),
+            "invariant violations at HEAD:\n{}",
+            report.render()
+        );
+        // Every invariant class must actually be exercised.
+        for inv in [
+            "result-identity",
+            "reference-conformance",
+            "byte-conservation",
+            "billing-identity",
+            "trace-accounting",
+            "recovery-idempotence",
+            "estimate-envelope",
+            "search-grid-coverage",
+        ] {
+            assert!(
+                report.outcomes.iter().any(|o| o.invariant == inv),
+                "invariant {inv} never evaluated:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    /// The checker must *fail* when an invariant is broken: hand it a
+    /// search space whose sweep provably skips `max_nodes` by simulating
+    /// the pre-fix candidate generation.
+    #[test]
+    fn detects_broken_node_grid() {
+        // The fixed node_options always includes max_nodes; emulate the
+        // old bug by checking its output against a strided range that
+        // skips the endpoint, which is exactly what the checker guards.
+        let space = SearchSpace {
+            node_stride: 4,
+            ..SearchSpace::quick()
+        };
+        let buggy: Vec<u32> = (space.min_nodes..=space.max_nodes)
+            .step_by(space.node_stride as usize)
+            .collect();
+        assert_ne!(
+            buggy,
+            space.node_options(),
+            "non-dividing stride must be repaired by node_options"
+        );
+        assert_eq!(space.node_options().last(), Some(&space.max_nodes));
+    }
+
+    /// Faulted runs in the suite really do fire faults (the idempotence
+    /// check is not vacuous).
+    #[test]
+    fn recovery_check_is_not_vacuous() {
+        let mut report = CheckReport::default();
+        let cases = suite();
+        let case = &cases[0];
+        let base = run_case(case, BASELINE, &FailurePlan::default()).unwrap();
+        check_recovery_idempotence(case, &base, "base", &mut report);
+        let outcome = report
+            .outcomes
+            .iter()
+            .find(|o| o.invariant == "recovery-idempotence")
+            .expect("recorded");
+        assert!(outcome.passed, "{}", outcome.detail);
+        assert!(
+            outcome.detail.contains("faults fired: true"),
+            "{}",
+            outcome.detail
+        );
+    }
+}

@@ -15,6 +15,11 @@ pub enum BillingPolicy {
 
 /// Dollar cost of running `nodes` instances at `price_per_hour` for
 /// `makespan_s` seconds under the given policy.
+///
+/// Defined as `nodes × price_per_hour × billed_hours(policy, makespan_s)`,
+/// by delegation — the billing identity `cumulon check` enforces. Keeping
+/// a second copy of the hour-ceiling logic here let the two drift when a
+/// policy changed.
 pub fn cluster_cost(
     policy: BillingPolicy,
     nodes: u32,
@@ -22,17 +27,7 @@ pub fn cluster_cost(
     makespan_s: f64,
 ) -> f64 {
     debug_assert!(makespan_s >= 0.0);
-    let hours = match policy {
-        BillingPolicy::HourlyCeil => {
-            if makespan_s == 0.0 {
-                0.0
-            } else {
-                (makespan_s / 3600.0).ceil()
-            }
-        }
-        BillingPolicy::PerSecond => makespan_s / 3600.0,
-    };
-    nodes as f64 * price_per_hour * hours
+    nodes as f64 * price_per_hour * billed_hours(policy, makespan_s)
 }
 
 /// Billed hours under a policy (exposed for report printing).
@@ -93,5 +88,26 @@ mod tests {
         assert_eq!(billed_hours(BillingPolicy::HourlyCeil, 5000.0), 2.0);
         assert!((billed_hours(BillingPolicy::PerSecond, 5400.0) - 1.5).abs() < 1e-12);
         assert_eq!(billed_hours(BillingPolicy::HourlyCeil, 0.0), 0.0);
+    }
+
+    /// The identity `cumulon check` pins: cost must equal
+    /// `billed_hours × nodes × price` *bitwise*, for every policy, across
+    /// makespans covering the hour-boundary edge cases. This fails if
+    /// `cluster_cost` ever grows its own rounding logic again.
+    #[test]
+    fn cost_is_exactly_nodes_times_price_times_billed_hours() {
+        for policy in [BillingPolicy::HourlyCeil, BillingPolicy::PerSecond] {
+            for &makespan_s in &[0.0, 1.0, 1799.5, 3599.99, 3600.0, 3600.01, 5400.0, 86_400.0] {
+                for &(nodes, price) in &[(1u32, 0.34), (7, 0.68), (64, 1.16)] {
+                    let cost = cluster_cost(policy, nodes, price, makespan_s);
+                    let identity = nodes as f64 * price * billed_hours(policy, makespan_s);
+                    assert_eq!(
+                        cost.to_bits(),
+                        identity.to_bits(),
+                        "{policy:?} nodes={nodes} price={price} makespan={makespan_s}"
+                    );
+                }
+            }
+        }
     }
 }

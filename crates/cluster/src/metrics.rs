@@ -211,6 +211,50 @@ impl RunReport {
         }
         line
     }
+
+    /// Canonical fingerprint of the run: every float by bit pattern, every
+    /// counter verbatim. Two runs match iff their fingerprints are equal —
+    /// the identity the bench gate and `cumulon check` enforce across
+    /// observationally-equivalent configurations (thread counts, payload
+    /// planes, tracing).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "mk{:016x} bh{:016x} $ {:016x} {:?}\n",
+            self.makespan_s.to_bits(),
+            self.billed_hours.to_bits(),
+            self.cost_dollars.to_bits(),
+            self.faults,
+        );
+        for j in &self.jobs {
+            let _ = write!(
+                s,
+                "{} [{:016x}-{:016x}] r({:016x},{},{},{:016x},{:016x},{})",
+                j.name,
+                j.start_s.to_bits(),
+                j.end_s.to_bits(),
+                j.receipt.work.flops.to_bits(),
+                j.receipt.read.bytes,
+                j.receipt.write.bytes,
+                j.receipt.mem_mb.to_bits(),
+                j.receipt.fixed_s.to_bits(),
+                j.receipt.io_ops,
+            );
+            for t in &j.tasks {
+                let _ = write!(
+                    s,
+                    " {}@{}[{:016x}-{:016x}]x{}",
+                    t.task,
+                    t.node,
+                    t.start_s.to_bits(),
+                    t.end_s.to_bits(),
+                    t.attempts
+                );
+            }
+            s.push('\n');
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +375,31 @@ mod tests {
         assert!(s.contains("3 retries"));
         assert!(s.contains("1 node deaths"));
         assert!(s.contains("1 jobs recovered"));
+    }
+
+    #[test]
+    fn fingerprint_is_bit_sensitive() {
+        let r = RunReport {
+            instance: "m1.large".into(),
+            nodes: 4,
+            slots: 2,
+            jobs: vec![stats()],
+            makespan_s: 10.0,
+            billed_hours: 1.0,
+            cost_dollars: 0.96,
+            faults: FaultStats::default(),
+        };
+        assert_eq!(r.fingerprint(), r.clone().fingerprint());
+        let mut nudged = r.clone();
+        nudged.makespan_s = f64::from_bits(r.makespan_s.to_bits() + 1);
+        assert_ne!(
+            r.fingerprint(),
+            nudged.fingerprint(),
+            "a one-ULP drift must change the fingerprint"
+        );
+        let mut retried = r;
+        retried.jobs[0].tasks[0].attempts += 1;
+        assert_ne!(retried.fingerprint(), nudged.fingerprint());
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl SearchSpace {
         }
     }
 
-    fn slot_options(&self, instance: &InstanceType) -> Vec<u32> {
+    /// Slot-count candidates for one instance type: `slots_per_core`
+    /// multiples rounded to whole slots, deduplicated.
+    pub fn slot_options(&self, instance: &InstanceType) -> Vec<u32> {
         let mut v: Vec<u32> = self
             .slots_per_core
             .iter()
@@ -108,8 +110,19 @@ impl SearchSpace {
         v
     }
 
-    fn node_options(&self) -> impl Iterator<Item = u32> + '_ {
-        (self.min_nodes..=self.max_nodes).step_by(self.node_stride.max(1) as usize)
+    /// Node-count candidates: `min_nodes`, stepping by `node_stride`, plus
+    /// `max_nodes` itself. The largest cluster is always a candidate even
+    /// when the stride does not divide the range — otherwise a tight
+    /// deadline only the full-size cluster can meet is declared
+    /// infeasible.
+    pub fn node_options(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = (self.min_nodes..=self.max_nodes)
+            .step_by(self.node_stride.max(1) as usize)
+            .collect();
+        if v.last() != Some(&self.max_nodes) && self.max_nodes >= self.min_nodes {
+            v.push(self.max_nodes);
+        }
+        v
     }
 }
 
@@ -560,6 +573,89 @@ mod tests {
             },
         );
         assert!(t_best <= t_unit && t_best <= t_tiny && t_best <= t_huge);
+    }
+
+    #[test]
+    fn node_options_include_max_nodes_with_non_dividing_stride() {
+        // Stride 4 from 1 lands on 1, 5, 9, 13 — skipping 16, which must
+        // still appear as the final candidate.
+        let space = SearchSpace {
+            min_nodes: 1,
+            max_nodes: 16,
+            node_stride: 4,
+            ..SearchSpace::quick()
+        };
+        assert_eq!(space.node_options(), vec![1, 5, 9, 13, 16]);
+        // A dividing stride must not duplicate the endpoint.
+        let space = SearchSpace {
+            min_nodes: 2,
+            max_nodes: 8,
+            node_stride: 2,
+            ..SearchSpace::quick()
+        };
+        assert_eq!(space.node_options(), vec![2, 4, 6, 8]);
+        // Degenerate single-point range.
+        let space = SearchSpace {
+            min_nodes: 5,
+            max_nodes: 5,
+            node_stride: 7,
+            ..SearchSpace::quick()
+        };
+        assert_eq!(space.node_options(), vec![5]);
+    }
+
+    #[test]
+    fn tight_deadline_reachable_only_at_max_nodes_is_found() {
+        // With a stride that skips 16, the pre-fix search never evaluated
+        // the largest cluster; a deadline only it can meet was declared
+        // infeasible.
+        let m = model();
+        // Saturated workload: thousands of tasks per wave, so estimated
+        // makespan strictly improves all the way up to the largest cluster.
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let x = b.input("X");
+        let c = b.mul(a, x);
+        b.output("C", c);
+        let program = b.build();
+        let mut inputs = BTreeMap::new();
+        for name in ["A", "X"] {
+            inputs.insert(
+                name.to_string(),
+                InputDesc::dense(MatrixMeta::new(60_000, 60_000, 1000)),
+            );
+        }
+        let strided = SearchSpace {
+            node_stride: 4,
+            ..SearchSpace::quick()
+        };
+        let node_options = strided.node_options();
+        assert_eq!(*node_options.last().unwrap(), 16);
+        let search = DeploymentSearch::new(&m, strided);
+        // Derive a deadline only the 16-node candidates can meet: strictly
+        // between the best 16-node makespan and the best makespan at any
+        // other stride point (wave quantization can make neighbours tie,
+        // so the midpoint is computed from the actual estimates).
+        let exhaustive = DeploymentSearch::new(&m, SearchSpace::quick());
+        let sweep = exhaustive.sweep(&program, &inputs).unwrap();
+        let best = |keep: &dyn Fn(u32) -> bool| {
+            sweep
+                .iter()
+                .filter(|d| keep(d.nodes))
+                .map(|d| d.estimate.makespan_s)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let best_max = best(&|n| n == 16);
+        let best_rest = best(&|n| n != 16 && node_options.contains(&n));
+        assert!(
+            best_max < best_rest,
+            "workload must discriminate the 16-node candidates: {best_max} vs {best_rest}"
+        );
+        let deadline = 0.5 * (best_max + best_rest);
+        let plan = search
+            .optimize(&program, &inputs, Constraint::Deadline(deadline))
+            .expect("max_nodes candidate must be evaluated under a strided search");
+        assert_eq!(plan.nodes, 16);
     }
 
     #[test]

@@ -904,4 +904,45 @@ mod mc_tests {
         let mc = JobTimeModel::MonteCarlo { trials: 5, seed: 1 }.job_time(10.0, 25, 8, 0.0);
         assert!((wave - mc).abs() < 1e-9);
     }
+
+    /// Pins the wave model to the Monte-Carlo reference across a
+    /// (tasks, slots, sigma) grid. At σ = 0 the two must agree exactly
+    /// (both reduce to waves × mean); otherwise the closed form must stay
+    /// inside a sigma-widening relative envelope. This is the same
+    /// estimate-sanity invariant `cumulon check` enforces — kept here as
+    /// a unit-level regression so an estimator drift is caught next to
+    /// the code that caused it.
+    #[test]
+    fn wave_model_stays_inside_mc_envelope_on_grid() {
+        let mean = 10.0;
+        let trials = 600;
+        for &sigma in &[0.0, 0.1, 0.3] {
+            // Exact at zero noise; 5% base + 0.75·σ slack otherwise —
+            // the wave tail term is an approximation, not a bound.
+            let tol_rel = if sigma == 0.0 {
+                1e-12
+            } else {
+                0.05 + 0.75 * sigma
+            };
+            let mut worst = (0.0f64, 0usize, 0u32);
+            for &tasks in &[1usize, 4, 7, 32, 96] {
+                for &slots in &[1u32, 8, 24] {
+                    let wave = job_time_s(mean, tasks, slots, sigma);
+                    let mc = job_time_mc(mean, tasks, slots, sigma, 0x5eed, trials);
+                    let rel = (wave - mc).abs() / mc.abs().max(wave.abs()).max(1e-12);
+                    if rel > worst.0 {
+                        worst = (rel, tasks, slots);
+                    }
+                }
+            }
+            assert!(
+                worst.0 <= tol_rel,
+                "sigma {sigma}: worst rel deviation {:.4} at {} tasks / {} slots \
+                 exceeds tolerance {tol_rel:.4}",
+                worst.0,
+                worst.1,
+                worst.2
+            );
+        }
+    }
 }

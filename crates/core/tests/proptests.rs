@@ -3,13 +3,14 @@
 //! cluster produces exactly the numbers a driver-side reference
 //! evaluation produces.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use cumulon_cluster::billing::BillingPolicy;
 use cumulon_cluster::{Cluster, ClusterSpec, ExecMode};
 use cumulon_core::expr::{ExprId, InputDesc, ProgramBuilder, UnaryOp};
 use cumulon_core::lower::{build_plan, build_plan_with, instantiate, PlanOptions, UnitSplits};
 use cumulon_core::physical::{MatRef, PhysJob};
-use cumulon_core::Program;
+use cumulon_core::{CostModel, DeploymentSearch, OpCoefficients, Program, SearchSpace};
 use cumulon_matrix::gen::Generator;
 use cumulon_matrix::tile::ElemOp;
 use cumulon_matrix::{LocalMatrix, MatrixMeta};
@@ -230,6 +231,81 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// `DeploymentSearch::sweep` evaluates *exactly* the grid implied by
+    /// the space — every (instance, slots, nodes) in
+    /// `instances × slot_options × node_options`, nothing missing,
+    /// nothing duplicated — for arbitrary strides, ranges and slot
+    /// multiples, including strides that do not divide the node range.
+    #[test]
+    fn sweep_covers_the_full_deployment_grid(
+        min_nodes in 1u32..=6,
+        extra in 0u32..=9,
+        node_stride in 1u32..=5,
+        slot_mask in 1u32..8, // non-empty subset of {0.5, 1.0, 2.0}
+        two_instances in any::<bool>(),
+    ) {
+        let catalog = cumulon_cluster::instances::catalog();
+        let instances: Vec<_> = catalog
+            .iter()
+            .take(if two_instances { 2 } else { 1 })
+            .copied()
+            .collect();
+        let slots_per_core: Vec<f64> = [0.5, 1.0, 2.0]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| slot_mask & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let space = SearchSpace {
+            instances: instances.clone(),
+            min_nodes,
+            max_nodes: min_nodes + extra,
+            node_stride,
+            slots_per_core,
+            replication: 2,
+            billing: BillingPolicy::HourlyCeil,
+            failure: None,
+        };
+
+        // node_options must hit both endpoints even when the stride
+        // does not divide the range.
+        let nodes = space.node_options();
+        prop_assert_eq!(nodes.first(), Some(&space.min_nodes));
+        prop_assert_eq!(nodes.last(), Some(&space.max_nodes));
+        prop_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+
+        let mut model = CostModel::default();
+        for i in &instances {
+            model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+        }
+        let mut b = ProgramBuilder::new();
+        let x = b.input("X");
+        let y = b.input("Y");
+        let m = b.mul(x, y);
+        b.output("OUT", m);
+        let program = b.build();
+        let inputs = square_inputs(40, 10);
+
+        let plans = DeploymentSearch::new(&model, space.clone())
+            .sweep(&program, &inputs)
+            .unwrap();
+
+        let mut expected = BTreeSet::new();
+        for i in &instances {
+            for slots in space.slot_options(i) {
+                for n in space.node_options() {
+                    expected.insert((i.name.to_string(), slots, n));
+                }
+            }
+        }
+        let got: BTreeSet<_> = plans
+            .iter()
+            .map(|p| (p.instance.name.to_string(), p.slots, p.nodes))
+            .collect();
+        prop_assert_eq!(plans.len(), expected.len(), "duplicate grid points");
+        prop_assert_eq!(got, expected);
     }
 
     /// Fused vs unfused plans have the same outputs and the unfused plan

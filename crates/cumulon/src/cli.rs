@@ -5,6 +5,7 @@
 //! cumulon plan  <script> --input A=20000x20000 [--deadline MIN|--budget $] [--max-nodes N]
 //! cumulon run   <script> --input A=400x200 --instance m1.large --nodes 4 [--slots S] [--real]
 //! cumulon explain <script> --input A=1000x1000[@0.01]
+//! cumulon check [--quick] [--report FILE.json]
 //! ```
 //!
 //! Input specs are `NAME=ROWSxCOLS[@DENSITY][:TILE]`; matrices are
@@ -176,6 +177,15 @@ pub enum Command {
         /// Input specs.
         inputs: Vec<InputSpec>,
     },
+    /// `check`: run the cross-layer invariant suite (`cumulon-check`)
+    /// and exit non-zero on any violation.
+    Check {
+        /// Reduced lattice for the CI tier-1 budget.
+        quick: bool,
+        /// Also write the machine-readable violation report (JSON schema
+        /// `cumulon-check-v1`) to this path.
+        report: Option<String>,
+    },
 }
 
 /// Parses CLI arguments (past the binary name).
@@ -188,12 +198,36 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                       [--materialize-bytes] [--trace FILE.json]\n\
              trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--trace FILE.json]   (prints critical-path, utilization\n\
-                      and estimate-diff reports for the traced run)"
+                      and estimate-diff reports for the traced run)\n\
+             check:   cumulon check [--quick] [--report FILE.json]   (runs the\n\
+                      cross-layer invariant suite; non-zero exit on violation)"
                 .to_string(),
         )
     };
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?.clone();
+    // `check` takes no script or inputs — it has its own tiny flag set.
+    if cmd == "check" {
+        let mut quick = false;
+        let mut report = None;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--report" => {
+                    report =
+                        Some(it.next().cloned().ok_or_else(|| {
+                            CoreError::Invariant("--report needs a file path".into())
+                        })?)
+                }
+                other => {
+                    return Err(CoreError::Invariant(format!(
+                        "unknown argument '{other}' for check"
+                    )));
+                }
+            }
+        }
+        return Ok(Command::Check { quick, report });
+    }
     let script = it.next().ok_or_else(usage)?.clone();
     let mut inputs = Vec::new();
     let mut deadline: Option<f64> = None;
@@ -579,6 +613,25 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             }
             Ok(())
         }
+        Command::Check { quick, report } => {
+            let checks = cumulon_check::run_checks(&cumulon_check::CheckOptions { quick: *quick })?;
+            writeln!(out, "{}", checks.render()).map_err(w)?;
+            // Write the machine-readable report before failing, so CI can
+            // upload it as an artifact even when the gate trips.
+            if let Some(path) = report {
+                std::fs::write(path, checks.to_json())
+                    .map_err(|e| CoreError::Invariant(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "report : {path}").map_err(w)?;
+            }
+            if checks.passed() {
+                Ok(())
+            } else {
+                Err(CoreError::Invariant(format!(
+                    "{} invariant violation(s) — see report above",
+                    checks.violations().len()
+                )))
+            }
+        }
     }
 }
 
@@ -693,6 +746,51 @@ mod tests {
             }
         );
         assert!(parse_args(&args("trace s.cm --input A=1x1")).is_err());
+    }
+
+    #[test]
+    fn parse_check_command() {
+        assert_eq!(
+            parse_args(&args("check")).unwrap(),
+            Command::Check {
+                quick: false,
+                report: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args("check --quick --report out.json")).unwrap(),
+            Command::Check {
+                quick: true,
+                report: Some("out.json".into())
+            }
+        );
+        assert!(parse_args(&args("check --report")).is_err());
+        assert!(parse_args(&args("check --bogus")).is_err());
+    }
+
+    #[test]
+    fn check_end_to_end() {
+        let mut json_path = std::env::temp_dir();
+        json_path.push(format!("cumulon_cli_check_{}.json", std::process::id()));
+        let mut out = Vec::new();
+        execute(
+            &Command::Check {
+                quick: true,
+                report: Some(json_path.to_str().unwrap().to_string()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("all invariants hold"), "{text}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let v = cumulon_trace::json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("cumulon-check-v1")
+        );
+        assert_eq!(v.get("passed").and_then(|p| p.as_bool()), Some(true));
+        std::fs::remove_file(json_path).ok();
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!   physical plans, calibrated cost models and the deployment optimizer;
 //! * [`trace`] — span-level run tracing: Chrome/Perfetto timeline export,
 //!   slot-utilization and critical-path reports;
-//! * [`workloads`] — GNMF, RSVD, regression, power iteration, chains.
+//! * [`workloads`] — GNMF, RSVD, regression, power iteration, chains;
+//! * [`check`] — the cross-layer invariant checker behind `cumulon check`.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@
 
 pub mod cli;
 
+pub use cumulon_check as check;
 pub use cumulon_cluster as cluster;
 pub use cumulon_core as core;
 pub use cumulon_dfs as dfs;

@@ -535,6 +535,64 @@ impl Dfs {
             .map(DataNode::bytes_stored)
             .collect()
     }
+
+    /// Snapshot of both sides of the byte-conservation ledger: the
+    /// namenode's metadata view next to the datanodes' actual contents.
+    /// Taken under one lock, so the two sides are mutually consistent.
+    pub fn storage_accounting(&self) -> StorageAccounting {
+        let st = self.state.lock();
+        let per_node_expected = st.namenode.per_node_replica_bytes();
+        let per_node = st
+            .datanodes
+            .iter()
+            .enumerate()
+            .map(|(i, dn)| {
+                let expected = per_node_expected
+                    .get(&NodeId(i as u32))
+                    .copied()
+                    .unwrap_or(0);
+                (expected, dn.bytes_stored())
+            })
+            .collect();
+        StorageAccounting {
+            logical_bytes: st.namenode.total_bytes(),
+            namenode_replica_bytes: st.namenode.replicated_bytes(),
+            datanode_bytes: st.datanodes.iter().map(DataNode::bytes_stored).sum(),
+            namenode_replica_count: st.namenode.replica_count(),
+            datanode_block_count: st.datanodes.iter().map(DataNode::block_count).sum(),
+            per_node,
+        }
+    }
+}
+
+/// Both sides of the byte-conservation ledger, from one consistent
+/// snapshot: what the namenode's block metadata says the datanodes hold,
+/// and what their own counters report. [`StorageAccounting::is_conserved`]
+/// is the invariant `cumulon check` enforces on both payload planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageAccounting {
+    /// Σ file lengths (logical, not × replication).
+    pub logical_bytes: u64,
+    /// Namenode expectation: Σ block `len × replica count`.
+    pub namenode_replica_bytes: u64,
+    /// Datanode reality: Σ `bytes_stored` over all datanodes.
+    pub datanode_bytes: u64,
+    /// Namenode expectation: total block replicas across all files.
+    pub namenode_replica_count: usize,
+    /// Datanode reality: total block replicas actually held.
+    pub datanode_block_count: usize,
+    /// Per node (indexed by node id): `(namenode expectation, stored)`.
+    pub per_node: Vec<(u64, u64)>,
+}
+
+impl StorageAccounting {
+    /// True when metadata and storage agree exactly — in aggregate, in
+    /// replica counts, and node by node.
+    pub fn is_conserved(&self) -> bool {
+        self.namenode_replica_bytes == self.datanode_bytes
+            && self.namenode_replica_count == self.datanode_block_count
+            && self.per_node.iter().all(|&(want, got)| want == got)
+    }
 }
 
 #[cfg(test)]
@@ -649,6 +707,35 @@ mod tests {
         let (logical, physical) = d.storage_stats();
         assert_eq!(logical, 40);
         assert_eq!(physical, 80);
+    }
+
+    #[test]
+    fn storage_accounting_is_conserved_through_lifecycle() {
+        let d = dfs(4, 3);
+        let acc = d.storage_accounting();
+        assert!(acc.is_conserved());
+        assert_eq!(acc.datanode_bytes, 0);
+
+        d.write_file("/f", Bytes::from(vec![2u8; 150]), Some(NodeId(1)))
+            .unwrap();
+        d.write_file("/g", Bytes::from(vec![5u8; 30]), None)
+            .unwrap();
+        let acc = d.storage_accounting();
+        assert!(acc.is_conserved(), "after writes: {acc:?}");
+        assert_eq!(acc.logical_bytes, 180);
+        assert_eq!(acc.namenode_replica_bytes, 540);
+        assert_eq!(acc.per_node.len(), 4);
+
+        // A failure plus re-replication must keep both sides in step.
+        d.kill_node(NodeId(1)).unwrap();
+        let acc = d.storage_accounting();
+        assert!(acc.is_conserved(), "after kill: {acc:?}");
+        assert_eq!(acc.per_node[1], (0, 0), "dead node holds nothing");
+
+        d.delete_file("/f").unwrap();
+        let acc = d.storage_accounting();
+        assert!(acc.is_conserved(), "after delete: {acc:?}");
+        assert_eq!(acc.logical_bytes, 30);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod error;
 pub mod namenode;
 pub mod tilestore;
 
-pub use dfs::{Dfs, DfsConfig, IoReceipt, NodeId};
+pub use dfs::{Dfs, DfsConfig, IoReceipt, NodeId, StorageAccounting};
 pub use error::{DfsError, Result};
 pub use tilestore::{MatrixHandle, TileStore};

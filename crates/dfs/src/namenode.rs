@@ -189,6 +189,39 @@ impl NameNode {
         self.files.values().map(FileMeta::len).sum()
     }
 
+    /// Expected *physical* bytes: Σ over all blocks of `len × replica
+    /// count`. This is the namenode's claim of what the datanodes
+    /// collectively store; byte conservation says the datanodes' own
+    /// counters must agree exactly, on both payload planes.
+    pub fn replicated_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.len * b.replicas.len() as u64)
+            .sum()
+    }
+
+    /// Total replica count across all blocks (the number of block copies
+    /// the datanodes should collectively hold).
+    pub fn replica_count(&self) -> usize {
+        self.files
+            .values()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.replicas.len())
+            .sum()
+    }
+
+    /// Expected stored bytes per datanode, from block metadata alone.
+    pub fn per_node_replica_bytes(&self) -> BTreeMap<NodeId, u64> {
+        let mut out = BTreeMap::new();
+        for block in self.files.values().flat_map(|f| &f.blocks) {
+            for &node in &block.replicas {
+                *out.entry(node).or_insert(0) += block.len;
+            }
+        }
+        out
+    }
+
     /// Number of files.
     pub fn file_count(&self) -> usize {
         self.files.len()
