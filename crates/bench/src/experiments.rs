@@ -836,8 +836,8 @@ pub fn e11() -> Series {
         let (t, r) = run(
             FailurePlan {
                 task_failure_prob: p,
-                node_failures: vec![],
                 seed: 7,
+                ..Default::default()
             },
             config,
             base_sigma,
@@ -846,9 +846,9 @@ pub fn e11() -> Series {
     }
     let (t, r) = run(
         FailurePlan {
-            task_failure_prob: 0.0,
             node_failures: vec![(base / 2.0, 7)],
             seed: 7,
+            ..Default::default()
         },
         SchedulerConfig::default(),
         base_sigma,
@@ -1362,6 +1362,81 @@ pub fn e18_with_log() -> (Series, cumulon::cluster::TraceLog) {
 }
 
 // ---------------------------------------------------------------------------
+// E19: spot vs on-demand expected cost under a deadline
+// ---------------------------------------------------------------------------
+
+/// E19 — bid-vs-checkpoint optimization: for a sweep of spot-market mean
+/// prices (as fractions of the on-demand list price), search
+/// {on-demand, spot(bid)} × checkpoint interval for the minimum expected
+/// cost under a deadline, pricing expected rework with the revocation
+/// hazard. Cheap markets favour spot with checkpoints; as the market
+/// price approaches list the paid rate *and* the revocation hazard rise
+/// together, so the winner flips to on-demand exactly once.
+pub fn e19() -> Series {
+    use cumulon::cluster::billing::BillingPolicy;
+    use cumulon::core::{DeploymentSearch, SpotHazard, SpotSearchSpace};
+
+    let mut s = Series::new(
+        "E19",
+        "spot vs on-demand: 20k^3 multiply, expected cost under deadline (bid x ckpt search)",
+        &[
+            "mean price",
+            "choice",
+            "ckpt (s)",
+            "est time (s)",
+            "rework (s)",
+            "rework ratio",
+            "cost ($)",
+            "on-demand ($)",
+        ],
+    );
+    let (program, inputs, _) = square_multiply(20_000);
+    let model = idealized_cost_model();
+    // Per-second billing keeps the expected-cost curve free of hour-ceiling
+    // quantization, so the crossover the table demonstrates is clean.
+    let space = SearchSpace {
+        max_nodes: 16,
+        node_stride: 2,
+        billing: BillingPolicy::PerSecond,
+        ..Default::default()
+    };
+    let search = DeploymentSearch::new(&model, space);
+    // Deadline: 1.5x the tightest feasible makespan, so on-demand always
+    // fits while risky unchecked spot configurations can price themselves
+    // out through rework.
+    let base = search
+        .optimize(&program, &inputs, Constraint::Deadline(86_400.0))
+        .expect("base deployment for E19");
+    let deadline_s = 1.5 * base.estimate.makespan_s;
+    for frac in [0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0] {
+        let spot = SpotSearchSpace {
+            hazard: SpotHazard {
+                mean_price_fraction: frac,
+                ..SpotHazard::typical()
+            },
+            ..Default::default()
+        };
+        let (plan, choice) = search
+            .optimize_spot(&program, &inputs, deadline_s, &spot)
+            .expect("spot optimization for E19");
+        let curve = search.spot_curve(&plan, &spot);
+        let on_demand = &curve[0];
+        let fail_free = plan.estimate.makespan_s.max(1e-12);
+        s.push(vec![
+            format!("{:.2}x", frac),
+            choice.procurement.label(),
+            format!("{:.0}", choice.checkpoint_interval_s),
+            f(choice.expected_makespan_s),
+            format!("{:.0}", choice.expected_rework_s),
+            format!("{:.1}%", 100.0 * choice.expected_rework_s / fail_free),
+            format!("{:.2}", choice.expected_cost_dollars),
+            format!("{:.2}", on_demand.expected_cost_dollars),
+        ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
 
@@ -1571,6 +1646,7 @@ pub fn all() -> Vec<Series> {
         e16(),
         e17(),
         e18(),
+        e19(),
         t1(),
         t2(),
         t3(),
@@ -1599,6 +1675,7 @@ pub fn by_id(id: &str) -> Option<Series> {
         "e16" => Some(e16()),
         "e17" => Some(e17()),
         "e18" => Some(e18()),
+        "e19" => Some(e19()),
         "t1" => Some(t1()),
         "t2" => Some(t2()),
         "t3" => Some(t3()),
@@ -1666,6 +1743,27 @@ mod tests {
         );
         assert_eq!(s.rows.last().unwrap()[0], "makespan");
         assert!(!log.tasks.is_empty(), "traced run must record spans");
+    }
+
+    #[test]
+    fn e19_crossover_is_monotone() {
+        let s = e19();
+        let winners: Vec<bool> = s.rows.iter().map(|r| r[1].starts_with("spot")).collect();
+        assert!(winners[0], "cheap markets must favour spot: {s:?}");
+        assert!(
+            !winners[winners.len() - 1],
+            "at list price on-demand must win: {s:?}"
+        );
+        let flips = winners.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(flips, 1, "winner must flip exactly once: {winners:?}");
+        for row in &s.rows {
+            let cost: f64 = row[6].parse().unwrap();
+            let on_demand: f64 = row[7].parse().unwrap();
+            assert!(
+                cost <= on_demand + 1e-9,
+                "chosen cost must never exceed the on-demand reference: {row:?}"
+            );
+        }
     }
 
     #[test]

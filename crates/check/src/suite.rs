@@ -35,6 +35,11 @@
 //!   kill, recovered via lineage, reproduces the fault-free output bits;
 //!   the check also demands the faults actually fired (a clean fault
 //!   counter would make the invariant vacuous).
+//! * `revocation-survivability` — spot revocations swept along their own
+//!   axis (single node with no warning / bulk half-fleet with a warning
+//!   window, at 1 and N worker threads) must leave the output bits equal
+//!   to the fault-free baseline, and the fault counters must show the
+//!   revocation actually claimed nodes.
 //! * `estimate-envelope` — the closed-form wave model stays within a
 //!   sigma-scaled envelope of the Monte-Carlo list-scheduling estimate,
 //!   and matches it exactly at `sigma = 0`.
@@ -48,7 +53,8 @@ use std::fmt::Write as _;
 use cumulon_cluster::billing::{billed_hours, cluster_cost, BillingPolicy};
 use cumulon_cluster::instances::catalog;
 use cumulon_cluster::{
-    Cluster, ClusterSpec, ExecMode, FailurePlan, RunReport, SchedulerConfig, Trace, TraceLog,
+    Cluster, ClusterSpec, ExecMode, FailurePlan, Revocation, RunReport, SchedulerConfig, Trace,
+    TraceLog,
 };
 use cumulon_core::calibrate::{CostModel, OpCoefficients};
 use cumulon_core::error::CoreError;
@@ -417,6 +423,7 @@ fn check_case(case: &Case, opts: &CheckOptions, report: &mut CheckReport) {
 
     check_per_second_billing(case, &base, &base_label, report);
     check_recovery_idempotence(case, &base, &base_label, report);
+    check_revocation_survivability(case, opts, &base, &base_label, report);
 }
 
 /// Invariants every run must satisfy regardless of configuration:
@@ -600,6 +607,7 @@ fn check_recovery_idempotence(
         task_failure_prob: 0.15,
         node_failures: vec![(kill_at, 3)],
         seed: 9,
+        ..Default::default()
     };
     match run_case(case, BASELINE, &failures) {
         Ok(art) => {
@@ -624,6 +632,76 @@ fn check_recovery_idempotence(
             false,
             format!("faulted run did not recover: {e}"),
         ),
+    }
+}
+
+/// The spot-revocation axis: a single node reclaimed with no warning, and
+/// a correlated bulk revocation of half the fleet with a warning window
+/// the drain can use — each at 1 and N worker threads. Every point must
+/// reproduce the fault-free output bits, and the revocation must
+/// demonstrably claim nodes (a zero counter would make the check vacuous).
+fn check_revocation_survivability(
+    case: &Case,
+    opts: &CheckOptions,
+    base: &RunArtifacts,
+    base_label: &str,
+    report: &mut CheckReport,
+) {
+    let at_s = 0.4 * base.reports[0].makespan_s;
+    let scenarios: [(&str, Vec<u32>, f64); 2] = [
+        // One node gone with zero lead time: pure lineage recovery.
+        ("single", vec![3], 0.0),
+        // Half the fleet in one correlated event, with a warning window.
+        ("bulk", vec![2, 3], at_s / 2.0),
+    ];
+    let n = threads_n();
+    // Quick covers each scenario once (single inline, bulk parallel);
+    // the full lattice crosses scenarios with both thread counts.
+    let points: Vec<(usize, usize)> = if opts.quick {
+        vec![(0, 1), (1, n)]
+    } else {
+        vec![(0, 1), (0, n), (1, 1), (1, n)]
+    };
+    for (s, threads) in points {
+        let (tag, ref nodes, lead) = scenarios[s];
+        let label = format!("{}/t{threads}/revoke-{tag}", case.name);
+        let point = LatticePoint {
+            threads,
+            ..BASELINE
+        };
+        let failures = FailurePlan {
+            revocations: vec![Revocation {
+                at_s,
+                nodes: nodes.clone(),
+                warning_lead_s: lead,
+            }],
+            ..Default::default()
+        };
+        match run_case(case, point, &failures) {
+            Ok(art) => {
+                per_run_invariants(case, point, &art, report);
+                let revocations: u64 = art.reports.iter().map(|r| r.faults.revocations).sum();
+                let revoked: u64 = art.reports.iter().map(|r| r.faults.revoked_nodes).sum();
+                let fired = revocations >= 1 && revoked == nodes.len() as u64;
+                let identical = art.output_bits == base.output_bits;
+                report.record(
+                    "revocation-survivability",
+                    label,
+                    fired && identical,
+                    format!(
+                        "nodes {nodes:?} revoked at {at_s:.3}s (lead {lead:.3}s): \
+                         {revocations} revocation(s) claimed {revoked} node(s); \
+                         output bits equal to {base_label}: {identical}"
+                    ),
+                );
+            }
+            Err(e) => report.record(
+                "revocation-survivability",
+                label,
+                false,
+                format!("revoked run did not survive: {e}"),
+            ),
+        }
     }
 }
 
@@ -875,6 +953,7 @@ mod tests {
             "billing-identity",
             "trace-accounting",
             "recovery-idempotence",
+            "revocation-survivability",
             "estimate-envelope",
             "search-grid-coverage",
         ] {

@@ -1,5 +1,8 @@
 //! Cluster construction: a typed fleet of nodes sharing a DFS.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cumulon_dfs::dfs::NodeId;
 use cumulon_dfs::{Dfs, DfsConfig, TileStore};
 
 use crate::billing::BillingPolicy;
@@ -58,8 +61,19 @@ impl ClusterSpec {
 }
 
 /// A provisioned simulated cluster: spec + DFS + tile store + timing model.
+///
+/// The node count is elastic: [`Cluster::grow`] adds nodes mid-run (e.g.
+/// on-demand replacements for revoked spot capacity) and
+/// [`Cluster::shrink`] decommissions them gracefully. `nodes` in the spec
+/// is the *id-space size* — nodes killed by failure injection stay dead
+/// (their ids are never reused), so live capacity is
+/// [`Cluster::live_nodes`].
 pub struct Cluster {
     spec: ClusterSpec,
+    /// Elastic node-id-space size; `spec.nodes` frozen at provision time,
+    /// bumped by [`Cluster::grow`]. Atomic so growth works through the
+    /// same `&self` the run methods take.
+    nodes: AtomicU32,
     store: TileStore,
     hw: HardwareModel,
     billing: BillingPolicy,
@@ -81,15 +95,65 @@ impl Cluster {
         let dfs = Dfs::new(spec.nodes, dfs_config);
         Ok(Cluster {
             spec,
+            nodes: AtomicU32::new(spec.nodes),
             store: TileStore::new(dfs),
             hw,
             billing: BillingPolicy::HourlyCeil,
         })
     }
 
-    /// The deployment spec.
+    /// The deployment spec, with `nodes` reflecting any elastic growth.
     pub fn spec(&self) -> ClusterSpec {
-        self.spec
+        ClusterSpec {
+            nodes: self.nodes.load(Ordering::SeqCst),
+            ..self.spec
+        }
+    }
+
+    /// Adds `n` fresh (empty) nodes to the cluster and DFS — elastic
+    /// grow, e.g. on-demand replacements for revoked spot capacity.
+    /// Returns the new node ids. Subsequent runs schedule onto them and
+    /// the DFS places new replicas there.
+    pub fn grow(&self, n: u32) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            ids.push(self.store.dfs().add_node().0);
+        }
+        // Id space = datanode count; keep the spec in lockstep with the
+        // DFS rather than assuming they never diverged.
+        self.nodes
+            .store(self.store.dfs().node_count() as u32, Ordering::SeqCst);
+        ids
+    }
+
+    /// Gracefully decommissions the `n` highest-id live nodes: their
+    /// sole-replica blocks are first copied to survivors (so no data is
+    /// lost even at replication 1), then the nodes leave the fleet. Their
+    /// ids are retired, not reused. Returns the ids removed.
+    pub fn shrink(&self, n: u32) -> Result<Vec<u32>> {
+        let dfs = self.store.dfs();
+        let mut live: Vec<u32> = (0..self.nodes.load(Ordering::SeqCst))
+            .filter(|&i| dfs.is_node_live(NodeId(i)))
+            .collect();
+        if (n as usize) >= live.len() {
+            return Err(ClusterError::InvalidSpec(format!(
+                "cannot shrink by {n}: only {} live nodes",
+                live.len()
+            )));
+        }
+        let victims: Vec<u32> = live.split_off(live.len() - n as usize);
+        let ids: Vec<NodeId> = victims.iter().map(|&i| NodeId(i)).collect();
+        dfs.drain_nodes(&ids, u64::MAX)?;
+        dfs.kill_nodes(&ids)?;
+        Ok(victims)
+    }
+
+    /// Number of currently-live nodes (id-space size minus dead nodes).
+    pub fn live_nodes(&self) -> u32 {
+        let dfs = self.store.dfs();
+        (0..self.nodes.load(Ordering::SeqCst))
+            .filter(|&i| dfs.is_node_live(NodeId(i)))
+            .count() as u32
     }
 
     /// The tile store (register inputs / fetch outputs here).
@@ -131,7 +195,7 @@ impl Cluster {
         failures: &FailurePlan,
     ) -> Result<RunReport> {
         dag.validate()?;
-        let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
+        let scheduler = Scheduler::new(self.spec(), self.store.clone(), self.hw, self.billing);
         scheduler.run(dag, mode, config, failures)
     }
 
@@ -170,7 +234,7 @@ impl Cluster {
         failures: &FailurePlan,
         trace: &cumulon_trace::Trace,
     ) -> std::result::Result<RunReport, RunFailure> {
-        let scheduler = Scheduler::new(self.spec, self.store.clone(), self.hw, self.billing);
+        let scheduler = Scheduler::new(self.spec(), self.store.clone(), self.hw, self.billing);
         scheduler.try_run_traced(dag, mode, config, failures, trace)
     }
 }

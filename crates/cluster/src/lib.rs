@@ -41,6 +41,7 @@ pub mod instances;
 pub mod job;
 pub mod metrics;
 pub mod scheduler;
+pub mod spot;
 
 pub use cluster::{Cluster, ClusterSpec};
 pub use error::{ClusterError, Result};
@@ -49,8 +50,10 @@ pub use instances::{catalog, InstanceType};
 pub use job::{ExecMode, Job, JobDag, Task, TaskCtx, TaskReceipt};
 pub use metrics::{FaultStats, JobStats, RunReport};
 pub use scheduler::{
-    default_threads, set_default_threads, FailurePlan, RunFailure, Scheduler, SchedulerConfig,
+    default_threads, set_default_threads, FailurePlan, Revocation, RunFailure, Scheduler,
+    SchedulerConfig,
 };
+pub use spot::SpotMarket;
 // Re-exported so scheduler callers can drive tracing without naming the
 // trace crate explicitly.
 pub use cumulon_trace::{Trace, TraceLog};

@@ -105,6 +105,24 @@ pub struct FaultStats {
     pub lost_block_events: u64,
     /// Jobs re-executed (fully or partially) by lineage recovery.
     pub recovered_jobs: u64,
+    /// Correlated bulk spot revocations that claimed at least one node.
+    pub revocations: u64,
+    /// Nodes reclaimed by spot revocations (not counted in `node_deaths`).
+    pub revoked_nodes: u64,
+    /// Task attempts on doomed nodes that finished inside a revocation
+    /// warning window (gracefully drained rather than lost).
+    pub drained_tasks: u64,
+    /// In-flight task attempts killed by revocations and re-executed.
+    pub lost_tasks: u64,
+    /// Sole-replica bytes proactively copied off doomed nodes during
+    /// revocation warning windows.
+    pub drained_bytes: u64,
+    /// Simulated task-seconds spent re-executing work (retries, backup
+    /// copies, recovery rounds).
+    pub rework_task_s: f64,
+    /// Simulated task-seconds across all attempts (the rework
+    /// denominator; nonzero even on clean runs).
+    pub total_task_s: f64,
 }
 
 impl FaultStats {
@@ -118,6 +136,13 @@ impl FaultStats {
         self.rereplicated_bytes += other.rereplicated_bytes;
         self.lost_block_events += other.lost_block_events;
         self.recovered_jobs += other.recovered_jobs;
+        self.revocations += other.revocations;
+        self.revoked_nodes += other.revoked_nodes;
+        self.drained_tasks += other.drained_tasks;
+        self.lost_tasks += other.lost_tasks;
+        self.drained_bytes += other.drained_bytes;
+        self.rework_task_s += other.rework_task_s;
+        self.total_task_s += other.total_task_s;
     }
 
     /// True when nothing fault-related happened.
@@ -128,6 +153,21 @@ impl FaultStats {
             && self.rereplicated_bytes == 0
             && self.lost_block_events == 0
             && self.recovered_jobs == 0
+            && self.revocations == 0
+            && self.revoked_nodes == 0
+            && self.drained_tasks == 0
+            && self.lost_tasks == 0
+            && self.drained_bytes == 0
+            && self.rework_task_s == 0.0
+    }
+
+    /// Re-executed task-seconds as a fraction of all task-seconds
+    /// (0 when no work ran at all).
+    pub fn rework_ratio(&self) -> f64 {
+        if self.total_task_s <= 0.0 {
+            return 0.0;
+        }
+        self.rework_task_s / self.total_task_s
     }
 }
 
@@ -199,7 +239,7 @@ impl RunReport {
         if !self.faults.is_clean() {
             let f = &self.faults;
             line.push_str(&format!(
-                " [faults: {} retries, {} spec ({} won), {} node deaths, {} B re-replicated, {} lost blocks, {} jobs recovered]",
+                " [faults: {} retries, {} spec ({} won), {} node deaths, {} B re-replicated, {} lost blocks, {} jobs recovered",
                 f.retries,
                 f.speculative_launches,
                 f.speculative_wins,
@@ -208,6 +248,16 @@ impl RunReport {
                 f.lost_block_events,
                 f.recovered_jobs
             ));
+            if f.revocations > 0 {
+                line.push_str(&format!(
+                    ", {} revocations ({} nodes, {} drained/{} lost tasks, {} B drained)",
+                    f.revocations, f.revoked_nodes, f.drained_tasks, f.lost_tasks, f.drained_bytes
+                ));
+            }
+            if f.rework_task_s > 0.0 {
+                line.push_str(&format!(", rework {:.0}%", f.rework_ratio() * 100.0));
+            }
+            line.push(']');
         }
         line
     }
@@ -352,14 +402,39 @@ mod tests {
             recovered_jobs: 1,
             task_attempts: 10,
             node_deaths: 0,
+            revocations: 1,
+            revoked_nodes: 2,
+            drained_tasks: 3,
+            lost_tasks: 1,
+            drained_bytes: 512,
+            rework_task_s: 5.0,
+            total_task_s: 20.0,
         };
         a.merge(&b);
         assert_eq!(a.retries, 3);
         assert_eq!(a.speculative_wins, 1);
         assert_eq!(a.node_deaths, 1);
         assert_eq!(a.task_attempts, 10);
+        assert_eq!(a.revocations, 1);
+        assert_eq!(a.revoked_nodes, 2);
+        assert_eq!(a.drained_tasks, 3);
+        assert_eq!(a.lost_tasks, 1);
+        assert_eq!(a.drained_bytes, 512);
+        assert_eq!(a.rework_task_s, 5.0);
+        assert_eq!(a.total_task_s, 20.0);
+        assert_eq!(a.rework_ratio(), 0.25);
         assert!(!a.is_clean());
         assert!(FaultStats::default().is_clean());
+        let clean_with_work = FaultStats {
+            task_attempts: 4,
+            total_task_s: 40.0,
+            ..Default::default()
+        };
+        assert!(
+            clean_with_work.is_clean(),
+            "total task-seconds accumulate on clean runs too"
+        );
+        assert_eq!(clean_with_work.rework_ratio(), 0.0);
 
         let r = RunReport {
             instance: "m1.large".into(),
@@ -451,8 +526,9 @@ mod tests {
                 rereplicated_bytes: 4096,
                 lost_block_events: 2,
                 recovered_jobs: 1,
+                ..Default::default()
             },
-            ..clean
+            ..clean.clone()
         };
         assert_eq!(
             faulted.summary(),
@@ -460,6 +536,32 @@ mod tests {
              makespan 10.0s, 1 billed h, $0.96 \
              [faults: 3 retries, 3 spec (1 won), 1 node deaths, \
              4096 B re-replicated, 2 lost blocks, 1 jobs recovered]"
+        );
+
+        let revoked = RunReport {
+            faults: FaultStats {
+                task_attempts: 12,
+                retries: 2,
+                revocations: 1,
+                revoked_nodes: 2,
+                drained_tasks: 3,
+                lost_tasks: 1,
+                drained_bytes: 512,
+                rereplicated_bytes: 4096,
+                rework_task_s: 5.0,
+                total_task_s: 20.0,
+                ..Default::default()
+            },
+            ..clean
+        };
+        assert_eq!(
+            revoked.summary(),
+            "m1.large x4 (2 slots): 1 jobs, 2 tasks, locality 50%, \
+             makespan 10.0s, 1 billed h, $0.96 \
+             [faults: 2 retries, 0 spec (0 won), 0 node deaths, \
+             4096 B re-replicated, 0 lost blocks, 0 jobs recovered, \
+             1 revocations (2 nodes, 3 drained/1 lost tasks, 512 B drained), \
+             rework 25%]"
         );
     }
 }

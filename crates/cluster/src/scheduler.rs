@@ -121,6 +121,25 @@ impl SchedulerConfig {
     }
 }
 
+/// A correlated bulk revocation: the spot market reclaims a set of nodes
+/// at once, optionally after a warning. During the warning window the
+/// scheduler stops assigning new tasks to the doomed nodes (in-flight
+/// attempts drain normally) and the DFS proactively copies blocks that
+/// live *only* on doomed nodes to survivors, within the byte budget the
+/// lead window allows. Whatever cannot be drained is lost at `at_s` and
+/// recovered via lineage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Revocation {
+    /// Simulated time the nodes are reclaimed.
+    pub at_s: f64,
+    /// Node ids reclaimed together. Out-of-range or already-dead ids are
+    /// skipped (a market model may name nodes a shrunken cluster no
+    /// longer has).
+    pub nodes: Vec<u32>,
+    /// Seconds of warning before `at_s` (0 = no warning, no drain).
+    pub warning_lead_s: f64,
+}
+
 /// Failure injection plan.
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
@@ -128,6 +147,8 @@ pub struct FailurePlan {
     pub task_failure_prob: f64,
     /// `(time_s, node)` pairs: the node dies at that simulated time.
     pub node_failures: Vec<(f64, u32)>,
+    /// Correlated bulk spot revocations (see [`Revocation`]).
+    pub revocations: Vec<Revocation>,
     /// Seed for the failure coin flips.
     pub seed: u64,
 }
@@ -197,6 +218,15 @@ enum Event {
     },
     NodeFailure {
         node: u32,
+    },
+    /// Warning lead of `failures.revocations[idx]`: stop assigning to the
+    /// doomed nodes and drain their sole-replica blocks.
+    RevocationWarning {
+        idx: usize,
+    },
+    /// `failures.revocations[idx]` takes effect: the nodes are reclaimed.
+    Revocation {
+        idx: usize,
     },
 }
 
@@ -326,6 +356,13 @@ impl Scheduler {
         let mut queue: EventQueue<Event> = EventQueue::new();
         for &(t, node) in &failures.node_failures {
             queue.schedule(SimTime(t), Event::NodeFailure { node });
+        }
+        for (idx, rev) in failures.revocations.iter().enumerate() {
+            if rev.warning_lead_s > 0.0 {
+                let warn_at = (rev.at_s - rev.warning_lead_s).max(0.0);
+                queue.schedule(SimTime(warn_at), Event::RevocationWarning { idx });
+            }
+            queue.schedule(SimTime(rev.at_s.max(0.0)), Event::Revocation { idx });
         }
         let outcome = exec.drive(&mut queue);
         self.store.set_trace(Trace::disabled());
@@ -535,6 +572,9 @@ struct Exec<'a> {
     dependents: Vec<Vec<usize>>,
     slot_state: Vec<Option<Running>>,
     node_alive: Vec<bool>,
+    /// Nodes under a revocation warning: alive, in-flight attempts drain
+    /// to completion, but no new work is assigned to them.
+    doomed: Vec<bool>,
     next_epoch: u64,
     completed_jobs: usize,
     faults: FaultStats,
@@ -624,6 +664,7 @@ impl<'a> Exec<'a> {
             dependents,
             slot_state: vec![None; (nodes * slots) as usize],
             node_alive,
+            doomed: vec![false; nodes as usize],
             next_epoch: 0,
             completed_jobs: 0,
             faults: FaultStats::default(),
@@ -664,6 +705,8 @@ impl<'a> Exec<'a> {
                     ok,
                 } => self.on_task_finish(now, job, task, attempt, epoch, node, slot, ok, queue)?,
                 Event::NodeFailure { node } => self.on_node_failure(node, queue)?,
+                Event::RevocationWarning { idx } => self.on_revocation_warning(idx, queue)?,
+                Event::Revocation { idx } => self.on_revocation(idx, queue)?,
             }
         }
         Ok(())
@@ -980,6 +1023,13 @@ impl<'a> Exec<'a> {
                 e.attempt - 1,
             )
             .max(1e-9);
+        // Rework accounting: retries and backup copies re-execute work the
+        // first attempt already did (DES-ordered accumulation, so the f64
+        // sums are identical at any thread count).
+        self.faults.total_task_s += duration;
+        if e.attempt > 1 || e.is_backup {
+            self.faults.rework_task_s += duration;
+        }
         if self.trace.is_enabled() {
             // Phase fractions come from the noise-free model split and are
             // rescaled to the attempt's actual (noisy) duration, so phase
@@ -1039,7 +1089,7 @@ impl<'a> Exec<'a> {
         let slots = self.sched.spec.slots_per_node;
         let now = queue.now();
         for node in 0..nodes {
-            if !self.node_alive[node as usize] {
+            if !self.node_alive[node as usize] || self.doomed[node as usize] {
                 continue;
             }
             for slot in 0..slots {
@@ -1083,6 +1133,11 @@ impl<'a> Exec<'a> {
         }
         if ok {
             self.jobs[job].task_done[task] = true;
+            if self.doomed[node as usize] {
+                // The attempt beat the revocation deadline: gracefully
+                // drained rather than lost.
+                self.faults.drained_tasks += 1;
+            }
             // Kill any still-running copies of this task. If a killed twin
             // started earlier, the completing copy is the backup — a
             // speculative win.
@@ -1225,10 +1280,14 @@ impl<'a> Exec<'a> {
     }
 
     fn on_node_failure(&mut self, node: u32, queue: &mut EventQueue<Event>) -> Result<()> {
-        if !self.node_alive[node as usize] {
+        // A plan may name a node this cluster doesn't have (e.g. a market
+        // model sized for a larger fleet, or an elastic shrink between
+        // iterations); ignore it rather than index out of bounds.
+        if (node as usize) >= self.node_alive.len() || !self.node_alive[node as usize] {
             return Ok(());
         }
         self.node_alive[node as usize] = false;
+        self.doomed[node as usize] = false;
         self.faults.node_deaths += 1;
         self.dead_nodes.push(node);
         // Storage consequences (re-replication of survivors).
@@ -1243,15 +1302,29 @@ impl<'a> Exec<'a> {
             }
             Err(e) => return Err(ClusterError::from(e)),
         }
-        // Re-queue tasks that were running there (unless done or still
-        // running elsewhere as a speculative twin).
+        self.evict_running(node, queue.now(), false);
+        if !self.node_alive.iter().any(|&a| a) {
+            return Err(ClusterError::InvalidDag(
+                "all nodes failed; run cannot complete".to_string(),
+            ));
+        }
+        self.fill_slots(queue)
+    }
+
+    /// Kills every attempt in flight on `node`: traces the truncated spans
+    /// and requeues tasks that are neither done nor running elsewhere.
+    /// `revoked` attributes the loss to a spot revocation in the counters.
+    fn evict_running(&mut self, node: u32, now: SimTime, revoked: bool) {
         let slots = self.sched.spec.slots_per_node;
         for slot in 0..slots {
             let idx = (node * slots + slot) as usize;
             if let Some(r) = self.slot_state[idx].take() {
+                if revoked {
+                    self.faults.lost_tasks += 1;
+                }
                 if self.trace.is_enabled() {
                     if let Some(m) = self.epoch_meta.remove(&r.epoch) {
-                        let cut = queue.now().secs();
+                        let cut = now.secs();
                         self.trace.record_task(TaskSpan {
                             job: r.job,
                             task: r.task,
@@ -1282,6 +1355,85 @@ impl<'a> Exec<'a> {
                     self.jobs[r.job].pending.push_front(r.task);
                 }
             }
+        }
+    }
+
+    /// Revocation warning: mark the victims doomed (no new assignments;
+    /// in-flight attempts drain) and spend the lead window proactively
+    /// copying blocks that live only on doomed nodes to survivors, within
+    /// the byte budget the victims' aggregate NIC bandwidth allows.
+    fn on_revocation_warning(&mut self, idx: usize, queue: &mut EventQueue<Event>) -> Result<()> {
+        let rev = &self.failures.revocations[idx];
+        let lead_s = rev.warning_lead_s;
+        let mut victims: Vec<NodeId> = Vec::new();
+        for &node in &rev.nodes {
+            let n = node as usize;
+            if n >= self.node_alive.len() || !self.node_alive[n] || self.doomed[n] {
+                continue;
+            }
+            self.doomed[n] = true;
+            victims.push(NodeId(node));
+        }
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let budget =
+            (lead_s * self.sched.spec.instance.net_mbs * 1e6 * victims.len() as f64) as u64;
+        let receipt = self
+            .sched
+            .store
+            .dfs()
+            .drain_nodes(&victims, budget)
+            .map_err(ClusterError::from)?;
+        self.faults.drained_bytes += receipt.bytes;
+        self.trace.record_event(TraceEvent::RevocationWarning {
+            t_s: queue.now().secs(),
+            nodes: victims.iter().map(|n| n.0 as usize).collect(),
+            drained_bytes: receipt.bytes,
+        });
+        Ok(())
+    }
+
+    /// A bulk revocation takes effect: every still-live victim dies at the
+    /// same instant (one correlated DFS event, so re-replication cannot
+    /// lean on co-revoked peers), their in-flight attempts are lost, and
+    /// survivors pick up the requeued work.
+    fn on_revocation(&mut self, idx: usize, queue: &mut EventQueue<Event>) -> Result<()> {
+        let rev = &self.failures.revocations[idx];
+        let mut victims: Vec<u32> = Vec::new();
+        for &node in &rev.nodes {
+            let n = node as usize;
+            if n >= self.node_alive.len() || !self.node_alive[n] {
+                continue;
+            }
+            if !victims.contains(&node) {
+                victims.push(node);
+            }
+        }
+        if victims.is_empty() {
+            return Ok(());
+        }
+        self.faults.revocations += 1;
+        self.faults.revoked_nodes += victims.len() as u64;
+        for &node in &victims {
+            self.node_alive[node as usize] = false;
+            self.doomed[node as usize] = false;
+            self.dead_nodes.push(node);
+        }
+        let ids: Vec<NodeId> = victims.iter().map(|&n| NodeId(n)).collect();
+        match self.sched.store.dfs().kill_nodes(&ids) {
+            Ok(receipt) => {
+                self.faults.rereplicated_bytes += receipt.bytes;
+                self.trace.record_event(TraceEvent::Revocation {
+                    t_s: queue.now().secs(),
+                    nodes: victims.iter().map(|&n| n as usize).collect(),
+                    rereplicated_bytes: receipt.bytes,
+                });
+            }
+            Err(e) => return Err(ClusterError::from(e)),
+        }
+        for &node in &victims {
+            self.evict_running(node, queue.now(), true);
         }
         if !self.node_alive.iter().any(|&a| a) {
             return Err(ClusterError::InvalidDag(
@@ -1455,8 +1607,8 @@ mod tests {
         dag.push(burn_job("flaky", 12, 1e9), vec![]);
         let failures = FailurePlan {
             task_failure_prob: 0.3,
-            node_failures: vec![],
             seed: 5,
+            ..Default::default()
         };
         let r = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
@@ -1476,8 +1628,8 @@ mod tests {
         dag.push(burn_job("doomed", 1, 1e8), vec![]);
         let failures = FailurePlan {
             task_failure_prob: 1.0,
-            node_failures: vec![],
             seed: 1,
+            ..Default::default()
         };
         let err = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
@@ -1494,9 +1646,8 @@ mod tests {
         let probe = c.run(&dag, ExecMode::Real).unwrap();
         let mid = probe.makespan_s / 3.0;
         let failures = FailurePlan {
-            task_failure_prob: 0.0,
             node_failures: vec![(mid, 2)],
-            seed: 0,
+            ..Default::default()
         };
         let r = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
@@ -1521,14 +1672,164 @@ mod tests {
         let mut dag = JobDag::new();
         dag.push(burn_job("b", 4, 1e11), vec![]);
         let failures = FailurePlan {
-            task_failure_prob: 0.0,
             node_failures: vec![(1.0, 0)],
-            seed: 0,
+            ..Default::default()
         };
         let err = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
             .unwrap_err();
         assert!(matches!(err, ClusterError::InvalidDag(_)), "{err}");
+    }
+
+    #[test]
+    fn bulk_revocation_drains_and_completes() {
+        let c = cluster(4, 1);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("long", 8, 5e10), vec![]);
+        let probe = c.run(&dag, ExecMode::Real).unwrap();
+        let mid = probe.makespan_s / 2.0;
+        let failures = FailurePlan {
+            revocations: vec![Revocation {
+                at_s: mid,
+                nodes: vec![2, 3],
+                warning_lead_s: mid / 2.0,
+            }],
+            ..Default::default()
+        };
+        let r = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap();
+        assert_eq!(r.faults.revocations, 1);
+        assert_eq!(r.faults.revoked_nodes, 2);
+        assert_eq!(r.jobs[0].tasks.len(), 8);
+        assert!(
+            r.jobs[0]
+                .tasks
+                .iter()
+                .all(|t| (t.node != 2 && t.node != 3) || t.end_s <= mid),
+            "no task may finish on a revoked node after the revocation"
+        );
+        assert!(
+            r.makespan_s > probe.makespan_s,
+            "losing half the fleet must cost time"
+        );
+        // The warning stopped new assignments to doomed nodes, so any task
+        // still running there at revocation counts as lost, and work that
+        // beat the deadline counts as drained.
+        assert!(r.faults.drained_tasks + r.faults.lost_tasks > 0);
+    }
+
+    #[test]
+    fn revocation_without_warning_still_completes() {
+        let c = cluster(3, 1);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("long", 6, 5e10), vec![]);
+        let probe = c.run(&dag, ExecMode::Real).unwrap();
+        let failures = FailurePlan {
+            revocations: vec![Revocation {
+                at_s: probe.makespan_s / 3.0,
+                nodes: vec![0],
+                warning_lead_s: 0.0,
+            }],
+            ..Default::default()
+        };
+        let r = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap();
+        assert_eq!(r.faults.revocations, 1);
+        assert_eq!(r.faults.revoked_nodes, 1);
+        // No lead window: nothing was drained ahead of the kill.
+        assert_eq!(r.faults.drained_bytes, 0);
+        assert_eq!(r.jobs[0].tasks.len(), 6);
+    }
+
+    #[test]
+    fn out_of_range_revocation_and_failure_nodes_are_ignored() {
+        let c = cluster(2, 1);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("b", 4, 1e10), vec![]);
+        let failures = FailurePlan {
+            node_failures: vec![(1.0, 99)],
+            revocations: vec![Revocation {
+                at_s: 2.0,
+                nodes: vec![7, 99],
+                warning_lead_s: 1.0,
+            }],
+            ..Default::default()
+        };
+        let r = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap();
+        // The revocation reclaimed nothing real, so it does not count (the
+        // same rule keeps re-fired revocations from double-counting in
+        // recovery rounds).
+        assert_eq!(r.faults.revocations, 0);
+        assert_eq!(r.faults.revoked_nodes, 0);
+        assert_eq!(r.faults.node_deaths, 0);
+        assert_eq!(r.jobs[0].tasks.len(), 4);
+    }
+
+    #[test]
+    fn revoking_every_node_errors() {
+        let c = cluster(2, 1);
+        let mut dag = JobDag::new();
+        dag.push(burn_job("b", 4, 1e11), vec![]);
+        let failures = FailurePlan {
+            revocations: vec![Revocation {
+                at_s: 1.0,
+                nodes: vec![0, 1],
+                warning_lead_s: 0.5,
+            }],
+            ..Default::default()
+        };
+        let err = c
+            .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidDag(_)), "{err}");
+    }
+
+    #[test]
+    fn revocation_is_deterministic_across_threads() {
+        let mk = || {
+            let c = cluster(4, 2);
+            let mut dag = JobDag::new();
+            dag.push(burn_job("a", 10, 2e10), vec![]);
+            dag.push(burn_job("b", 6, 1e10), vec![0]);
+            (c, dag)
+        };
+        let failures = FailurePlan {
+            revocations: vec![Revocation {
+                at_s: 30.0,
+                nodes: vec![1, 2],
+                warning_lead_s: 10.0,
+            }],
+            ..Default::default()
+        };
+        let (c1, dag1) = mk();
+        let r1 = c1
+            .run_with(
+                &dag1,
+                ExecMode::Real,
+                SchedulerConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &failures,
+            )
+            .unwrap();
+        let (cn, dagn) = mk();
+        let rn = cn
+            .run_with(
+                &dagn,
+                ExecMode::Real,
+                SchedulerConfig {
+                    threads: 4,
+                    ..Default::default()
+                },
+                &failures,
+            )
+            .unwrap();
+        assert_eq!(r1.fingerprint(), rn.fingerprint());
     }
 
     #[test]
@@ -1626,8 +1927,8 @@ mod tests {
         dag.push(burn_job("flaky", 12, 1e9), vec![]);
         let failures = FailurePlan {
             task_failure_prob: 0.3,
-            node_failures: vec![],
             seed: 5,
+            ..Default::default()
         };
         let r = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
@@ -1648,9 +1949,8 @@ mod tests {
         let mut dag = JobDag::new();
         dag.push(burn_job("long", 6, 5e10), vec![]);
         let failures = FailurePlan {
-            task_failure_prob: 0.0,
             node_failures: vec![(1.0, 2)],
-            seed: 0,
+            ..Default::default()
         };
         let r1 = c
             .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)

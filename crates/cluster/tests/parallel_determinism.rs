@@ -219,6 +219,7 @@ proptest! {
             task_failure_prob: fail_p,
             node_failures: kills.iter().map(|&(t, n)| (t, n)).collect(),
             seed: fail_seed,
+            ..Default::default()
         };
         let (seq_key, seq_out) = run_once(&shape, &failures, noise_seed, 1, false);
         let (par_key, par_out) = run_once(&shape, &failures, noise_seed, threads, false);
@@ -243,6 +244,7 @@ proptest! {
             task_failure_prob: fail_p,
             node_failures: kills.iter().map(|&(t, n)| (t, n)).collect(),
             seed: fail_seed,
+            ..Default::default()
         };
         let (off_key, off_out) = run_once(&shape, &failures, noise_seed, threads, false);
         let (on_key, on_out) = run_once(&shape, &failures, noise_seed, threads, true);

@@ -121,7 +121,7 @@ proptest! {
                 ClusterSpec::named("c1.medium", 3, 2).unwrap(),
             )
             .unwrap();
-            let failures = FailurePlan { task_failure_prob: fail_p, node_failures: vec![], seed: 9 };
+            let failures = FailurePlan { task_failure_prob: fail_p, seed: 9, ..Default::default() };
             cluster
                 .run_with(&burn_dag(&flops), ExecMode::Real, SchedulerConfig::default(), &failures)
                 .unwrap()

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::calibrate::{CostModel, OpCoefficients};
 use crate::error::{CoreError, Result};
-use crate::estimate::{job_time_s, ClusterView, PlanEstimate};
+use crate::estimate::{job_time_s, ClusterView, PlanEstimate, SpotHazard};
 use crate::expr::{InputDesc, Program};
 use crate::lower::{build_plan, SplitChooser};
 use crate::physical::{MatRef, MulSplit, OperandStats, PhysJob, PhysPlan};
@@ -384,6 +384,177 @@ fn pick_better(a: DeploymentPlan, b: DeploymentPlan, constraint: Constraint) -> 
         b
     } else {
         a
+    }
+}
+
+/// How a deployment's capacity is purchased.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Procurement {
+    /// Reliable on-demand capacity at list price.
+    OnDemand,
+    /// Spot capacity bid at this fraction of the on-demand price. The
+    /// cluster pays the (lower) market price while it runs but is bulk-
+    /// revoked whenever the market exceeds the bid.
+    Spot {
+        /// Bid as a fraction of the on-demand price.
+        bid_fraction: f64,
+    },
+}
+
+impl Procurement {
+    /// One-word label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Procurement::OnDemand => "on-demand".into(),
+            Procurement::Spot { bid_fraction } => format!("spot(bid {bid_fraction:.2})"),
+        }
+    }
+}
+
+/// The procurement half of the spot search space: candidate bids and
+/// checkpoint intervals, plus the market model that prices their risk.
+#[derive(Debug, Clone)]
+pub struct SpotSearchSpace {
+    /// The revocation hazard / price model of the spot market.
+    pub hazard: SpotHazard,
+    /// Candidate bids, as fractions of the on-demand price.
+    pub bid_fractions: Vec<f64>,
+    /// Candidate checkpoint intervals in seconds (`0` = no checkpoints).
+    pub checkpoint_intervals_s: Vec<f64>,
+    /// Wall-clock cost of writing one checkpoint.
+    pub checkpoint_write_s: f64,
+}
+
+impl Default for SpotSearchSpace {
+    fn default() -> Self {
+        SpotSearchSpace {
+            hazard: SpotHazard::typical(),
+            bid_fractions: vec![0.4, 0.5, 0.7, 0.9],
+            checkpoint_intervals_s: vec![0.0, 300.0, 900.0, 1800.0],
+            checkpoint_write_s: 15.0,
+        }
+    }
+}
+
+/// One evaluated procurement option for a fixed hardware deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotChoice {
+    /// How the capacity is purchased.
+    pub procurement: Procurement,
+    /// Checkpoint interval in seconds (`0` = none). Always `0` for
+    /// on-demand, where nothing revokes mid-run.
+    pub checkpoint_interval_s: f64,
+    /// Expected makespan including checkpoint writes and revocation
+    /// rework.
+    pub expected_makespan_s: f64,
+    /// Expected dollar cost at the price actually paid (market price for
+    /// spot, list price for on-demand), billed over the expected makespan.
+    pub expected_cost_dollars: f64,
+    /// Expected seconds of redone work (half an exposure window plus
+    /// restart overhead per expected revocation).
+    pub expected_rework_s: f64,
+}
+
+impl SpotChoice {
+    /// One-line description.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ckpt {:.0}s: est {:.0}s (rework {:.0}s), ${:.2}",
+            self.procurement.label(),
+            self.checkpoint_interval_s,
+            self.expected_makespan_s,
+            self.expected_rework_s,
+            self.expected_cost_dollars
+        )
+    }
+}
+
+impl<'a> DeploymentSearch<'a> {
+    /// Prices every procurement option — on-demand, and each
+    /// `(bid, checkpoint interval)` pair — for a fixed deployment whose
+    /// failure-free makespan is `fail_free_s`. Returned in evaluation
+    /// order (on-demand first), *not* sorted; callers curve-plot or
+    /// `min_by` as needed.
+    pub fn spot_curve(
+        &self,
+        deployment: &DeploymentPlan,
+        spot: &SpotSearchSpace,
+    ) -> Vec<SpotChoice> {
+        let fail_free_s = deployment.estimate.makespan_s;
+        let nodes = deployment.nodes;
+        let list = deployment.instance.price_per_hour;
+        let mut out = Vec::new();
+        out.push(SpotChoice {
+            procurement: Procurement::OnDemand,
+            checkpoint_interval_s: 0.0,
+            expected_makespan_s: fail_free_s,
+            expected_cost_dollars: cumulon_cluster::billing::cluster_cost(
+                self.space.billing,
+                nodes,
+                list,
+                fail_free_s,
+            ),
+            expected_rework_s: 0.0,
+        });
+        // While running, spot pays the market price, not the bid; the bid
+        // only buys survival. Clamp so a below-market bid cannot price
+        // under what the market charges.
+        let paid = list * spot.hazard.mean_price_fraction.min(1.0);
+        for &bid in &spot.bid_fractions {
+            for &interval in &spot.checkpoint_intervals_s {
+                let (makespan, rework) = spot.hazard.expected_spot_makespan(
+                    fail_free_s,
+                    bid,
+                    interval,
+                    spot.checkpoint_write_s,
+                );
+                out.push(SpotChoice {
+                    procurement: Procurement::Spot { bid_fraction: bid },
+                    checkpoint_interval_s: interval,
+                    expected_makespan_s: makespan,
+                    expected_cost_dollars: cumulon_cluster::billing::cluster_cost(
+                        self.space.billing,
+                        nodes,
+                        paid,
+                        makespan,
+                    ),
+                    expected_rework_s: rework,
+                });
+            }
+        }
+        out
+    }
+
+    /// Finds the cheapest expected-cost procurement meeting `deadline_s`:
+    /// first picks the hardware with [`DeploymentSearch::optimize`] under
+    /// the deadline, then searches {on-demand} ∪ {spot(bid) × checkpoint
+    /// interval} on that hardware, pricing each spot option's revocation
+    /// rework with `spot.hazard`. Options whose *expected* makespan blows
+    /// the deadline are infeasible. Ties break toward the shorter expected
+    /// makespan.
+    pub fn optimize_spot(
+        &self,
+        program: &Program,
+        inputs: &BTreeMap<String, InputDesc>,
+        deadline_s: f64,
+        spot: &SpotSearchSpace,
+    ) -> Result<(DeploymentPlan, SpotChoice)> {
+        let deployment = self.optimize(program, inputs, Constraint::Deadline(deadline_s))?;
+        let best = self
+            .spot_curve(&deployment, spot)
+            .into_iter()
+            .filter(|c| c.expected_makespan_s <= deadline_s)
+            .min_by(|a, b| {
+                (a.expected_cost_dollars, a.expected_makespan_s)
+                    .partial_cmp(&(b.expected_cost_dollars, b.expected_makespan_s))
+                    .expect("no NaN")
+            })
+            .ok_or_else(|| {
+                CoreError::Infeasible(format!(
+                    "no procurement meets the {deadline_s}s deadline in expectation"
+                ))
+            })?;
+        Ok((deployment, best))
     }
 }
 
@@ -787,6 +958,142 @@ mod tests {
             );
             last = est.makespan_s;
         }
+    }
+}
+
+#[cfg(test)]
+mod spot_tests {
+    use super::*;
+    use crate::expr::ProgramBuilder;
+    use cumulon_matrix::MatrixMeta;
+
+    fn model() -> CostModel {
+        let mut m = CostModel::default();
+        for i in catalog() {
+            m.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+        }
+        m
+    }
+
+    fn workload() -> (Program, BTreeMap<String, InputDesc>) {
+        let mut b = ProgramBuilder::new();
+        let a = b.input("A");
+        let x = b.input("X");
+        let m = b.mul(a, x);
+        b.output("C", m);
+        let mut inputs = BTreeMap::new();
+        for name in ["A", "X"] {
+            inputs.insert(
+                name.to_string(),
+                InputDesc::dense(MatrixMeta::new(20_000, 20_000, 1000)),
+            );
+        }
+        (b.build(), inputs)
+    }
+
+    fn search(m: &CostModel) -> DeploymentSearch<'_> {
+        DeploymentSearch::new(
+            m,
+            SearchSpace {
+                billing: cumulon_cluster::billing::BillingPolicy::PerSecond,
+                ..SearchSpace::quick()
+            },
+        )
+    }
+
+    #[test]
+    fn spot_curve_covers_grid_and_prices_risk() {
+        let m = model();
+        let s = search(&m);
+        let (program, inputs) = workload();
+        let dep = s
+            .optimize(&program, &inputs, Constraint::Deadline(100_000.0))
+            .unwrap();
+        let spot = SpotSearchSpace::default();
+        let curve = s.spot_curve(&dep, &spot);
+        assert_eq!(
+            curve.len(),
+            1 + spot.bid_fractions.len() * spot.checkpoint_intervals_s.len()
+        );
+        assert_eq!(curve[0].procurement, Procurement::OnDemand);
+        assert_eq!(curve[0].expected_rework_s, 0.0);
+        for c in &curve[1..] {
+            assert!(c.expected_makespan_s >= dep.estimate.makespan_s);
+            assert!(c.expected_rework_s >= 0.0);
+        }
+        // At the same bid, an unchecked run reworks at least as much as a
+        // checkpointed one (exposure is the whole run, not one interval).
+        let at = |bid: f64, interval: f64| {
+            curve
+                .iter()
+                .find(|c| {
+                    c.procurement == Procurement::Spot { bid_fraction: bid }
+                        && c.checkpoint_interval_s == interval
+                })
+                .unwrap()
+                .expected_rework_s
+        };
+        assert!(at(0.5, 0.0) >= at(0.5, 300.0));
+    }
+
+    #[test]
+    fn spot_on_demand_crossover_is_monotone() {
+        let m = model();
+        let s = search(&m);
+        let (program, inputs) = workload();
+        // As the spot market's mean price climbs toward list price, the
+        // winner flips from spot to on-demand exactly once.
+        let mut saw_on_demand = false;
+        let mut spot_wins = 0;
+        for frac in [0.2, 0.35, 0.5, 0.65, 0.8, 0.95, 1.0] {
+            let spot = SpotSearchSpace {
+                hazard: SpotHazard {
+                    mean_price_fraction: frac,
+                    ..SpotHazard::typical()
+                },
+                ..SpotSearchSpace::default()
+            };
+            let (_, choice) = s
+                .optimize_spot(&program, &inputs, 100_000.0, &spot)
+                .unwrap();
+            match choice.procurement {
+                Procurement::OnDemand => saw_on_demand = true,
+                Procurement::Spot { .. } => {
+                    assert!(
+                        !saw_on_demand,
+                        "spot must not win again after on-demand does (frac {frac})"
+                    );
+                    spot_wins += 1;
+                }
+            }
+        }
+        assert!(spot_wins > 0, "cheap spot markets must win");
+        assert!(saw_on_demand, "spot at list price must lose");
+    }
+
+    #[test]
+    fn deadline_rules_out_risky_unchecked_spot() {
+        let m = model();
+        let s = search(&m);
+        let (program, inputs) = workload();
+        let dep = s
+            .optimize(&program, &inputs, Constraint::Deadline(100_000.0))
+            .unwrap();
+        // A vicious market: every option carries visible rework.
+        let spot = SpotSearchSpace {
+            hazard: SpotHazard {
+                mean_price_fraction: 0.35,
+                base_rate_per_hour: 20.0,
+                decay: 0.1,
+                restart_overhead_s: 300.0,
+            },
+            ..SpotSearchSpace::default()
+        };
+        // Deadline just above the fail-free makespan: risky spot options
+        // are infeasible in expectation, on-demand still qualifies.
+        let deadline = dep.estimate.makespan_s * 1.01;
+        let (_, choice) = s.optimize_spot(&program, &inputs, deadline, &spot).unwrap();
+        assert_eq!(choice.procurement, Procurement::OnDemand);
     }
 }
 

@@ -407,6 +407,85 @@ impl Default for FailureModel {
     }
 }
 
+/// Spot-market revocation hazard for deployment planning: how often the
+/// market reclaims a spot cluster, as a function of bid headroom over the
+/// mean spot price. Exponential in the headroom — bidding exactly the
+/// mean price means riding every excursion (the base rate); each unit of
+/// headroom (as a fraction of the on-demand price) damps the rate by
+/// `exp(-decay · headroom)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotHazard {
+    /// Mean spot price as a fraction of the on-demand price (what you
+    /// actually pay while running).
+    pub mean_price_fraction: f64,
+    /// Bulk revocations per hour when bidding exactly the mean price.
+    pub base_rate_per_hour: f64,
+    /// Exponential damping of the rate per unit of bid headroom.
+    pub decay: f64,
+    /// Seconds to reacquire capacity and resume after a revocation.
+    pub restart_overhead_s: f64,
+}
+
+impl SpotHazard {
+    /// A typical 2013-era spot market: spot trades around a third of
+    /// on-demand, bidding at the mean gets revoked roughly once every
+    /// five hours, and headroom pays off quickly.
+    pub fn typical() -> Self {
+        SpotHazard {
+            mean_price_fraction: 0.35,
+            base_rate_per_hour: 0.2,
+            decay: 6.0,
+            restart_overhead_s: 120.0,
+        }
+    }
+
+    /// Revocations per hour for a bid at `bid_fraction` of the on-demand
+    /// price. Bidding below the mean price is treated as bidding at it
+    /// (the cluster would never start otherwise).
+    pub fn revocation_rate(&self, bid_fraction: f64) -> f64 {
+        let headroom = (bid_fraction - self.mean_price_fraction).max(0.0);
+        self.base_rate_per_hour * (-self.decay * headroom).exp()
+    }
+
+    /// Expected `(makespan_s, rework_s)` of a run whose failure-free
+    /// makespan is `fail_free_s`, on spot capacity at `bid_fraction` with
+    /// checkpoints every `checkpoint_interval_s` costing
+    /// `checkpoint_write_s` each.
+    ///
+    /// First-order model: the run pays every checkpoint write, and each
+    /// expected revocation costs half a checkpoint interval of redone
+    /// work (the average revocation lands mid-interval) plus the restart
+    /// overhead. A zero or negative interval means no checkpoints — a
+    /// revocation then redoes half the *whole run*.
+    pub fn expected_spot_makespan(
+        &self,
+        fail_free_s: f64,
+        bid_fraction: f64,
+        checkpoint_interval_s: f64,
+        checkpoint_write_s: f64,
+    ) -> (f64, f64) {
+        let (n_ckpts, exposure_s) = if checkpoint_interval_s > 0.0 {
+            (
+                (fail_free_s / checkpoint_interval_s).floor(),
+                checkpoint_interval_s,
+            )
+        } else {
+            (0.0, fail_free_s)
+        };
+        let base = fail_free_s + n_ckpts * checkpoint_write_s.max(0.0);
+        let rate = self.revocation_rate(bid_fraction);
+        let expected_revocations = rate * base / 3600.0;
+        let rework_s = expected_revocations * (exposure_s / 2.0 + self.restart_overhead_s);
+        (base + rework_s, rework_s)
+    }
+}
+
+impl Default for SpotHazard {
+    fn default() -> Self {
+        SpotHazard::typical()
+    }
+}
+
 /// Full plan estimate on a deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanEstimate {
@@ -796,6 +875,41 @@ mod tests {
         let short = dying.expected_makespan(1_000.0, &v1) / 1_000.0;
         let long = dying.expected_makespan(10_000.0, &v1) / 10_000.0;
         assert!(long > short, "overhead fraction grows with runtime");
+    }
+
+    #[test]
+    fn spot_hazard_rates_and_makespan() {
+        let h = SpotHazard::typical();
+        // Headroom damps the revocation rate, monotonically.
+        let at_mean = h.revocation_rate(h.mean_price_fraction);
+        assert_eq!(at_mean, h.base_rate_per_hour);
+        let r_low = h.revocation_rate(0.5);
+        let r_high = h.revocation_rate(0.9);
+        assert!(r_low < at_mean && r_high < r_low);
+        // Bidding below the mean is clamped to the base rate.
+        assert_eq!(h.revocation_rate(0.0), h.base_rate_per_hour);
+
+        // Checkpoints trade write overhead for bounded rework exposure.
+        let fail_free = 7_200.0;
+        let (t_ckpt, rework_ckpt) = h.expected_spot_makespan(fail_free, 0.5, 600.0, 10.0);
+        let (t_none, rework_none) = h.expected_spot_makespan(fail_free, 0.5, 0.0, 10.0);
+        assert!(t_ckpt >= fail_free && t_none >= fail_free);
+        assert!(
+            rework_ckpt < rework_none,
+            "checkpoints must bound rework: {rework_ckpt} vs {rework_none}"
+        );
+        // A safe bid reworks less than a risky one at the same interval.
+        let (_, rework_risky) =
+            h.expected_spot_makespan(fail_free, h.mean_price_fraction, 600.0, 10.0);
+        assert!(rework_ckpt < rework_risky);
+        // Zero hazard: only the checkpoint writes remain.
+        let calm = SpotHazard {
+            base_rate_per_hour: 0.0,
+            ..h
+        };
+        let (t, rework) = calm.expected_spot_makespan(fail_free, 0.4, 600.0, 10.0);
+        assert_eq!(rework, 0.0);
+        assert!((t - (fail_free + 12.0 * 10.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -41,9 +41,12 @@ pub mod recovery;
 pub mod rewrite;
 
 pub use calibrate::{CostModel, OpCoefficients};
-pub use deploy::{Constraint, DeploymentPlan, DeploymentSearch, SearchSpace};
+pub use deploy::{
+    Constraint, DeploymentPlan, DeploymentSearch, Procurement, SearchSpace, SpotChoice,
+    SpotSearchSpace,
+};
 pub use error::{CoreError, Result};
-pub use estimate::FailureModel;
+pub use estimate::{FailureModel, SpotHazard};
 pub use expr::{ExprId, InputDesc, Program, ProgramBuilder, UnaryOp};
 pub use lower::lower;
 pub use optimizer::Optimizer;

@@ -42,6 +42,13 @@ impl Optimizer {
         &self.model
     }
 
+    /// Mutable access to the fitted model — elastic drivers refit
+    /// per-instance coefficients from traced samples mid-run and install
+    /// them here (see `cumulon-workloads`' elastic driver).
+    pub fn model_mut(&mut self) -> &mut CostModel {
+        &mut self.model
+    }
+
     /// Overrides the assumed replication factor.
     pub fn set_replication(&mut self, replication: u32) {
         self.replication = replication;
@@ -211,6 +218,26 @@ impl Optimizer {
         run_with_recovery_traced(
             cluster, &plan, &dag, mode, config, failures, recovery, trace,
         )
+    }
+
+    /// Builds the deployment-tuned physical plan
+    /// [`Optimizer::execute_on`] would run on this cluster, without
+    /// executing it. Elastic drivers use this to pair each traced job with
+    /// its [`crate::estimate::job_features`] when refitting the cost model
+    /// from a run's prefix.
+    pub fn build_physical(
+        &self,
+        cluster: &Cluster,
+        program: &Program,
+        inputs: &BTreeMap<String, InputDesc>,
+        temp_prefix: &str,
+    ) -> Result<(crate::physical::PhysPlan, ClusterView)> {
+        let view = self.view_of(cluster)?;
+        let program = self.rewrite(program, inputs)?;
+        let coeffs = self.coeffs_for(&view)?;
+        let chooser = CostBasedChooser { coeffs, view };
+        let plan = build_plan(&program, inputs, &chooser, temp_prefix)?;
+        Ok((plan, view))
     }
 
     /// Predicted phase breakdown and makespan for the plan

@@ -134,7 +134,13 @@ pub fn run_with_recovery_traced(
                     }
                 }
                 all_jobs.extend(report.jobs);
-                faults.merge(&report.faults);
+                let mut round_faults = report.faults;
+                if round > 0 {
+                    // Everything a recovery round executes re-does work an
+                    // earlier round already ran.
+                    round_faults.rework_task_s = round_faults.total_task_s;
+                }
+                faults.merge(&round_faults);
                 total_makespan += report.makespan_s;
                 let spec = cluster.spec();
                 let billing = cluster.billing();
@@ -165,7 +171,13 @@ pub fn run_with_recovery_traced(
                     lost_blocks: failure.lost_blocks.len(),
                 });
                 total_makespan += failure.makespan_s;
-                faults.merge(&failure.faults);
+                let mut round_faults = failure.faults;
+                if round > 1 {
+                    // `round` was just incremented; the aborted round was
+                    // `round - 1`, a recovery round iff that is ≥ 1.
+                    round_faults.rework_task_s = round_faults.total_task_s;
+                }
+                faults.merge(&round_faults);
                 for js in &failure.completed_jobs {
                     if let Some(i) = plan_index(&js.name) {
                         done[i] = true;

@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! cumulon plan  <script> --input A=20000x20000 [--deadline MIN|--budget $] [--max-nodes N]
+//!               [--spot [--bid FRAC]]
 //! cumulon run   <script> --input A=400x200 --instance m1.large --nodes 4 [--slots S] [--real]
+//!               [--spot [--bid FRAC]] [--elastic]
 //! cumulon explain <script> --input A=1000x1000[@0.01]
 //! cumulon check [--quick] [--report FILE.json]
 //! ```
@@ -14,14 +16,19 @@
 
 use std::collections::BTreeMap;
 
-use cumulon_cluster::{Cluster, ClusterSpec, ExecMode, FailurePlan, SchedulerConfig, Trace};
+use cumulon_cluster::{
+    Cluster, ClusterSpec, ExecMode, FailurePlan, SchedulerConfig, SpotMarket, Trace,
+};
 use cumulon_core::error::CoreError;
 use cumulon_core::expr::InputDesc;
 use cumulon_core::recovery::RecoveryConfig;
-use cumulon_core::{Constraint, Optimizer, Result, SearchSpace};
+use cumulon_core::{
+    Constraint, DeploymentSearch, Optimizer, Result, SearchSpace, SpotHazard, SpotSearchSpace,
+};
 use cumulon_lang::{compile_source, CompiledScript};
 use cumulon_matrix::gen::Generator;
 use cumulon_matrix::MatrixMeta;
+use cumulon_workloads::{run_elastic, ElasticPolicy, Workload};
 
 /// A parsed `--input` specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +129,12 @@ pub enum Command {
         constraint: Constraint,
         /// Largest cluster to consider.
         max_nodes: u32,
+        /// Extend the search to {on-demand, spot(bid)} × checkpoint
+        /// interval, minimizing expected cost under the deadline.
+        spot: bool,
+        /// Restrict the spot search to a single bid, as a fraction of the
+        /// on-demand list price.
+        bid: Option<f64>,
     },
     /// `run`: execute on a chosen cluster.
     Run {
@@ -148,6 +161,19 @@ pub enum Command {
         /// (load in Perfetto or `chrome://tracing`). Tracing never
         /// changes results.
         trace: Option<String>,
+        /// Run the upper half of the fleet as spot capacity under a
+        /// synthetic price trace: when the market outbids us, those
+        /// nodes are reclaimed in one correlated revocation (with a
+        /// warning window the scheduler drains into) and the run
+        /// survives via lineage recovery.
+        spot: bool,
+        /// Spot bid as a fraction of the on-demand list price
+        /// (default 0.5). Only meaningful with `--spot`.
+        bid: Option<f64>,
+        /// Re-provision at the end of the run: refit the cost model from
+        /// the traced execution and replace revoked capacity with
+        /// on-demand nodes, topping the fleet back up to `--nodes`.
+        elastic: bool,
     },
     /// `trace`: execute like `run`, then print the critical-path,
     /// slot-utilization and estimate-vs-actual reports for the traced
@@ -194,8 +220,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         CoreError::Invariant(
             "usage: cumulon <plan|run|trace|explain> <script> --input NAME=RxC[@D][:T] ...\n\
              plan:    [--deadline MIN | --budget DOLLARS] [--max-nodes N]\n\
+                      [--spot [--bid FRAC]]   (spot-vs-on-demand × checkpoint\n\
+                      interval search under the deadline)\n\
              run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--materialize-bytes] [--trace FILE.json]\n\
+                      [--spot [--bid FRAC]] [--elastic]\n\
              trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--trace FILE.json]   (prints critical-path, utilization\n\
                       and estimate-diff reports for the traced run)\n\
@@ -240,6 +269,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut threads = 0usize;
     let mut materialize_bytes = false;
     let mut trace: Option<String> = None;
+    let mut spot = false;
+    let mut bid: Option<f64> = None;
+    let mut elastic = false;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -286,6 +318,19 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             }
             "--real" => real = true,
             "--materialize-bytes" => materialize_bytes = true,
+            "--spot" => spot = true,
+            "--elastic" => elastic = true,
+            "--bid" => {
+                let frac = next_value(&mut it, "--bid")?.parse::<f64>().map_err(|_| {
+                    CoreError::Invariant("--bid needs a fraction of the list price".into())
+                })?;
+                if !(frac > 0.0 && frac.is_finite()) {
+                    return Err(CoreError::Invariant(
+                        "--bid must be a positive fraction of the list price".into(),
+                    ));
+                }
+                bid = Some(frac);
+            }
             "--trace" => trace = Some(next_value(&mut it, "--trace")?),
             "--threads" => {
                 threads = next_value(&mut it, "--threads")?
@@ -302,8 +347,19 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "at least one --input is required".into(),
         ));
     }
+    if bid.is_some() && !spot {
+        return Err(CoreError::Invariant("--bid requires --spot".into()));
+    }
+    if (spot || elastic) && !matches!(cmd.as_str(), "plan" | "run") {
+        return Err(CoreError::Invariant(format!(
+            "--spot/--elastic only apply to plan and run, not {cmd}"
+        )));
+    }
     match cmd.as_str() {
         "plan" => {
+            if elastic {
+                return Err(CoreError::Invariant("--elastic only applies to run".into()));
+            }
             let constraint = match (deadline, budget) {
                 (Some(d), None) => Constraint::Deadline(d),
                 (None, Some(b)) => Constraint::Budget(b),
@@ -314,17 +370,29 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     ))
                 }
             };
+            if spot && matches!(constraint, Constraint::Budget(_)) {
+                return Err(CoreError::Invariant(
+                    "--spot prices rework against a deadline; use --deadline, not --budget".into(),
+                ));
+            }
             Ok(Command::Plan {
                 script,
                 inputs,
                 constraint,
                 max_nodes,
+                spot,
+                bid,
             })
         }
         "run" => {
             let instance =
                 instance.ok_or_else(|| CoreError::Invariant("run needs --instance".into()))?;
             let nodes = nodes.ok_or_else(|| CoreError::Invariant("run needs --nodes".into()))?;
+            if elastic && trace.is_some() {
+                return Err(CoreError::Invariant(
+                    "--elastic drives its own traced run; drop --trace".into(),
+                ));
+            }
             Ok(Command::Run {
                 script,
                 inputs,
@@ -335,6 +403,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 threads,
                 materialize_bytes,
                 trace,
+                spot,
+                bid,
+                elastic,
             })
         }
         "trace" => {
@@ -417,6 +488,7 @@ fn run_traced(
     compiled: &CompiledScript,
     descs: &BTreeMap<String, InputDesc>,
     real: bool,
+    failures: &FailurePlan,
     trace: &Trace,
 ) -> Result<cumulon_cluster::RunReport> {
     let mode = if real {
@@ -431,10 +503,80 @@ fn run_traced(
         "cli",
         mode,
         SchedulerConfig::default(),
-        &FailurePlan::default(),
+        failures,
         RecoveryConfig::default(),
         trace,
     )
+}
+
+/// A compiled script wrapped as a one-iteration [`Workload`], so the
+/// elastic driver (`run --elastic`) can trace, refit and re-provision
+/// around it. Inputs are registered by [`provision_for_run`], so `setup`
+/// is a no-op.
+struct ScriptWorkload {
+    program: cumulon_core::Program,
+    descs: BTreeMap<String, InputDesc>,
+}
+
+impl Workload for ScriptWorkload {
+    fn name(&self) -> &'static str {
+        "cli"
+    }
+
+    fn inputs(&self, _iter: usize) -> BTreeMap<String, InputDesc> {
+        self.descs.clone()
+    }
+
+    fn setup(&self, _store: &cumulon_dfs::TileStore) -> Result<()> {
+        Ok(())
+    }
+
+    fn program(&self, _iter: usize) -> cumulon_core::Program {
+        self.program.clone()
+    }
+}
+
+/// Compiles a spot position for `run --spot`: the upper half of the fleet
+/// is spot capacity on a deterministic synthetic price trace around the
+/// market's typical fraction of the list price; every time the trace
+/// outbids us those nodes are reclaimed together, with a warning window
+/// the scheduler drains into. The trace's price steps are scaled to
+/// `horizon_s` (the run's estimated makespan) so mid-run crossings are
+/// actually exercised regardless of problem size. Returns the injected
+/// failure plan plus a human-readable description of the position.
+fn spot_failures(
+    instance: &str,
+    nodes: u32,
+    bid_fraction: f64,
+    horizon_s: f64,
+) -> Result<(FailurePlan, String)> {
+    let list = cumulon_cluster::instances::by_name(instance)
+        .map(|i| i.price_per_hour)
+        .ok_or_else(|| CoreError::Invariant(format!("unknown instance '{instance}'")))?;
+    let hazard = SpotHazard::typical();
+    let spot_nodes: Vec<u32> = (nodes.div_ceil(2)..nodes).collect();
+    let step_s = (horizon_s / 12.0).max(1e-3);
+    let market = SpotMarket::synthetic(42, hazard.mean_price_fraction * list, 0.6, step_s, 48)
+        .with_bid(bid_fraction * list)
+        .with_warning_lead(0.4 * step_s);
+    let revocations = market.revocations(&spot_nodes);
+    let line = format!(
+        "spot   : {} node(s) bid ${:.4}/h against mean ${:.4}/h (list ${:.4}/h): \
+         {} revocation event(s) on a {:.1}s-step trace",
+        spot_nodes.len(),
+        market.bid,
+        hazard.mean_price_fraction * list,
+        list,
+        revocations.len(),
+        step_s,
+    );
+    Ok((
+        FailurePlan {
+            revocations,
+            ..Default::default()
+        },
+        line,
+    ))
 }
 
 fn write_trace_json(
@@ -462,14 +604,47 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             inputs,
             constraint,
             max_nodes,
+            spot,
+            bid,
         } => {
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
-            let optimizer = Optimizer::new(crate::idealized_cost_model());
             let space = SearchSpace {
                 max_nodes: *max_nodes,
                 ..Default::default()
             };
+            if *spot {
+                let Constraint::Deadline(deadline_s) = *constraint else {
+                    return Err(CoreError::Invariant(
+                        "--spot needs a deadline to price rework against".into(),
+                    ));
+                };
+                let model = crate::idealized_cost_model();
+                let search = DeploymentSearch::new(&model, space);
+                let sspace = SpotSearchSpace {
+                    bid_fractions: bid
+                        .map(|b| vec![b])
+                        .unwrap_or_else(|| SpotSearchSpace::default().bid_fractions),
+                    ..Default::default()
+                };
+                let (plan, choice) =
+                    search.optimize_spot(&compiled.program, &descs, deadline_s, &sspace)?;
+                let curve = search.spot_curve(&plan, &sspace);
+                writeln!(out, "inputs : {:?}", compiled.inputs).map_err(w)?;
+                writeln!(out, "outputs: {:?}", compiled.outputs()).map_err(w)?;
+                writeln!(out, "chosen : {}", plan.summary()).map_err(w)?;
+                writeln!(out, "procure: {}", choice.summary()).map_err(w)?;
+                writeln!(
+                    out,
+                    "curve  : {} option(s) under deadline {:.0}s; on-demand reference: {}",
+                    curve.len(),
+                    deadline_s,
+                    curve[0].summary()
+                )
+                .map_err(w)?;
+                return Ok(());
+            }
+            let optimizer = Optimizer::new(crate::idealized_cost_model());
             let plan = optimizer.optimize(&compiled.program, &descs, space, *constraint)?;
             writeln!(out, "inputs : {:?}", compiled.inputs).map_err(w)?;
             writeln!(out, "outputs: {:?}", compiled.outputs()).map_err(w)?;
@@ -503,34 +678,101 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             threads,
             materialize_bytes,
             trace,
+            spot,
+            bid,
+            elastic,
         } => {
             cumulon_cluster::set_default_threads(*threads);
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
             let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
             cluster.store().set_materialize_bytes(*materialize_bytes);
-            let optimizer = Optimizer::new(crate::idealized_cost_model());
-            let handle = if trace.is_some() {
-                Trace::enabled()
+            let failures = if *spot {
+                // Scale the price trace to the run so crossings land
+                // mid-run; an estimate failure falls back to an hour.
+                let horizon = Optimizer::new(crate::idealized_cost_model())
+                    .estimate_on(&cluster, &compiled.program, &descs)
+                    .map(|e| e.makespan_s)
+                    .unwrap_or(3_600.0);
+                let (plan, line) = spot_failures(instance, *nodes, bid.unwrap_or(0.5), horizon)?;
+                writeln!(out, "{line}").map_err(w)?;
+                plan
             } else {
-                Trace::disabled()
+                FailurePlan::default()
             };
-            let report = run_traced(&optimizer, &cluster, &compiled, &descs, *real, &handle)?;
-            writeln!(out, "{}", report.summary()).map_err(w)?;
-            for job in &report.jobs {
-                writeln!(
-                    out,
-                    "  job {:<12} {:>8.1}s  {} tasks, locality {:.0}%",
-                    job.name,
-                    job.duration_s(),
-                    job.tasks.len(),
-                    100.0 * job.locality_rate()
-                )
-                .map_err(w)?;
-            }
-            if let Some(path) = trace {
-                let log = handle.snapshot().expect("trace handle is enabled");
-                write_trace_json(&log, path, out)?;
+            if *elastic {
+                // The elastic driver traces the run itself, refits the
+                // cost model from the spans, and we top the fleet back up
+                // afterwards — replacing revoked spot capacity with
+                // on-demand nodes.
+                let workload = ScriptWorkload {
+                    program: compiled.program.clone(),
+                    descs: descs.clone(),
+                };
+                let mut optimizer = Optimizer::new(crate::idealized_cost_model());
+                let mode = if *real {
+                    ExecMode::Real
+                } else {
+                    ExecMode::Simulated
+                };
+                let run = run_elastic(
+                    &workload,
+                    &mut optimizer,
+                    &cluster,
+                    1,
+                    mode,
+                    SchedulerConfig::default(),
+                    |_| failures.clone(),
+                    RecoveryConfig::default(),
+                    ElasticPolicy::replace_at(*nodes),
+                )?;
+                writeln!(out, "{}", run.reports[0].summary()).map_err(w)?;
+                for d in &run.decisions {
+                    writeln!(
+                        out,
+                        "elastic: boundary {}: refit {} ({} sample(s)), {}",
+                        d.after_iter, d.refit, d.samples, d.reason
+                    )
+                    .map_err(w)?;
+                }
+                let live = cluster.live_nodes();
+                if live < *nodes {
+                    let grown = cluster.grow(*nodes - live);
+                    writeln!(
+                        out,
+                        "elastic: replaced {} revoked node(s) with on-demand capacity \
+                         ({} live)",
+                        grown.len(),
+                        cluster.live_nodes()
+                    )
+                    .map_err(w)?;
+                }
+            } else {
+                let optimizer = Optimizer::new(crate::idealized_cost_model());
+                let handle = if trace.is_some() {
+                    Trace::enabled()
+                } else {
+                    Trace::disabled()
+                };
+                let report = run_traced(
+                    &optimizer, &cluster, &compiled, &descs, *real, &failures, &handle,
+                )?;
+                writeln!(out, "{}", report.summary()).map_err(w)?;
+                for job in &report.jobs {
+                    writeln!(
+                        out,
+                        "  job {:<12} {:>8.1}s  {} tasks, locality {:.0}%",
+                        job.name,
+                        job.duration_s(),
+                        job.tasks.len(),
+                        100.0 * job.locality_rate()
+                    )
+                    .map_err(w)?;
+                }
+                if let Some(path) = trace {
+                    let log = handle.snapshot().expect("trace handle is enabled");
+                    write_trace_json(&log, path, out)?;
+                }
             }
             if *real {
                 for name in compiled.outputs() {
@@ -563,7 +805,15 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
             let optimizer = Optimizer::new(crate::idealized_cost_model());
             let handle = Trace::enabled();
-            let report = run_traced(&optimizer, &cluster, &compiled, &descs, *real, &handle)?;
+            let report = run_traced(
+                &optimizer,
+                &cluster,
+                &compiled,
+                &descs,
+                *real,
+                &FailurePlan::default(),
+                &handle,
+            )?;
             let log = handle.snapshot().expect("trace handle is enabled");
             writeln!(out, "{}", report.summary()).map_err(w)?;
             if let Some(path) = out_json {
@@ -685,11 +935,15 @@ mod tests {
                 inputs,
                 constraint,
                 max_nodes,
+                spot,
+                bid,
             } => {
                 assert_eq!(script, "s.cm");
                 assert_eq!(inputs.len(), 1);
                 assert_eq!(constraint, Constraint::Deadline(1800.0));
                 assert_eq!(max_nodes, 8);
+                assert!(!spot);
+                assert_eq!(bid, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -714,8 +968,61 @@ mod tests {
                 threads: 3,
                 materialize_bytes: true,
                 trace: None,
+                spot: false,
+                bid: None,
+                elastic: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_spot_flags() {
+        let cmd = parse_args(&args(
+            "run s.cm --input A=10x10 --instance m1.large --nodes 4 --spot --bid 0.7 --elastic",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                spot, bid, elastic, ..
+            } => {
+                assert!(spot);
+                assert_eq!(bid, Some(0.7));
+                assert!(elastic);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&args(
+            "plan s.cm --input A=10x10 --deadline 60 --spot --bid 0.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan { spot, bid, .. } => {
+                assert!(spot);
+                assert_eq!(bid, Some(0.5));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --bid without --spot, spot under a budget, --elastic on plan,
+        // spot flags on trace/explain, and non-positive bids all reject.
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --bid 0.5"
+        ))
+        .is_err());
+        assert!(parse_args(&args("plan s.cm --input A=1x1 --budget 5 --spot")).is_err());
+        assert!(parse_args(&args("plan s.cm --input A=1x1 --spot --elastic")).is_err());
+        assert!(parse_args(&args(
+            "trace s.cm --input A=1x1 --instance m1.large --nodes 2 --spot"
+        ))
+        .is_err());
+        assert!(parse_args(&args("explain s.cm --input A=1x1 --elastic")).is_err());
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --spot --bid -0.2"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --elastic --trace t.json"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -841,6 +1148,9 @@ mod tests {
                 threads: 0,
                 materialize_bytes: false,
                 trace: None,
+                spot: false,
+                bid: None,
+                elastic: false,
             },
             &mut out,
         )
@@ -848,6 +1158,67 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("output G: 20x20"), "{text}");
 
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `run --spot --elastic` end to end: the synthetic market revokes the
+    /// spot half of the fleet, the run survives, and the elastic pass
+    /// refits the model and replaces the lost capacity.
+    #[test]
+    fn spot_elastic_run_end_to_end() {
+        let path = write_script("G = A' * A;");
+        let script = path.to_str().unwrap().to_string();
+        let mut out = Vec::new();
+        execute(
+            &Command::Run {
+                script,
+                inputs: vec![InputSpec::parse("A=60x30:10").unwrap()],
+                instance: "m1.large".into(),
+                nodes: 4,
+                slots: 2,
+                real: true,
+                threads: 1,
+                materialize_bytes: false,
+                trace: None,
+                spot: true,
+                bid: Some(0.3),
+                elastic: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("spot   : 2 node(s) bid"), "{text}");
+        assert!(text.contains("elastic: boundary 1"), "{text}");
+        assert!(text.contains("output G: 30x30"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `plan --spot` end to end: the bid × checkpoint-interval search
+    /// reports a procurement choice plus the on-demand reference.
+    #[test]
+    fn spot_plan_end_to_end() {
+        let path = write_script("C = A * B;");
+        let script = path.to_str().unwrap().to_string();
+        let mut out = Vec::new();
+        execute(
+            &Command::Plan {
+                script,
+                inputs: vec![
+                    InputSpec::parse("A=8000x8000").unwrap(),
+                    InputSpec::parse("B=8000x8000").unwrap(),
+                ],
+                constraint: Constraint::Deadline(7_200.0),
+                max_nodes: 8,
+                spot: true,
+                bid: None,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("procure:"), "{text}");
+        assert!(text.contains("on-demand reference:"), "{text}");
         std::fs::remove_file(path).ok();
     }
 
@@ -898,6 +1269,8 @@ mod tests {
                 ],
                 constraint: Constraint::Deadline(3_600.0),
                 max_nodes: 8,
+                spot: false,
+                bid: None,
             },
             &mut out,
         )

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::datanode::{BlockPayload, DataNode};
+use crate::datanode::{BlockId, BlockPayload, DataNode};
 use crate::error::{DfsError, Result};
 use crate::namenode::{BlockMeta, NameNode};
 
@@ -456,6 +456,12 @@ impl Dfs {
         let mut st = self.state.lock();
         let mut under_replicated = Vec::new();
         for &node in nodes {
+            // A failure plan may name nodes this DFS never had (e.g. a
+            // spot-market model sized for a bigger fleet); skip them
+            // instead of indexing out of bounds.
+            if (node.0 as usize) >= st.datanodes.len() {
+                continue;
+            }
             let report = st.namenode.decommission_node(node);
             // The node's disks are gone with it.
             for id in st.datanodes[node.0 as usize].block_ids() {
@@ -487,6 +493,59 @@ impl Dfs {
                 .get(id)
                 .expect("holder was just checked to contain the block");
             let len = data.len();
+            st.datanodes[target.0 as usize].put(id, data);
+            st.namenode.add_replica(id, target)?;
+            receipt.bytes += len;
+            receipt.remote_bytes += len;
+        }
+        Ok(receipt)
+    }
+
+    /// Gracefully drains doomed nodes ahead of a revocation: every block
+    /// whose *entire* replica set sits on `victims` is copied to one live
+    /// non-victim node, spending at most `byte_budget` bytes of traffic
+    /// (what the warning lead window's bandwidth allows). Blocks are
+    /// visited in namespace order (deterministic); blocks that don't fit
+    /// the remaining budget are skipped and stay at risk — if the victims
+    /// then die, those blocks are lost and lineage recovery takes over.
+    /// The victims themselves stay live: in-flight work drains separately.
+    pub fn drain_nodes(&self, victims: &[NodeId], byte_budget: u64) -> Result<IoReceipt> {
+        let mut st = self.state.lock();
+        let is_victim = |n: NodeId| victims.contains(&n);
+        // Plan first (immutable scan of the namespace), then move payloads.
+        let mut moves: Vec<(BlockId, u64)> = Vec::new();
+        let mut spent = 0u64;
+        for path in st.namenode.list("") {
+            let meta = st.namenode.stat(&path)?;
+            for block in &meta.blocks {
+                if block.replicas.is_empty() || !block.replicas.iter().all(|&r| is_victim(r)) {
+                    continue;
+                }
+                if spent.saturating_add(block.len) > byte_budget {
+                    continue; // doesn't fit; later smaller blocks still may
+                }
+                spent += block.len;
+                moves.push((block.id, block.len));
+            }
+        }
+        let mut receipt = IoReceipt::default();
+        for (id, len) in moves {
+            let holder = st
+                .datanodes
+                .iter()
+                .enumerate()
+                .find(|(n, dn)| is_victim(NodeId(*n as u32)) && dn.contains(id))
+                .map(|(n, _)| NodeId(n as u32));
+            let Some(holder) = holder else { continue };
+            let target = st
+                .namenode
+                .live_nodes()
+                .into_iter()
+                .find(|&n| !is_victim(n) && !st.datanodes[n.0 as usize].contains(id));
+            let Some(target) = target else { continue };
+            let data = st.datanodes[holder.0 as usize]
+                .get(id)
+                .expect("holder was just checked to contain the block");
             st.datanodes[target.0 as usize].put(id, data);
             st.namenode.add_replica(id, target)?;
             receipt.bytes += len;
@@ -657,6 +716,88 @@ mod tests {
         let (logical, physical) = d.storage_stats();
         assert_eq!(logical, 50);
         assert_eq!(physical, 150);
+    }
+
+    #[test]
+    fn drain_moves_sole_replica_blocks_to_survivors() {
+        let d = dfs(4, 1);
+        d.write_file("/a", Bytes::from(vec![1u8; 64]), Some(NodeId(0)))
+            .unwrap();
+        d.write_file("/b", Bytes::from(vec![2u8; 64]), Some(NodeId(0)))
+            .unwrap();
+        let receipt = d.drain_nodes(&[NodeId(0)], u64::MAX).unwrap();
+        assert_eq!(receipt.bytes, 128);
+        assert!(d.storage_accounting().is_conserved());
+        // The victim is still live after draining; the kill then loses
+        // nothing because every block now has a survivor replica.
+        d.kill_nodes(&[NodeId(0)]).unwrap();
+        let (data, _) = d.read_file("/a", None).unwrap();
+        assert_eq!(data, Bytes::from(vec![1u8; 64]));
+        let (data, _) = d.read_file("/b", None).unwrap();
+        assert_eq!(data, Bytes::from(vec![2u8; 64]));
+    }
+
+    #[test]
+    fn drain_respects_byte_budget_in_namespace_order() {
+        let d = dfs(4, 1);
+        for (path, fill) in [("/a", 1u8), ("/b", 2), ("/c", 3)] {
+            d.write_file(path, Bytes::from(vec![fill; 64]), Some(NodeId(0)))
+                .unwrap();
+        }
+        // Budget covers exactly two blocks; namespace order says /a and /b
+        // are saved, /c stays at risk.
+        let receipt = d.drain_nodes(&[NodeId(0)], 128).unwrap();
+        assert_eq!(receipt.bytes, 128);
+        d.kill_nodes(&[NodeId(0)]).unwrap();
+        assert!(d.read_file("/a", None).is_ok());
+        assert!(d.read_file("/b", None).is_ok());
+        assert!(matches!(
+            d.read_file("/c", None),
+            Err(DfsError::BlockLost { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_skips_blocks_with_surviving_replicas() {
+        let d = dfs(4, 2);
+        d.write_file("/f", Bytes::from(vec![1u8; 64]), Some(NodeId(0)))
+            .unwrap();
+        // Replication 2: the second replica lives off-victim already, so
+        // there is nothing to drain.
+        let receipt = d.drain_nodes(&[NodeId(0)], u64::MAX).unwrap();
+        assert_eq!(receipt.bytes, 0);
+    }
+
+    #[test]
+    fn bulk_kill_of_every_replica_surfaces_block_lost() {
+        let d = dfs(4, 2);
+        d.write_file("/f", Bytes::from(vec![1u8; 64]), None)
+            .unwrap();
+        let victims: Vec<NodeId> = {
+            let st = d.state.lock();
+            st.namenode.stat("/f").unwrap().blocks[0].replicas.clone()
+        };
+        assert_eq!(victims.len(), 2);
+        // Correlated kill: both replicas go at once, so re-replication has
+        // no source. The read must fail structurally, not panic.
+        d.kill_nodes(&victims).unwrap();
+        assert!(matches!(
+            d.read_file("/f", None),
+            Err(DfsError::BlockLost { .. })
+        ));
+        assert!(d.storage_accounting().is_conserved());
+    }
+
+    #[test]
+    fn kill_and_drain_ignore_out_of_range_nodes() {
+        let d = dfs(2, 1);
+        d.write_file("/f", Bytes::from(vec![1u8; 8]), Some(NodeId(0)))
+            .unwrap();
+        // Node 99 does not exist; neither call may panic.
+        d.kill_nodes(&[NodeId(99)]).unwrap();
+        let receipt = d.drain_nodes(&[NodeId(99)], u64::MAX).unwrap();
+        assert_eq!(receipt.bytes, 0);
+        assert!(d.read_file("/f", None).is_ok());
     }
 
     #[test]

@@ -181,6 +181,34 @@ impl TraceLog {
                         us(*t_s),
                     );
                 }
+                TraceEvent::RevocationWarning {
+                    t_s,
+                    nodes,
+                    drained_bytes,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"revocation_warning\",\"cat\":\"fault\",\"ph\":\"i\",\
+                         \"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":{},\"args\":{{\
+                         \"nodes\":{},\"drained_bytes\":{drained_bytes}}}}}",
+                        us(*t_s),
+                        nodes.len(),
+                    );
+                }
+                TraceEvent::Revocation {
+                    t_s,
+                    nodes,
+                    rereplicated_bytes,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"revocation\",\"cat\":\"fault\",\"ph\":\"i\",\
+                         \"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":{},\"args\":{{\
+                         \"nodes\":{},\"rereplicated_bytes\":{rereplicated_bytes}}}}}",
+                        us(*t_s),
+                        nodes.len(),
+                    );
+                }
             }
         }
         out.push_str("]}");

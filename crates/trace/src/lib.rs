@@ -191,6 +191,25 @@ pub enum TraceEvent {
         /// Number of lost blocks that triggered the round.
         lost_blocks: usize,
     },
+    /// A spot revocation warning: the named nodes are doomed and the DFS
+    /// drained what the lead window's bandwidth budget allowed.
+    RevocationWarning {
+        /// Simulated time of the warning.
+        t_s: f64,
+        /// Nodes under the warning.
+        nodes: Vec<usize>,
+        /// Sole-replica bytes proactively copied to survivors.
+        drained_bytes: u64,
+    },
+    /// A correlated bulk spot revocation took effect.
+    Revocation {
+        /// Simulated time the nodes were reclaimed.
+        t_s: f64,
+        /// Nodes reclaimed together.
+        nodes: Vec<usize>,
+        /// Bytes re-replicated from surviving replicas afterwards.
+        rereplicated_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -199,7 +218,9 @@ impl TraceEvent {
         match self {
             TraceEvent::NodeFailure { t_s, .. }
             | TraceEvent::SpeculativeWin { t_s, .. }
-            | TraceEvent::RecoveryRound { t_s, .. } => *t_s,
+            | TraceEvent::RecoveryRound { t_s, .. }
+            | TraceEvent::RevocationWarning { t_s, .. }
+            | TraceEvent::Revocation { t_s, .. } => *t_s,
         }
     }
 
@@ -207,7 +228,9 @@ impl TraceEvent {
         match self {
             TraceEvent::NodeFailure { t_s, .. }
             | TraceEvent::SpeculativeWin { t_s, .. }
-            | TraceEvent::RecoveryRound { t_s, .. } => *t_s += dt,
+            | TraceEvent::RecoveryRound { t_s, .. }
+            | TraceEvent::RevocationWarning { t_s, .. }
+            | TraceEvent::Revocation { t_s, .. } => *t_s += dt,
         }
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod chains;
 pub mod checkpoint;
+pub mod elastic;
 pub mod gnmf;
 pub mod power;
 pub mod regression;
@@ -26,6 +27,7 @@ pub mod rsvd;
 pub mod smallmat;
 
 pub use checkpoint::{run_checkpointed, CheckpointPolicy, CheckpointedRun};
+pub use elastic::{run_elastic, ElasticDecision, ElasticPolicy, ElasticRun};
 
 use std::collections::BTreeMap;
 

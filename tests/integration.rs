@@ -154,6 +154,7 @@ fn run_survives_task_and_node_failures() {
         task_failure_prob: 0.2,
         node_failures: vec![(5.0, 3)],
         seed: 77,
+        ..Default::default()
     };
     let report = cluster
         .run_with(&dag, ExecMode::Real, SchedulerConfig::default(), &failures)
