@@ -1,34 +1,109 @@
-//! Quick GEMM kernel shoot-out (streaming vs cache-blocked), printed as
-//! a table. For statistically-rigorous numbers use `cargo bench` instead.
+//! Quick GEMM kernel shoot-out (streaming vs cache-blocked vs packed
+//! SIMD, per SIMD clone), printed as a table, followed by the small-size
+//! dispatch-crossover table that justifies the `gemm_acc` threshold. For
+//! statistically-rigorous numbers use `cargo bench` instead.
 
-use cumulon::matrix::gen;
-use cumulon::matrix::DenseTile;
+use cumulon::matrix::microkernel::{detected_simd_level, set_simd_override, SimdLevel};
+use cumulon::matrix::{gen, set_kernel_threads, DenseTile};
 use std::time::Instant;
 
+fn time_gemm(
+    f: impl Fn(&mut DenseTile, &DenseTile, &DenseTile),
+    a: &DenseTile,
+    b: &DenseTile,
+    reps: usize,
+) -> f64 {
+    let mut c = DenseTile::zeros(a.rows(), b.cols());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f(&mut c, a, b);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
 fn main() {
-    for n in [128usize, 256, 512, 1024] {
+    let detected = detected_simd_level();
+    println!("detected SIMD level: {}", detected.name());
+    println!("-- kernel shoot-out --");
+    for n in [128usize, 192, 256, 512, 1024] {
         let a = gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
         let b = gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
-        let reps = (512 / n).max(1);
-        let mut c = DenseTile::zeros(n, n);
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            DenseTile::gemm_acc_streaming(&mut c, &a, &b).unwrap();
-        }
-        let stream = t0.elapsed().as_secs_f64() / reps as f64;
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            DenseTile::gemm_acc_blocked(&mut c, &a, &b).unwrap();
-        }
-        let blocked = t0.elapsed().as_secs_f64() / reps as f64;
+        let reps = (1024 / n).max(1) * 2;
         let gf = 2.0 * (n as f64).powi(3) / 1e9;
-        println!(
-            "n={n}: streaming {:.1}ms ({:.2} GF/s)  blocked {:.1}ms ({:.2} GF/s)  speedup {:.2}x",
-            stream * 1e3,
+        let stream = time_gemm(
+            |c, a, b| DenseTile::gemm_acc_streaming(c, a, b).unwrap(),
+            &a,
+            &b,
+            reps,
+        );
+        let blocked = time_gemm(
+            |c, a, b| DenseTile::gemm_acc_blocked(c, a, b).unwrap(),
+            &a,
+            &b,
+            reps,
+        );
+        print!(
+            "n={n}: streaming {:.2} GF/s  blocked {:.2} GF/s",
             gf / stream,
-            blocked * 1e3,
-            gf / blocked,
-            stream / blocked
+            gf / blocked
+        );
+        for level in [SimdLevel::Generic, SimdLevel::Avx2Fma, SimdLevel::Avx512] {
+            if level > detected {
+                continue;
+            }
+            set_simd_override(Some(level));
+            let packed = time_gemm(
+                |c, a, b| DenseTile::gemm_acc_packed(c, a, b).unwrap(),
+                &a,
+                &b,
+                reps,
+            );
+            print!("  packed[{}] {:.2} GF/s", level.name(), gf / packed);
+        }
+        set_simd_override(None);
+        println!();
+    }
+
+    println!("-- intra-kernel threading (packed, detected clone) --");
+    let n = 1024;
+    let a = gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
+    let b = gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
+    let gf = 2.0 * (n as f64).powi(3) / 1e9;
+    for threads in [1usize, 2, 4, 0] {
+        set_kernel_threads(threads);
+        let secs = time_gemm(
+            |c, a, b| DenseTile::gemm_acc_packed(c, a, b).unwrap(),
+            &a,
+            &b,
+            2,
+        );
+        println!("threads={threads}: {:.2} GF/s", gf / secs);
+    }
+    set_kernel_threads(1);
+
+    println!("-- dispatch crossover (streaming vs packed) --");
+    for n in [16usize, 24, 32, 48, 64, 96, 128] {
+        let a = gen::dense_uniform_tile(1, 0, 0, n, n, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(2, 0, 0, n, n, -1.0, 1.0);
+        let reps = (256 / n).max(1) * 64;
+        let gf = 2.0 * (n as f64).powi(3) / 1e9;
+        let stream = time_gemm(
+            |c, a, b| DenseTile::gemm_acc_streaming(c, a, b).unwrap(),
+            &a,
+            &b,
+            reps,
+        );
+        let packed = time_gemm(
+            |c, a, b| DenseTile::gemm_acc_packed(c, a, b).unwrap(),
+            &a,
+            &b,
+            reps,
+        );
+        println!(
+            "n={n}: streaming {:.2} GF/s  packed {:.2} GF/s  ratio {:.2}x",
+            gf / stream,
+            gf / packed,
+            stream / packed
         );
     }
 }

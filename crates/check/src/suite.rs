@@ -46,6 +46,13 @@
 //! * `search-grid-coverage` — deployment search candidate generation
 //!   covers exactly the instance × slots × nodes cross product, with
 //!   `max_nodes` always included even under non-dividing strides.
+//! * `kernel-conformance` — the optimized tile kernels match their
+//!   reference paths: the packed SIMD GEMM is epsilon-bounded against
+//!   the naive reference (its summation association and FMA contraction
+//!   differ), the optimized sparse kernels (`spmm_acc`, `gemm_ds_acc`)
+//!   are bitwise-identical to theirs (per-element operation order is
+//!   preserved), and intra-kernel threading is bitwise-identical at any
+//!   thread count.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -93,6 +100,7 @@ pub fn run_checks(opts: &CheckOptions) -> Result<CheckReport> {
     check_billing_function(&mut report);
     check_estimate_envelope(opts, &mut report);
     check_search_grid(&mut report);
+    check_kernel_conformance(&mut report);
     for case in suite() {
         check_case(&case, opts, &mut report);
     }
@@ -827,6 +835,114 @@ fn check_estimate_envelope(opts: &CheckOptions, report: &mut CheckReport) {
     }
 }
 
+/// The optimized tile kernels must conform to their reference paths:
+/// epsilon-bounded where summation order legitimately differs (packed
+/// SIMD GEMM vs the naive reference), bitwise everywhere it is preserved
+/// (the sparse kernels vs their references; the packed kernel across
+/// intra-kernel thread counts). Runs on the host's production dispatch —
+/// the same clone every real run uses — so the recorded level documents
+/// what was actually verified.
+fn check_kernel_conformance(report: &mut CheckReport) {
+    use cumulon_matrix::{gen, set_kernel_threads, simd_level, DenseTile};
+
+    let level = simd_level().name();
+    // Dense packed GEMM vs the naive reference: shapes straddle the
+    // MR=4/NR=8 micro-tile, the MC=64 macro-block and the KC=512 rank
+    // slice, plus accumulation into a non-zero C.
+    for (m, l, n) in [(64usize, 64usize, 64usize), (65, 130, 67), (33, 513, 41)] {
+        let a = gen::dense_uniform_tile(11, 0, 0, m, l, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(13, 0, 0, l, n, -1.0, 1.0);
+        let mut c = DenseTile::from_fn(m, n, |i, j| (i + 2 * j) as f64 * 0.01);
+        let mut expect = c.data().to_vec();
+        for (e, p) in expect
+            .iter_mut()
+            .zip(reference::matmul(a.data(), b.data(), m, l, n))
+        {
+            *e += p;
+        }
+        DenseTile::gemm_acc_packed(&mut c, &a, &b).unwrap();
+        let tol = 1e-9 * l as f64;
+        let worst = c
+            .data()
+            .iter()
+            .zip(expect.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        report.record(
+            "kernel-conformance",
+            format!("dense-packed/{level}/{m}x{l}x{n}"),
+            worst <= tol,
+            format!("packed GEMM vs naive reference: worst |Δ| {worst:.3e} (tol {tol:.3e})"),
+        );
+    }
+
+    // Intra-kernel threading: bitwise at 1 vs N vs all-cores on a
+    // multiply large enough to engage the row-panel split.
+    {
+        let n = 320;
+        let a = gen::dense_uniform_tile(17, 0, 0, n, n, -1.0, 1.0);
+        let b = gen::dense_uniform_tile(19, 0, 0, n, n, -1.0, 1.0);
+        set_kernel_threads(1);
+        let mut serial = DenseTile::zeros(n, n);
+        DenseTile::gemm_acc_packed(&mut serial, &a, &b).unwrap();
+        let mut ok = true;
+        let mut detail = String::new();
+        for threads in [3usize, 0] {
+            set_kernel_threads(threads);
+            let mut par = DenseTile::zeros(n, n);
+            DenseTile::gemm_acc_packed(&mut par, &a, &b).unwrap();
+            if par != serial {
+                ok = false;
+                let _ = write!(detail, "threads={threads} diverged from serial; ");
+            }
+        }
+        set_kernel_threads(1);
+        if ok {
+            detail = format!("{n}³ multiply bitwise-identical at threads 1/3/all");
+        }
+        report.record("kernel-conformance", "dense-packed/threading", ok, detail);
+    }
+
+    // Sparse kernels: the optimized paths preserve per-element operation
+    // order exactly, so they must match their references bitwise.
+    for (l, n, density) in [(37usize, 29usize, 0.15f64), (64, 64, 0.4)] {
+        let s = gen::sparse_uniform_tile(23, 0, 0, l, n, density);
+        let b = gen::dense_uniform_tile(29, 0, 0, n, 31, -1.0, 1.0);
+        let init = DenseTile::from_fn(l, 31, |i, j| ((i * 5 + j) as f64).sin());
+        let mut fast = init.clone();
+        let mut slow = init;
+        s.spmm_acc(&mut fast, &b).unwrap();
+        s.spmm_acc_reference(&mut slow, &b).unwrap();
+        report.record(
+            "kernel-conformance",
+            format!("spmm/{l}x{n}@{density}"),
+            fast == slow,
+            if fast == slow {
+                "optimized SpMM bitwise-identical to reference".to_string()
+            } else {
+                "optimized SpMM diverged from reference".to_string()
+            },
+        );
+
+        let a = gen::dense_uniform_tile(31, 0, 0, 30, l, -1.0, 1.0);
+        let init = DenseTile::from_fn(30, n, |i, j| ((i + 3 * j) as f64).cos());
+        let mut fast = init.clone();
+        let mut slow = init;
+        s.gemm_ds_acc(&mut fast, &a).unwrap();
+        s.gemm_ds_acc_reference(&mut slow, &a).unwrap();
+        report.record(
+            "kernel-conformance",
+            format!("gemm-ds/{l}x{n}@{density}"),
+            fast == slow,
+            if fast == slow {
+                "optimized dense×sparse bitwise-identical to reference".to_string()
+            } else {
+                "optimized dense×sparse diverged from reference".to_string()
+            },
+        );
+    }
+}
+
 /// Deployment search must generate exactly the instance × slots × nodes
 /// cross product — `max_nodes` included even when the stride skips it.
 fn check_search_grid(report: &mut CheckReport) {
@@ -956,6 +1072,7 @@ mod tests {
             "revocation-survivability",
             "estimate-envelope",
             "search-grid-coverage",
+            "kernel-conformance",
         ] {
             assert!(
                 report.outcomes.iter().any(|o| o.invariant == inv),

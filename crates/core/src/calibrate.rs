@@ -343,6 +343,203 @@ pub fn calibrate(instances: &[InstanceType], config: &CalibrationConfig) -> Resu
     Ok(model)
 }
 
+// ---------------------------------------------------------------------------
+// Host kernel profiling — keeping the CPU coefficient honest
+// ---------------------------------------------------------------------------
+
+/// One wall-clock-timed run of a production tile kernel on this host.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelSample {
+    /// Which kernel ran (`"gemm_packed"`, `"spmm"`, `"gemm_ds"`).
+    pub kernel: &'static str,
+    /// Problem size (square dimension / dense side).
+    pub n: usize,
+    /// Exact flops the run performed.
+    pub flops: f64,
+    /// Best-of-reps wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl KernelSample {
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.seconds / 1e9
+    }
+}
+
+/// Wall-clock profile of the production tile kernels on the current
+/// host, used to re-fit the cost model's CPU coefficients so
+/// [`crate::estimate`]'s flop rates track what the kernels actually
+/// achieve (see [`refit_cpu_from_kernels`]). A cost model seeded from
+/// spec-sheet rates ([`OpCoefficients::idealized`]) silently goes stale
+/// every time the kernels change speed; the whole optimizer inherits the
+/// error.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// SIMD clone the dense kernel dispatched to (host-dependent).
+    pub simd_level: &'static str,
+    /// Individual timed runs, dense and sparse.
+    pub samples: Vec<KernelSample>,
+}
+
+impl KernelProfile {
+    /// Times the production kernels on this host: the packed dense GEMM
+    /// at several tile sizes plus the optimized sparse kernels. Each
+    /// sample is best-of-`reps` to shed scheduler noise. `quick` trims
+    /// the battery for CI budgets.
+    pub fn measure(quick: bool) -> KernelProfile {
+        use cumulon_matrix::{gen, DenseTile};
+        use std::time::Instant;
+
+        let mut samples = Vec::new();
+        let (sizes, reps): (&[usize], usize) = if quick {
+            (&[192, 256], 2)
+        } else {
+            (&[128, 192, 256, 512], 3)
+        };
+        for &n in sizes {
+            let a = gen::dense_uniform_tile(3, 0, 0, n, n, -1.0, 1.0);
+            let b = gen::dense_uniform_tile(5, 0, 0, n, n, -1.0, 1.0);
+            let mut c = DenseTile::zeros(n, n);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                DenseTile::gemm_acc_packed(&mut c, &a, &b).expect("square gemm");
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            samples.push(KernelSample {
+                kernel: "gemm_packed",
+                n,
+                flops: 2.0 * (n as f64).powi(3),
+                seconds: best,
+            });
+        }
+        // Sparse kernels: flops scale with nnz, not n³.
+        let (l, n, density) = (512usize, 256usize, 0.05f64);
+        let s = gen::sparse_uniform_tile(7, 0, 0, l, l, density);
+        let b = gen::dense_uniform_tile(9, 0, 0, l, n, -1.0, 1.0);
+        let mut c = DenseTile::zeros(l, n);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(2) {
+            let t0 = Instant::now();
+            s.spmm_acc(&mut c, &b).expect("spmm shapes");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        samples.push(KernelSample {
+            kernel: "spmm",
+            n: l,
+            flops: 2.0 * s.nnz() as f64 * n as f64,
+            seconds: best,
+        });
+        let a = gen::dense_uniform_tile(11, 0, 0, n, l, -1.0, 1.0);
+        let mut c = DenseTile::zeros(n, l);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(2) {
+            let t0 = Instant::now();
+            s.gemm_ds_acc(&mut c, &a).expect("gemm-ds shapes");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        samples.push(KernelSample {
+            kernel: "gemm_ds",
+            n: l,
+            flops: 2.0 * s.nnz() as f64 * n as f64,
+            seconds: best,
+        });
+        KernelProfile {
+            simd_level: cumulon_matrix::simd_level().name(),
+            samples,
+        }
+    }
+
+    /// Best dense-GEMM rate achieved, GFLOP/s.
+    pub fn dense_gflops(&self) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.kernel == "gemm_packed")
+            .map(KernelSample::gflops)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Re-fits an instance's CPU coefficients from a measured
+/// [`KernelProfile`], via [`fit_samples`] on a prior-anchored design:
+///
+/// * each *dense* kernel sample becomes a pure-compute row — features
+///   `[1, flops, 0, …]` at one uncontended slot — labelled
+///   `startup + measured seconds` (the base model's intercept `c₀` *is*
+///   task startup, which a raw kernel timing doesn't include). Sparse
+///   samples are profiled but excluded from the regression: they retire
+///   flops at a memory-bound rate, and mixing them into the shared
+///   flops column flattens the slope (small-flops/large-seconds rows
+///   drag the implied marginal rate far above anything measured);
+/// * the base model labels one anchor row per remaining feature
+///   direction (the [`run_elastic`](cumulon_cluster::Cluster) refit
+///   idiom), so I/O and startup coefficients keep their fitted values
+///   where the profile has no evidence.
+///
+/// The result: `c₁` tracks the *measured* kernel flop rate while
+/// everything else agrees with `base`. Straggler `sigma` keeps the base
+/// value (a profile of best-of-reps timings carries no straggler
+/// information).
+pub fn refit_cpu_from_kernels(
+    base: &OpCoefficients,
+    instance: &InstanceType,
+    profile: &KernelProfile,
+) -> Result<OpCoefficients> {
+    let mut xs: Vec<[f64; 7]> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in profile.samples.iter().filter(|s| s.kernel == "gemm_packed") {
+        let f = TaskFeatures {
+            flops: s.flops,
+            ..Default::default()
+        };
+        xs.push(featurize(instance, 1, &f));
+        ys.push(base.c[0] + s.seconds);
+    }
+    if xs.is_empty() {
+        return Err(CoreError::Calibration(
+            "kernel profile has no dense gemm samples".into(),
+        ));
+    }
+    // Anchor rows: one dominant direction each, labelled by the base
+    // model so the fit stays full-rank and agrees with `base` off the
+    // CPU axis.
+    // Zero flops in every anchor: the kernel samples alone identify the
+    // CPU column, so anchors and samples never disagree about it.
+    let anchor = |f: TaskFeatures| (featurize(instance, 1, &f), base.predict(instance, 1, &f));
+    let base_f = TaskFeatures {
+        flops: 0.0,
+        local_read: 1e6,
+        remote_read: 1e6,
+        local_write: 1e6,
+        remote_write: 1e6,
+        mem_mb: 8.0,
+        io_ops: 4.0,
+    };
+    let mut anchors = vec![base_f];
+    for i in 0..5 {
+        let mut f = base_f;
+        match i {
+            0 => f.local_read = 4e8,
+            1 => f.remote_read = 4e8,
+            2 => f.local_write = 4e8,
+            3 => f.remote_write = 4e8,
+            _ => f.io_ops = 512.0,
+        }
+        anchors.push(f);
+    }
+    for f in anchors {
+        let (x, y) = anchor(f);
+        xs.push(x);
+        ys.push(y);
+    }
+    let fitted = fit_samples(&xs, &ys)?;
+    Ok(OpCoefficients {
+        sigma: base.sigma,
+        ..fitted
+    })
+}
+
 /// Ordinary least squares via normal equations + Gaussian elimination.
 // Index loops: the elimination updates aug[row][k] from aug[col][k], a
 // split borrow iterators can't express cleanly.
@@ -470,6 +667,61 @@ mod tests {
         assert!(ols(&[[1.0; 7]; 3], &[1.0, 2.0, 3.0]).is_err());
         // Degenerate (all-identical rows) is singular.
         assert!(ols(&[[1.0; 7]; 20], &[1.0; 20]).is_err());
+    }
+
+    #[test]
+    fn refit_tracks_measured_kernel_rate() {
+        let t = by_name("m1.large").unwrap();
+        let base = OpCoefficients::idealized(&t, 2.0, 0.85);
+        // Synthetic profile: kernels running at exactly 25 GFLOP/s.
+        let rate = 25e9;
+        let mut samples: Vec<KernelSample> = [128usize, 192, 256, 512]
+            .iter()
+            .map(|&n| {
+                let flops = 2.0 * (n as f64).powi(3);
+                KernelSample {
+                    kernel: "gemm_packed",
+                    n,
+                    flops,
+                    seconds: flops / rate,
+                }
+            })
+            .collect();
+        // A memory-bound sparse sample at 4 GFLOP/s must not drag the
+        // dense marginal rate (it is excluded from the regression).
+        samples.push(KernelSample {
+            kernel: "spmm",
+            n: 512,
+            flops: 1.3e7,
+            seconds: 1.3e7 / 4e9,
+        });
+        let profile = KernelProfile {
+            simd_level: "test",
+            samples,
+        };
+        let fit = refit_cpu_from_kernels(&base, &t, &profile).unwrap();
+        // The CPU coefficient now implies the measured rate...
+        let implied = 1.0 / (fit.c[1] * rate);
+        assert!((implied - 1.0).abs() < 0.01, "implied/measured {implied}");
+        // ...while startup and I/O coefficients still agree with base.
+        assert!((fit.c[0] - base.c[0]).abs() < 0.01 * base.c[0].abs());
+        for i in 2..7 {
+            let rel = (fit.c[i] - base.c[i]).abs() / base.c[i].abs().max(1e-15);
+            assert!(rel < 0.01, "coefficient {i}: {} vs {}", fit.c[i], base.c[i]);
+        }
+        // Best-of-reps timings carry no straggler signal: sigma is kept.
+        assert_eq!(fit.sigma, base.sigma);
+    }
+
+    #[test]
+    fn kernel_profile_measures_real_kernels() {
+        let p = KernelProfile::measure(true);
+        assert!(!p.simd_level.is_empty());
+        assert!(p.samples.len() >= 4, "{} samples", p.samples.len());
+        for s in &p.samples {
+            assert!(s.seconds > 0.0 && s.flops > 0.0, "{s:?}");
+        }
+        assert!(p.dense_gflops() > 0.1, "dense rate {}", p.dense_gflops());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use cumulon_cluster::instances::InstanceType;
 use cumulon_cluster::job::GEN_FLOPS_PER_CELL;
 use serde::{Deserialize, Serialize};
 
-use crate::calibrate::CostModel;
+use crate::calibrate::{CostModel, OpCoefficients};
 use crate::error::{CoreError, Result};
 use crate::physical::{MulSplit, OperandStats, PhysJob, PhysPlan};
 
@@ -257,6 +257,26 @@ fn mul_features(
         add_features(writes, mul_flops),
     );
     (n_tasks, f)
+}
+
+/// The flop rate a fitted model *implies* for pure compute on one
+/// uncontended slot, in GFLOP/s: the marginal seconds per flop is read
+/// off as `predict(10⁹ flops) − predict(0)` so the startup intercept
+/// cancels. Lets callers compare the cost model's CPU coefficient
+/// directly against measured kernel rates (see
+/// [`crate::calibrate::KernelProfile`]) — if the two disagree, plan
+/// estimates are systematically skewed.
+pub fn model_implied_gflops(coeffs: &OpCoefficients, instance: &InstanceType) -> f64 {
+    let flops_f = TaskFeatures {
+        flops: 1e9,
+        ..Default::default()
+    };
+    let zero_f = TaskFeatures::default();
+    let per_gigaflop = coeffs.predict(instance, 1, &flops_f) - coeffs.predict(instance, 1, &zero_f);
+    if per_gigaflop <= 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / per_gigaflop
 }
 
 /// Wave-model job completion time given a mean task time, the task count
@@ -672,6 +692,19 @@ mod tests {
             out_stats: stats(40, 20, 1.0),
             split,
         }
+    }
+
+    #[test]
+    fn implied_gflops_inverts_idealized_rate() {
+        let t = by_name("m1.large").unwrap();
+        let eff = 0.85;
+        let coeffs = OpCoefficients::idealized(&t, 2.0, eff);
+        let implied = model_implied_gflops(&coeffs, &t);
+        let expect = t.gflops_per_core as f64 * eff;
+        assert!(
+            (implied - expect).abs() < 1e-6 * expect,
+            "implied {implied} vs spec {expect}"
+        );
     }
 
     #[test]

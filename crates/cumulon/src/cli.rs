@@ -174,6 +174,10 @@ pub enum Command {
         /// the traced execution and replace revoked capacity with
         /// on-demand nodes, topping the fleet back up to `--nodes`.
         elastic: bool,
+        /// Threads *inside* each tile kernel (1 = serial, 0 = all host
+        /// cores). Bitwise-identical results at any setting; useful when
+        /// a run has fewer concurrent tasks than cores.
+        kernel_threads: usize,
     },
     /// `trace`: execute like `run`, then print the critical-path,
     /// slot-utilization and estimate-vs-actual reports for the traced
@@ -195,6 +199,8 @@ pub enum Command {
         threads: usize,
         /// Also write the Chrome `trace_event` JSON timeline here.
         out_json: Option<String>,
+        /// Threads inside each tile kernel (1 = serial, 0 = all cores).
+        kernel_threads: usize,
     },
     /// `explain`: show the compiled program and physical plan.
     Explain {
@@ -212,6 +218,21 @@ pub enum Command {
         /// `cumulon-check-v1`) to this path.
         report: Option<String>,
     },
+    /// `calibrate`: wall-clock-profile the tile kernels on this host,
+    /// re-fit the cost model's CPU coefficients from the measurements,
+    /// and report measured vs model-implied flop rates.
+    Calibrate {
+        /// Instance type whose coefficients to re-fit.
+        instance: String,
+        /// Trimmed measurement battery (CI budgets).
+        quick: bool,
+        /// Threads inside each tile kernel while profiling (1 = serial,
+        /// 0 = all cores).
+        kernel_threads: usize,
+        /// Write the profile + refit coefficients (JSON schema
+        /// `cumulon-calibration-v1`) to this path.
+        json: Option<String>,
+    },
 }
 
 /// Parses CLI arguments (past the binary name).
@@ -223,13 +244,17 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                       [--spot [--bid FRAC]]   (spot-vs-on-demand × checkpoint\n\
                       interval search under the deadline)\n\
              run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
-                      [--materialize-bytes] [--trace FILE.json]\n\
+                      [--kernel-threads K] [--materialize-bytes] [--trace FILE.json]\n\
                       [--spot [--bid FRAC]] [--elastic]\n\
              trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
-                      [--trace FILE.json]   (prints critical-path, utilization\n\
-                      and estimate-diff reports for the traced run)\n\
+                      [--kernel-threads K] [--trace FILE.json]   (prints critical-\n\
+                      path, utilization and estimate-diff reports)\n\
              check:   cumulon check [--quick] [--report FILE.json]   (runs the\n\
-                      cross-layer invariant suite; non-zero exit on violation)"
+                      cross-layer invariant suite; non-zero exit on violation)\n\
+             calibrate: cumulon calibrate [--instance TYPE] [--quick]\n\
+                      [--kernel-threads K] [--json FILE.json]   (profiles the\n\
+                      tile kernels on this host and re-fits the cost model's\n\
+                      CPU coefficients from the measurements)"
                 .to_string(),
         )
     };
@@ -257,6 +282,41 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         }
         return Ok(Command::Check { quick, report });
     }
+    // `calibrate` likewise takes no script: it profiles the host itself.
+    if cmd == "calibrate" {
+        let mut instance = "m1.large".to_string();
+        let mut quick = false;
+        let mut kernel_threads = 1usize;
+        let mut json = None;
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CoreError::Invariant(format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--instance" => instance = value("--instance")?,
+                "--quick" => quick = true,
+                "--kernel-threads" => {
+                    kernel_threads = value("--kernel-threads")?.parse().map_err(|_| {
+                        CoreError::Invariant("--kernel-threads needs an integer".into())
+                    })?
+                }
+                "--json" => json = Some(value("--json")?),
+                other => {
+                    return Err(CoreError::Invariant(format!(
+                        "unknown argument '{other}' for calibrate"
+                    )));
+                }
+            }
+        }
+        return Ok(Command::Calibrate {
+            instance,
+            quick,
+            kernel_threads,
+            json,
+        });
+    }
     let script = it.next().ok_or_else(usage)?.clone();
     let mut inputs = Vec::new();
     let mut deadline: Option<f64> = None;
@@ -267,6 +327,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut slots = 0u32;
     let mut real = false;
     let mut threads = 0usize;
+    let mut kernel_threads = 1usize;
     let mut materialize_bytes = false;
     let mut trace: Option<String> = None;
     let mut spot = false;
@@ -337,6 +398,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .parse()
                     .map_err(|_| CoreError::Invariant("--threads needs an integer".into()))?
             }
+            "--kernel-threads" => {
+                kernel_threads = next_value(&mut it, "--kernel-threads")?
+                    .parse()
+                    .map_err(|_| CoreError::Invariant("--kernel-threads needs an integer".into()))?
+            }
             other => {
                 return Err(CoreError::Invariant(format!("unknown argument '{other}'")));
             }
@@ -406,6 +472,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 spot,
                 bid,
                 elastic,
+                kernel_threads,
             })
         }
         "trace" => {
@@ -421,6 +488,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 real,
                 threads,
                 out_json: trace,
+                kernel_threads,
             })
         }
         "explain" => Ok(Command::Explain { script, inputs }),
@@ -681,8 +749,10 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             spot,
             bid,
             elastic,
+            kernel_threads,
         } => {
             cumulon_cluster::set_default_threads(*threads);
+            cumulon_matrix::set_kernel_threads(*kernel_threads);
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
             let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
@@ -798,8 +868,10 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             real,
             threads,
             out_json,
+            kernel_threads,
         } => {
             cumulon_cluster::set_default_threads(*threads);
+            cumulon_matrix::set_kernel_threads(*kernel_threads);
             let compiled = load_script(script)?;
             let descs = check_inputs(&compiled, inputs)?;
             let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
@@ -881,6 +953,85 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                     checks.violations().len()
                 )))
             }
+        }
+        Command::Calibrate {
+            instance,
+            quick,
+            kernel_threads,
+            json,
+        } => {
+            let inst = cumulon_cluster::instances::by_name(instance)
+                .ok_or_else(|| CoreError::Invariant(format!("unknown instance '{instance}'")))?;
+            cumulon_matrix::set_kernel_threads(*kernel_threads);
+            let profile = cumulon_core::calibrate::KernelProfile::measure(*quick);
+            cumulon_matrix::set_kernel_threads(1);
+            writeln!(
+                out,
+                "host   : simd={} kernel-threads={}",
+                profile.simd_level, kernel_threads
+            )
+            .map_err(w)?;
+            for s in &profile.samples {
+                writeln!(
+                    out,
+                    "  {:<11} n={:<4} {:>7.2} GFLOP/s  ({:.3} ms)",
+                    s.kernel,
+                    s.n,
+                    s.gflops(),
+                    s.seconds * 1e3
+                )
+                .map_err(w)?;
+            }
+            let base = cumulon_core::OpCoefficients::idealized(&inst, 2.0, 0.85);
+            let refit = cumulon_core::calibrate::refit_cpu_from_kernels(&base, &inst, &profile)?;
+            let before = cumulon_core::estimate::model_implied_gflops(&base, &inst);
+            let after = cumulon_core::estimate::model_implied_gflops(&refit, &inst);
+            writeln!(
+                out,
+                "model  : {instance} implied {before:.2} -> {after:.2} GFLOP/s \
+                 (measured dense peak {:.2})",
+                profile.dense_gflops()
+            )
+            .map_err(w)?;
+            if let Some(path) = json {
+                let mut samples = String::new();
+                for (i, s) in profile.samples.iter().enumerate() {
+                    if i > 0 {
+                        samples.push(',');
+                    }
+                    samples.push_str(&format!(
+                        "\n    {{\"kernel\": \"{}\", \"n\": {}, \"flops\": {}, \
+                         \"seconds\": {:.9}, \"gflops\": {:.4}}}",
+                        s.kernel,
+                        s.n,
+                        s.flops,
+                        s.seconds,
+                        s.gflops()
+                    ));
+                }
+                let coeffs = refit
+                    .c
+                    .iter()
+                    .map(|c| format!("{c:e}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let doc = format!(
+                    "{{\n  \"schema\": \"cumulon-calibration-v1\",\n  \
+                     \"instance\": \"{instance}\",\n  \
+                     \"simd_level\": \"{}\",\n  \
+                     \"kernel_threads\": {kernel_threads},\n  \
+                     \"samples\": [{samples}\n  ],\n  \
+                     \"implied_gflops_before\": {before:.4},\n  \
+                     \"implied_gflops_after\": {after:.4},\n  \
+                     \"coefficients\": [{coeffs}],\n  \
+                     \"sigma\": {}\n}}\n",
+                    profile.simd_level, refit.sigma
+                );
+                std::fs::write(path, doc)
+                    .map_err(|e| CoreError::Invariant(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "json   : {path}").map_err(w)?;
+            }
+            Ok(())
         }
     }
 }
@@ -971,6 +1122,7 @@ mod tests {
                 spot: false,
                 bid: None,
                 elastic: false,
+                kernel_threads: 1,
             }
         );
     }
@@ -1050,6 +1202,7 @@ mod tests {
                 real: false,
                 threads: 0,
                 out_json: Some("t.json".into()),
+                kernel_threads: 1,
             }
         );
         assert!(parse_args(&args("trace s.cm --input A=1x1")).is_err());
@@ -1073,6 +1226,84 @@ mod tests {
         );
         assert!(parse_args(&args("check --report")).is_err());
         assert!(parse_args(&args("check --bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_calibrate_command() {
+        assert_eq!(
+            parse_args(&args("calibrate")).unwrap(),
+            Command::Calibrate {
+                instance: "m1.large".into(),
+                quick: false,
+                kernel_threads: 1,
+                json: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "calibrate --instance c1.xlarge --quick --kernel-threads 0 --json cal.json"
+            ))
+            .unwrap(),
+            Command::Calibrate {
+                instance: "c1.xlarge".into(),
+                quick: true,
+                kernel_threads: 0,
+                json: Some("cal.json".into()),
+            }
+        );
+        assert!(parse_args(&args("calibrate --json")).is_err());
+        assert!(parse_args(&args("calibrate --bogus")).is_err());
+        // --kernel-threads is also a run/trace flag.
+        match parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --kernel-threads 4",
+        ))
+        .unwrap()
+        {
+            Command::Run { kernel_threads, .. } => assert_eq!(kernel_threads, 4),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calibrate_end_to_end() {
+        let mut json_path = std::env::temp_dir();
+        json_path.push(format!("cumulon_cli_cal_{}.json", std::process::id()));
+        let mut out = Vec::new();
+        execute(
+            &Command::Calibrate {
+                instance: "m1.large".into(),
+                quick: true,
+                kernel_threads: 1,
+                json: Some(json_path.to_str().unwrap().to_string()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("gemm_packed"), "{text}");
+        assert!(text.contains("implied"), "{text}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let v = cumulon_trace::json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("cumulon-calibration-v1")
+        );
+        assert!(v
+            .get("implied_gflops_after")
+            .and_then(|g| g.as_f64())
+            .is_some_and(|g| g > 0.0));
+        std::fs::remove_file(json_path).ok();
+        // Unknown instance rejects before any measurement.
+        assert!(execute(
+            &Command::Calibrate {
+                instance: "bogus.type".into(),
+                quick: true,
+                kernel_threads: 1,
+                json: None,
+            },
+            &mut Vec::new(),
+        )
+        .is_err());
     }
 
     #[test]
@@ -1151,6 +1382,7 @@ mod tests {
                 spot: false,
                 bid: None,
                 elastic: false,
+                kernel_threads: 1,
             },
             &mut out,
         )
@@ -1183,6 +1415,7 @@ mod tests {
                 spot: true,
                 bid: Some(0.3),
                 elastic: true,
+                kernel_threads: 1,
             },
             &mut out,
         )
@@ -1240,6 +1473,7 @@ mod tests {
                 real: true,
                 threads: 1,
                 out_json: Some(json_path.to_str().unwrap().to_string()),
+                kernel_threads: 1,
             },
             &mut out,
         )

@@ -1,6 +1,34 @@
 //! Dense row-major tiles and their kernels.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::error::{MatrixError, Result};
+use crate::microkernel::{self, MR, NR};
+use crate::pack;
+
+/// Worker threads the packed GEMM kernel may use *inside one tile
+/// multiply* (`0` = all host cores, `1` = serial). Default 1: intra-task
+/// threading is opt-in because the cluster executor already parallelizes
+/// across tasks; splitting inside a task only pays off for huge tiles on
+/// otherwise-idle cores.
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the intra-kernel thread count (process-global; `0` = all host
+/// cores, `1` = serial). Results are bitwise-identical at every setting:
+/// threads split the output into disjoint row panels, so each element's
+/// summation order never changes.
+pub fn set_kernel_threads(n: usize) {
+    KERNEL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Current intra-kernel thread setting (resolved: `0` becomes the host
+/// core count).
+pub fn kernel_threads() -> usize {
+    match KERNEL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
 
 /// A dense row-major `f64` tile.
 ///
@@ -214,16 +242,17 @@ impl DenseTile {
     /// the same output tile.
     ///
     /// Dispatches between a streaming i-k-j kernel (small/skinny operands)
-    /// and a cache-blocked kernel with a 4-row microkernel (large square-ish
-    /// tiles) — see [`DenseTile::gemm_acc_blocked`].
+    /// and the packed-panel SIMD kernel (large tiles) — see
+    /// [`DenseTile::gemm_acc_packed`].
     pub fn gemm_acc(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
         Self::check_gemm_shapes(c, a, b)?;
-        // The blocked kernel wins once operands outgrow L1/L2; below that,
-        // blocking overhead and the microkernel's edge handling cost more
-        // than they save.
-        const BLOCKED_MIN_DIM: usize = 128;
-        if a.rows >= BLOCKED_MIN_DIM && a.cols >= BLOCKED_MIN_DIM && b.cols >= BLOCKED_MIN_DIM {
-            Self::gemm_acc_blocked(c, a, b)
+        // Measured crossover (see `gemm_bench` dispatch table): streaming
+        // wins below n≈8 (0.4x at n=4, where packing/alloc overhead
+        // dominates a sub-microsecond multiply), ties at 6, and packed
+        // wins from 8 up (1.5x at n=8 rising to 2.8x by n=48).
+        const PACKED_MIN_DIM: usize = 8;
+        if a.rows >= PACKED_MIN_DIM && a.cols >= PACKED_MIN_DIM && b.cols >= PACKED_MIN_DIM {
+            Self::gemm_acc_packed(c, a, b)
         } else {
             Self::gemm_acc_streaming(c, a, b)
         }
@@ -274,7 +303,7 @@ impl DenseTile {
     pub fn gemm_acc_blocked(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
         Self::check_gemm_shapes(c, a, b)?;
         // Block sizes: KC·NC·8B ≈ 256 KiB keeps the b-panel in L2.
-        const KC: usize = 128;
+        const KC: usize = 512;
         const NC: usize = 256;
         const MR: usize = 4;
         let (m, l, n) = (a.rows, a.cols, b.cols);
@@ -329,6 +358,101 @@ impl DenseTile {
         Ok(())
     }
 
+    /// BLIS-style packed-panel GEMM: `c += a × b`.
+    ///
+    /// The classic five-loop nest. Working from the outside in: `NC`-wide
+    /// column slabs of `b`, `KC`-deep rank-k slices (packed once into
+    /// [`pack::pack_b`] micro-panels), `MC`-tall row blocks of `a` (packed
+    /// into [`pack::pack_a`] micro-panels), then `NR`-wide / `MR`-tall
+    /// micro-tiles computed by the register-resident
+    /// [`crate::microkernel`]. Block sizes keep the A block
+    /// (`MC·KC` ≈ 256 KiB) L2-resident and each B micro-panel (`KC·NR` =
+    /// 16 KiB) L1-resident across all row panels.
+    ///
+    /// Numerics: each output element accumulates its `KC`-slice partial
+    /// sums in `k`-ascending order into `c`, but the within-slice sum is
+    /// associated differently from the streaming kernel (and contracted
+    /// via FMA on SIMD hosts), so agreement with
+    /// [`gemm_acc_streaming`](Self::gemm_acc_streaming) is epsilon-bounded
+    /// rather than bitwise — pinned by the `kernel-conformance` invariant.
+    ///
+    /// When [`kernel_threads`] is above 1 and the multiply is large enough
+    /// to amortize thread startup, the `MC` row loop is split into
+    /// contiguous `MR`-aligned chunks across scoped threads. Every output
+    /// element is still computed by exactly one thread in exactly the
+    /// serial order, so results are bitwise-identical at any thread count.
+    pub fn gemm_acc_packed(c: &mut DenseTile, a: &DenseTile, b: &DenseTile) -> Result<()> {
+        Self::check_gemm_shapes(c, a, b)?;
+        const KC: usize = 512;
+        const NC: usize = 4096;
+        let (m, l, n) = (a.rows, a.cols, b.cols);
+        // Threads only engage above ~2·256³ flops: below that a tile
+        // multiply is tens of microseconds and spawn overhead dominates.
+        const PAR_MIN_FLOPS: f64 = 2.0 * 256.0 * 256.0 * 256.0;
+        let mut threads = kernel_threads().min(m.div_ceil(MR));
+        if (2.0 * m as f64 * l as f64 * n as f64) < PAR_MIN_FLOPS {
+            threads = 1;
+        }
+        let mut b_pack = Vec::new();
+        for j0 in (0..n).step_by(NC) {
+            let nc = NC.min(n - j0);
+            for k0 in (0..l).step_by(KC) {
+                let kc = KC.min(l - k0);
+                pack::pack_b(&b.data, n, k0, kc, j0, nc, &mut b_pack);
+                if threads <= 1 {
+                    let mut a_pack = Vec::new();
+                    packed_row_block(
+                        &mut c.data,
+                        &a.data,
+                        l,
+                        n,
+                        0,
+                        m,
+                        k0,
+                        kc,
+                        j0,
+                        nc,
+                        &b_pack,
+                        &mut a_pack,
+                    );
+                } else {
+                    // MR-aligned contiguous row chunks, one per thread.
+                    let chunk_rows = m.div_ceil(threads).div_ceil(MR) * MR;
+                    let b_pack = &b_pack;
+                    let a_data = &a.data;
+                    std::thread::scope(|s| {
+                        let mut rest = &mut c.data[..];
+                        let mut row0 = 0;
+                        while row0 < m {
+                            let rows = chunk_rows.min(m - row0);
+                            let (chunk, tail) = rest.split_at_mut(rows * n);
+                            rest = tail;
+                            s.spawn(move || {
+                                let mut a_pack = Vec::new();
+                                packed_row_block(
+                                    chunk,
+                                    a_data,
+                                    l,
+                                    n,
+                                    row0,
+                                    rows,
+                                    k0,
+                                    kc,
+                                    j0,
+                                    nc,
+                                    b_pack,
+                                    &mut a_pack,
+                                );
+                            });
+                            row0 += rows;
+                        }
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Convenience wrapper: returns `a × b` as a fresh tile.
     pub fn matmul(a: &DenseTile, b: &DenseTile) -> Result<DenseTile> {
         let mut c = DenseTile::zeros(a.rows, b.cols);
@@ -345,6 +469,55 @@ impl DenseTile {
             });
         }
         Ok(())
+    }
+}
+
+/// Packed-GEMM macrokernel over one contiguous chunk of output rows.
+///
+/// `c_rows` is the chunk's backing slice (`rows × n`, starting at global
+/// row `row0`); `b_pack` holds the current `kc × nc` slab of `b` already
+/// packed. Packs each `MC`-tall A block into `a_pack` (a reusable
+/// scratch buffer) and drives the microkernel over every micro-tile,
+/// masking the write-back at ragged edges.
+#[allow(clippy::too_many_arguments)]
+fn packed_row_block(
+    c_rows: &mut [f64],
+    a: &[f64],
+    l: usize,
+    n: usize,
+    row0: usize,
+    rows: usize,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    b_pack: &[f64],
+    a_pack: &mut Vec<f64>,
+) {
+    const MC: usize = 64;
+    let jpanels = nc.div_ceil(NR);
+    for ic in (0..rows).step_by(MC) {
+        let mc = MC.min(rows - ic);
+        pack::pack_a(a, l, row0 + ic, mc, k0, kc, a_pack);
+        let ipanels = mc.div_ceil(MR);
+        for jp in 0..jpanels {
+            let b_panel = &b_pack[jp * kc * NR..][..kc * NR];
+            let j_base = j0 + jp * NR;
+            let cols = NR.min(j0 + nc - j_base);
+            for ip in 0..ipanels {
+                let a_panel = &a_pack[ip * kc * MR..][..kc * MR];
+                let mut acc = [[0.0; NR]; MR];
+                microkernel::run(kc, a_panel, b_panel, &mut acc);
+                let i_base = ic + ip * MR;
+                let mrows = MR.min(mc - ip * MR);
+                for (r, acc_row) in acc.iter().enumerate().take(mrows) {
+                    let c_row = &mut c_rows[(i_base + r) * n + j_base..][..cols];
+                    for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *cv += *av;
+                    }
+                }
+            }
+        }
     }
 }
 

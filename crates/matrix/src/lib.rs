@@ -27,16 +27,19 @@ pub mod error;
 pub mod gen;
 pub mod local;
 pub mod meta;
+pub mod microkernel;
 pub mod ops;
+pub mod pack;
 pub mod reference;
 pub mod serialize;
 pub mod sparse;
 pub mod tile;
 
-pub use dense::DenseTile;
+pub use dense::{kernel_threads, set_kernel_threads, DenseTile};
 pub use error::{MatrixError, Result};
 pub use local::LocalMatrix;
 pub use meta::{MatrixMeta, TileGrid};
+pub use microkernel::{detected_simd_level, simd_level, SimdLevel};
 pub use sparse::CsrTile;
 pub use tile::{Tile, TileData};
 

@@ -1,0 +1,264 @@
+//! The register-blocked GEMM microkernel and its SIMD dispatch.
+//!
+//! The packed GEMM path (see [`crate::pack`] and
+//! [`DenseTile::gemm_acc_packed`](crate::DenseTile::gemm_acc_packed))
+//! bottoms out in one function: an `MR × NR` rank-`kc` update computed
+//! entirely in registers. The kernel is written as plain scalar Rust over
+//! fixed-size accumulator arrays — `[[f64; NR]; MR]` — shaped so the
+//! autovectorizer reliably lowers each accumulator row to SIMD lanes. No
+//! `std::arch` intrinsics are used; instead the same body is compiled
+//! three times:
+//!
+//! * a **generic** clone (`mul` + `add`, portable everywhere);
+//! * an **AVX2+FMA** clone behind `#[target_feature]`, where
+//!   [`f64::mul_add`] lowers to `vfmadd` on 4-wide `ymm` lanes;
+//! * an **AVX-512** clone (`avx512f,avx512vl,fma`), same body, wider
+//!   registers available to the scheduler.
+//!
+//! Which clone runs is decided once per process by CPUID detection and
+//! cached ([`simd_level`]). Dispatch is deterministic on a given host, so
+//! repeated runs are bitwise-identical; across hosts of different SIMD
+//! classes the FMA clones contract `a*b + c` in one rounding, so results
+//! may differ from the generic clone in the last ulp — which is why the
+//! packed path is conformance-checked against the reference kernels with
+//! an epsilon bound, not bitwise (see the `kernel-conformance` invariant
+//! in `cumulon check`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Rows of the microkernel tile (accumulator register rows).
+///
+/// With `NR = 8`, `MR = 4` gives 8 independent 4-wide FMA chains — enough
+/// to cover FMA latency on two issue ports — while fitting the whole
+/// accumulator tile plus one broadcast and two B lanes in 16 `ymm`
+/// registers.
+pub const MR: usize = 4;
+/// Columns of the microkernel tile (two 4-wide lanes, or one 8-wide).
+pub const NR: usize = 8;
+
+/// The microkernel's register-resident accumulator tile.
+pub type Acc = [[f64; NR]; MR];
+
+/// SIMD class the microkernel dispatches to, best-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar/autovectorized clone, no FMA contraction.
+    Generic,
+    /// AVX2 + FMA clone (`vfmadd` on `ymm`).
+    Avx2Fma,
+    /// AVX-512 F/VL + FMA clone.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Short human-readable name (stable, used in bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Generic => "generic",
+            SimdLevel::Avx2Fma => "avx2+fma",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+// Cached detection result: 0 = undetected, else SimdLevel as u8 + 1.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+// Test/bench override: 0 = none, else SimdLevel as u8 + 1. Overrides are
+// clamped to the detected level — forcing a clone the CPU cannot run is
+// never allowed.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn to_u8(l: SimdLevel) -> u8 {
+    match l {
+        SimdLevel::Generic => 1,
+        SimdLevel::Avx2Fma => 2,
+        SimdLevel::Avx512 => 3,
+    }
+}
+
+fn from_u8(v: u8) -> SimdLevel {
+    match v {
+        2 => SimdLevel::Avx2Fma,
+        3 => SimdLevel::Avx512,
+        _ => SimdLevel::Generic,
+    }
+}
+
+fn detect() -> SimdLevel {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512vl")
+            && is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    SimdLevel::Generic
+}
+
+/// The best SIMD level this host supports (CPUID-detected once, cached).
+pub fn detected_simd_level() -> SimdLevel {
+    let v = DETECTED.load(Ordering::Relaxed);
+    if v != 0 {
+        return from_u8(v);
+    }
+    let l = detect();
+    DETECTED.store(to_u8(l), Ordering::Relaxed);
+    l
+}
+
+/// The SIMD level the microkernel will actually dispatch to: the detected
+/// level, unless a (clamped) override is in force.
+pub fn simd_level() -> SimdLevel {
+    let detected = detected_simd_level();
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => detected,
+        v => from_u8(v).min(detected),
+    }
+}
+
+/// Forces dispatch to a specific clone, clamped to what the host supports.
+/// `None` restores CPUID dispatch.
+///
+/// This is a process-global knob intended for benchmarks and conformance
+/// tests (measuring each clone, or pinning the generic clone to compare
+/// against FMA contraction). Production paths never call it, so normal
+/// runs stay deterministic per host.
+pub fn set_simd_override(level: Option<SimdLevel>) {
+    OVERRIDE.store(level.map_or(0, to_u8), Ordering::Relaxed);
+}
+
+/// `acc += Ap × Bp` where `Ap` is an `MR`-interleaved packed micro-panel
+/// (`kc × MR`, see [`crate::pack::pack_a`]) and `Bp` an `NR`-wide packed
+/// micro-panel (`kc × NR`, see [`crate::pack::pack_b`]).
+///
+/// Panels must hold at least `kc` steps; the accumulator is updated in
+/// `k`-ascending order with one contraction per `(k, r, j)` — identical
+/// association in every clone, FMA rounding aside.
+#[inline]
+pub fn run(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Acc) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    match simd_level() {
+        // SAFETY: the clone's target features were CPUID-verified by
+        // `detect` (overrides are clamped to the detected level).
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Avx512 => unsafe { kernel_avx512(kc, a_panel, b_panel, acc) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => unsafe { kernel_avx2(kc, a_panel, b_panel, acc) },
+        _ => kernel_generic(kc, a_panel, b_panel, acc),
+    }
+}
+
+/// The shared kernel body. `FMA` selects single-rounding contraction
+/// (`f64::mul_add`, which the `target_feature` clones lower to `vfmadd`;
+/// the generic clone must *not* use it — without hardware FMA it calls
+/// soft-float `fma()`).
+#[inline(always)]
+fn body<const FMA: bool>(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Acc) {
+    // Local copy so the accumulator tile lives in registers for the whole
+    // k-loop; written back once.
+    let mut t = *acc;
+    for (ak, bk) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(kc)
+    {
+        let bk: &[f64; NR] = bk.try_into().expect("NR chunk");
+        for r in 0..MR {
+            let av = ak[r];
+            for j in 0..NR {
+                if FMA {
+                    t[r][j] = av.mul_add(bk[j], t[r][j]);
+                } else {
+                    t[r][j] += av * bk[j];
+                }
+            }
+        }
+    }
+    *acc = t;
+}
+
+fn kernel_generic(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Acc) {
+    body::<false>(kc, a_panel, b_panel, acc)
+}
+
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Acc) {
+    body::<true>(kc, a_panel, b_panel, acc)
+}
+
+/// # Safety
+/// Caller must ensure the CPU supports AVX-512 F/VL and FMA.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+unsafe fn kernel_avx512(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Acc) {
+    body::<true>(kc, a_panel, b_panel, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(kc: usize, a: &[f64], b: &[f64]) -> Acc {
+        let mut acc = [[0.0; NR]; MR];
+        for k in 0..kc {
+            for r in 0..MR {
+                for j in 0..NR {
+                    acc[r][j] += a[k * MR + r] * b[k * NR + j];
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn all_available_clones_match_naive() {
+        let kc = 37;
+        let a: Vec<f64> = (0..kc * MR).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.11).cos()).collect();
+        let want = naive(kc, &a, &b);
+        let detected = detected_simd_level();
+        for level in [SimdLevel::Generic, SimdLevel::Avx2Fma, SimdLevel::Avx512] {
+            if level > detected {
+                continue;
+            }
+            set_simd_override(Some(level));
+            let mut acc = [[0.0; NR]; MR];
+            run(kc, &a, &b, &mut acc);
+            set_simd_override(None);
+            for r in 0..MR {
+                for j in 0..NR {
+                    let (x, y) = (acc[r][j], want[r][j]);
+                    assert!(
+                        (x - y).abs() <= 1e-13 * kc as f64,
+                        "{} clone diverged at ({r},{j}): {x} vs {y}",
+                        level.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn override_is_clamped_to_detected() {
+        set_simd_override(Some(SimdLevel::Avx512));
+        assert!(simd_level() <= detected_simd_level());
+        set_simd_override(None);
+        assert_eq!(simd_level(), detected_simd_level());
+    }
+
+    #[test]
+    fn kc_zero_is_identity() {
+        let mut acc = [[1.5; NR]; MR];
+        run(0, &[], &[], &mut acc);
+        assert_eq!(acc, [[1.5; NR]; MR]);
+    }
+}

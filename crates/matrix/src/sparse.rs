@@ -168,8 +168,7 @@ impl CsrTile {
         })
     }
 
-    /// `c += self × b` where `b` and `c` are dense (SpMM).
-    pub fn spmm_acc(&self, c: &mut DenseTile, b: &DenseTile) -> Result<()> {
+    fn check_spmm_shapes(&self, c: &DenseTile, b: &DenseTile) -> Result<()> {
         if self.cols != b.rows() {
             return Err(MatrixError::ShapeMismatch {
                 op: "spmm",
@@ -184,6 +183,67 @@ impl CsrTile {
                 right: (self.rows, b.cols()),
             });
         }
+        Ok(())
+    }
+
+    /// `c += self × b` where `b` and `c` are dense (SpMM).
+    ///
+    /// Row-blocked with `LANES`-wide register accumulators: each block of
+    /// output columns is loaded from `c` once, every stored entry of the
+    /// row streams its gathered `b` lane into the accumulators, and the
+    /// block stores back once — instead of a full load/store sweep of the
+    /// `c` row per nonzero ([`spmm_acc_reference`](Self::spmm_acc_reference)).
+    /// Each output element still accumulates in `k`-ascending order with
+    /// the identical `c + aik·b` operations, so results are
+    /// **bitwise-identical** to the reference kernel (pinned by the
+    /// `kernel-conformance` invariant).
+    pub fn spmm_acc(&self, c: &mut DenseTile, b: &DenseTile) -> Result<()> {
+        self.check_spmm_shapes(c, b)?;
+        const LANES: usize = 8;
+        let n = b.cols();
+        let bd = b.data();
+        for i in 0..self.rows {
+            let range = self.row_range(i);
+            if range.is_empty() {
+                continue;
+            }
+            let cols_idx = &self.col_idx[range.clone()];
+            let vals = &self.values[range];
+            let c_row = &mut c.data_mut()[i * n..(i + 1) * n];
+            let mut j0 = 0;
+            while j0 + LANES <= n {
+                let mut acc: [f64; LANES] = c_row[j0..j0 + LANES].try_into().expect("lane");
+                for (&cidx, &aik) in cols_idx.iter().zip(vals.iter()) {
+                    let b_lane = &bd[cidx as usize * n + j0..][..LANES];
+                    for (av, bv) in acc.iter_mut().zip(b_lane.iter()) {
+                        *av += aik * *bv;
+                    }
+                }
+                c_row[j0..j0 + LANES].copy_from_slice(&acc);
+                j0 += LANES;
+            }
+            if j0 < n {
+                let rem = n - j0;
+                let mut acc = [0.0; LANES];
+                acc[..rem].copy_from_slice(&c_row[j0..]);
+                for (&cidx, &aik) in cols_idx.iter().zip(vals.iter()) {
+                    let b_lane = &bd[cidx as usize * n + j0..][..rem];
+                    for (av, bv) in acc.iter_mut().zip(b_lane.iter()) {
+                        *av += aik * *bv;
+                    }
+                }
+                c_row[j0..].copy_from_slice(&acc[..rem]);
+            }
+        }
+        Ok(())
+    }
+
+    /// The original streaming SpMM: one full `c`-row axpy per stored
+    /// entry. Kept as the cross-checked reference path for
+    /// [`spmm_acc`](Self::spmm_acc) — the optimized kernel must match it
+    /// bitwise.
+    pub fn spmm_acc_reference(&self, c: &mut DenseTile, b: &DenseTile) -> Result<()> {
+        self.check_spmm_shapes(c, b)?;
         let n = b.cols();
         for i in 0..self.rows {
             for k in self.row_range(i) {
@@ -199,11 +259,7 @@ impl CsrTile {
         Ok(())
     }
 
-    /// `c += a × self` where `a` and `c` are dense (dense × sparse).
-    ///
-    /// Computed column-scatter style: entry `(k, j)` of `self` scales column
-    /// `k` of `a` into column `j` of `c`.
-    pub fn gemm_ds_acc(&self, c: &mut DenseTile, a: &DenseTile) -> Result<()> {
+    fn check_gemm_ds_shapes(&self, c: &DenseTile, a: &DenseTile) -> Result<()> {
         if a.cols() != self.rows {
             return Err(MatrixError::ShapeMismatch {
                 op: "gemm-ds",
@@ -218,6 +274,69 @@ impl CsrTile {
                 right: (a.rows(), self.cols),
             });
         }
+        Ok(())
+    }
+
+    /// `c += a × self` where `a` and `c` are dense (dense × sparse).
+    ///
+    /// Row-blocked: four dense rows of `a`/`c` are processed per CSR
+    /// traversal, scattering each sparse entry into four cache-resident
+    /// `c` rows at once — quartering the index/value re-read traffic and
+    /// replacing the reference kernel's column-strided scatter
+    /// ([`gemm_ds_acc_reference`](Self::gemm_ds_acc_reference)) with
+    /// row-local writes. For every output element the contributions still
+    /// arrive in `(k, p)`-ascending order with identical arithmetic, so
+    /// results are **bitwise-identical** to the reference kernel (pinned
+    /// by the `kernel-conformance` invariant).
+    pub fn gemm_ds_acc(&self, c: &mut DenseTile, a: &DenseTile) -> Result<()> {
+        self.check_gemm_ds_shapes(c, a)?;
+        let m = a.rows();
+        let ac = a.cols();
+        let cc = c.cols();
+        let ad = a.data();
+        let cd = c.data_mut();
+        let mut i = 0;
+        while i + 4 <= m {
+            let (c01, c23) = cd[i * cc..(i + 4) * cc].split_at_mut(2 * cc);
+            let (c0, c1) = c01.split_at_mut(cc);
+            let (c2, c3) = c23.split_at_mut(cc);
+            let a0 = &ad[i * ac..(i + 1) * ac];
+            let a1 = &ad[(i + 1) * ac..(i + 2) * ac];
+            let a2 = &ad[(i + 2) * ac..(i + 3) * ac];
+            let a3 = &ad[(i + 3) * ac..(i + 4) * ac];
+            for k in 0..self.rows {
+                let (v0, v1, v2, v3) = (a0[k], a1[k], a2[k], a3[k]);
+                for p in self.row_range(k) {
+                    let j = self.col_idx[p] as usize;
+                    let v = self.values[p];
+                    c0[j] += v0 * v;
+                    c1[j] += v1 * v;
+                    c2[j] += v2 * v;
+                    c3[j] += v3 * v;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let c_row = &mut cd[i * cc..(i + 1) * cc];
+            let a_row = &ad[i * ac..(i + 1) * ac];
+            for (k, &vk) in a_row.iter().enumerate() {
+                for p in self.row_range(k) {
+                    c_row[self.col_idx[p] as usize] += vk * self.values[p];
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// The original column-scatter dense × sparse kernel: entry `(k, j)`
+    /// of `self` scales column `k` of `a` into column `j` of `c`. Kept as
+    /// the cross-checked reference path for
+    /// [`gemm_ds_acc`](Self::gemm_ds_acc) — the optimized kernel must
+    /// match it bitwise.
+    pub fn gemm_ds_acc_reference(&self, c: &mut DenseTile, a: &DenseTile) -> Result<()> {
+        self.check_gemm_ds_shapes(c, a)?;
         let m = a.rows();
         let ac = a.cols();
         let cc = c.cols();

@@ -1,0 +1,146 @@
+//! Conformance of the optimized kernels against their reference paths.
+//!
+//! Three contracts, mirroring the `kernel-conformance` invariant in
+//! `cumulon check`:
+//!
+//! * the packed SIMD GEMM is **epsilon-bounded** against the naive
+//!   reference (its summation association and FMA contraction differ);
+//! * the optimized sparse kernels (`spmm_acc`, `gemm_ds_acc`) are
+//!   **bitwise-identical** to their reference paths (per-element
+//!   operation order is preserved exactly);
+//! * intra-kernel threading is **bitwise-identical** at any thread count.
+
+use cumulon_matrix::dense::set_kernel_threads;
+use cumulon_matrix::{gen, reference, DenseTile};
+use proptest::prelude::*;
+
+fn dense(seed: u64, tag: usize, r: usize, c: usize) -> DenseTile {
+    gen::dense_uniform_tile(seed, tag, 0, r, c, -1.0, 1.0)
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        prop_assert!((x - y).abs() <= tol, "{x} vs {y} (tol {tol})");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Packed GEMM vs the naive reference over shapes straddling the
+    /// MR=4 / NR=8 micro-tile and MC=64 macro-block boundaries (the KC
+    /// boundary is covered by the fixed-shape test below).
+    #[test]
+    fn packed_gemm_matches_reference(
+        m in 1usize..70, l in 1usize..70, n in 1usize..70, seed in any::<u64>()
+    ) {
+        let a = dense(seed, 1, m, l);
+        let b = dense(seed, 2, l, n);
+        let mut c = DenseTile::from_fn(m, n, |i, j| (i * 3 + j) as f64 * 0.01);
+        let mut expect: Vec<f64> = c.data().to_vec();
+        let prod = reference::matmul(a.data(), b.data(), m, l, n);
+        for (e, p) in expect.iter_mut().zip(prod.iter()) {
+            *e += *p;
+        }
+        DenseTile::gemm_acc_packed(&mut c, &a, &b).unwrap();
+        assert_close(c.data(), &expect, 1e-9 * l.max(1) as f64)?;
+    }
+
+    /// Optimized SpMM is bitwise-identical to the reference kernel.
+    #[test]
+    fn spmm_bitwise_matches_reference(
+        m in 1usize..40, l in 1usize..40, n in 1usize..40,
+        seed in any::<u64>(), density in 0.0f64..0.8
+    ) {
+        let s = gen::sparse_uniform_tile(seed, 3, 0, m, l, density);
+        let b = dense(seed, 4, l, n);
+        let init = DenseTile::from_fn(m, n, |i, j| ((i + 7 * j) as f64).sin());
+        let mut fast = init.clone();
+        let mut slow = init;
+        s.spmm_acc(&mut fast, &b).unwrap();
+        s.spmm_acc_reference(&mut slow, &b).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Optimized dense × sparse is bitwise-identical to the reference
+    /// kernel (including the 4-row remainder).
+    #[test]
+    fn gemm_ds_bitwise_matches_reference(
+        m in 1usize..40, l in 1usize..40, n in 1usize..40,
+        seed in any::<u64>(), density in 0.0f64..0.8
+    ) {
+        let s = gen::sparse_uniform_tile(seed, 5, 0, l, n, density);
+        let a = dense(seed, 6, m, l);
+        let init = DenseTile::from_fn(m, n, |i, j| ((3 * i + j) as f64).cos());
+        let mut fast = init.clone();
+        let mut slow = init;
+        s.gemm_ds_acc(&mut fast, &a).unwrap();
+        s.gemm_ds_acc_reference(&mut slow, &a).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Intra-kernel threading never changes a single bit: threads split
+    /// the output rows into disjoint panels, each element keeps its
+    /// serial summation order.
+    #[test]
+    fn packed_gemm_bitwise_at_any_thread_count(
+        m in 1usize..80, l in 1usize..80, n in 1usize..80,
+        seed in any::<u64>(), threads in 2usize..5
+    ) {
+        let a = dense(seed, 7, m, l);
+        let b = dense(seed, 8, l, n);
+        let init = DenseTile::from_fn(m, n, |i, j| (i ^ j) as f64 * 0.125);
+        set_kernel_threads(1);
+        let mut serial = init.clone();
+        DenseTile::gemm_acc_packed(&mut serial, &a, &b).unwrap();
+        set_kernel_threads(threads);
+        let mut par = init.clone();
+        DenseTile::gemm_acc_packed(&mut par, &a, &b).unwrap();
+        set_kernel_threads(0);
+        let mut all = init;
+        DenseTile::gemm_acc_packed(&mut all, &a, &b).unwrap();
+        set_kernel_threads(1);
+        prop_assert_eq!(&serial, &par);
+        prop_assert_eq!(&serial, &all);
+    }
+}
+
+/// Shapes straddling the KC=512 rank-slice boundary (and crossing it
+/// twice at 1025), checked against the streaming kernel.
+#[test]
+fn packed_gemm_across_kc_boundary() {
+    for (m, l, n) in [(9, 511, 13), (8, 512, 16), (11, 513, 9), (6, 1025, 10)] {
+        let a = dense(42, 9, m, l);
+        let b = dense(42, 10, l, n);
+        let mut packed = DenseTile::zeros(m, n);
+        let mut stream = DenseTile::zeros(m, n);
+        DenseTile::gemm_acc_packed(&mut packed, &a, &b).unwrap();
+        DenseTile::gemm_acc_streaming(&mut stream, &a, &b).unwrap();
+        for (x, y) in packed.data().iter().zip(stream.data().iter()) {
+            assert!(
+                (x - y).abs() <= 1e-9 * l as f64,
+                "kc boundary ({m},{l},{n}): {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// A threaded multiply large enough to actually engage the row-panel
+/// split (the proptest shapes above stay under the parallel threshold),
+/// checked bitwise against serial.
+#[test]
+fn threaded_large_multiply_is_bitwise() {
+    let n = 320; // 2·320³ flops clears the 2·256³ parallel threshold
+    let a = dense(5, 11, n, n);
+    let b = dense(5, 12, n, n);
+    set_kernel_threads(1);
+    let mut serial = DenseTile::zeros(n, n);
+    DenseTile::gemm_acc_packed(&mut serial, &a, &b).unwrap();
+    for threads in [2usize, 3, 0] {
+        set_kernel_threads(threads);
+        let mut par = DenseTile::zeros(n, n);
+        DenseTile::gemm_acc_packed(&mut par, &a, &b).unwrap();
+        assert_eq!(serial, par, "threads={threads} diverged");
+    }
+    set_kernel_threads(1);
+}
