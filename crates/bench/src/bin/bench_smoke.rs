@@ -5,10 +5,10 @@
 //! bitwise-identical and that the parallel executor clears committed
 //! speed thresholds.
 //!
-//! Emits `BENCH_gemm.json` and `BENCH_e2e.json` in the working directory
-//! (machine-readable), plus `BENCH_trace.json` — the sequential run's
-//! Chrome trace_event timeline, loadable in Perfetto — and prints a
-//! human summary. Exit is non-zero if:
+//! Emits `BENCH_gemm.json`, `BENCH_e2e.json` and `BENCH_spill.json` in
+//! the working directory (machine-readable), plus `BENCH_trace.json` —
+//! the sequential run's Chrome trace_event timeline, loadable in
+//! Perfetto — and prints a human summary. Exit is non-zero if:
 //!
 //! * the packed GEMM at n=1024 falls below [`MIN_GEMM_GFLOPS`] *and*
 //!   below [`MIN_GEMM_SPEEDUP`]x the in-process reference kernel, on a
@@ -24,10 +24,14 @@
 //!   regression class this gate exists for: the pre-lookahead executor
 //!   ran at 0.49x on a single-core host);
 //! * the e2e phase accounting identity `compute + read + write +
-//!   overhead + idle = makespan` drifts (the phases come from the traced
-//!   run's critical path, wall-clock-attributed — *not* slot-seconds
-//!   summed across idle speculative workers, which once reported 12.2 s
-//!   of "overhead" on a 0.84 s run).
+//!   startup + overhead + idle = makespan` drifts (the phases come from
+//!   the traced run's critical path, wall-clock-attributed — *not*
+//!   slot-seconds summed across idle speculative workers, which once
+//!   reported 12.2 s of "overhead" on a 0.84 s run);
+//! * an out-of-core run (same Gram workload under a resident-tile budget
+//!   far below its working set) diverges bitwise from the unbounded run,
+//!   fails to actually spill, or exceeds [`MAX_SPILL_SLOWDOWN`]x the
+//!   unbounded wall time.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -76,6 +80,15 @@ const META: MatrixMeta = MatrixMeta {
     cols: 1536,
     tile_size: 256,
 };
+/// Resident-tile budgets for the out-of-core smoke. The Gram run writes
+/// 36 output tiles of 512 KiB (~18 MB through the spill plane): 2 MiB
+/// holds four of them, 512 KiB exactly one — every write evicts.
+const SPILL_BUDGETS: [u64; 2] = [2 << 20, 512 << 10];
+/// A budgeted run pays host-side codec and disk work the unbounded run
+/// skips; this bounds how much. Generous because CI walls are noisy and
+/// the runs are sub-second, but still low enough to catch a spill path
+/// that re-encodes or re-reads tiles quadratically.
+const MAX_SPILL_SLOWDOWN: f64 = 6.0;
 
 fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -84,6 +97,7 @@ fn host_cores() -> usize {
 fn main() {
     gemm_smoke();
     e2e_smoke();
+    spill_smoke();
 }
 
 /// Best-of-`reps` wall seconds for one `f(c, a, b)` call.
@@ -353,6 +367,10 @@ fn e2e_smoke() {
     // seconds are wall-clock: phases + idle reproduce the makespan.
     // (`phase_totals()` sums slot-seconds across every worker — idle
     // speculative slots once inflated "overhead" to 14x the wall time.)
+    // `phase_startup_s` is the fixed task-launch cost on the path, kept
+    // out of `phase_overhead_s`: this one-wave plan's critical path is a
+    // single task, so its constant ~2s launch once read as 66% executor
+    // "overhead" on a 3.6s run.
     let cp = seq_log.critical_path();
     let accounting_drift = (cp.accounted_s() - cp.makespan_s).abs();
     let json = format!(
@@ -362,12 +380,13 @@ fn e2e_smoke() {
          \"bitwise_identical\":{identical},\
          \"makespan_s\":{:.4},\
          \"phase_compute_s\":{:.4},\"phase_read_s\":{:.4},\
-         \"phase_write_s\":{:.4},\"phase_overhead_s\":{:.4},\
-         \"phase_idle_s\":{:.4}}}",
+         \"phase_write_s\":{:.4},\"phase_startup_s\":{:.4},\
+         \"phase_overhead_s\":{:.4},\"phase_idle_s\":{:.4}}}",
         cp.makespan_s,
         cp.phases.compute_s,
         cp.phases.read_s,
         cp.phases.write_s,
+        cp.phases.startup_s,
         cp.phases.overhead_s,
         cp.idle_s,
     );
@@ -404,6 +423,135 @@ fn e2e_smoke() {
             "GATE FAIL: e2e speedup {speedup:.3} below committed threshold \
              {MIN_SPEEDUP} at {E2E_THREADS} threads on {cores} cores"
         );
+        std::process::exit(1);
+    }
+}
+
+/// One Gram run at `E2E_THREADS` worker threads under a resident-tile
+/// budget (0 = unbounded). `get_local` at the end drags every spilled
+/// output tile back through the blob store, so the wall time prices the
+/// full evict/readmit round trip. Returns (wall seconds, fingerprint,
+/// spill counters).
+fn spill_once(budget: u64) -> (f64, String, Option<cumulon::dfs::SpillStats>) {
+    set_default_threads(E2E_THREADS);
+    let cluster = Cluster::provision_with(
+        ClusterSpec::named("m1.large", 4, 2).unwrap(),
+        Default::default(),
+        DfsConfig::default(),
+    )
+    .unwrap();
+    if budget > 0 {
+        cluster
+            .store()
+            .set_memory_budget(&cumulon::dfs::SpillConfig::budgeted(budget))
+            .unwrap();
+    }
+    cluster
+        .store()
+        .register_generated("A", META, Generator::DenseGaussian { seed: 7 })
+        .unwrap();
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let at = b.transpose(a);
+    let g = b.mul(at, a);
+    b.output("G", g);
+    let program = b.build();
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "A".to_string(),
+        InputDesc {
+            meta: META,
+            density: 1.0,
+            sparse: false,
+            generated: true,
+        },
+    );
+    let mut model = CostModel::default();
+    for i in catalog() {
+        model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+    }
+    let opt = Optimizer::new(model);
+    let t0 = Instant::now();
+    let report = opt
+        .execute_on(&cluster, &program, &inputs, "spill", ExecMode::Real)
+        .unwrap();
+    let out = cluster.store().get_local("G").unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    let fp = fingerprint(&report, std::slice::from_ref(&out));
+    (wall, fp, cluster.store().dfs().spill_stats())
+}
+
+/// Out-of-core gate: the same Gram workload under budgets ~9x and ~36x
+/// below its working set must reproduce the unbounded run bitwise (the
+/// spill plane costs zero *simulated* time by construction), must
+/// actually evict (a zero counter would make the gate vacuous), and may
+/// not blow the wall-clock slowdown bound.
+fn spill_smoke() {
+    let (base_s, base_fp, base_stats) = spill_once(0);
+    assert!(
+        base_stats.is_none(),
+        "no spill plane expected without a budget"
+    );
+    let mut rows = String::new();
+    let mut failed = false;
+    for (i, budget) in SPILL_BUDGETS.into_iter().enumerate() {
+        let (wall, fp, stats) = spill_once(budget);
+        let stats = stats.expect("budgeted run installs a spill plane");
+        let identical = fp == base_fp;
+        let slowdown = wall / base_s;
+        let ratio = stats.blob.compression_ratio();
+        println!(
+            "spill budget {} KiB: {wall:.2}s ({slowdown:.2}x unbounded {base_s:.2}s), \
+             {} eviction(s), {} readmission(s), {} B spilled ({ratio:.2}x compression), \
+             {} B read back, bitwise identical: {identical}",
+            budget >> 10,
+            stats.evictions,
+            stats.readmissions,
+            stats.spilled_bytes_total,
+            stats.readback_bytes_total,
+        );
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "{{\"budget_bytes\":{budget},\"wall_seconds\":{wall:.4},\
+             \"slowdown\":{slowdown:.3},\"bitwise_identical\":{identical},\
+             \"evictions\":{},\"readmissions\":{},\"spilled_bytes\":{},\
+             \"readback_bytes\":{},\"compression_ratio\":{ratio:.4},\
+             \"blob_segments\":{}}}",
+            stats.evictions,
+            stats.readmissions,
+            stats.spilled_bytes_total,
+            stats.readback_bytes_total,
+            stats.blob.segments,
+        );
+        if !identical {
+            eprintln!("GATE FAIL: {budget} B budget run diverged from unbounded run");
+            failed = true;
+        }
+        if stats.evictions == 0 || stats.spilled_bytes_total == 0 {
+            eprintln!(
+                "GATE FAIL: {budget} B budget never spilled \
+                 ({} evictions, {} B) — the gate is vacuous",
+                stats.evictions, stats.spilled_bytes_total
+            );
+            failed = true;
+        }
+        if slowdown > MAX_SPILL_SLOWDOWN {
+            eprintln!(
+                "GATE FAIL: {budget} B budget ran {slowdown:.2}x the unbounded wall \
+                 (bound {MAX_SPILL_SLOWDOWN}x)"
+            );
+            failed = true;
+        }
+    }
+    let json = format!(
+        "{{\"experiment\":\"spill_gram_1536\",\"threads\":{E2E_THREADS},\
+         \"unbounded_seconds\":{base_s:.4},\"runs\":[{rows}]}}"
+    );
+    std::fs::write("BENCH_spill.json", json).expect("write BENCH_spill.json");
+    if failed {
         std::process::exit(1);
     }
 }

@@ -1329,6 +1329,12 @@ pub fn e18_with_log() -> (Series, cumulon::cluster::TraceLog) {
             actual.write_s,
         ),
         (
+            "startup",
+            cp.phases.startup_s,
+            predicted.startup_s,
+            actual.startup_s,
+        ),
+        (
             "overhead",
             cp.phases.overhead_s,
             predicted.overhead_s,
@@ -1432,6 +1438,129 @@ pub fn e19() -> Series {
             format!("{:.2}", choice.expected_cost_dollars),
             format!("{:.2}", on_demand.expected_cost_dollars),
         ]);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// E20: out-of-core tile plane under pressure
+// ---------------------------------------------------------------------------
+
+/// E20 — spill transparency: Gram (`G = AᵀA`) and square GEMM runs whose
+/// working sets exceed the resident-tile budget by ~10x and ~100x, in
+/// *real* mode so tiles actually move through the LRU/blob machinery.
+/// Every budgeted run must reproduce the unbounded run's fingerprint and
+/// output bits at 1 worker thread and at N (the plane costs zero
+/// simulated time by construction); the table reports the churn each
+/// budget causes. The working set is measured, not assumed: a probe run
+/// under an effectively unbounded plane reports its resident bytes.
+pub fn e20() -> Series {
+    use cumulon::cluster::{FailurePlan, SchedulerConfig, Trace};
+    use cumulon::core::RecoveryConfig;
+    use cumulon::dfs::{SpillConfig, SpillStats};
+
+    let mut s = Series::new(
+        "E20",
+        "out-of-core tile plane: working sets ~10x/~100x the resident budget (real run)",
+        &[
+            "workload",
+            "budget (KiB)",
+            "ws/budget",
+            "evict",
+            "readmit",
+            "spilled (MB)",
+            "codec ratio",
+            "identical t1/tN",
+        ],
+    );
+    let n_threads = std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4));
+    // (workload index, threads, budget) -> (fingerprint+output bits, stats)
+    let run = |wl: usize, threads: usize, budget: u64| -> (String, Option<SpillStats>) {
+        let meta = MatrixMeta::new(512, 512, 128);
+        let cluster = Cluster::provision(ClusterSpec::named("m1.large", 4, 2).unwrap()).unwrap();
+        if budget > 0 {
+            cluster
+                .store()
+                .set_memory_budget(&SpillConfig::budgeted(budget))
+                .unwrap();
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut inputs = BTreeMap::new();
+        let output = if wl == 0 {
+            cluster
+                .store()
+                .register_generated("A", meta, Generator::DenseGaussian { seed: 3 })
+                .unwrap();
+            inputs.insert("A".to_string(), InputDesc::dense(meta).generated());
+            let a = pb.input("A");
+            let at = pb.transpose(a);
+            let g = pb.mul(at, a);
+            pb.output("G", g);
+            "G"
+        } else {
+            for (name, seed) in [("A", 3), ("B", 5)] {
+                cluster
+                    .store()
+                    .register_generated(name, meta, Generator::DenseGaussian { seed })
+                    .unwrap();
+                inputs.insert(name.to_string(), InputDesc::dense(meta).generated());
+            }
+            let a = pb.input("A");
+            let b = pb.input("B");
+            let c = pb.mul(a, b);
+            pb.output("C", c);
+            "C"
+        };
+        let program = pb.build();
+        let report = optimizer()
+            .execute_on_traced(
+                &cluster,
+                &program,
+                &inputs,
+                "e20",
+                ExecMode::Real,
+                SchedulerConfig::default().with_threads(threads),
+                &FailurePlan::default(),
+                RecoveryConfig::default(),
+                &Trace::disabled(),
+            )
+            .unwrap();
+        // Reading the result back drags every spilled tile through the
+        // blob store, so the fingerprint also covers re-admission.
+        let out = cluster.store().get_local(output).unwrap();
+        let fp = format!(
+            "{}out {:016x}",
+            report.fingerprint(),
+            out.frob_norm().to_bits()
+        );
+        (fp, cluster.store().dfs().spill_stats())
+    };
+    for (wl, name) in [(0, "gram 512^2 t128"), (1, "gemm 512^2 t128")] {
+        let (base_fp, none) = run(wl, 1, 0);
+        debug_assert!(none.is_none());
+        // Probe: an unbounded plane measures the working set and must
+        // itself be invisible (it never evicts).
+        let (probe_fp, probe) = run(wl, 1, u64::MAX);
+        let ws = probe.expect("plane installed").resident_bytes;
+        for budget in [ws / 10, ws / 100] {
+            let (fp1, st1) = run(wl, 1, budget);
+            let (fpn, _) = run(wl, n_threads, budget);
+            let st = st1.expect("budgeted run installs a spill plane");
+            s.push(vec![
+                name.to_string(),
+                format!("{}", budget >> 10),
+                format!("{:.0}x", ws as f64 / budget.max(1) as f64),
+                st.evictions.to_string(),
+                st.readmissions.to_string(),
+                format!("{:.1}", st.spilled_bytes_total as f64 / 1e6),
+                format!("{:.2}", st.blob.compression_ratio()),
+                format!(
+                    "{}/{}",
+                    fp1 == base_fp && probe_fp == base_fp,
+                    fpn == base_fp
+                ),
+            ]);
+        }
     }
     s
 }
@@ -1647,6 +1776,7 @@ pub fn all() -> Vec<Series> {
         e17(),
         e18(),
         e19(),
+        e20(),
         t1(),
         t2(),
         t3(),
@@ -1676,6 +1806,7 @@ pub fn by_id(id: &str) -> Option<Series> {
         "e17" => Some(e17()),
         "e18" => Some(e18()),
         "e19" => Some(e19()),
+        "e20" => Some(e20()),
         "t1" => Some(t1()),
         "t2" => Some(t2()),
         "t3" => Some(t3()),
@@ -1763,6 +1894,23 @@ mod tests {
                 cost <= on_demand + 1e-9,
                 "chosen cost must never exceed the on-demand reference: {row:?}"
             );
+        }
+    }
+
+    /// E20's whole point: runs whose working sets dwarf the budget must
+    /// stay bitwise-identical to the unbounded run at both thread
+    /// counts, and must demonstrably spill (zero churn would make the
+    /// identity column vacuous).
+    #[test]
+    fn e20_budgeted_runs_reproduce_unbounded_bits() {
+        let s = e20();
+        assert_eq!(s.rows.len(), 4, "{s:?}");
+        for row in &s.rows {
+            assert_eq!(row[7], "true/true", "spill plane not transparent: {row:?}");
+            let evictions: u64 = row[3].parse().unwrap();
+            assert!(evictions > 0, "budgeted run never evicted: {row:?}");
+            let spilled: f64 = row[5].parse().unwrap();
+            assert!(spilled > 0.0, "no bytes spilled: {row:?}");
         }
     }
 

@@ -10,6 +10,8 @@
 //!
 //! * worker threads: 1 vs. N (deterministic parallel executor);
 //! * payload plane: tile handles vs. materialized wire bytes;
+//! * memory budget: unbounded vs. a budget tight enough that the
+//!   out-of-core plane must continuously spill tiles to the blob store;
 //! * tracing: off vs. on (spans are observational by design);
 //! * billing policy: hour-quantized vs. per-second (pricing only);
 //! * faults: a seeded [`FailurePlan`] plus lineage recovery vs. a clean
@@ -46,6 +48,13 @@
 //! * `search-grid-coverage` — deployment search candidate generation
 //!   covers exactly the instance × slots × nodes cross product, with
 //!   `max_nodes` always included even under non-dividing strides.
+//! * `spill-transparency` — a run under a memory budget tight enough to
+//!   force continuous eviction reproduces the unbounded baseline's
+//!   fingerprint and output bits (so billing, receipts and results are
+//!   untouched by the out-of-core plane), the spill ledger conserves
+//!   bytes ([`cumulon_dfs::Dfs::spill_conserved`]), and the budget
+//!   demonstrably evicted tiles (a zero eviction counter would make the
+//!   check vacuous).
 //! * `kernel-conformance` — the optimized tile kernels match their
 //!   reference paths: the packed SIMD GEMM is epsilon-bounded against
 //!   the naive reference (its summation association and FMA contraction
@@ -69,7 +78,7 @@ use cumulon_core::estimate::{job_time_mc, job_time_s};
 use cumulon_core::expr::{InputDesc, ProgramBuilder};
 use cumulon_core::recovery::RecoveryConfig;
 use cumulon_core::{DeploymentSearch, Optimizer, Program, Result, SearchSpace};
-use cumulon_dfs::StorageAccounting;
+use cumulon_dfs::{SpillConfig, SpillStats, StorageAccounting};
 use cumulon_matrix::gen::Generator;
 use cumulon_matrix::{reference, MatrixMeta};
 use cumulon_workloads::chains::MulChain;
@@ -245,6 +254,8 @@ struct LatticePoint {
     materialize_bytes: bool,
     trace: bool,
     billing: BillingPolicy,
+    /// Resident-tile budget in bytes; 0 leaves the out-of-core plane off.
+    memory_budget: u64,
 }
 
 const BASELINE: LatticePoint = LatticePoint {
@@ -252,12 +263,13 @@ const BASELINE: LatticePoint = LatticePoint {
     materialize_bytes: false,
     trace: false,
     billing: BillingPolicy::HourlyCeil,
+    memory_budget: 0,
 };
 
 impl LatticePoint {
     fn label(&self, case: &str) -> String {
         format!(
-            "{case}/t{}/{}/{}{}",
+            "{case}/t{}/{}/{}{}{}",
             self.threads,
             if self.materialize_bytes {
                 "bytes"
@@ -270,6 +282,7 @@ impl LatticePoint {
             } else {
                 ""
             },
+            if self.memory_budget > 0 { "/spill" } else { "" },
         )
     }
 }
@@ -290,6 +303,10 @@ struct RunArtifacts {
     traces: Vec<TraceLog>,
     /// DFS ledger snapshot after the last iteration.
     accounting: StorageAccounting,
+    /// Spill-plane counters after the last iteration (budgeted runs only).
+    spill: Option<SpillStats>,
+    /// [`cumulon_dfs::Dfs::spill_conserved`] after the last iteration.
+    spill_conserved: bool,
 }
 
 /// Executes one case at one lattice point on a fresh cluster.
@@ -299,6 +316,12 @@ fn run_case(case: &Case, point: LatticePoint, failures: &FailurePlan) -> Result<
     cluster
         .store()
         .set_materialize_bytes(point.materialize_bytes);
+    if point.memory_budget > 0 {
+        cluster
+            .store()
+            .set_memory_budget(&SpillConfig::budgeted(point.memory_budget))
+            .map_err(CoreError::from)?;
+    }
     case.workload.setup(cluster.store())?;
     let opt = optimizer();
     let config = SchedulerConfig::default().with_threads(point.threads);
@@ -358,6 +381,8 @@ fn run_case(case: &Case, point: LatticePoint, failures: &FailurePlan) -> Result<
         reports,
         traces,
         accounting: cluster.store().dfs().storage_accounting(),
+        spill: cluster.store().dfs().spill_stats(),
+        spill_conserved: cluster.store().dfs().spill_conserved(),
     })
 }
 
@@ -405,7 +430,7 @@ fn check_case(case: &Case, opts: &CheckOptions, report: &mut CheckReport) {
             threads: if t == 0 { n } else { t },
             materialize_bytes: mat,
             trace: tr,
-            billing: BillingPolicy::HourlyCeil,
+            ..BASELINE
         });
     }
     for point in variants {
@@ -432,6 +457,7 @@ fn check_case(case: &Case, opts: &CheckOptions, report: &mut CheckReport) {
     check_per_second_billing(case, &base, &base_label, report);
     check_recovery_idempotence(case, &base, &base_label, report);
     check_revocation_survivability(case, opts, &base, &base_label, report);
+    check_spill_transparency(case, opts, &base, &base_label, report);
 }
 
 /// Invariants every run must satisfy regardless of configuration:
@@ -708,6 +734,74 @@ fn check_revocation_survivability(
                 label,
                 false,
                 format!("revoked run did not survive: {e}"),
+            ),
+        }
+    }
+}
+
+/// The out-of-core plane must be observationally invisible: under a
+/// budget tight enough to hold only a tile or two, eviction and
+/// re-admission churn constantly, yet the fingerprint (receipts, bill,
+/// makespan) and output bits must equal the unbounded baseline, and the
+/// spill ledger must conserve bytes block-for-block.
+fn check_spill_transparency(
+    case: &Case,
+    opts: &CheckOptions,
+    base: &RunArtifacts,
+    base_label: &str,
+    report: &mut CheckReport,
+) {
+    // Tight enough that even the power iteration's 15×1 vector tiles
+    // (~160 wire bytes each) overflow it; the 2 KiB dense tiles of the
+    // chain and Gram cases evict on every single write.
+    const TIGHT: u64 = 512;
+    let n = threads_n();
+    let threads: &[usize] = if opts.quick { &[0] } else { &[1, 0] };
+    for &t in threads {
+        let point = LatticePoint {
+            threads: if t == 0 { n } else { t },
+            memory_budget: TIGHT,
+            ..BASELINE
+        };
+        let label = point.label(case.name);
+        match run_case(case, point, &FailurePlan::default()) {
+            Ok(art) => {
+                per_run_invariants(case, point, &art, report);
+                let identical =
+                    art.fingerprint == base.fingerprint && art.output_bits == base.output_bits;
+                let evictions = art.spill.map_or(0, |s| s.evictions);
+                let readmissions = art.spill.map_or(0, |s| s.readmissions);
+                let ok = identical && art.spill_conserved && evictions > 0;
+                report.record(
+                    "spill-transparency",
+                    label,
+                    ok,
+                    if ok {
+                        format!(
+                            "{TIGHT} B budget: {evictions} eviction(s), {readmissions} \
+                             re-admission(s); ledger conserved; fingerprint and output \
+                             bits equal to {base_label}"
+                        )
+                    } else {
+                        format!(
+                            "{TIGHT} B budget: identical to {base_label}: {identical}; \
+                             ledger conserved: {}; evictions: {evictions} \
+                             (zero would be vacuous){}",
+                            art.spill_conserved,
+                            if identical {
+                                String::new()
+                            } else {
+                                format!("; {}", diverged_detail(base_label, base, &art))
+                            },
+                        )
+                    },
+                );
+            }
+            Err(e) => report.record(
+                "spill-transparency",
+                label,
+                false,
+                format!("budgeted run failed: {e}"),
             ),
         }
     }
@@ -1073,6 +1167,7 @@ mod tests {
             "estimate-envelope",
             "search-grid-coverage",
             "kernel-conformance",
+            "spill-transparency",
         ] {
             assert!(
                 report.outcomes.iter().any(|o| o.invariant == inv),

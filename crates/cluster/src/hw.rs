@@ -144,7 +144,9 @@ impl HardwareModel {
     }
 
     /// Noise-free split of [`Self::task_seconds_base`] into execution
-    /// phases: fixed overhead (startup + op-fixed seconds + IO-op
+    /// phases: task launch (startup, reported on its own so a one-wave
+    /// plan's constant launch cost is not misread as executor
+    /// inefficiency), per-op overhead (op-fixed seconds + IO-op
     /// latency), kernel compute, and penalized read/write time. The
     /// components sum to the base duration up to floating-point rounding;
     /// trace consumers rescale them to an attempt's *actual* (noisy)
@@ -178,9 +180,8 @@ impl HardwareModel {
             compute_s: cpu_s,
             read_s: read_s * io_penalty,
             write_s: write_s * io_penalty,
-            overhead_s: self.task_startup_s
-                + receipt.fixed_s
-                + receipt.io_ops as f64 * self.io_op_overhead_s,
+            startup_s: self.task_startup_s,
+            overhead_s: receipt.fixed_s + receipt.io_ops as f64 * self.io_op_overhead_s,
         }
     }
 
@@ -314,6 +315,32 @@ mod tests {
             );
             assert!(phases.compute_s > 0.0 && phases.read_s > 0.0 && phases.write_s > 0.0);
         }
+    }
+
+    /// Launch cost is its own phase: the constant `task_startup_s` lands
+    /// in `startup_s`, never in `overhead_s` (which holds only the
+    /// work-proportional fixed seconds and IO-op latency). Pins the
+    /// attribution bug where a one-wave plan's single 2s launch was
+    /// reported as 66% executor "overhead".
+    #[test]
+    fn task_phases_separate_startup_from_overhead() {
+        let t = by_name("m1.large").unwrap();
+        let h = hw();
+        let mut r = receipt(3e9, 200_000_000, 0, 100_000_000, 500.0);
+        r.fixed_s = 0.5;
+        r.io_ops = 7;
+        let phases = h.task_phases(&t, 2, &r);
+        assert_eq!(phases.startup_s, h.task_startup_s);
+        let expected_overhead = r.fixed_s + r.io_ops as f64 * h.io_op_overhead_s;
+        assert!(
+            (phases.overhead_s - expected_overhead).abs() < 1e-12,
+            "overhead {} vs {expected_overhead}",
+            phases.overhead_s
+        );
+        // An empty task is pure launch: zero overhead, full startup.
+        let empty = h.task_phases(&t, 2, &TaskReceipt::default());
+        assert_eq!(empty.startup_s, h.task_startup_s);
+        assert_eq!(empty.overhead_s, 0.0);
     }
 
     #[test]

@@ -1877,6 +1877,131 @@ mod tests {
         assert!(r.jobs[0].receipt.write.bytes > 0);
     }
 
+    /// Triple-plane equivalence at the executor level: the same faulty
+    /// tile workload on the handle plane, the materialize-bytes plane,
+    /// and the handle plane under a memory budget tight enough to force
+    /// constant eviction must produce the same report fingerprint and
+    /// the same output bits, at one worker thread and at several. Only
+    /// the budgeted arms may touch the spill path.
+    #[test]
+    fn spill_pressure_and_payload_planes_share_one_fingerprint() {
+        use cumulon_matrix::tile::ElemOp;
+
+        // (threads, budget bytes, materialize) -> (fingerprint+output, evictions)
+        let run = |threads: usize, budget: u64, materialize: bool| {
+            let c = cluster(3, 2);
+            c.store().set_materialize_bytes(materialize);
+            if budget > 0 {
+                c.store()
+                    .set_memory_budget(&cumulon_dfs::SpillConfig::budgeted(budget))
+                    .unwrap();
+            }
+            let meta = MatrixMeta::new(16, 16, 4);
+            c.store().register("A", meta).unwrap();
+            for ti in 0..4 {
+                for tj in 0..4 {
+                    let t = cumulon_matrix::DenseTile::from_fn(4, 4, |i, j| {
+                        (ti * 64 + tj * 16 + i * 4 + j) as f64 * 0.25 - 3.0
+                    });
+                    c.store()
+                        .write_tile("A", ti, tj, &Tile::dense(t), None)
+                        .unwrap();
+                }
+            }
+            c.store().register("B", meta).unwrap();
+            c.store().register("C", MatrixMeta::new(4, 16, 4)).unwrap();
+            let mut dag = JobDag::new();
+            let doubles = (0..16usize)
+                .map(|i| {
+                    let (ti, tj) = (i / 4, i % 4);
+                    Task::new(move |ctx| {
+                        ctx.charge(Work {
+                            flops: 2e10,
+                            bytes_in: 0.0,
+                            bytes_out: 0.0,
+                        });
+                        let t = ctx.read_tile("A", ti, tj)?;
+                        let d = t.elementwise(&t, ElemOp::Add)?;
+                        ctx.write_tile("B", ti, tj, &d)?;
+                        Ok(())
+                    })
+                    .with_locality("A", ti, tj)
+                })
+                .collect();
+            dag.push(Job::new("double", "elem", doubles), vec![]);
+            let folds = (0..4usize)
+                .map(|tj| {
+                    Task::new(move |ctx| {
+                        ctx.charge(Work {
+                            flops: 1e10,
+                            bytes_in: 0.0,
+                            bytes_out: 0.0,
+                        });
+                        let mut acc = Tile::dense(cumulon_matrix::DenseTile::zeros(4, 4));
+                        for ti in 0..4 {
+                            let t = ctx.read_tile("B", ti, tj)?;
+                            acc = t.elementwise(&acc, ElemOp::Add)?;
+                        }
+                        ctx.write_tile("C", 0, tj, &acc)?;
+                        Ok(())
+                    })
+                })
+                .collect();
+            dag.push(Job::new("fold", "elem", folds), vec![0]);
+            let failures = FailurePlan {
+                revocations: vec![Revocation {
+                    at_s: 25.0,
+                    nodes: vec![2],
+                    warning_lead_s: 5.0,
+                }],
+                ..Default::default()
+            };
+            let r = c
+                .run_with(
+                    &dag,
+                    ExecMode::Real,
+                    SchedulerConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                    &failures,
+                )
+                .unwrap();
+            let out = c.store().get_local("C").unwrap();
+            let evictions = c.store().dfs().spill_stats().map_or(0, |s| s.evictions);
+            (
+                format!("{} out={:016x}", r.fingerprint(), out.sum().to_bits()),
+                evictions,
+            )
+        };
+
+        // ~150 wire bytes per 4x4 dense tile, 36 tiles in flight: a 600 B
+        // budget keeps only a handful resident and evicts continuously.
+        let (base, ev) = run(1, 0, false);
+        assert_eq!(ev, 0, "no budget, no spill plane");
+        for (threads, budget, materialize) in [
+            (4, 0, false),
+            (1, 0, true),
+            (4, 0, true),
+            (1, 600, false),
+            (4, 600, false),
+        ] {
+            let (fp, ev) = run(threads, budget, materialize);
+            assert_eq!(
+                fp, base,
+                "plane divergence at threads={threads} budget={budget} materialize={materialize}"
+            );
+            if budget > 0 {
+                assert!(
+                    ev > 0,
+                    "tight budget must actually evict (threads={threads})"
+                );
+            } else {
+                assert_eq!(ev, 0);
+            }
+        }
+    }
+
     #[test]
     fn try_run_reports_lost_blocks() {
         use cumulon_dfs::DfsConfig;

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! t ≈ c₀ + c₁·(flops·max(1, S/cores)) + c₂·(local_read·S) + c₃·(remote_read·S)
-//!        + c₄·(local_write·S) + c₅·(remote_write·S) + c₆·io_ops
+//!        + c₄·(local_write·S) + c₅·(remote_write·S) + c₆·io_ops + c₇·(spill·S)
 //! ```
 //!
 //! where `S` is the slot count — the contention-adjusted featurization that
@@ -17,6 +17,15 @@
 //! estimated from the fit residuals (`sigma`). A memory-pressure factor
 //! with the framework's published form (demand over capacity, squared) is
 //! applied to the I/O terms of both calibration features and predictions.
+//!
+//! `c₇` is the **disk-tier coefficient**: seconds per byte of out-of-core
+//! spill traffic (the memory-budgeted tile plane re-reading demoted tiles
+//! from local disk). The synthetic probe battery carries no spill
+//! evidence — its column is identically zero, and the OLS solver pins such
+//! columns to coefficient 0 instead of failing — so `c₇` is fit from a
+//! *measured* host profile ([`SpillProfile::measure`] +
+//! [`refit_disk_tier`]), the same keep-it-honest idiom as
+//! [`refit_cpu_from_kernels`].
 
 use std::collections::BTreeMap;
 
@@ -46,8 +55,11 @@ pub fn mem_penalty(instance: &InstanceType, slots: u32, mem_mb: f64) -> f64 {
     }
 }
 
-/// Contention-adjusted feature vector `[1, cpu, lr, rr, lw, rw, ops]`.
-pub fn featurize(instance: &InstanceType, slots: u32, f: &TaskFeatures) -> [f64; 7] {
+/// Contention-adjusted feature vector `[1, cpu, lr, rr, lw, rw, ops, spill]`.
+/// Spill traffic contends for the local disk like other I/O (slot-scaled)
+/// but takes no memory-pressure penalty: spilling is the *response* to
+/// pressure, not subject to it.
+pub fn featurize(instance: &InstanceType, slots: u32, f: &TaskFeatures) -> [f64; 8] {
     let s = slots.max(1) as f64;
     let cpu_adj = (s / instance.cores as f64).max(1.0);
     let pen = mem_penalty(instance, slots, f.mem_mb);
@@ -59,14 +71,15 @@ pub fn featurize(instance: &InstanceType, slots: u32, f: &TaskFeatures) -> [f64;
         f.local_write * s * pen,
         f.remote_write * s * pen,
         f.io_ops,
+        f.spill_bytes * s,
     ]
 }
 
 /// Fitted task-time coefficients for one instance type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OpCoefficients {
-    /// `[c₀ … c₆]` over [`featurize`]'s features.
-    pub c: [f64; 7],
+    /// `[c₀ … c₇]` over [`featurize`]'s features.
+    pub c: [f64; 8],
     /// Fitted straggler spread (std of log residuals).
     pub sigma: f64,
 }
@@ -95,6 +108,9 @@ impl OpCoefficients {
                 1.0 / (instance.disk_write_mbs * 1e6),
                 1.0 / (instance.net_mbs * 1e6),
                 0.02,
+                // Disk tier: a spilled byte comes back at local-disk read
+                // rate (no network hop — blob segments are node-local).
+                1.0 / (instance.disk_read_mbs * 1e6),
             ],
             sigma: 0.08,
         }
@@ -225,7 +241,7 @@ pub fn calibrate_instance(
     instance: &InstanceType,
     config: &CalibrationConfig,
 ) -> Result<OpCoefficients> {
-    let mut xs: Vec<[f64; 7]> = Vec::new();
+    let mut xs: Vec<[f64; 8]> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let slot_options = {
         let mut v = vec![1u32, instance.cores];
@@ -296,6 +312,10 @@ pub fn calibrate_instance(
                 remote_write: probe.remote_write,
                 mem_mb: 0.0,
                 io_ops: probe.io_ops as f64,
+                // No spill evidence in the synthetic battery: the column
+                // is identically zero and `ols` pins c₇ to 0. The disk
+                // tier is fit from a measured profile (`refit_disk_tier`).
+                spill_bytes: 0.0,
             };
             let x = featurize(instance, slots, &features);
             for t in &job_stats.tasks {
@@ -316,7 +336,7 @@ pub fn calibrate_instance(
 /// battery. Straggler `sigma` is estimated from the log-residuals of the
 /// fit. Needs at least 7 samples spanning the feature space; degenerate
 /// designs return [`CoreError::Calibration`].
-pub fn fit_samples(xs: &[[f64; 7]], ys: &[f64]) -> Result<OpCoefficients> {
+pub fn fit_samples(xs: &[[f64; 8]], ys: &[f64]) -> Result<OpCoefficients> {
     let c = ols(xs, ys)?;
     // Residual spread → straggler sigma.
     let mut sq = 0.0;
@@ -486,7 +506,7 @@ pub fn refit_cpu_from_kernels(
     instance: &InstanceType,
     profile: &KernelProfile,
 ) -> Result<OpCoefficients> {
-    let mut xs: Vec<[f64; 7]> = Vec::new();
+    let mut xs: Vec<[f64; 8]> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     for s in profile.samples.iter().filter(|s| s.kernel == "gemm_packed") {
         let f = TaskFeatures {
@@ -515,16 +535,20 @@ pub fn refit_cpu_from_kernels(
         remote_write: 1e6,
         mem_mb: 8.0,
         io_ops: 4.0,
+        spill_bytes: 1e6,
     };
     let mut anchors = vec![base_f];
-    for i in 0..5 {
+    for i in 0..6 {
         let mut f = base_f;
         match i {
             0 => f.local_read = 4e8,
             1 => f.remote_read = 4e8,
             2 => f.local_write = 4e8,
             3 => f.remote_write = 4e8,
-            _ => f.io_ops = 512.0,
+            4 => f.io_ops = 512.0,
+            // Disk-tier anchor: keeps the refit full-rank on c₇ and
+            // agreeing with `base` where the kernel profile is silent.
+            _ => f.spill_bytes = 4e8,
         }
         anchors.push(f);
     }
@@ -540,15 +564,119 @@ pub fn refit_cpu_from_kernels(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Host spill-tier profiling — keeping the disk coefficient honest
+// ---------------------------------------------------------------------------
+
+/// Wall-clock-timed round-trip through the out-of-core blob store on this
+/// host: how fast spilled tiles actually come back from local disk. The
+/// synthetic probe battery carries no spill evidence (its c₇ column is
+/// identically zero and the OLS solver pins the coefficient to 0), so this
+/// measured profile is what gives the cost model a disk tier — the same
+/// keep-it-honest idiom as [`KernelProfile`] for the CPU coefficient.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpillProfile {
+    /// Payload bytes pushed through the store.
+    pub bytes: u64,
+    /// Seconds spent appending (demotion path).
+    pub write_s: f64,
+    /// Seconds spent reading back (re-admission path).
+    pub read_s: f64,
+}
+
+impl SpillProfile {
+    /// Measures blob-segment round-trip throughput with incompressible
+    /// payloads stored raw (compression would measure the codec, not the
+    /// disk). `quick` trims the volume for CI budgets. Best-of-2 on each
+    /// direction to shed scheduler noise.
+    pub fn measure(quick: bool) -> Result<SpillProfile> {
+        use cumulon_dfs::blob::{BlobKey, BlobStore};
+        use cumulon_matrix::compress::Codec;
+        use std::time::Instant;
+
+        let (entry_bytes, entries) = if quick { (1 << 20, 8) } else { (4 << 20, 16) };
+        // Incompressible deterministic payload (LCG bytes).
+        let mut payload = vec![0u8; entry_bytes];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for b in payload.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        let dir = std::env::temp_dir().join(format!("cumulon-spill-probe-{}", std::process::id()));
+        let mut best_write = f64::INFINITY;
+        let mut best_read = f64::INFINITY;
+        for _rep in 0..2 {
+            let mut store = BlobStore::open(dir.clone())
+                .map_err(|e| CoreError::Calibration(format!("spill probe: {e}")))?;
+            let keys: Vec<BlobKey> = (0..entries)
+                .map(|i| {
+                    payload[0] = i as u8; // distinct content per entry
+                    BlobKey::digest(&payload)
+                })
+                .collect();
+            let t0 = Instant::now();
+            for (i, &key) in keys.iter().enumerate() {
+                payload[0] = i as u8;
+                store
+                    .put(key, Codec::Raw, &payload, entry_bytes as u32)
+                    .map_err(|e| CoreError::Calibration(format!("spill probe put: {e}")))?;
+            }
+            best_write = best_write.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            for &key in &keys {
+                let (_, data, _) = store
+                    .get(key)
+                    .map_err(|e| CoreError::Calibration(format!("spill probe get: {e}")))?;
+                std::hint::black_box(&data);
+            }
+            best_read = best_read.min(t0.elapsed().as_secs_f64());
+            // Dropping the store removes the probe directory.
+        }
+        Ok(SpillProfile {
+            bytes: (entry_bytes * entries) as u64,
+            write_s: best_write,
+            read_s: best_read,
+        })
+    }
+
+    /// Measured re-admission throughput, bytes/second.
+    pub fn readback_bps(&self) -> f64 {
+        self.bytes as f64 / self.read_s.max(1e-9)
+    }
+
+    /// Measured demotion throughput, bytes/second.
+    pub fn writeback_bps(&self) -> f64 {
+        self.bytes as f64 / self.write_s.max(1e-9)
+    }
+}
+
+/// Re-fits the disk-tier coefficient `c₇` from a measured
+/// [`SpillProfile`]: a spilled byte costs one re-read at the measured
+/// blob-store readback rate. Every other coefficient and `sigma` keep
+/// their values from `base` — the profile carries no evidence about them.
+pub fn refit_disk_tier(base: &OpCoefficients, profile: &SpillProfile) -> OpCoefficients {
+    let mut c = base.c;
+    c[7] = 1.0 / profile.readback_bps();
+    OpCoefficients {
+        c,
+        sigma: base.sigma,
+    }
+}
+
 /// Ordinary least squares via normal equations + Gaussian elimination.
 // Index loops: the elimination updates aug[row][k] from aug[col][k], a
 // split borrow iterators can't express cleanly.
 #[allow(clippy::needless_range_loop)]
-fn ols(xs: &[[f64; 7]], ys: &[f64]) -> Result<[f64; 7]> {
-    const D: usize = 7;
-    if xs.len() < D {
+fn ols(xs: &[[f64; 8]], ys: &[f64]) -> Result<[f64; 8]> {
+    const D: usize = 8;
+    // Only columns with any evidence need identifying; zero columns are
+    // pinned to coefficient 0 below, not estimated.
+    let active = (0..D).filter(|&j| xs.iter().any(|x| x[j] != 0.0)).count();
+    if xs.len() < active {
         return Err(CoreError::Calibration(format!(
-            "only {} samples for {D} coefficients",
+            "only {} samples for {active} active coefficients",
             xs.len()
         )));
     }
@@ -561,6 +689,18 @@ fn ols(xs: &[[f64; 7]], ys: &[f64]) -> Result<[f64; 7]> {
             for j in 0..D {
                 a[i][j] += x[i] * x[j];
             }
+        }
+    }
+    // A feature that is identically zero in every sample (e.g. spill
+    // traffic in the synthetic probe battery) carries no evidence: its
+    // row/column of XᵀX is all zeros, and `b` is zero there too. Pin the
+    // coefficient to exactly 0 by putting a 1 on the diagonal — the
+    // system becomes block-diagonal in that column and solves to 0 —
+    // instead of reporting a singular matrix. Genuinely collinear designs
+    // (nonzero but dependent columns) still fail the pivot check below.
+    for j in 0..D {
+        if a[j][j] == 0.0 {
+            a[j][j] = 1.0;
         }
     }
     // Scale columns for conditioning (features span ~10 orders).
@@ -618,7 +758,7 @@ mod tests {
 
     #[test]
     fn ols_recovers_exact_coefficients() {
-        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5];
+        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5, -0.25];
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         // Deterministic pseudo-random design.
@@ -628,7 +768,7 @@ mod tests {
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for _ in 0..100 {
-            let x = [1.0, next(), next(), next(), next(), next(), next()];
+            let x = [1.0, next(), next(), next(), next(), next(), next(), next()];
             let y: f64 = truth.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
             xs.push(x);
             ys.push(y);
@@ -641,7 +781,7 @@ mod tests {
 
     #[test]
     fn fit_samples_recovers_exact_model_with_zero_sigma() {
-        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5];
+        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5, -0.25];
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         let mut state = 7u64;
@@ -650,7 +790,7 @@ mod tests {
             ((state >> 33) as f64 / (1u64 << 31) as f64) + 0.1
         };
         for _ in 0..60 {
-            let x = [1.0, next(), next(), next(), next(), next(), next()];
+            let x = [1.0, next(), next(), next(), next(), next(), next(), next()];
             let y: f64 = truth.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
             xs.push(x);
             ys.push(y);
@@ -664,9 +804,9 @@ mod tests {
 
     #[test]
     fn ols_rejects_underdetermined() {
-        assert!(ols(&[[1.0; 7]; 3], &[1.0, 2.0, 3.0]).is_err());
+        assert!(ols(&[[1.0; 8]; 3], &[1.0, 2.0, 3.0]).is_err());
         // Degenerate (all-identical rows) is singular.
-        assert!(ols(&[[1.0; 7]; 20], &[1.0; 20]).is_err());
+        assert!(ols(&[[1.0; 8]; 20], &[1.0; 20]).is_err());
     }
 
     #[test]
@@ -705,7 +845,7 @@ mod tests {
         assert!((implied - 1.0).abs() < 0.01, "implied/measured {implied}");
         // ...while startup and I/O coefficients still agree with base.
         assert!((fit.c[0] - base.c[0]).abs() < 0.01 * base.c[0].abs());
-        for i in 2..7 {
+        for i in 2..8 {
             let rel = (fit.c[i] - base.c[i]).abs() / base.c[i].abs().max(1e-15);
             assert!(rel < 0.01, "coefficient {i}: {} vs {}", fit.c[i], base.c[i]);
         }
@@ -752,12 +892,15 @@ mod tests {
     fn calibration_fits_the_hardware() {
         let instance = by_name("m1.large").unwrap();
         let coeffs = calibrate_instance(&instance, &CalibrationConfig::default()).unwrap();
-        // Compare with the closed-form (hardware-truth) coefficients.
+        // Compare with the closed-form (hardware-truth) coefficients. The
+        // probe battery never spills, so the disk-tier column is pinned to
+        // zero by the fit (c₇ comes from `refit_disk_tier` instead).
         let ideal = OpCoefficients::idealized(&instance, 2.0, 0.85);
-        for (i, (got, want)) in coeffs.c.iter().zip(ideal.c.iter()).enumerate() {
+        for (i, (got, want)) in coeffs.c.iter().zip(ideal.c.iter()).enumerate().take(7) {
             let rel = (got - want).abs() / want.abs().max(1e-12);
             assert!(rel < 0.15, "coef {i}: got {got}, want {want} (rel {rel})");
         }
+        assert_eq!(coeffs.c[7], 0.0, "no spill evidence in the probe battery");
         // Straggler sigma recovered near the simulator's 0.08.
         assert!((coeffs.sigma - 0.08).abs() < 0.04, "sigma {}", coeffs.sigma);
     }
@@ -774,10 +917,66 @@ mod tests {
             remote_write: 2e8,
             mem_mb: 100.0,
             io_ops: 64.0,
+            spill_bytes: 0.0,
         };
         let pred = coeffs.predict(&instance, 4, &f);
         // Sanity band: seconds, not micro or kilo.
         assert!(pred > 1.0 && pred < 60.0, "pred {pred}");
+    }
+
+    #[test]
+    fn ols_pins_unobserved_columns_to_zero() {
+        // Design with the spill column identically zero: the fit must
+        // succeed and return exactly 0 there, not fail as singular.
+        let truth = [2.0, 3.0, -1.0, 0.5, 4.0, 0.0, 1.5, 0.0];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) + 0.1
+        };
+        for _ in 0..40 {
+            let x = [1.0, next(), next(), next(), next(), next(), next(), 0.0];
+            let y: f64 = truth.iter().zip(x.iter()).map(|(c, x)| c * x).sum();
+            xs.push(x);
+            ys.push(y);
+        }
+        let c = ols(&xs, &ys).unwrap();
+        assert_eq!(c[7], 0.0, "unobserved column pinned: {c:?}");
+        for (got, want) in c.iter().zip(truth.iter()).take(7) {
+            assert!((got - want).abs() < 1e-8, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn spill_profile_measures_blob_throughput() {
+        let p = SpillProfile::measure(true).unwrap();
+        assert!(p.bytes > 0, "probe moved no bytes");
+        assert!(
+            p.readback_bps() > 1e6,
+            "readback {} B/s is implausibly slow",
+            p.readback_bps()
+        );
+        assert!(p.writeback_bps() > 1e6, "writeback {}", p.writeback_bps());
+    }
+
+    #[test]
+    fn refit_disk_tier_sets_only_the_spill_coefficient() {
+        let t = by_name("m1.large").unwrap();
+        let base = OpCoefficients::idealized(&t, 2.0, 0.85);
+        let profile = SpillProfile {
+            bytes: 64 << 20,
+            write_s: 0.5,
+            read_s: 0.25,
+        };
+        let fit = refit_disk_tier(&base, &profile);
+        let want = 1.0 / profile.readback_bps();
+        assert!((fit.c[7] - want).abs() < 1e-18, "c7 {}", fit.c[7]);
+        for i in 0..7 {
+            assert_eq!(fit.c[i], base.c[i], "coefficient {i} must not move");
+        }
+        assert_eq!(fit.sigma, base.sigma);
     }
 
     #[test]

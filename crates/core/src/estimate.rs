@@ -73,6 +73,10 @@ pub struct TaskFeatures {
     pub mem_mb: f64,
     /// DFS file operations (tile reads + writes; generated reads are free).
     pub io_ops: f64,
+    /// Out-of-core traffic: bytes re-read from the local-disk spill tier
+    /// when the working set exceeds the memory budget (zero when tiles
+    /// stay resident). Priced by the disk-tier coefficient `c₇`.
+    pub spill_bytes: f64,
 }
 
 /// Bytes one tile of a matrix occupies, on average, given its stats.
@@ -135,6 +139,7 @@ fn add_features(a: TaskFeatures, b: TaskFeatures) -> TaskFeatures {
         remote_write: a.remote_write + b.remote_write,
         mem_mb: a.mem_mb + b.mem_mb,
         io_ops: a.io_ops + b.io_ops,
+        spill_bytes: a.spill_bytes + b.spill_bytes,
     }
 }
 
@@ -585,10 +590,13 @@ pub fn estimate_plan_full(
 
 /// Splits one task's fitted time prediction into the trace subsystem's
 /// phase categories by coefficient group of the calibration model
-/// (see [`crate::calibrate::featurize`]): overhead is the startup
-/// intercept plus the per-file-operation term (`c₀ + c₆·ops`), compute is
+/// (see [`crate::calibrate::featurize`]): startup is the launch
+/// intercept (`c₀`), overhead is the per-file-operation term (`c₆·ops`),
+/// compute is
 /// the contention-adjusted flop term (`c₁`), read is local + remote read
-/// bandwidth (`c₂ + c₃`), write is local + remote write bandwidth
+/// bandwidth plus the disk-tier spill term (`c₂ + c₃ + c₇` — re-reading a
+/// demoted tile from the local spill segments is a read, wherever the
+/// byte physically came from), write is local + remote write bandwidth
 /// (`c₄ + c₅`). Comparable against a traced run's measured
 /// [`cumulon_trace::PhaseBreakdown`] per span.
 pub fn predicted_task_phases(
@@ -600,9 +608,10 @@ pub fn predicted_task_phases(
     let x = crate::calibrate::featurize(instance, slots, f);
     let c = &coeffs.c;
     cumulon_trace::PhaseBreakdown {
-        overhead_s: c[0] * x[0] + c[6] * x[6],
+        startup_s: c[0] * x[0],
+        overhead_s: c[6] * x[6],
         compute_s: c[1] * x[1],
-        read_s: c[2] * x[2] + c[3] * x[3],
+        read_s: c[2] * x[2] + c[3] * x[3] + c[7] * x[7],
         write_s: c[4] * x[4] + c[5] * x[5],
     }
 }
@@ -629,6 +638,7 @@ pub fn predict_plan_phases(
             compute_s: p.compute_s * k,
             read_s: p.read_s * k,
             write_s: p.write_s * k,
+            startup_s: p.startup_s * k,
             overhead_s: p.overhead_s * k,
         });
     }

@@ -178,6 +178,14 @@ pub enum Command {
         /// cores). Bitwise-identical results at any setting; useful when
         /// a run has fewer concurrent tasks than cores.
         kernel_threads: usize,
+        /// Host-memory budget in bytes for resident tile payloads
+        /// (0 = unbounded). Cold tiles spill to a content-addressed blob
+        /// store on disk and are re-admitted transparently on read;
+        /// results are bitwise-identical at any budget.
+        memory_budget: u64,
+        /// Directory for spill segment files (default: a per-process
+        /// temp directory). Only meaningful with `--memory-budget`.
+        spill_dir: Option<String>,
     },
     /// `trace`: execute like `run`, then print the critical-path,
     /// slot-utilization and estimate-vs-actual reports for the traced
@@ -245,6 +253,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                       interval search under the deadline)\n\
              run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--kernel-threads K] [--materialize-bytes] [--trace FILE.json]\n\
+                      [--memory-budget BYTES [--spill-dir PATH]]\n\
                       [--spot [--bid FRAC]] [--elastic]\n\
              trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--kernel-threads K] [--trace FILE.json]   (prints critical-\n\
@@ -333,6 +342,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut spot = false;
     let mut bid: Option<f64> = None;
     let mut elastic = false;
+    let mut memory_budget = 0u64;
+    let mut spill_dir: Option<String> = None;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -403,6 +414,14 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .parse()
                     .map_err(|_| CoreError::Invariant("--kernel-threads needs an integer".into()))?
             }
+            "--memory-budget" => {
+                memory_budget = next_value(&mut it, "--memory-budget")?
+                    .parse()
+                    .map_err(|_| {
+                        CoreError::Invariant("--memory-budget needs a byte count".into())
+                    })?
+            }
+            "--spill-dir" => spill_dir = Some(next_value(&mut it, "--spill-dir")?),
             other => {
                 return Err(CoreError::Invariant(format!("unknown argument '{other}'")));
             }
@@ -420,6 +439,16 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         return Err(CoreError::Invariant(format!(
             "--spot/--elastic only apply to plan and run, not {cmd}"
         )));
+    }
+    if (memory_budget != 0 || spill_dir.is_some()) && cmd != "run" {
+        return Err(CoreError::Invariant(format!(
+            "--memory-budget/--spill-dir only apply to run, not {cmd}"
+        )));
+    }
+    if spill_dir.is_some() && memory_budget == 0 {
+        return Err(CoreError::Invariant(
+            "--spill-dir requires --memory-budget".into(),
+        ));
     }
     match cmd.as_str() {
         "plan" => {
@@ -473,6 +502,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 bid,
                 elastic,
                 kernel_threads,
+                memory_budget,
+                spill_dir,
             })
         }
         "trace" => {
@@ -750,6 +781,8 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             bid,
             elastic,
             kernel_threads,
+            memory_budget,
+            spill_dir,
         } => {
             cumulon_cluster::set_default_threads(*threads);
             cumulon_matrix::set_kernel_threads(*kernel_threads);
@@ -757,6 +790,23 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             let descs = check_inputs(&compiled, inputs)?;
             let cluster = provision_for_run(inputs, instance, *nodes, *slots)?;
             cluster.store().set_materialize_bytes(*materialize_bytes);
+            if *memory_budget > 0 {
+                let config = cumulon_dfs::SpillConfig {
+                    budget_bytes: *memory_budget,
+                    dir: spill_dir.as_ref().map(std::path::PathBuf::from),
+                    compress: true,
+                };
+                cluster
+                    .store()
+                    .set_memory_budget(&config)
+                    .map_err(CoreError::from)?;
+                writeln!(
+                    out,
+                    "spill  : resident tile budget {memory_budget} B, cold tiles spill to {}",
+                    spill_dir.as_deref().unwrap_or("a temp directory")
+                )
+                .map_err(w)?;
+            }
             let failures = if *spot {
                 // Scale the price trace to the run so crossings land
                 // mid-run; an estimate failure falls back to an hour.
@@ -842,6 +892,25 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 if let Some(path) = trace {
                     let log = handle.snapshot().expect("trace handle is enabled");
                     write_trace_json(&log, path, out)?;
+                }
+            }
+            if *memory_budget > 0 {
+                if let Some(stats) = cluster.store().dfs().spill_stats() {
+                    let ratio = if stats.blob.bytes_written > 0 {
+                        stats.blob.raw_bytes_written as f64 / stats.blob.bytes_written as f64
+                    } else {
+                        1.0
+                    };
+                    writeln!(
+                        out,
+                        "spill  : {} eviction(s), {} readmission(s), {} B spilled \
+                         ({ratio:.2}x compression), {} B read back",
+                        stats.evictions,
+                        stats.readmissions,
+                        stats.spilled_bytes_total,
+                        stats.readback_bytes_total
+                    )
+                    .map_err(w)?;
                 }
             }
             if *real {
@@ -983,7 +1052,12 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 .map_err(w)?;
             }
             let base = cumulon_core::OpCoefficients::idealized(&inst, 2.0, 0.85);
-            let refit = cumulon_core::calibrate::refit_cpu_from_kernels(&base, &inst, &profile)?;
+            let cpu_fit = cumulon_core::calibrate::refit_cpu_from_kernels(&base, &inst, &profile)?;
+            // Disk tier: measure the host blob store's spill/readback
+            // throughput and fit the c₇ coefficient from it, the same way
+            // the kernel battery fits the CPU term.
+            let spill = cumulon_core::calibrate::SpillProfile::measure(*quick)?;
+            let refit = cumulon_core::calibrate::refit_disk_tier(&cpu_fit, &spill);
             let before = cumulon_core::estimate::model_implied_gflops(&base, &inst);
             let after = cumulon_core::estimate::model_implied_gflops(&refit, &inst);
             writeln!(
@@ -991,6 +1065,14 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 "model  : {instance} implied {before:.2} -> {after:.2} GFLOP/s \
                  (measured dense peak {:.2})",
                 profile.dense_gflops()
+            )
+            .map_err(w)?;
+            writeln!(
+                out,
+                "spill  : writeback {:.0} MB/s, readback {:.0} MB/s -> c7 {:e} s/B",
+                spill.writeback_bps() / 1e6,
+                spill.readback_bps() / 1e6,
+                refit.c[7]
             )
             .map_err(w)?;
             if let Some(path) = json {
@@ -1023,9 +1105,14 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                      \"samples\": [{samples}\n  ],\n  \
                      \"implied_gflops_before\": {before:.4},\n  \
                      \"implied_gflops_after\": {after:.4},\n  \
+                     \"spill_writeback_bps\": {:.0},\n  \
+                     \"spill_readback_bps\": {:.0},\n  \
                      \"coefficients\": [{coeffs}],\n  \
                      \"sigma\": {}\n}}\n",
-                    profile.simd_level, refit.sigma
+                    profile.simd_level,
+                    spill.writeback_bps(),
+                    spill.readback_bps(),
+                    refit.sigma
                 );
                 std::fs::write(path, doc)
                     .map_err(|e| CoreError::Invariant(format!("cannot write {path}: {e}")))?;
@@ -1123,8 +1210,45 @@ mod tests {
                 bid: None,
                 elastic: false,
                 kernel_threads: 1,
+                memory_budget: 0,
+                spill_dir: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_spill_flags() {
+        let cmd = parse_args(&args(
+            "run s.cm --input A=10x10 --instance m1.large --nodes 2 \
+             --memory-budget 1048576 --spill-dir /tmp/spill",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                memory_budget,
+                spill_dir,
+                ..
+            } => {
+                assert_eq!(memory_budget, 1_048_576);
+                assert_eq!(spill_dir.as_deref(), Some("/tmp/spill"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --spill-dir without a budget, spill flags off `run`, and
+        // non-integer budgets all reject.
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --spill-dir /tmp/x"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "trace s.cm --input A=1x1 --instance m1.large --nodes 2 --memory-budget 1024"
+        ))
+        .is_err());
+        assert!(parse_args(&args("plan s.cm --input A=1x1 --memory-budget 1024")).is_err());
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --memory-budget lots"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -1282,6 +1406,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("gemm_packed"), "{text}");
         assert!(text.contains("implied"), "{text}");
+        assert!(text.contains("readback"), "{text}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         let v = cumulon_trace::json::parse(&json).unwrap();
         assert_eq!(
@@ -1290,6 +1415,10 @@ mod tests {
         );
         assert!(v
             .get("implied_gflops_after")
+            .and_then(|g| g.as_f64())
+            .is_some_and(|g| g > 0.0));
+        assert!(v
+            .get("spill_readback_bps")
             .and_then(|g| g.as_f64())
             .is_some_and(|g| g > 0.0));
         std::fs::remove_file(json_path).ok();
@@ -1383,6 +1512,8 @@ mod tests {
                 bid: None,
                 elastic: false,
                 kernel_threads: 1,
+                memory_budget: 0,
+                spill_dir: None,
             },
             &mut out,
         )
@@ -1390,6 +1521,55 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("output G: 20x20"), "{text}");
 
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `run --memory-budget` end to end with a budget far below the
+    /// working set: the run spills, reports it, and produces the same
+    /// output norm as the unbounded run above.
+    #[test]
+    fn memory_budget_run_end_to_end() {
+        let path = write_script("G = A' * A;");
+        let script = path.to_str().unwrap().to_string();
+        let run = |budget: u64| {
+            let mut out = Vec::new();
+            execute(
+                &Command::Run {
+                    script: script.clone(),
+                    inputs: vec![InputSpec::parse("A=40x20:10").unwrap()],
+                    instance: "m1.large".into(),
+                    nodes: 2,
+                    slots: 0,
+                    real: true,
+                    threads: 1,
+                    materialize_bytes: false,
+                    trace: None,
+                    spot: false,
+                    bid: None,
+                    elastic: false,
+                    kernel_threads: 1,
+                    memory_budget: budget,
+                    spill_dir: None,
+                },
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let tight = run(2_048);
+        assert!(
+            tight.contains("spill  : resident tile budget 2048 B"),
+            "{tight}"
+        );
+        assert!(tight.contains("eviction(s)"), "{tight}");
+        let unbounded = run(0);
+        let norm = |t: &str| {
+            t.lines()
+                .find(|l| l.contains("output G"))
+                .map(str::to_string)
+                .unwrap()
+        };
+        assert_eq!(norm(&tight), norm(&unbounded), "spill changed the result");
         std::fs::remove_file(path).ok();
     }
 
@@ -1416,6 +1596,8 @@ mod tests {
                 bid: Some(0.3),
                 elastic: true,
                 kernel_threads: 1,
+                memory_budget: 0,
+                spill_dir: None,
             },
             &mut out,
         )

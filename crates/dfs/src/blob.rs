@@ -1,0 +1,510 @@
+//! Content-addressed on-disk blob store: the third (disk) tier of the
+//! storage hierarchy.
+//!
+//! Spilled tile payloads land here as entries in **append-only segment
+//! files** (`seg-NNNNNN.blob` under the store's directory). Each entry is
+//! keyed by a deterministic 128-bit digest of its *uncompressed* bytes,
+//! so identical tile encodings written twice dedupe to one stored copy —
+//! re-spilling a tile that round-tripped through RAM unchanged costs no
+//! new disk bytes. Entries carry a reference count (one per live DFS file
+//! pointing at them); releasing the last reference marks the entry's
+//! bytes dead in its segment, and a **compaction pass** rewrites the live
+//! remainder of garbage-heavy segments into the current segment and
+//! deletes the old file. Compaction triggers automatically once a
+//! segment's dead bytes outweigh its live bytes (and the segment is
+//! sealed), which is exactly the state `drop_matrix` / checkpoint
+//! truncation leaves behind.
+//!
+//! Segment entry framing (little-endian):
+//!
+//! ```text
+//! [key: 16 bytes] [codec: u8] [stored_len: u32] [raw_len: u32] [payload]
+//! ```
+//!
+//! The store never reads an entry it did not index in memory, so the
+//! framing exists for crash-inspection and compaction rewrites, not for
+//! recovery — the whole store lives for one simulation process and its
+//! directory is removed on drop.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::PathBuf;
+
+use cumulon_matrix::compress::Codec;
+
+use crate::error::{DfsError, Result};
+
+/// Deterministic 128-bit content digest (two independent FNV-1a streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobKey(pub [u64; 2]);
+
+impl BlobKey {
+    /// Digest of a byte buffer. Not cryptographic — collision resistance
+    /// here only has to beat the handful of distinct tiles one simulation
+    /// produces, and determinism (same bytes → same key on every run and
+    /// platform) is the property the equivalence tests lean on.
+    pub fn digest(bytes: &[u8]) -> BlobKey {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h1 = OFFSET;
+        // Second stream: different offset basis, byte-shifted input.
+        let mut h2 = OFFSET ^ 0x5bd1_e995_9d1b_54a5;
+        for &b in bytes {
+            h1 = (h1 ^ b as u64).wrapping_mul(PRIME);
+            h2 = (h2 ^ (b as u64).rotate_left(3)).wrapping_mul(PRIME);
+        }
+        // Fold the length in so prefixes don't collide.
+        h2 = (h2 ^ bytes.len() as u64).wrapping_mul(PRIME);
+        BlobKey([h1, h2])
+    }
+
+    fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.0[0].to_le_bytes());
+        out[8..].copy_from_slice(&self.0[1].to_le_bytes());
+        out
+    }
+}
+
+/// Where one live entry resides.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    segment: u64,
+    /// Offset of the payload (past the frame header) within the segment.
+    offset: u64,
+    /// Stored (possibly compressed) payload length.
+    stored_len: u32,
+    /// Uncompressed length.
+    raw_len: u32,
+    codec: Codec,
+    /// Live references (DFS files currently pointing at this entry).
+    refs: u32,
+}
+
+#[derive(Debug, Default)]
+struct Segment {
+    live_bytes: u64,
+    dead_bytes: u64,
+}
+
+/// Aggregate counters for observability and the spill invariants.
+/// Counters are monotonic totals; `live_bytes`/`dead_bytes` are the
+/// current segment occupancy split.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlobStats {
+    /// Distinct live entries.
+    pub live_entries: u64,
+    /// Stored bytes of live entries (compressed form).
+    pub live_bytes: u64,
+    /// Stored bytes of dead entries not yet compacted away.
+    pub dead_bytes: u64,
+    /// Segment files currently on disk.
+    pub segments: u64,
+    /// Total payload bytes ever appended (compressed form).
+    pub bytes_written: u64,
+    /// Total uncompressed bytes ever appended (the pre-codec size).
+    pub raw_bytes_written: u64,
+    /// Total payload bytes read back out.
+    pub bytes_read: u64,
+    /// Compaction passes executed.
+    pub compactions: u64,
+    /// `put` calls answered by an existing entry (content dedupe).
+    pub dedup_hits: u64,
+}
+
+impl BlobStats {
+    /// Compression ratio achieved on everything ever written:
+    /// uncompressed over stored (1.0 when nothing was written).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_written == 0 {
+            1.0
+        } else {
+            self.raw_bytes_written as f64 / self.bytes_written as f64
+        }
+    }
+}
+
+/// Append-only, content-addressed segment store. Single-threaded by
+/// construction — the owner (the spill plane) serializes access.
+#[derive(Debug)]
+pub struct BlobStore {
+    dir: PathBuf,
+    /// Segment id → occupancy. Current (open) segment is the max id.
+    segments: HashMap<u64, Segment>,
+    entries: HashMap<BlobKey, EntryMeta>,
+    next_segment: u64,
+    current: Option<(u64, File)>,
+    current_len: u64,
+    /// Roll to a new segment past this many payload+frame bytes.
+    segment_roll_bytes: u64,
+    stats: BlobStats,
+}
+
+const FRAME_HEADER: u64 = 16 + 1 + 4 + 4;
+/// Default segment roll size: small enough that drop-heavy workloads
+/// produce several segments for compaction to reclaim, large enough that
+/// a segment amortizes its file handle.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 << 20;
+
+impl BlobStore {
+    /// Opens (creates) a blob store rooted at `dir`. The directory is
+    /// created if missing and removed again when the store drops.
+    pub fn open(dir: PathBuf) -> Result<BlobStore> {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DfsError::Spill(format!("create {}: {e}", dir.display())))?;
+        Ok(BlobStore {
+            dir,
+            segments: HashMap::new(),
+            entries: HashMap::new(),
+            next_segment: 0,
+            current: None,
+            current_len: 0,
+            segment_roll_bytes: DEFAULT_SEGMENT_BYTES,
+            stats: BlobStats::default(),
+        })
+    }
+
+    /// Overrides the segment roll size (tests drive compaction with tiny
+    /// segments).
+    pub fn set_segment_roll_bytes(&mut self, bytes: u64) {
+        self.segment_roll_bytes = bytes.max(1);
+    }
+
+    /// The store's on-disk directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    fn segment_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("seg-{id:06}.blob"))
+    }
+
+    fn open_segment(&mut self) -> Result<()> {
+        if self.current.is_some() && self.current_len < self.segment_roll_bytes {
+            return Ok(());
+        }
+        let id = self.next_segment;
+        self.next_segment += 1;
+        let path = self.segment_path(id);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| DfsError::Spill(format!("open {}: {e}", path.display())))?;
+        self.segments.insert(id, Segment::default());
+        self.current = Some((id, file));
+        self.current_len = 0;
+        Ok(())
+    }
+
+    /// Stores `data` (already encoded under `codec`, `raw_len` bytes
+    /// before the codec) and takes one reference on it. Content-addressed:
+    /// if an entry with the same `key` is live, its refcount is bumped and
+    /// nothing is written.
+    pub fn put(&mut self, key: BlobKey, codec: Codec, data: &[u8], raw_len: u32) -> Result<()> {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.refs += 1;
+            self.stats.dedup_hits += 1;
+            return Ok(());
+        }
+        self.open_segment()?;
+        let (seg_id, file) = self.current.as_mut().expect("segment open");
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + data.len());
+        frame.extend_from_slice(&key.to_bytes());
+        frame.push(codec.tag());
+        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&raw_len.to_le_bytes());
+        frame.extend_from_slice(data);
+        file.write_all(&frame)
+            .map_err(|e| DfsError::Spill(format!("append segment {seg_id}: {e}")))?;
+        let offset = self.current_len + FRAME_HEADER;
+        let seg_id = *seg_id;
+        self.current_len += frame.len() as u64;
+        self.entries.insert(
+            key,
+            EntryMeta {
+                segment: seg_id,
+                offset,
+                stored_len: data.len() as u32,
+                raw_len,
+                codec,
+                refs: 1,
+            },
+        );
+        let seg = self.segments.get_mut(&seg_id).expect("segment indexed");
+        seg.live_bytes += data.len() as u64;
+        self.stats.live_entries += 1;
+        self.stats.live_bytes += data.len() as u64;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.raw_bytes_written += raw_len as u64;
+        Ok(())
+    }
+
+    /// Reads an entry's stored payload and its codec. The caller owns
+    /// decompression (the blob layer is codec-agnostic beyond framing).
+    pub fn get(&mut self, key: BlobKey) -> Result<(Codec, Vec<u8>, u32)> {
+        let e = *self
+            .entries
+            .get(&key)
+            .ok_or_else(|| DfsError::Spill(format!("blob entry {key:?} not found")))?;
+        let mut buf = vec![0u8; e.stored_len as usize];
+        // The entry may live in the currently-open segment; reuse that
+        // handle (reads move the cursor, appends re-seek to the end).
+        if let Some((cur_id, file)) = self.current.as_mut() {
+            if *cur_id == e.segment {
+                file.seek(SeekFrom::Start(e.offset))
+                    .and_then(|_| file.read_exact(&mut buf))
+                    .and_then(|_| file.seek(SeekFrom::End(0)))
+                    .map_err(|err| DfsError::Spill(format!("read segment {cur_id}: {err}")))?;
+                self.stats.bytes_read += buf.len() as u64;
+                return Ok((e.codec, buf, e.raw_len));
+            }
+        }
+        let path = self.segment_path(e.segment);
+        let mut file = File::open(&path)
+            .map_err(|err| DfsError::Spill(format!("{}: {err}", path.display())))?;
+        file.seek(SeekFrom::Start(e.offset))
+            .and_then(|_| file.read_exact(&mut buf))
+            .map_err(|err| DfsError::Spill(format!("read {}: {err}", path.display())))?;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok((e.codec, buf, e.raw_len))
+    }
+
+    /// True when `key` has a live entry.
+    pub fn contains(&self, key: BlobKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Takes an additional reference on a live entry.
+    pub fn retain(&mut self, key: BlobKey) -> Result<()> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or_else(|| DfsError::Spill(format!("retain of dead blob {key:?}")))?;
+        e.refs += 1;
+        Ok(())
+    }
+
+    /// Drops one reference; the last release kills the entry and may
+    /// trigger compaction of its segment.
+    pub fn release(&mut self, key: BlobKey) -> Result<()> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or_else(|| DfsError::Spill(format!("release of dead blob {key:?}")))?;
+        e.refs -= 1;
+        if e.refs > 0 {
+            return Ok(());
+        }
+        let e = self.entries.remove(&key).expect("entry present");
+        let seg = self.segments.get_mut(&e.segment).expect("segment indexed");
+        seg.live_bytes -= e.stored_len as u64;
+        seg.dead_bytes += e.stored_len as u64;
+        self.stats.live_entries -= 1;
+        self.stats.live_bytes -= e.stored_len as u64;
+        self.stats.dead_bytes += e.stored_len as u64;
+        self.maybe_compact(e.segment)?;
+        Ok(())
+    }
+
+    /// Compacts `segment` when it is sealed and mostly dead.
+    fn maybe_compact(&mut self, segment: u64) -> Result<()> {
+        let is_current = matches!(self.current, Some((id, _)) if id == segment);
+        let seg = self.segments.get(&segment).expect("segment indexed");
+        if is_current || seg.dead_bytes <= seg.live_bytes {
+            return Ok(());
+        }
+        self.compact_segment(segment)
+    }
+
+    /// Rewrites a segment's live entries into the current segment, then
+    /// deletes its file. Dead-only segments are simply deleted.
+    fn compact_segment(&mut self, segment: u64) -> Result<()> {
+        let live_keys: Vec<BlobKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.segment == segment)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in live_keys {
+            let (codec, data, raw_len) = self.get(key)?;
+            let refs = self.entries.remove(&key).expect("live entry").refs;
+            // Live/dead accounting: the old copy leaves its segment…
+            let seg = self.segments.get_mut(&segment).expect("segment indexed");
+            seg.live_bytes -= data.len() as u64;
+            self.stats.live_entries -= 1;
+            self.stats.live_bytes -= data.len() as u64;
+            // …and a fresh copy lands in the current segment with the
+            // same refcount. `put` re-counts bytes_written: compaction
+            // I/O is real I/O and the stats should show it.
+            self.put(key, codec, &data, raw_len)?;
+            self.entries.get_mut(&key).expect("recreated").refs = refs;
+        }
+        let seg = self.segments.remove(&segment).expect("segment indexed");
+        debug_assert_eq!(seg.live_bytes, 0, "compaction moved all live bytes");
+        self.stats.dead_bytes -= seg.dead_bytes;
+        let path = self.segment_path(segment);
+        std::fs::remove_file(&path)
+            .map_err(|e| DfsError::Spill(format!("remove {}: {e}", path.display())))?;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Forces a compaction sweep over every segment with any dead bytes
+    /// (the explicit maintenance entry point; automatic compaction only
+    /// fires past the 50% garbage threshold). The current segment is
+    /// sealed first if it carries garbage, so a full sweep leaves zero
+    /// dead bytes behind.
+    pub fn compact(&mut self) -> Result<u64> {
+        if let Some((id, _)) = &self.current {
+            let seg = self.segments.get(id).expect("segment indexed");
+            if seg.dead_bytes > 0 {
+                self.current = None;
+            }
+        }
+        let current = self.current.as_ref().map(|(id, _)| *id);
+        let victims: Vec<u64> = self
+            .segments
+            .iter()
+            .filter(|(id, s)| Some(**id) != current && s.dead_bytes > 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let before = self.stats.compactions;
+        for id in victims {
+            self.compact_segment(id)?;
+        }
+        Ok(self.stats.compactions - before)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BlobStats {
+        let mut s = self.stats;
+        s.segments = self.segments.len() as u64;
+        s
+    }
+}
+
+impl Drop for BlobStore {
+    fn drop(&mut self) {
+        // Best-effort cleanup: segments, then the directory if now empty.
+        self.current = None;
+        for id in self.segments.keys() {
+            let _ = std::fs::remove_file(self.segment_path(*id));
+        }
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulon_matrix::compress::maybe_compress;
+
+    fn tmp_store(tag: &str) -> BlobStore {
+        let dir =
+            std::env::temp_dir().join(format!("cumulon-blob-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        BlobStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_codec() {
+        let mut s = tmp_store("roundtrip");
+        let raw: Vec<u8> = (0..10_000u32).map(|i| (i % 7) as u8).collect();
+        let (codec, stored) = maybe_compress(&raw);
+        let key = BlobKey::digest(&raw);
+        s.put(key, codec, &stored, raw.len() as u32).unwrap();
+        let (c2, data, raw_len) = s.get(key).unwrap();
+        assert_eq!(c2, codec);
+        assert_eq!(data, stored);
+        assert_eq!(raw_len as usize, raw.len());
+        assert_eq!(
+            cumulon_matrix::compress::decompress(c2, &data).unwrap(),
+            raw
+        );
+        let st = s.stats();
+        assert_eq!(st.live_entries, 1);
+        assert!(st.compression_ratio() > 2.0, "{:?}", st);
+    }
+
+    #[test]
+    fn content_dedupe_and_refcounts() {
+        let mut s = tmp_store("dedupe");
+        let raw = vec![9u8; 4096];
+        let key = BlobKey::digest(&raw);
+        s.put(key, Codec::Raw, &raw, raw.len() as u32).unwrap();
+        s.put(key, Codec::Raw, &raw, raw.len() as u32).unwrap();
+        let st = s.stats();
+        assert_eq!(st.dedup_hits, 1);
+        assert_eq!(st.live_entries, 1);
+        assert_eq!(st.bytes_written, 4096, "second put wrote nothing");
+        s.release(key).unwrap();
+        assert!(s.contains(key), "one ref still live");
+        s.release(key).unwrap();
+        assert!(!s.contains(key));
+        assert!(s.release(key).is_err(), "double release is a logic error");
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_length_sensitive() {
+        assert_eq!(BlobKey::digest(b"abc"), BlobKey::digest(b"abc"));
+        assert_ne!(BlobKey::digest(b"abc"), BlobKey::digest(b"abd"));
+        assert_ne!(BlobKey::digest(b""), BlobKey::digest(b"\0"));
+        assert_ne!(BlobKey::digest(b"a"), BlobKey::digest(b"a\0"));
+    }
+
+    #[test]
+    fn segments_roll_and_compaction_reclaims() {
+        let mut s = tmp_store("compact");
+        s.set_segment_roll_bytes(1024);
+        let mut keys = Vec::new();
+        for i in 0..20u32 {
+            // Distinct, incompressible-ish content per entry.
+            let raw: Vec<u8> = (0..400u32)
+                .map(|j| (i.wrapping_mul(37).wrapping_add(j * 11) % 251) as u8)
+                .collect();
+            let key = BlobKey::digest(&raw);
+            s.put(key, Codec::Raw, &raw, raw.len() as u32).unwrap();
+            keys.push((key, raw));
+        }
+        let st = s.stats();
+        assert!(st.segments > 3, "tiny roll must produce segments: {st:?}");
+        // Kill every other entry: sealed segments go >50% dead and
+        // auto-compact; survivors must still read back intact.
+        for (i, (key, _)) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                s.release(*key).unwrap();
+            }
+        }
+        let st_after = s.stats();
+        assert!(st_after.compactions > 0, "{st_after:?}");
+        assert!(st_after.segments < st.segments, "{st_after:?} vs {st:?}");
+        for (i, (key, raw)) in keys.iter().enumerate() {
+            if i % 2 == 1 {
+                let (codec, data, _) = s.get(*key).unwrap();
+                assert_eq!(codec, Codec::Raw);
+                assert_eq!(&data, raw, "entry {i} survived compaction");
+            }
+        }
+        // Explicit sweep clears the remaining garbage.
+        for (i, (key, _)) in keys.iter().enumerate() {
+            if i % 2 == 1 {
+                s.release(*key).unwrap();
+            }
+        }
+        s.compact().unwrap();
+        let st_end = s.stats();
+        assert_eq!(st_end.live_entries, 0);
+        assert_eq!(st_end.dead_bytes, 0, "{st_end:?}");
+    }
+
+    #[test]
+    fn drop_removes_directory() {
+        let s = tmp_store("drop");
+        let dir = s.dir().clone();
+        drop(s);
+        assert!(!dir.exists(), "{} should be cleaned up", dir.display());
+    }
+}

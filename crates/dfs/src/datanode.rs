@@ -7,13 +7,20 @@
 //! * the **handle plane** ([`BlockPayload::Tile`]) — a shared `Arc<Tile>`
 //!   plus the exact wire length the encoded block *would* occupy. All
 //!   byte-accounting counters use that wire length, so the two planes are
-//!   indistinguishable to receipts, placement, and storage statistics.
+//!   indistinguishable to receipts, placement, and storage statistics;
+//! * the **disk tier** ([`BlockPayload::Spilled`]) — a handle-plane block
+//!   whose decoded tile was demoted to the content-addressed blob store by
+//!   the memory-budgeted spill plane. It carries the same wire length the
+//!   handle carried, so every counter stays bitwise-identical; the next
+//!   read re-admits the tile through `Dfs::read_payload`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use cumulon_matrix::Tile;
+
+use crate::blob::BlobKey;
 
 /// Globally unique block identifier, allocated by the namenode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,6 +41,15 @@ pub enum BlockPayload {
         /// Wire length in bytes charged for this block.
         len: u64,
     },
+    /// Handle-plane block demoted to the blob store by the spill plane.
+    /// `len` is the wire length the resident handle carried — preserved
+    /// exactly so residency is invisible to all byte accounting.
+    Spilled {
+        /// Content digest addressing the blob entry for the owning file.
+        key: BlobKey,
+        /// Wire length in bytes charged for this block.
+        len: u64,
+    },
 }
 
 impl BlockPayload {
@@ -42,6 +58,7 @@ impl BlockPayload {
         match self {
             BlockPayload::Bytes(b) => b.len() as u64,
             BlockPayload::Tile { len, .. } => *len,
+            BlockPayload::Spilled { len, .. } => *len,
         }
     }
 
@@ -91,6 +108,33 @@ impl DataNode {
     /// True if the node holds a replica of `id`.
     pub fn contains(&self, id: BlockId) -> bool {
         self.blocks.contains_key(&id)
+    }
+
+    /// Non-counting peek at a replica (spill-plane internals only — real
+    /// reads go through [`DataNode::get`] so they are charged).
+    pub fn peek(&self, id: BlockId) -> Option<&BlockPayload> {
+        self.blocks.get(&id)
+    }
+
+    /// Replaces a replica's payload in place **without touching any byte
+    /// counter**. The spill plane uses this to demote a resident tile to
+    /// a [`BlockPayload::Spilled`] reference and to re-admit it later;
+    /// both directions preserve the charged wire length, so storage
+    /// accounting and receipts cannot observe residency. Returns `false`
+    /// if the node holds no replica of `id`.
+    pub fn swap_payload(&mut self, id: BlockId, payload: BlockPayload) -> bool {
+        match self.blocks.get_mut(&id) {
+            Some(slot) => {
+                debug_assert_eq!(
+                    slot.len(),
+                    payload.len(),
+                    "residency swaps must be counter-neutral"
+                );
+                *slot = payload;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops a replica if present, returning its size.
@@ -206,5 +250,39 @@ mod tests {
         assert_eq!(n.bytes_read_total(), 152);
         assert_eq!(n.evict(BlockId(7)), 152);
         assert_eq!(n.bytes_stored(), 0);
+    }
+
+    #[test]
+    fn swap_payload_is_counter_neutral() {
+        let mut n = DataNode::new();
+        let tile = Arc::new(Tile::zeros(4, 4));
+        n.put(
+            BlockId(3),
+            BlockPayload::Tile {
+                tile: Arc::clone(&tile),
+                len: 152,
+            },
+        );
+        let (stored, written, read) = (
+            n.bytes_stored(),
+            n.bytes_written_total(),
+            n.bytes_read_total(),
+        );
+        let key = BlobKey::digest(b"frame");
+        assert!(n.swap_payload(BlockId(3), BlockPayload::Spilled { key, len: 152 }));
+        assert_eq!(n.bytes_stored(), stored);
+        assert_eq!(n.bytes_written_total(), written);
+        assert_eq!(n.bytes_read_total(), read);
+        match n.peek(BlockId(3)).unwrap() {
+            BlockPayload::Spilled { key: k, len } => {
+                assert_eq!(*k, key);
+                assert_eq!(*len, 152);
+            }
+            other => panic!("expected spilled reference, got {other:?}"),
+        }
+        // Swap back: also neutral, and a peek never counts a read.
+        assert!(n.swap_payload(BlockId(3), BlockPayload::Tile { tile, len: 152 }));
+        assert_eq!(n.bytes_read_total(), read);
+        assert!(!n.swap_payload(BlockId(99), BlockPayload::Spilled { key, len: 0 }));
     }
 }

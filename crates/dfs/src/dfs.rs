@@ -12,16 +12,19 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use cumulon_matrix::serialize::encode_tile;
+use cumulon_matrix::compress::{decompress, maybe_compress, Codec};
+use cumulon_matrix::serialize::{decode_tile, encode_tile};
 use cumulon_matrix::Tile;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::blob::BlobKey;
 use crate::datanode::{BlockId, BlockPayload, DataNode};
 use crate::error::{DfsError, Result};
 use crate::namenode::{BlockMeta, NameNode};
+use crate::spill::{SpillConfig, SpillPlane, SpillStats};
 
 /// Identifier of a datanode (the cluster simulator uses the same ids for
 /// compute nodes, so "node-local read" is meaningful).
@@ -102,6 +105,10 @@ struct DfsState {
     namenode: NameNode,
     datanodes: Vec<DataNode>,
     rng: StdRng,
+    /// Out-of-core plane, when a memory budget is installed. Lives under
+    /// the same lock as the datanodes so residency swaps are atomic with
+    /// respect to reads.
+    spill: Option<SpillPlane>,
 }
 
 /// The simulated distributed file system. Cheap to clone (`Arc` inside);
@@ -119,6 +126,7 @@ impl Dfs {
             namenode: NameNode::new(nodes),
             datanodes: (0..nodes).map(|_| DataNode::new()).collect(),
             rng: StdRng::seed_from_u64(config.seed),
+            spill: None,
         };
         Dfs {
             state: Arc::new(Mutex::new(state)),
@@ -231,12 +239,26 @@ impl Dfs {
         writer: Option<NodeId>,
         replication: usize,
     ) -> Result<IoReceipt> {
-        self.write_blocks(path, wire_len, writer, replication, |_offset, len| {
+        let receipt = self.write_blocks(path, wire_len, writer, replication, |_offset, len| {
             BlockPayload::Tile {
                 tile: Arc::clone(&tile),
                 len,
             }
-        })
+        })?;
+        // Out-of-core plane: the new handle file becomes the hottest
+        // resident entry; demote colder files until the budget holds.
+        // Phantom tiles pin no data and are never tracked.
+        if !tile.is_phantom() {
+            let mut st = self.state.lock();
+            if st.spill.is_some() {
+                drop(tile); // release this fn's pin before enforcement
+                if let Some(plane) = st.spill.as_mut() {
+                    plane.note_resident(path, wire_len);
+                }
+                Self::enforce_budget(&mut st)?;
+            }
+        }
+        Ok(receipt)
     }
 
     /// Shared write path: namespace entry, block splitting, placement,
@@ -354,6 +376,9 @@ impl Dfs {
     ) -> Result<(FilePayload, IoReceipt)> {
         let mut st = self.state.lock();
         let blocks = st.namenode.stat(path)?.blocks.clone();
+        if let Some(plane) = st.spill.as_mut() {
+            plane.touch(path);
+        }
         let mut out = bytes::BytesMut::new();
         let mut handle: Option<Arc<Tile>> = None;
         let mut receipt = IoReceipt::default();
@@ -374,8 +399,18 @@ impl Dfs {
                 // A handle file carries one tile; every block shares the
                 // same Arc, so the first one is the whole payload.
                 BlockPayload::Tile { tile, .. } => handle = Some(tile),
+                // Demoted handle file: re-admit it from the blob store.
+                // The serving datanode already counted this read at the
+                // identical wire length, so receipts and counters cannot
+                // tell a disk-resident tile from a RAM-resident one.
+                BlockPayload::Spilled { key, .. } => {
+                    handle = Some(Self::readmit_path(&mut st, path, key)?);
+                }
             }
         }
+        // Re-admission may have pushed the plane over budget; demote
+        // colder files now (the file just read is the hottest entry).
+        Self::enforce_budget(&mut st)?;
         match handle {
             Some(tile) => Ok((FilePayload::Tile(tile), receipt)),
             None => Ok((FilePayload::Bytes(out.freeze()), receipt)),
@@ -390,6 +425,13 @@ impl Dfs {
     pub fn read_receipt(&self, path: &str, reader: Option<NodeId>) -> Result<IoReceipt> {
         let mut st = self.state.lock();
         let blocks = st.namenode.stat(path)?.blocks.clone();
+        // A receipt replay is a cache hit on the decoded tile: the file's
+        // data was just accessed, so refresh its LRU recency. A spilled
+        // file stays spilled — the cached Arc serves the data, and the
+        // datanode counters below advance exactly as a real read would.
+        if let Some(plane) = st.spill.as_mut() {
+            plane.touch(path);
+        }
         let mut receipt = IoReceipt::default();
         for (idx, block) in blocks.iter().enumerate() {
             let (source, _data) = Self::serve_block(&mut st, &self.config, reader, block)
@@ -412,13 +454,19 @@ impl Dfs {
         self.state.lock().namenode.exists(path)
     }
 
-    /// Deletes a file and all replicas.
+    /// Deletes a file and all replicas. A demoted file also drops its
+    /// blob-store reference, so segment compaction can reclaim the bytes.
     pub fn delete_file(&self, path: &str) -> Result<()> {
         let mut st = self.state.lock();
         let blocks = st.namenode.delete_file(path)?;
         for b in blocks {
             for node in b.replicas {
                 st.datanodes[node.0 as usize].evict(b.id);
+            }
+        }
+        if let Some(plane) = st.spill.as_mut() {
+            if let Some(entry) = plane.forget(path) {
+                plane.blob_mut().release(entry.key)?;
             }
         }
         Ok(())
@@ -621,6 +669,205 @@ impl Dfs {
             datanode_block_count: st.datanodes.iter().map(DataNode::block_count).sum(),
             per_node,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Out-of-core spill plane (see crate::spill).
+    // ------------------------------------------------------------------
+
+    /// Installs (or removes) the memory-budgeted spill plane. A budget of
+    /// zero removes the plane — after re-admitting every demoted file, so
+    /// no data is stranded in the segment files the plane deletes on drop.
+    /// Installing with a nonzero budget adopts files already resident on
+    /// the handle plane (namespace order) and enforces the budget
+    /// immediately. Replacing an existing plane first re-admits through
+    /// the old one for the same reason.
+    pub fn set_spill_config(&self, config: &SpillConfig) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.spill.is_some() {
+            let paths = st.spill.as_ref().expect("just checked").spilled_paths();
+            for path in paths {
+                let entry = st
+                    .spill
+                    .as_ref()
+                    .expect("plane present")
+                    .spilled(&path)
+                    .expect("listed => spilled");
+                Self::readmit_path(&mut st, &path, entry.key)?;
+            }
+            st.spill = None;
+        }
+        if config.budget_bytes == 0 {
+            return Ok(());
+        }
+        let mut plane = SpillPlane::new(config)?;
+        for path in st.namenode.list("") {
+            let meta = st.namenode.stat(&path)?;
+            let wire_len: u64 = meta.blocks.iter().map(|b| b.len).sum();
+            let first = meta.blocks.first();
+            let is_handle = first.is_some_and(|b| {
+                b.replicas.iter().any(|&n| {
+                    matches!(
+                        st.datanodes[n.0 as usize].peek(b.id),
+                        Some(BlockPayload::Tile { tile, .. }) if !tile.is_phantom()
+                    )
+                })
+            });
+            if is_handle {
+                plane.note_resident(&path, wire_len);
+            }
+        }
+        st.spill = Some(plane);
+        Self::enforce_budget(&mut st)
+    }
+
+    /// Spill-plane counters, when a plane is installed.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.state.lock().spill.as_ref().map(SpillPlane::stats)
+    }
+
+    /// Compacts the blob store's sealed segments, returning the number of
+    /// compactions performed (0 without a plane). Checkpoint truncation
+    /// and `drop_matrix` release blob references via [`Dfs::delete_file`];
+    /// this reclaims the dead segment bytes they leave behind.
+    pub fn compact_spill(&self) -> Result<u64> {
+        match self.state.lock().spill.as_mut() {
+            Some(plane) => plane.blob_mut().compact(),
+            None => Ok(0),
+        }
+    }
+
+    /// Conservation check for the spill plane (`true` without one): every
+    /// demoted file's recorded wire length must equal the sum of its block
+    /// lengths in the namenode, and every replica of every one of its
+    /// blocks must hold a [`BlockPayload::Spilled`] reference with the
+    /// file's blob key and the block's exact length. Together with
+    /// [`Dfs::storage_accounting`] this pins that demotion never creates
+    /// or destroys accounted bytes.
+    pub fn spill_conserved(&self) -> bool {
+        let st = self.state.lock();
+        let Some(plane) = st.spill.as_ref() else {
+            return true;
+        };
+        for path in plane.spilled_paths() {
+            let Some(entry) = plane.spilled(&path) else {
+                return false;
+            };
+            let Ok(meta) = st.namenode.stat(&path) else {
+                return false;
+            };
+            let wire_len: u64 = meta.blocks.iter().map(|b| b.len).sum();
+            if wire_len != entry.wire_len {
+                return false;
+            }
+            for b in &meta.blocks {
+                for &n in &b.replicas {
+                    match st.datanodes[n.0 as usize].peek(b.id) {
+                        Some(BlockPayload::Spilled { key, len })
+                            if *key == entry.key && *len == b.len => {}
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Demotes LRU-cold resident files until the plane is under budget.
+    /// No-op without a plane or under budget.
+    fn enforce_budget(st: &mut DfsState) -> Result<()> {
+        loop {
+            let Some(path) = st.spill.as_mut().and_then(SpillPlane::next_eviction) else {
+                return Ok(());
+            };
+            Self::demote_path(st, &path)?;
+        }
+    }
+
+    /// Demotes one handle file: encodes its tile through the ordinary wire
+    /// codec, optionally compresses, appends to the blob store (keyed by a
+    /// digest of the *encoded* tile, so identical content dedupes), and
+    /// swaps every replica of every block to a [`BlockPayload::Spilled`]
+    /// reference of identical wire length. Counter-neutral by
+    /// construction. Files that are no longer on the handle plane (e.g.
+    /// checkpoint-truncated to the byte plane) are skipped.
+    fn demote_path(st: &mut DfsState, path: &str) -> Result<()> {
+        let blocks = match st.namenode.stat(path) {
+            Ok(meta) => meta.blocks.clone(),
+            Err(_) => return Ok(()), // deleted since it went cold
+        };
+        let mut tile: Option<Arc<Tile>> = None;
+        'find: for b in &blocks {
+            for &n in &b.replicas {
+                if let Some(BlockPayload::Tile { tile: t, .. }) =
+                    st.datanodes[n.0 as usize].peek(b.id)
+                {
+                    tile = Some(Arc::clone(t));
+                    break 'find;
+                }
+            }
+        }
+        let Some(tile) = tile else {
+            return Ok(()); // not a handle file (anymore): nothing to demote
+        };
+        let wire = encode_tile(&tile);
+        let wire_len: u64 = blocks.iter().map(|b| b.len).sum();
+        debug_assert_eq!(wire.len() as u64, wire_len, "handle len is the encoding");
+        let plane = st.spill.as_mut().expect("demotion implies a plane");
+        let (codec, payload) = if plane.compress() {
+            maybe_compress(&wire)
+        } else {
+            (Codec::Raw, wire.to_vec())
+        };
+        let key = BlobKey::digest(&wire);
+        plane
+            .blob_mut()
+            .put(key, codec, &payload, wire.len() as u32)?;
+        plane.record_spilled(path, key, wire_len);
+        for b in &blocks {
+            for &n in &b.replicas {
+                st.datanodes[n.0 as usize]
+                    .swap_payload(b.id, BlockPayload::Spilled { key, len: b.len });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-admits one demoted file: reads the blob entry back, decompresses
+    /// and decodes it into a fresh `Arc<Tile>`, swaps every replica back
+    /// onto the handle plane, and releases the blob reference. The
+    /// returned Arc is *new* — bitwise-equal to the one that was demoted,
+    /// but not pointer-identical (the documented residency exception).
+    fn readmit_path(st: &mut DfsState, path: &str, key: BlobKey) -> Result<Arc<Tile>> {
+        let plane = st.spill.as_mut().expect("spilled payload implies a plane");
+        let (codec, payload, raw_len) = plane.blob_mut().get(key)?;
+        let wire = decompress(codec, &payload)?;
+        if wire.len() as u32 != raw_len {
+            return Err(DfsError::Spill(format!(
+                "blob {key:?} decompressed to {} bytes, recorded {raw_len}",
+                wire.len()
+            )));
+        }
+        let tile = Arc::new(decode_tile(Bytes::from(wire))?);
+        let blocks = st.namenode.stat(path)?.blocks.clone();
+        let wire_len: u64 = blocks.iter().map(|b| b.len).sum();
+        for b in &blocks {
+            for &n in &b.replicas {
+                st.datanodes[n.0 as usize].swap_payload(
+                    b.id,
+                    BlockPayload::Tile {
+                        tile: Arc::clone(&tile),
+                        len: b.len,
+                    },
+                );
+            }
+        }
+        let plane = st.spill.as_mut().expect("plane still present");
+        let entry = plane
+            .record_readmitted(path, wire_len)
+            .expect("readmit of a recorded spill");
+        plane.blob_mut().release(entry.key)?;
+        Ok(tile)
     }
 }
 

@@ -36,6 +36,9 @@ pub enum DfsError {
     },
     /// A tile payload failed to decode.
     Codec(String),
+    /// The out-of-core spill plane (blob segments, spill directory I/O)
+    /// failed — a host-disk problem, not a simulated fault.
+    Spill(String),
 }
 
 impl fmt::Display for DfsError {
@@ -55,6 +58,7 @@ impl fmt::Display for DfsError {
                 write!(f, "tile ({}, {}) of {matrix} not found", tile.0, tile.1)
             }
             DfsError::Codec(msg) => write!(f, "tile codec error: {msg}"),
+            DfsError::Spill(msg) => write!(f, "spill plane error: {msg}"),
         }
     }
 }

@@ -22,12 +22,16 @@
 //! the discrete-event simulator in `cumulon-cluster` decides *how long it
 //! took*.
 
+pub mod blob;
 pub mod datanode;
 pub mod dfs;
 pub mod error;
 pub mod namenode;
+pub mod spill;
 pub mod tilestore;
 
+pub use blob::{BlobKey, BlobStats, BlobStore};
 pub use dfs::{Dfs, DfsConfig, IoReceipt, NodeId, StorageAccounting};
 pub use error::{DfsError, Result};
+pub use spill::{SpillConfig, SpillPlane, SpillStats};
 pub use tilestore::{MatrixHandle, TileStore};

@@ -3,6 +3,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -14,6 +15,7 @@ use cumulon_matrix::{LocalMatrix, MatrixMeta, Tile};
 
 use crate::dfs::{Dfs, FilePayload, IoReceipt, NodeId};
 use crate::error::{DfsError, Result};
+use crate::spill::SpillConfig;
 
 /// Registry entry for a stored matrix.
 #[derive(Debug, Clone)]
@@ -78,14 +80,36 @@ impl CacheShard {
 /// on different shards never serialize on one lock.
 struct TileCache {
     shards: Vec<Mutex<CacheShard>>,
-    capacity: u64,
+    /// Byte budget; atomically swappable so a memory budget installed
+    /// after construction (`TileStore::set_memory_budget`) resizes the
+    /// cache shared by every store clone.
+    capacity: AtomicU64,
 }
 
 impl TileCache {
     fn new(capacity: u64) -> Self {
         TileCache {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
-            capacity,
+            capacity: AtomicU64::new(capacity),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the cache, trimming each shard to the new per-shard budget.
+    fn set_capacity(&self, capacity: u64) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let budget = capacity / CACHE_SHARDS as u64;
+        for m in &self.shards {
+            let mut shard = m.lock();
+            while shard.bytes > budget {
+                let Some(victim) = shard.order.front().cloned() else {
+                    break;
+                };
+                shard.remove(&victim);
+            }
         }
     }
 
@@ -100,8 +124,9 @@ impl TileCache {
     }
 
     fn insert(&self, key: &str, tile: Arc<Tile>) {
+        let capacity = self.capacity();
         let size = cache_entry_bytes(&tile);
-        if size > self.capacity {
+        if size > capacity {
             return;
         }
         let mut shard = self.shard(key).lock();
@@ -110,7 +135,7 @@ impl TileCache {
         shard.order.push_back(key.to_string());
         shard.bytes += size;
         // Per-shard budget so the aggregate stays near `capacity`.
-        let budget = (self.capacity / CACHE_SHARDS as u64).max(size);
+        let budget = (capacity / CACHE_SHARDS as u64).max(size);
         while shard.bytes > budget {
             let Some(victim) = shard.order.front().cloned() else {
                 break;
@@ -176,6 +201,25 @@ impl TileStore {
     /// The underlying DFS.
     pub fn dfs(&self) -> &Dfs {
         &self.dfs
+    }
+
+    /// Installs (or removes) a memory budget over the whole tile plane:
+    /// the decoded-tile cache is resized to the budget, and the DFS handle
+    /// plane gains the LRU spill plane ([`crate::spill`]) that demotes
+    /// cold tiles to content-addressed blob segments on local disk. A
+    /// budget of zero restores the unbounded seed behaviour (default
+    /// cache size, no spilling). Shared through the store's `Arc`s, so
+    /// every clone — including the ones task contexts hold — sees the
+    /// budget. Spilling is observational: results, receipts, billing and
+    /// placement are bitwise-identical at any budget; only wall-clock time
+    /// and host memory footprint change.
+    pub fn set_memory_budget(&self, config: &SpillConfig) -> Result<()> {
+        if config.budget_bytes == 0 {
+            self.cache.set_capacity(DEFAULT_CACHE_BYTES);
+        } else {
+            self.cache.set_capacity(config.budget_bytes);
+        }
+        self.dfs.set_spill_config(config)
     }
 
     /// Installs the trace handle that tile-cache hits and misses count
@@ -819,6 +863,295 @@ mod data_plane_tests {
         }
         let (after, _) = s.read_tile("W", 0, 0, None, false).unwrap();
         assert_eq!(*after, *before);
+    }
+}
+
+#[cfg(test)]
+mod spill_plane_tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+    use cumulon_matrix::gen::Generator;
+
+    fn store_with(seed: u64) -> TileStore {
+        TileStore::new(Dfs::new(
+            4,
+            DfsConfig {
+                replication: 2,
+                block_size: 1 << 20,
+                seed,
+                racks: 1,
+            },
+        ))
+    }
+
+    fn fill(s: &TileStore, name: &str, meta: MatrixMeta, gen_seed: u64) -> LocalMatrix {
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: gen_seed });
+        s.register(name, meta).unwrap();
+        for ((ti, tj), tile) in m.iter_tiles() {
+            s.write_tile(name, ti, tj, tile, Some(NodeId(ti as u32 % 4)))
+                .unwrap();
+        }
+        m
+    }
+
+    /// The third plane: a budget ~10x smaller than the working set must be
+    /// indistinguishable from the unbounded handle plane on every
+    /// observable — receipts, values, placement, storage stats — while
+    /// actually spilling (nonzero evictions), and storage accounting stays
+    /// conserved throughout.
+    #[test]
+    fn tight_budget_is_observationally_identical_to_unbounded() {
+        let meta = MatrixMeta::new(40, 40, 8); // 25 tiles ≈ 13 KB wire
+        let unbounded = store_with(123);
+        let tight = store_with(123);
+        tight
+            .set_memory_budget(&SpillConfig::budgeted(1200))
+            .unwrap();
+        for s in [&unbounded, &tight] {
+            s.register("A", meta).unwrap();
+        }
+        let m = LocalMatrix::generate(meta, &Generator::DenseGaussian { seed: 5 });
+        for ((ti, tj), tile) in m.iter_tiles() {
+            let ru = unbounded
+                .write_tile("A", ti, tj, tile, Some(NodeId(1)))
+                .unwrap();
+            let rt = tight
+                .write_tile("A", ti, tj, tile, Some(NodeId(1)))
+                .unwrap();
+            assert_eq!(ru, rt, "write receipts diverge at ({ti},{tj})");
+            assert!(tight.dfs().spill_conserved());
+            assert!(tight.dfs().storage_accounting().is_conserved());
+        }
+        let spilled = tight.dfs().spill_stats().unwrap();
+        assert!(spilled.evictions > 0, "budget this tight must spill");
+        assert!(spilled.spilled_bytes_total > 0);
+        assert!(
+            spilled.resident_bytes <= 1200,
+            "budget exceeded: {} resident",
+            spilled.resident_bytes
+        );
+        assert_eq!(
+            unbounded.dfs().storage_stats(),
+            tight.dfs().storage_stats(),
+            "residency leaked into storage stats"
+        );
+        assert_eq!(
+            unbounded.dfs().per_node_bytes(),
+            tight.dfs().per_node_bytes()
+        );
+        // Reads re-admit transparently: identical receipts and values, in
+        // an access order that forces eviction/readback churn.
+        for pass in 0..2 {
+            for ((ti, tj), _) in m.iter_tiles() {
+                let reader = Some(NodeId((ti + tj + pass) as u32 % 4));
+                let (tu, ru) = unbounded.read_tile("A", ti, tj, reader, false).unwrap();
+                let (tt, rt) = tight.read_tile("A", ti, tj, reader, false).unwrap();
+                assert_eq!(ru, rt, "read receipts diverge at ({ti},{tj})");
+                assert_eq!(tu, tt, "tiles diverge at ({ti},{tj})");
+            }
+        }
+        let st = tight.dfs().spill_stats().unwrap();
+        assert!(st.readmissions > 0, "reads under pressure must re-admit");
+        assert!(tight.dfs().spill_conserved());
+        assert!(tight.dfs().storage_accounting().is_conserved());
+    }
+
+    /// Re-admission yields a *new* Arc whose contents are bitwise equal —
+    /// the documented residency exception to pointer identity. While a
+    /// tile stays resident, identity is preserved as before.
+    #[test]
+    fn readmitted_tiles_are_equal_but_not_pointer_identical() {
+        let s = TileStore::with_cache_capacity(
+            Dfs::new(
+                2,
+                DfsConfig {
+                    replication: 2,
+                    block_size: 1 << 20,
+                    seed: 9,
+                    racks: 1,
+                },
+            ),
+            0, // no decoded-tile cache: reads always hit the DFS
+        );
+        let meta = MatrixMeta::new(8, 4, 4);
+        let m = fill(&s, "A", meta, 11);
+        let (before, _) = s.read_tile("A", 0, 0, None, false).unwrap();
+        // Budget of one tile: writing/keeping both tiles is impossible, so
+        // reading tile 1 then tile 0 forces tile 0 through disk.
+        let one_tile = encoded_len(&before);
+        s.set_memory_budget(&SpillConfig::budgeted(one_tile + 1))
+            .unwrap();
+        let (_, _) = s.read_tile("A", 1, 0, None, false).unwrap();
+        assert_eq!(
+            s.dfs().spill_stats().unwrap().spilled_files,
+            1,
+            "exactly one of the two tiles fits"
+        );
+        let (after, _) = s.read_tile("A", 0, 0, None, false).unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "a disk round-trip mints a fresh Arc"
+        );
+        assert_eq!(*before, *after, "…with bitwise-identical contents");
+        // Resident hits keep sharing the new Arc.
+        let (again, _) = s.read_tile("A", 0, 0, None, false).unwrap();
+        assert!(Arc::ptr_eq(&after, &again));
+        assert_eq!(
+            m.to_dense_vec().unwrap(),
+            s.get_local("A").unwrap().to_dense_vec().unwrap()
+        );
+    }
+
+    /// LRU discipline: reads refresh recency, so the file demoted is the
+    /// least-recently-*used*, not the least-recently-written.
+    #[test]
+    fn eviction_follows_recency_not_write_order() {
+        // Zero-capacity decoded-tile cache: every read goes to the DFS,
+        // so recency is driven purely by the accesses below.
+        let s = TileStore::with_cache_capacity(
+            Dfs::new(
+                4,
+                DfsConfig {
+                    replication: 2,
+                    block_size: 1 << 20,
+                    seed: 21,
+                    racks: 1,
+                },
+            ),
+            0,
+        );
+        let meta = MatrixMeta::new(12, 4, 4); // 3 tiles, one block each
+        fill(&s, "A", meta, 3);
+        let one = encoded_len(&s.read_tile("A", 0, 0, None, false).unwrap().0);
+        // Room for two tiles: installing the budget demotes exactly one.
+        s.set_memory_budget(&SpillConfig::budgeted(2 * one))
+            .unwrap();
+        let base = s.dfs().spill_stats().unwrap();
+        assert_eq!(base.spilled_files, 1, "adoption evicted the coldest");
+        // Adoption order is namespace order, so tile 0 is on disk and
+        // tiles 1 and 2 are resident (2 hotter). Touch tile 1, then
+        // re-admit tile 0: the eviction this forces must pick tile 2 —
+        // the least-recently-used — even though tile 1 was written first.
+        s.read_tile("A", 1, 0, None, false).unwrap();
+        s.read_tile("A", 0, 0, None, false).unwrap();
+        let st = s.dfs().spill_stats().unwrap();
+        assert_eq!(st.spilled_files, 1, "budget still holds");
+        assert_eq!(st.readmissions, base.readmissions + 1);
+        // Tile 1 stayed resident: reading it again re-admits nothing…
+        s.read_tile("A", 1, 0, None, false).unwrap();
+        let st = s.dfs().spill_stats().unwrap();
+        assert_eq!(
+            st.readmissions,
+            base.readmissions + 1,
+            "the recently-touched tile was evicted"
+        );
+        // …while tile 2 — the cold one — is the file on disk.
+        s.read_tile("A", 2, 0, None, false).unwrap();
+        assert_eq!(
+            s.dfs().spill_stats().unwrap().readmissions,
+            base.readmissions + 2
+        );
+        assert!(s.dfs().spill_conserved());
+    }
+
+    /// drop_matrix on a spilled matrix releases every blob reference, and
+    /// an explicit compaction sweep reclaims the segment bytes.
+    #[test]
+    fn drop_matrix_releases_blob_bytes() {
+        let s = store_with(31);
+        let meta = MatrixMeta::new(40, 40, 8);
+        fill(&s, "A", meta, 17);
+        s.set_memory_budget(&SpillConfig::budgeted(1)).unwrap();
+        let st = s.dfs().spill_stats().unwrap();
+        assert_eq!(st.spilled_files, 25, "budget of 1 byte spills everything");
+        assert_eq!(st.resident_bytes, 0);
+        s.drop_matrix("A").unwrap();
+        s.dfs().compact_spill().unwrap();
+        let st = s.dfs().spill_stats().unwrap();
+        assert_eq!(st.spilled_files, 0);
+        assert_eq!(st.blob.live_entries, 0);
+        assert_eq!(st.blob.dead_bytes, 0, "compaction reclaimed the garbage");
+        assert!(s.dfs().storage_accounting().is_conserved());
+    }
+
+    /// Removing the budget re-admits everything; no data is stranded in
+    /// the segment files the plane deletes on drop.
+    #[test]
+    fn removing_the_budget_readmits_all_files() {
+        let s = store_with(41);
+        let meta = MatrixMeta::new(16, 16, 8);
+        let m = fill(&s, "A", meta, 23);
+        s.set_memory_budget(&SpillConfig::budgeted(100)).unwrap();
+        assert!(s.dfs().spill_stats().unwrap().spilled_files > 0);
+        s.set_memory_budget(&SpillConfig::default()).unwrap();
+        assert!(s.dfs().spill_stats().is_none(), "plane removed");
+        assert_eq!(
+            m.to_dense_vec().unwrap(),
+            s.get_local("A").unwrap().to_dense_vec().unwrap()
+        );
+    }
+
+    /// The uncompressed spill path is the cross-checked reference: same
+    /// values, same receipts, honest ratio of 1.
+    #[test]
+    fn uncompressed_path_is_reference_equivalent() {
+        let meta = MatrixMeta::new(16, 16, 8);
+        let compressed = store_with(55);
+        let raw = store_with(55);
+        compressed
+            .set_memory_budget(&SpillConfig {
+                budget_bytes: 600,
+                dir: None,
+                compress: true,
+            })
+            .unwrap();
+        raw.set_memory_budget(&SpillConfig {
+            budget_bytes: 600,
+            dir: None,
+            compress: false,
+        })
+        .unwrap();
+        let mc = fill(&compressed, "A", meta, 29);
+        let mr = fill(&raw, "A", meta, 29);
+        assert_eq!(mc.to_dense_vec().unwrap(), mr.to_dense_vec().unwrap());
+        for ((ti, tj), _) in mc.iter_tiles() {
+            let (tc, rc) = compressed.read_tile("A", ti, tj, None, false).unwrap();
+            let (tr, rr) = raw.read_tile("A", ti, tj, None, false).unwrap();
+            assert_eq!(rc, rr, "codec choice leaked into receipts");
+            assert_eq!(tc, tr, "codec choice changed values");
+        }
+        let sr = raw.dfs().spill_stats().unwrap();
+        assert!(sr.spilled_bytes_total > 0);
+        assert_eq!(
+            sr.blob.compression_ratio(),
+            1.0,
+            "raw path stores wire bytes verbatim"
+        );
+        // Gaussian tiles are honest work for the codec; zero tiles would
+        // compress, but either way values and receipts match the raw path.
+        let sc = compressed.dfs().spill_stats().unwrap();
+        assert!(sc.blob.compression_ratio() >= 1.0);
+    }
+
+    /// Phantom tiles are metadata-only and must never reach the blob
+    /// store, no matter how tight the budget.
+    #[test]
+    fn phantom_tiles_never_spill() {
+        let s = store_with(61);
+        s.set_memory_budget(&SpillConfig::budgeted(1)).unwrap();
+        let meta = MatrixMeta::new(1000, 1000, 500);
+        s.register("P", meta).unwrap();
+        for ti in 0..2 {
+            for tj in 0..2 {
+                s.write_tile("P", ti, tj, &Tile::phantom_dense(500, 500), Some(NodeId(0)))
+                    .unwrap();
+            }
+        }
+        let st = s.dfs().spill_stats().unwrap();
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.spilled_files, 0);
+        let (t, _) = s.read_tile("P", 1, 1, None, true).unwrap();
+        assert!(t.is_phantom());
     }
 }
 

@@ -22,6 +22,7 @@
 //! suite to cross-check the tiled implementations, and [`ops`] exposes
 //! flop/byte accounting shared with the cost models in `cumulon-core`.
 
+pub mod compress;
 pub mod dense;
 pub mod error;
 pub mod gen;

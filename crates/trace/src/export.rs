@@ -31,10 +31,11 @@ fn us(s: f64) -> String {
 fn phase_args(out: &mut String, p: &PhaseBreakdown) {
     let _ = write!(
         out,
-        "\"compute_s\":{},\"read_s\":{},\"write_s\":{},\"overhead_s\":{}",
+        "\"compute_s\":{},\"read_s\":{},\"write_s\":{},\"startup_s\":{},\"overhead_s\":{}",
         num(p.compute_s),
         num(p.read_s),
         num(p.write_s),
+        num(p.startup_s),
         num(p.overhead_s)
     );
 }
@@ -47,7 +48,8 @@ impl TraceLog {
     /// * `schema_version` — integer version stamp;
     /// * `cumulon` — run metadata: `instance`, `nodes`, `slots`,
     ///   `makespan_s`, `cache_hits`, `cache_misses`, and the aggregated
-    ///   `phases` object (`compute_s`/`read_s`/`write_s`/`overhead_s`);
+    ///   `phases` object
+    ///   (`compute_s`/`read_s`/`write_s`/`startup_s`/`overhead_s`);
     /// * `traceEvents` — `"M"` process/thread-name metadata, one `"X"`
     ///   complete event per task attempt (`pid` = node, `tid` = slot,
     ///   `ts`/`dur` in simulated microseconds, span details under

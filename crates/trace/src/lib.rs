@@ -43,7 +43,8 @@ pub use report::{
 
 /// Version stamp written into every exported trace (`schema_version`).
 /// Bump on any breaking change to span fields or JSON layout.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// v2: task launch cost moved out of `overhead_s` into `startup_s`.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Simulated seconds attributed to each execution phase of a task (or a
 /// whole run). Produced by the hardware model's noise-free cost split and
@@ -57,14 +58,21 @@ pub struct PhaseBreakdown {
     pub read_s: f64,
     /// DFS write time (local + remote), including memory-pressure penalty.
     pub write_s: f64,
-    /// Fixed per-task overhead: startup, op-fixed seconds, IO-op latency.
+    /// Fixed task launch cost (framework spin-up), paid once per attempt
+    /// regardless of work volume. Kept apart from [`Self::overhead_s`]:
+    /// on a one-wave plan a single launch can dominate the critical path,
+    /// and folding it into "overhead" misreads a constant as executor
+    /// inefficiency.
+    pub startup_s: f64,
+    /// Per-operation overhead: op-fixed seconds and IO-op latency
+    /// (namenode round trips). Scales with the work, unlike startup.
     pub overhead_s: f64,
 }
 
 impl PhaseBreakdown {
-    /// Sum of all four phases.
+    /// Sum of all five phases.
     pub fn total_s(&self) -> f64 {
-        self.compute_s + self.read_s + self.write_s + self.overhead_s
+        self.compute_s + self.read_s + self.write_s + self.startup_s + self.overhead_s
     }
 
     /// Accumulates `other` into `self`.
@@ -72,6 +80,7 @@ impl PhaseBreakdown {
         self.compute_s += other.compute_s;
         self.read_s += other.read_s;
         self.write_s += other.write_s;
+        self.startup_s += other.startup_s;
         self.overhead_s += other.overhead_s;
     }
 
@@ -93,6 +102,7 @@ impl PhaseBreakdown {
             compute_s: self.compute_s * k,
             read_s: self.read_s * k,
             write_s: self.write_s * k,
+            startup_s: self.startup_s * k,
             overhead_s: self.overhead_s * k,
         }
     }
@@ -510,6 +520,7 @@ pub(crate) fn sample_span(job: usize, task: usize, start_s: f64, end_s: f64) -> 
             compute_s: 1.0,
             read_s: 1.0,
             write_s: 1.0,
+            startup_s: 0.0,
             overhead_s: 1.0,
         }
         .scaled_to(end_s - start_s),
@@ -621,11 +632,13 @@ mod tests {
             compute_s: 3.0,
             read_s: 1.0,
             write_s: 0.5,
+            startup_s: 2.5,
             overhead_s: 0.5,
         };
-        let scaled = p.scaled_to(10.0);
-        assert!((scaled.total_s() - 10.0).abs() < 1e-12);
+        let scaled = p.scaled_to(15.0);
+        assert!((scaled.total_s() - 15.0).abs() < 1e-12);
         assert!((scaled.compute_s - 6.0).abs() < 1e-12);
+        assert!((scaled.startup_s - 5.0).abs() < 1e-12);
         let degenerate = PhaseBreakdown::default().scaled_to(4.0);
         assert_eq!(degenerate.overhead_s, 4.0);
         assert_eq!(degenerate.total_s(), 4.0);

@@ -101,7 +101,7 @@ impl CriticalPathReport {
         let mut out = format!(
             "Critical path: {} steps over {:.1}s makespan\n  \
              compute {:.1}s ({:.1}%), read {:.1}s ({:.1}%), write {:.1}s ({:.1}%), \
-             overhead {:.1}s ({:.1}%), idle {:.1}s ({:.1}%)\n",
+             startup {:.1}s ({:.1}%), overhead {:.1}s ({:.1}%), idle {:.1}s ({:.1}%)\n",
             self.steps.len(),
             self.makespan_s,
             p.compute_s,
@@ -110,6 +110,8 @@ impl CriticalPathReport {
             100.0 * p.read_s / mk,
             p.write_s,
             100.0 * p.write_s / mk,
+            p.startup_s,
+            100.0 * p.startup_s / mk,
             p.overhead_s,
             100.0 * p.overhead_s / mk,
             self.idle_s,
@@ -163,6 +165,11 @@ impl EstimateDiff {
         ));
         out.push_str(&row("read", self.predicted.read_s, self.actual.read_s));
         out.push_str(&row("write", self.predicted.write_s, self.actual.write_s));
+        out.push_str(&row(
+            "startup",
+            self.predicted.startup_s,
+            self.actual.startup_s,
+        ));
         out.push_str(&row(
             "overhead",
             self.predicted.overhead_s,
@@ -391,6 +398,34 @@ mod tests {
         assert_eq!(log.utilization().rows.len(), 0);
     }
 
+    /// Pins the launch-cost attribution: a one-step critical path whose
+    /// span is mostly fixed startup reports that time as `startup`, not
+    /// `overhead` — the regression class where a one-wave plan's single
+    /// 2s launch read as 66% executor "overhead" on a 3.6s run.
+    #[test]
+    fn critical_path_reports_startup_apart_from_overhead() {
+        let t = Trace::enabled();
+        t.set_run_meta("m1.large", 1, 1);
+        let mut span = sample_span(0, 0, 0.0, 3.6);
+        span.phases = PhaseBreakdown {
+            compute_s: 0.9,
+            read_s: 0.0,
+            write_s: 0.35,
+            startup_s: 2.0,
+            overhead_s: 0.35,
+        };
+        t.record_task(span);
+        t.set_makespan(3.6);
+        let cp = t.snapshot().unwrap().critical_path();
+        assert_eq!(cp.steps.len(), 1);
+        assert!((cp.phases.startup_s - 2.0).abs() < 1e-12);
+        assert!((cp.phases.overhead_s - 0.35).abs() < 1e-12);
+        assert!((cp.accounted_s() - cp.makespan_s).abs() < 1e-9);
+        let rendered = cp.render();
+        assert!(rendered.contains("startup 2.0s (55.6%)"), "{rendered}");
+        assert!(rendered.contains("overhead 0.3s (9.7%)"), "{rendered}");
+    }
+
     #[test]
     fn estimate_diff_renders_ratios() {
         let log = chained_log();
@@ -398,6 +433,7 @@ mod tests {
             compute_s: 4.0,
             read_s: 4.0,
             write_s: 4.0,
+            startup_s: 0.0,
             overhead_s: 4.0,
         };
         let diff = log.diff_against(predicted, 10.0);

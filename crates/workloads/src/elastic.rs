@@ -129,9 +129,10 @@ fn anchor_features() -> Vec<TaskFeatures> {
         remote_write: 1e6,
         mem_mb: 8.0,
         io_ops: 4.0,
+        spill_bytes: 1e6,
     };
     anchors.push(base);
-    for i in 0..6 {
+    for i in 0..7 {
         let mut f = base;
         match i {
             0 => f.flops = 2e9,
@@ -139,7 +140,10 @@ fn anchor_features() -> Vec<TaskFeatures> {
             2 => f.remote_read = 4e8,
             3 => f.local_write = 4e8,
             4 => f.remote_write = 4e8,
-            _ => f.io_ops = 512.0,
+            5 => f.io_ops = 512.0,
+            // Disk-tier direction: keeps the refit full-rank on c₇ when
+            // the traced tasks never spilled.
+            _ => f.spill_bytes = 4e8,
         }
         anchors.push(f);
     }
@@ -173,7 +177,7 @@ pub fn run_elastic<W: Workload>(
         decisions: Vec::new(),
         refits: 0,
     };
-    let mut xs: Vec<[f64; 7]> = Vec::new();
+    let mut xs: Vec<[f64; 8]> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let mut elapsed_s = 0.0;
     for iter in 0..iters {

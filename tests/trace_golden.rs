@@ -104,7 +104,7 @@ fn trace_json_matches_golden_and_schema() {
     // Schema validation, independent of the byte comparison: every field
     // documented in DESIGN.md must be present and well-typed.
     let doc = parse(&json).expect("exported trace is valid JSON");
-    assert_eq!(f64_of(&doc, "schema_version"), 1.0);
+    assert_eq!(f64_of(&doc, "schema_version"), 2.0);
     let meta = doc.get("cumulon").expect("cumulon metadata object");
     assert_eq!(meta.get("instance").unwrap().as_str(), Some("m1.large"));
     assert_eq!(f64_of(meta, "nodes"), 2.0);
@@ -114,7 +114,7 @@ fn trace_json_matches_golden_and_schema() {
     assert!(f64_of(meta, "cache_hits") >= 0.0);
     assert!(f64_of(meta, "cache_misses") >= 0.0);
     let phases = meta.get("phases").expect("aggregated phases object");
-    for key in ["compute_s", "read_s", "write_s", "overhead_s"] {
+    for key in ["compute_s", "read_s", "write_s", "startup_s", "overhead_s"] {
         assert!(f64_of(phases, key) >= 0.0, "phase {key} must be >= 0");
     }
 
@@ -151,6 +151,7 @@ fn trace_json_matches_golden_and_schema() {
                         "compute_s",
                         "read_s",
                         "write_s",
+                        "startup_s",
                         "overhead_s",
                     ] {
                         assert!(f64_of(args, key) >= 0.0, "task arg {key}");
