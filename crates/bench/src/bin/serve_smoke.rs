@@ -1,0 +1,156 @@
+//! CI smoke and gate for `cumulon serve`: start the daemon on a loopback
+//! port, hammer it with a scripted batch of concurrent TCP clients (each
+//! mixing fast-lane `optimize` queries with full `run` executions), and
+//! verify the service's two committed properties:
+//!
+//! * **fingerprint identity** — every concurrent client's run, and a
+//!   serial replay of the same request sent afterwards, carries a
+//!   fingerprint bitwise-identical to a direct single-threaded engine
+//!   run of the same program (the `serve-isolation` contract over a
+//!   real socket);
+//! * **liveness** — the batch completes with non-zero request
+//!   throughput and zero rejected requests.
+//!
+//! Emits `BENCH_serve.json` (machine-readable, uploaded by CI with
+//! `if: always()`; experiment E21 in EXPERIMENTS.md) and prints a human
+//! summary. Exit is non-zero on any violation.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cumulon::serve::engine;
+use cumulon::serve::protocol::Request;
+use cumulon::serve::quota::QuotaConfig;
+use cumulon::serve::{Client, Server, ServiceConfig};
+use cumulon::trace::json::JsonValue;
+
+const CLIENTS: usize = 4;
+/// `optimize` queries per client, interleaved before its run.
+const OPTIMIZES_PER_CLIENT: usize = 2;
+
+fn run_line(id: &str, tenant: &str) -> String {
+    format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+         \"action\":\"run\",\"script\":\"G = A' * A;\",\"inputs\":[\"A=96x48:16\"],\
+         \"instance\":\"m1.large\",\"nodes\":4,\"slots\":2}}"
+    )
+}
+
+fn optimize_line(id: &str, tenant: &str) -> String {
+    format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+         \"action\":\"optimize\",\"script\":\"G = A' * A;\",\
+         \"inputs\":[\"A=2000x1000:200\"],\"deadline_s\":7200,\"max_nodes\":8}}"
+    )
+}
+
+fn ok(v: &JsonValue) -> bool {
+    v.get("ok").and_then(|x| x.as_bool()) == Some(true)
+}
+
+fn fingerprint(v: &JsonValue) -> Option<String> {
+    v.get("fingerprint")
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+}
+
+fn main() {
+    // Direct, serial, private-pool ground truth for the batch's program.
+    let baseline_req = Request::parse(&run_line("base", "base")).expect("well-formed request");
+    let baseline = engine::run(&baseline_req, 1, false)
+        .expect("direct engine run")
+        .report
+        .fingerprint();
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            run_workers: 2,
+            threads: 2,
+            queue_depth: 2 * CLIENTS,
+            quota: QuotaConfig {
+                capacity: 1e6,
+                refill_per_s: 1e3,
+                ..QuotaConfig::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let results: Vec<(usize, Vec<String>)> = std::thread::scope(|s| {
+        (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let tenant = format!("tenant-{c}");
+                    let mut requests = 0usize;
+                    let mut fps = Vec::new();
+                    for i in 0..OPTIMIZES_PER_CLIENT {
+                        let v = client
+                            .request(&optimize_line(&format!("opt-{c}-{i}"), &tenant))
+                            .expect("optimize response");
+                        assert!(ok(&v), "optimize rejected: {v:?}");
+                        requests += 1;
+                    }
+                    let v = client
+                        .request(&run_line(&format!("run-{c}"), &tenant))
+                        .expect("run response");
+                    assert!(ok(&v), "run rejected: {v:?}");
+                    fps.push(fingerprint(&v).expect("run reply carries fingerprint"));
+                    requests += 1;
+                    (requests, fps)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let batch_s = start.elapsed().as_secs_f64();
+
+    // Serial replay over the same socket, after the concurrent batch.
+    let mut replay_client = Client::connect(addr).expect("connect for replay");
+    let replay = replay_client
+        .request(&run_line("replay", "replay"))
+        .expect("replay response");
+    assert!(ok(&replay), "replay rejected: {replay:?}");
+    let replay_fp = fingerprint(&replay).expect("replay carries fingerprint");
+    server.stop();
+
+    let requests: usize = results.iter().map(|(n, _)| n).sum::<usize>() + 1;
+    let fps: Vec<&String> = results.iter().flat_map(|(_, f)| f).collect();
+    let identical = fps.iter().all(|fp| **fp == baseline) && replay_fp == baseline;
+    let throughput = requests as f64 / batch_s.max(1e-9);
+
+    println!(
+        "serve smoke: {CLIENTS} clients, {requests} requests in {:.1}ms \
+         ({throughput:.1} req/s); fingerprints identical to serial engine \
+         baseline: {identical}",
+        batch_s * 1e3
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"clients\":{CLIENTS},\"requests\":{requests},\
+         \"batch_seconds\":{batch_s:.6},\"req_per_s\":{throughput:.3},\
+         \"runs\":{},\"fingerprint_identical\":{identical}}}",
+        fps.len() + 1
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+
+    if !identical {
+        eprintln!(
+            "FAIL: a concurrent tenant's fingerprint diverged from the serial \
+             engine baseline — multi-tenancy is leaking into results"
+        );
+        std::process::exit(1);
+    }
+    if throughput <= 0.0 {
+        eprintln!("FAIL: zero request throughput");
+        std::process::exit(1);
+    }
+}

@@ -8,8 +8,9 @@
 //! Gram matrix, an iterative power method) through the full observational
 //! configuration lattice — worker threads 1 vs. N, tile-handle vs.
 //! materialized-byte payloads, tracing on/off, billing policies, injected
-//! faults with lineage recovery — and machine-checks the global
-//! identities that hold the system together:
+//! faults with lineage recovery, and solo vs. multi-tenant service
+//! concurrency — and machine-checks the global identities that hold the
+//! system together:
 //!
 //! | invariant | contract |
 //! |---|---|
@@ -21,6 +22,7 @@
 //! | `recovery-idempotence` | faults + recovery reproduce fault-free bits |
 //! | `estimate-envelope` | wave model within a sigma envelope of MC |
 //! | `search-grid-coverage` | deployment sweep covers the exact grid |
+//! | `serve-isolation` | concurrent service tenants reproduce the serial direct pipeline bitwise |
 //!
 //! Violations come back as a structured [`CheckReport`] — renderable for
 //! humans, serializable as JSON (schema `cumulon-check-v1`) for CI — and

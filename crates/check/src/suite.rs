@@ -15,7 +15,10 @@
 //! * tracing: off vs. on (spans are observational by design);
 //! * billing policy: hour-quantized vs. per-second (pricing only);
 //! * faults: a seeded [`FailurePlan`] plus lineage recovery vs. a clean
-//!   run.
+//!   run;
+//! * service concurrency: the direct (in-process, serial) pipeline vs.
+//!   N concurrent tenants submitting the same program through the
+//!   `cumulon serve` admission path and its shared speculation pool.
 //!
 //! ## The invariants
 //!
@@ -55,6 +58,12 @@
 //!   bytes ([`cumulon_dfs::Dfs::spill_conserved`]), and the budget
 //!   demonstrably evicted tiles (a zero eviction counter would make the
 //!   check vacuous).
+//! * `serve-isolation` — N concurrent tenants racing the same program
+//!   through the multi-tenant service (admission, quotas, the bounded
+//!   priority queue, the process-wide shared speculation pool) each get
+//!   a [`RunReport::fingerprint`] bitwise-identical to the serial,
+//!   private-pool direct pipeline, at scheduler threads 1 and N —
+//!   multi-tenancy is observational, never computational.
 //! * `kernel-conformance` — the optimized tile kernels match their
 //!   reference paths: the packed SIMD GEMM is epsilon-bounded against
 //!   the naive reference (its summation association and FMA contraction
@@ -110,6 +119,7 @@ pub fn run_checks(opts: &CheckOptions) -> Result<CheckReport> {
     check_estimate_envelope(opts, &mut report);
     check_search_grid(&mut report);
     check_kernel_conformance(&mut report);
+    check_serve_isolation(opts, &mut report);
     for case in suite() {
         check_case(&case, opts, &mut report);
     }
@@ -1037,6 +1047,90 @@ fn check_kernel_conformance(report: &mut CheckReport) {
     }
 }
 
+/// Multi-tenancy must be observational: N tenants racing the same Gram
+/// program through the `cumulon serve` admission path — per-tenant
+/// quotas, the bounded priority queue, concurrent run workers and the
+/// process-wide shared speculation pool — must each receive a
+/// fingerprint bitwise-identical to the serial, private-pool direct
+/// pipeline, at scheduler threads 1 and N. This is the service-layer
+/// twin of `result-identity`: contention between tenants may shift
+/// *when* speculative work happens, never what a run computes.
+fn check_serve_isolation(opts: &CheckOptions, report: &mut CheckReport) {
+    use cumulon_serve::{engine, Request, Service, ServiceConfig};
+
+    let request = |id: &str, tenant: &str| {
+        format!(
+            "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+             \"action\":\"run\",\"script\":\"G = A' * A;\",\"inputs\":[\"A=96x48:16\"],\
+             \"instance\":\"m1.large\",\"nodes\":4,\"slots\":2}}"
+        )
+    };
+    let base_req = Request::parse(&request("base", "base")).expect("well-formed check request");
+    let baseline = match engine::run(&base_req, 1, false) {
+        Ok(out) => out.report.fingerprint(),
+        Err(e) => {
+            report.record(
+                "serve-isolation",
+                "gram/direct-baseline",
+                false,
+                format!("direct pipeline run failed: {e}"),
+            );
+            return;
+        }
+    };
+    let tenants = if opts.quick { 2 } else { 3 };
+    for threads in [1, threads_n()] {
+        let label = format!("gram/t{threads}/{tenants}-tenants");
+        let mut service = Service::start(ServiceConfig {
+            threads,
+            run_workers: tenants,
+            queue_depth: tenants,
+            ..Default::default()
+        });
+        let replies: Vec<String> = std::thread::scope(|s| {
+            (0..tenants)
+                .map(|i| {
+                    let service = &service;
+                    s.spawn(move || {
+                        service.handle(&request(&format!("req-{i}"), &format!("tenant-{i}")))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("tenant thread panicked"))
+                .collect()
+        });
+        service.shutdown();
+        let mut ok = true;
+        let mut detail = String::new();
+        for (i, reply) in replies.iter().enumerate() {
+            let fp = cumulon_trace::json::parse(reply).ok().and_then(|v| {
+                v.get("fingerprint")
+                    .and_then(|f| f.as_str())
+                    .map(str::to_string)
+            });
+            match fp {
+                Some(fp) if fp == baseline => {}
+                Some(_) => {
+                    ok = false;
+                    let _ = write!(detail, "tenant-{i}: fingerprint diverged from baseline; ");
+                }
+                None => {
+                    ok = false;
+                    let _ = write!(detail, "tenant-{i}: no fingerprint in `{}`; ", reply.trim());
+                }
+            }
+        }
+        if ok {
+            detail = format!(
+                "{tenants} concurrent tenants through the service at {threads} scheduler \
+                 thread(s): every fingerprint bitwise equal to the serial direct pipeline"
+            );
+        }
+        report.record("serve-isolation", label, ok, detail);
+    }
+}
+
 /// Deployment search must generate exactly the instance × slots × nodes
 /// cross product — `max_nodes` included even when the stride skips it.
 fn check_search_grid(report: &mut CheckReport) {
@@ -1168,6 +1262,7 @@ mod tests {
             "search-grid-coverage",
             "kernel-conformance",
             "spill-transparency",
+            "serve-isolation",
         ] {
             assert!(
                 report.outcomes.iter().any(|o| o.invariant == inv),

@@ -50,8 +50,8 @@ pub use instances::{catalog, InstanceType};
 pub use job::{ExecMode, Job, JobDag, Task, TaskCtx, TaskReceipt};
 pub use metrics::{FaultStats, JobStats, RunReport};
 pub use scheduler::{
-    default_threads, set_default_threads, FailurePlan, Revocation, RunFailure, Scheduler,
-    SchedulerConfig,
+    default_threads, set_default_threads, shared_spec_pool, FailurePlan, Revocation, RunFailure,
+    Scheduler, SchedulerConfig, SpecPool,
 };
 pub use spot::SpotMarket;
 // Re-exported so scheduler callers can drive tracing without naming the

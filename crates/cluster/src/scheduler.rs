@@ -26,8 +26,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -91,6 +91,18 @@ pub struct SchedulerConfig {
     /// bitwise-identical to a sequential one; `0` resolves to the
     /// process-wide default (see [`set_default_threads`]).
     pub threads: usize,
+    /// Run lookahead speculation on the process-wide *shared* worker pool
+    /// ([`shared_spec_pool`]) instead of a private per-run pool. Multiple
+    /// concurrent runs then compete for the same workers, scheduled by
+    /// [`SchedulerConfig::lane_priority`]. Results stay bitwise-identical
+    /// either way: speculation is a cache of work the canonical replay
+    /// validates, so pool contention only shifts *when* lookahead happens,
+    /// never what the run computes.
+    pub shared_pool: bool,
+    /// Priority lane on the shared pool (higher runs first; FIFO within a
+    /// lane). Ignored for private pools. A multi-tenant service maps
+    /// tenant priorities here.
+    pub lane_priority: u8,
 }
 
 impl Default for SchedulerConfig {
@@ -101,6 +113,8 @@ impl Default for SchedulerConfig {
             speculation_factor: 1.5,
             ignore_locality: false,
             threads: 0,
+            shared_pool: false,
+            lane_priority: 0,
         }
     }
 }
@@ -410,9 +424,14 @@ struct Recorded {
 
 /// One unit of lookahead work: everything a worker needs to run a task's
 /// logic against a recording context, detached from any node or slot.
+/// Keyed by `(lease, job, task)` so concurrent runs sharing one pool
+/// never collide.
 struct SpecJob {
+    lease: u64,
     job: usize,
     task: usize,
+    priority: u8,
+    seq: u64,
     run: TaskFn,
     store: TileStore,
     mode: ExecMode,
@@ -426,25 +445,65 @@ enum SpecSlot {
 }
 
 struct SpecState {
-    queue: VecDeque<SpecJob>,
-    results: HashMap<(usize, usize), SpecSlot>,
+    queue: Vec<SpecJob>,
+    results: HashMap<(u64, usize, usize), SpecSlot>,
+    next_seq: u64,
     shutdown: bool,
 }
 
-/// Persistent worker pool for lookahead speculation. Created once per run
-/// (not per wave); workers park on a condvar between jobs, so feeding a
-/// task costs a queue push, not a thread spawn.
-struct SpecPool {
+impl SpecState {
+    /// Index of the next job a worker should claim: highest priority lane
+    /// first, FIFO (enqueue order) within a lane.
+    fn best(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.seq)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Persistent worker pool for lookahead speculation.
+///
+/// A run leases the pool (crate-internal `lease`); every speculated task is
+/// keyed by the lease id, so many concurrent runs (e.g. a multi-tenant
+/// service, see `cumulon-serve`) can share one pool without their results
+/// colliding. The queue is priority-ordered: higher
+/// [`SchedulerConfig::lane_priority`] lanes are claimed first, FIFO within
+/// a lane. Workers park on a condvar between jobs, so feeding a task costs
+/// a queue push, not a thread spawn.
+///
+/// Sharing never affects results: speculation is a cache the canonical
+/// DES-loop replay validates read-for-read, so a starved lane merely falls
+/// back to inline execution, which is bitwise-equivalent by construction.
+pub struct SpecPool {
     state: Arc<(Mutex<SpecState>, Condvar)>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    next_lease: AtomicU64,
+}
+
+/// One run's lease on a [`SpecPool`]. Dropping the lease withdraws any of
+/// the run's still-queued work and discards its unclaimed results.
+struct SpecLease {
+    pool: Arc<SpecPool>,
+    lease: u64,
+    priority: u8,
+}
+
+impl Drop for SpecLease {
+    fn drop(&mut self) {
+        self.pool.retire(self.lease);
+    }
 }
 
 impl SpecPool {
-    fn new(threads: usize) -> Self {
+    /// Creates a pool with `threads` worker threads.
+    pub fn new(threads: usize) -> Self {
         let state = Arc::new((
             Mutex::new(SpecState {
-                queue: VecDeque::new(),
+                queue: Vec::new(),
                 results: HashMap::new(),
+                next_seq: 0,
                 shutdown: false,
             }),
             Condvar::new(),
@@ -455,7 +514,24 @@ impl SpecPool {
                 std::thread::spawn(move || Self::worker(state))
             })
             .collect();
-        SpecPool { state, workers }
+        SpecPool {
+            state,
+            workers,
+            next_lease: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker threads currently serving the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn lease(self: &Arc<Self>, priority: u8) -> SpecLease {
+        SpecLease {
+            pool: Arc::clone(self),
+            lease: self.next_lease.fetch_add(1, Ordering::Relaxed),
+            priority,
+        }
     }
 
     fn worker(state: Arc<(Mutex<SpecState>, Condvar)>) {
@@ -469,11 +545,13 @@ impl SpecPool {
             let job = {
                 let mut st = lock.lock();
                 loop {
-                    if let Some(job) = st.queue.pop_front() {
+                    if let Some(i) = st.best() {
+                        let job = st.queue.swap_remove(i);
                         // Marked Running under the same lock as the pop, so
                         // `take` always sees a job as queued or slotted,
                         // never in between.
-                        st.results.insert((job.job, job.task), SpecSlot::Running);
+                        st.results
+                            .insert((job.lease, job.job, job.task), SpecSlot::Running);
                         break job;
                     }
                     if st.shutdown {
@@ -492,30 +570,54 @@ impl SpecPool {
             }));
             let mut st = lock.lock();
             st.results
-                .insert((job.job, job.task), SpecSlot::Done(recorded));
+                .insert((job.lease, job.job, job.task), SpecSlot::Done(recorded));
             cvar.notify_all();
         }
     }
 
-    fn enqueue(&self, jobs: Vec<SpecJob>) {
+    /// Enqueues `(job, task, logic)` triples under a lease, stamping lane
+    /// priority and FIFO sequence numbers.
+    fn enqueue(
+        &self,
+        lease: &SpecLease,
+        tasks: Vec<(usize, usize, TaskFn)>,
+        store: &TileStore,
+        mode: ExecMode,
+    ) {
         let (lock, cvar) = &*self.state;
-        lock.lock().queue.extend(jobs);
+        let mut st = lock.lock();
+        for (job, task, run) in tasks {
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.queue.push(SpecJob {
+                lease: lease.lease,
+                job,
+                task,
+                priority: lease.priority,
+                seq,
+                run,
+                store: store.clone(),
+                mode,
+            });
+        }
         cvar.notify_all();
     }
 
-    /// Claims the speculative result for `(job, task)`. A finished
-    /// recording is returned; a running one is waited for; a still-queued
-    /// one is withdrawn and `None` returned (the caller executes inline).
-    /// Each recording is consumed at most once — retries and backup copies
-    /// find nothing and fall back to inline execution, which must re-run
-    /// the logic anyway for side effects a new attempt would redo.
-    fn take(&self, job: usize, task: usize) -> Option<Recorded> {
+    /// Claims the speculative result for `(job, task)` under a lease. A
+    /// finished recording is returned; a running one is waited for; a
+    /// still-queued one is withdrawn and `None` returned (the caller
+    /// executes inline). Each recording is consumed at most once — retries
+    /// and backup copies find nothing and fall back to inline execution,
+    /// which must re-run the logic anyway for side effects a new attempt
+    /// would redo.
+    fn take(&self, lease: &SpecLease, job: usize, task: usize) -> Option<Recorded> {
+        let key = (lease.lease, job, task);
         let (lock, cvar) = &*self.state;
         let mut st = lock.lock();
         loop {
-            match st.results.get(&(job, task)) {
+            match st.results.get(&key) {
                 Some(SpecSlot::Done(_)) => {
-                    let Some(SpecSlot::Done(recorded)) = st.results.remove(&(job, task)) else {
+                    let Some(SpecSlot::Done(recorded)) = st.results.remove(&key) else {
                         unreachable!("matched Done above");
                     };
                     drop(st);
@@ -526,14 +628,29 @@ impl SpecPool {
                 }
                 Some(SpecSlot::Running) => st = cvar.wait(st),
                 None => {
-                    if let Some(pos) = st.queue.iter().position(|q| q.job == job && q.task == task)
+                    if let Some(pos) = st
+                        .queue
+                        .iter()
+                        .position(|q| (q.lease, q.job, q.task) == key)
                     {
-                        st.queue.remove(pos);
+                        st.queue.swap_remove(pos);
                     }
                     return None;
                 }
             }
         }
+    }
+
+    /// Withdraws a finished run's queued work and unclaimed results.
+    /// In-flight recordings are left to complete (workers hold no lock
+    /// while executing); their slots are reaped here or on the next
+    /// retire, so a crashed run can never wedge the pool.
+    fn retire(&self, lease: u64) {
+        let (lock, _) = &*self.state;
+        let mut st = lock.lock();
+        st.queue.retain(|q| q.lease != lease);
+        st.results
+            .retain(|&(l, _, _), slot| l != lease || matches!(slot, SpecSlot::Running));
     }
 }
 
@@ -552,6 +669,18 @@ impl Drop for SpecPool {
     }
 }
 
+/// The process-wide shared speculation pool
+/// ([`SchedulerConfig::shared_pool`]). Created on first use with
+/// `threads` workers; later calls return the same pool regardless of the
+/// requested size (worker count is a process-level resource, fixed once).
+/// A multi-tenant service creates it at startup so every admitted run
+/// competes for the same workers under lane priorities instead of
+/// spawning a private pool per request.
+pub fn shared_spec_pool(threads: usize) -> Arc<SpecPool> {
+    static SHARED: OnceLock<Arc<SpecPool>> = OnceLock::new();
+    Arc::clone(SHARED.get_or_init(|| Arc::new(SpecPool::new(threads.max(1)))))
+}
+
 /// One in-flight DAG execution: all mutable scheduler state, so the run
 /// loop, slot fill, worker pool, and commit logic can share it through
 /// methods instead of a macro over locals.
@@ -561,9 +690,9 @@ struct Exec<'a> {
     mode: ExecMode,
     config: SchedulerConfig,
     failures: &'a FailurePlan,
-    /// Lookahead worker pool; `None` when the run is single-threaded
-    /// (inline legacy execution).
-    pool: Option<SpecPool>,
+    /// This run's lease on a lookahead worker pool (private or shared);
+    /// `None` when the run is single-threaded (inline legacy execution).
+    pool: Option<SpecLease>,
     /// Per-job flag: its tasks were handed to the pool (set once, the
     /// first `fill_slots` after the job's dependencies complete).
     spec_enqueued: Vec<bool>,
@@ -658,7 +787,14 @@ impl<'a> Exec<'a> {
             mode,
             config,
             failures,
-            pool: (threads > 1).then(|| SpecPool::new(threads)),
+            pool: (threads > 1 || (config.shared_pool && threads > 0)).then(|| {
+                let pool = if config.shared_pool {
+                    shared_spec_pool(threads)
+                } else {
+                    Arc::new(SpecPool::new(threads))
+                };
+                pool.lease(config.lane_priority)
+            }),
             spec_enqueued: vec![false; n_jobs],
             jobs,
             dependents,
@@ -869,7 +1005,7 @@ impl<'a> Exec<'a> {
     /// dependencies complete — at which point all its inputs are durable
     /// in the DFS, so workers can read them ahead of simulated time.
     fn spec_enqueue_ready(&mut self) {
-        let Some(pool) = &self.pool else { return };
+        let Some(lease) = &self.pool else { return };
         let mut batch = Vec::new();
         for j in 0..self.dag.jobs.len() {
             if self.spec_enqueued[j] || self.jobs[j].done || self.jobs[j].remaining_deps > 0 {
@@ -877,17 +1013,13 @@ impl<'a> Exec<'a> {
             }
             self.spec_enqueued[j] = true;
             for (t, task) in self.dag.jobs[j].tasks.iter().enumerate() {
-                batch.push(SpecJob {
-                    job: j,
-                    task: t,
-                    run: Arc::clone(&task.run),
-                    store: self.sched.store.clone(),
-                    mode: self.mode,
-                });
+                batch.push((j, t, Arc::clone(&task.run)));
             }
         }
         if !batch.is_empty() {
-            pool.enqueue(batch);
+            lease
+                .pool
+                .enqueue(lease, batch, &self.sched.store, self.mode);
         }
     }
 
@@ -939,8 +1071,8 @@ impl<'a> Exec<'a> {
     /// bitwise-identical outcomes, so which one is taken — a host-timing
     /// artifact — is unobservable in the simulation.
     fn obtain_outcome(&self, e: &WaveEntry) -> ExecOutcome {
-        if let Some(pool) = &self.pool {
-            if let Some(rec) = pool.take(e.job, e.task) {
+        if let Some(lease) = &self.pool {
+            if let Some(rec) = lease.pool.take(lease, e.job, e.task) {
                 if rec.error.is_none() {
                     if let Some(outcome) = self.try_replay(e, rec.ops) {
                         return outcome;

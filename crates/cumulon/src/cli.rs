@@ -26,95 +26,11 @@ use cumulon_core::{
     Constraint, DeploymentSearch, Optimizer, Result, SearchSpace, SpotHazard, SpotSearchSpace,
 };
 use cumulon_lang::{compile_source, CompiledScript};
-use cumulon_matrix::gen::Generator;
-use cumulon_matrix::MatrixMeta;
 use cumulon_workloads::{run_elastic, ElasticPolicy, Workload};
 
-/// A parsed `--input` specification.
-#[derive(Debug, Clone, PartialEq)]
-pub struct InputSpec {
-    /// Matrix name.
-    pub name: String,
-    /// Rows.
-    pub rows: usize,
-    /// Columns.
-    pub cols: usize,
-    /// Density (1.0 = dense).
-    pub density: f64,
-    /// Tile size.
-    pub tile: usize,
-}
-
-impl InputSpec {
-    /// Parses `NAME=ROWSxCOLS[@DENSITY][:TILE]`.
-    pub fn parse(spec: &str) -> Result<InputSpec> {
-        let bad = |m: &str| CoreError::Invariant(format!("bad --input '{spec}': {m}"));
-        let (name, rest) = spec.split_once('=').ok_or_else(|| bad("missing '='"))?;
-        let (dims_part, tile) = match rest.split_once(':') {
-            Some((d, t)) => (
-                d,
-                t.parse::<usize>()
-                    .map_err(|_| bad("tile size must be an integer"))?,
-            ),
-            None => (rest, 1_000),
-        };
-        let (dims, density) = match dims_part.split_once('@') {
-            Some((d, dens)) => (
-                d,
-                dens.parse::<f64>()
-                    .map_err(|_| bad("density must be a number"))?,
-            ),
-            None => (dims_part, 1.0),
-        };
-        let (r, c) = dims
-            .split_once('x')
-            .ok_or_else(|| bad("dimensions must be RxC"))?;
-        let rows = r
-            .parse::<usize>()
-            .map_err(|_| bad("rows must be an integer"))?;
-        let cols = c
-            .parse::<usize>()
-            .map_err(|_| bad("cols must be an integer"))?;
-        if rows == 0 || cols == 0 || tile == 0 {
-            return Err(bad("dimensions and tile size must be positive"));
-        }
-        if !(0.0..=1.0).contains(&density) {
-            return Err(bad("density must be in [0, 1]"));
-        }
-        Ok(InputSpec {
-            name: name.to_string(),
-            rows,
-            cols,
-            density,
-            tile,
-        })
-    }
-
-    fn meta(&self) -> MatrixMeta {
-        MatrixMeta::new(self.rows, self.cols, self.tile)
-    }
-
-    fn desc(&self) -> InputDesc {
-        let mut d = if self.density < 1.0 {
-            InputDesc::sparse(self.meta(), self.density)
-        } else {
-            InputDesc::dense(self.meta())
-        };
-        d.generated = true;
-        d
-    }
-
-    fn generator(&self, seed: u64) -> Generator {
-        if self.density < 1.0 {
-            Generator::SparseUniform {
-                seed,
-                density: self.density,
-            }
-        } else {
-            Generator::DenseGaussian { seed }
-        }
-    }
-}
+// Input parsing moved to `cumulon-lang` so the CLI and `cumulon serve`
+// share it; re-exported here for source compatibility.
+pub use cumulon_lang::InputSpec;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +142,19 @@ pub enum Command {
         /// `cumulon-check-v1`) to this path.
         report: Option<String>,
     },
+    /// `serve`: run the long-lived optimization service (`cumulon-serve`)
+    /// — concurrent `plan`/`optimize`/`run`/`check-status` requests over
+    /// newline-delimited JSON (`cumulon-serve-v1`).
+    Serve {
+        /// Listen address (`HOST:PORT`; port 0 lets the OS pick).
+        addr: String,
+        /// Maximum queued runs before `queue-full` backpressure.
+        queue_depth: usize,
+        /// Worker threads executing queued runs.
+        run_workers: usize,
+        /// Scheduler threads per run (sizes the shared speculation pool).
+        threads: usize,
+    },
     /// `calibrate`: wall-clock-profile the tile kernels on this host,
     /// re-fit the cost model's CPU coefficients from the measurements,
     /// and report measured vs model-implied flop rates.
@@ -263,7 +192,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
              calibrate: cumulon calibrate [--instance TYPE] [--quick]\n\
                       [--kernel-threads K] [--json FILE.json]   (profiles the\n\
                       tile kernels on this host and re-fits the cost model's\n\
-                      CPU coefficients from the measurements)"
+                      CPU coefficients from the measurements)\n\
+             serve:   cumulon serve [--addr HOST:PORT] [--queue-depth N]\n\
+                      [--run-workers N] [--threads T]   (long-running multi-\n\
+                      tenant service; newline-delimited JSON, schema\n\
+                      cumulon-serve-v1 — see README \"cumulon serve\")"
                 .to_string(),
         )
     };
@@ -290,6 +223,46 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             }
         }
         return Ok(Command::Check { quick, report });
+    }
+    // `serve` takes no script either: programs arrive over the wire.
+    if cmd == "serve" {
+        let mut addr = "127.0.0.1:7070".to_string();
+        let mut queue_depth = 8usize;
+        let mut run_workers = 2usize;
+        let mut threads = 2usize;
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CoreError::Invariant(format!("{flag} needs a value")))
+            };
+            let int = |flag: &str, v: String| {
+                v.parse::<usize>()
+                    .map_err(|_| CoreError::Invariant(format!("{flag} needs an integer")))
+            };
+            match arg.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--queue-depth" => queue_depth = int("--queue-depth", value("--queue-depth")?)?,
+                "--run-workers" => run_workers = int("--run-workers", value("--run-workers")?)?,
+                "--threads" => threads = int("--threads", value("--threads")?)?,
+                other => {
+                    return Err(CoreError::Invariant(format!(
+                        "unknown argument '{other}' for serve"
+                    )));
+                }
+            }
+        }
+        if queue_depth == 0 || run_workers == 0 {
+            return Err(CoreError::Invariant(
+                "--queue-depth and --run-workers must be positive".into(),
+            ));
+        }
+        return Ok(Command::Serve {
+            addr,
+            queue_depth,
+            run_workers,
+            threads,
+        });
     }
     // `calibrate` likewise takes no script: it profiles the host itself.
     if cmd == "calibrate" {
@@ -1023,6 +996,37 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 )))
             }
         }
+        Command::Serve {
+            addr,
+            queue_depth,
+            run_workers,
+            threads,
+        } => {
+            let config = cumulon_serve::ServiceConfig {
+                queue_depth: *queue_depth,
+                run_workers: *run_workers,
+                threads: *threads,
+                ..Default::default()
+            };
+            let server = cumulon_serve::Server::start(addr, config)?;
+            writeln!(
+                out,
+                "serve  : listening on {} ({} run worker(s), queue depth {}, \
+                 {} scheduler thread(s)); schema cumulon-serve-v1, one JSON \
+                 request per line",
+                server.addr(),
+                run_workers,
+                queue_depth,
+                threads
+            )
+            .map_err(w)?;
+            out.flush().map_err(w)?;
+            // Daemon semantics: serve until the process is killed.
+            // (`park` can wake spuriously, hence the loop.)
+            loop {
+                std::thread::park();
+            }
+        }
         Command::Calibrate {
             instance,
             quick,
@@ -1132,34 +1136,7 @@ mod tests {
         s.split_whitespace().map(str::to_string).collect()
     }
 
-    #[test]
-    fn input_spec_parsing() {
-        assert_eq!(
-            InputSpec::parse("A=200x100").unwrap(),
-            InputSpec {
-                name: "A".into(),
-                rows: 200,
-                cols: 100,
-                density: 1.0,
-                tile: 1000
-            }
-        );
-        assert_eq!(
-            InputSpec::parse("V=5000x4000@0.01:500").unwrap(),
-            InputSpec {
-                name: "V".into(),
-                rows: 5000,
-                cols: 4000,
-                density: 0.01,
-                tile: 500
-            }
-        );
-        assert!(InputSpec::parse("A").is_err());
-        assert!(InputSpec::parse("A=xx").is_err());
-        assert!(InputSpec::parse("A=10x0").is_err());
-        assert!(InputSpec::parse("A=10x10@2.0").is_err());
-        assert!(InputSpec::parse("A=10x10:0").is_err());
-    }
+    // `InputSpec` parsing is unit-tested where it lives, in `cumulon-lang`.
 
     #[test]
     fn parse_plan_command() {
@@ -1458,6 +1435,34 @@ mod tests {
         );
         assert_eq!(v.get("passed").and_then(|p| p.as_bool()), Some(true));
         std::fs::remove_file(json_path).ok();
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        assert_eq!(
+            parse_args(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                queue_depth: 8,
+                run_workers: 2,
+                threads: 2,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "serve --addr 0.0.0.0:9000 --queue-depth 4 --run-workers 3 --threads 1"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                queue_depth: 4,
+                run_workers: 3,
+                threads: 1,
+            }
+        );
+        assert!(parse_args(&args("serve --queue-depth 0")).is_err());
+        assert!(parse_args(&args("serve --run-workers")).is_err());
+        assert!(parse_args(&args("serve --bogus")).is_err());
     }
 
     #[test]

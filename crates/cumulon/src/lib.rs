@@ -18,6 +18,8 @@
 //! * [`trace`] — span-level run tracing: Chrome/Perfetto timeline export,
 //!   slot-utilization and critical-path reports;
 //! * [`workloads`] — GNMF, RSVD, regression, power iteration, chains;
+//! * [`serve`] — the multi-tenant optimization service behind
+//!   `cumulon serve`;
 //! * [`check`] — the cross-layer invariant checker behind `cumulon check`.
 //!
 //! ## Quickstart
@@ -67,6 +69,7 @@ pub use cumulon_dfs as dfs;
 pub use cumulon_lang as lang;
 pub use cumulon_matrix as matrix;
 pub use cumulon_mr as mr;
+pub use cumulon_serve as serve;
 pub use cumulon_trace as trace;
 pub use cumulon_workloads as workloads;
 

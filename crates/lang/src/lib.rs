@@ -36,11 +36,13 @@
 
 pub mod ast;
 pub mod compile;
+pub mod input;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{BinOp, Expr, Script, Stmt, UnFn};
 pub use compile::{compile, CompiledScript};
+pub use input::InputSpec;
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse;
 

@@ -1,0 +1,445 @@
+//! The in-process service: admission control, quotas, the job table and
+//! the run-worker pool, behind a single [`Service::handle`] entry point.
+//!
+//! [`Service::handle`] is the whole protocol — the TCP server
+//! ([`crate::server`]) is a thin line-framing shell around it, and tests
+//! drive the service in-process through the same method, so wire behavior
+//! and tested behavior cannot drift.
+//!
+//! Request lifecycle (documented in DESIGN.md, "Service layer"):
+//! accept → admit (schema, quota) → fast lane (`plan`/`optimize`,
+//! executed synchronously on the calling thread) or queue (`run`,
+//! bounded + priority-ordered) → execute (worker pool, shared
+//! speculation pool) → audit (request-id-tagged trace, fingerprint in
+//! the response, receipt retained in the job table).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cumulon_cluster::shared_spec_pool;
+
+use crate::engine;
+use crate::protocol::{Action, ErrorCode, Reply, Request};
+use crate::queue::JobQueue;
+use crate::quota::{QuotaConfig, TokenBucket};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Maximum queued (not yet executing) `run` jobs before admission
+    /// rejects with `queue-full`.
+    pub queue_depth: usize,
+    /// Worker threads executing queued runs.
+    pub run_workers: usize,
+    /// Scheduler threads per run. Every run uses the process-wide shared
+    /// speculation pool ([`shared_spec_pool`]), sized to this on first
+    /// use, so concurrent runs compete for the same workers under their
+    /// priority lanes instead of oversubscribing the host.
+    pub threads: usize,
+    /// Per-tenant token-bucket policy.
+    pub quota: QuotaConfig,
+    /// Nominal seconds one queued run takes — scales `retry_after_s` on
+    /// `queue-full` rejections.
+    pub nominal_run_s: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 8,
+            run_workers: 2,
+            threads: 2,
+            quota: QuotaConfig::default(),
+            nominal_run_s: 0.5,
+        }
+    }
+}
+
+/// Lifecycle state of a `run` job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; fingerprint and receipt retained.
+    Done,
+    /// Failed; message retained.
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// The retained record of one `run` job — the audit trail `check-status`
+/// reads. Never dropped while the service lives, so receipts survive
+/// graceful shutdown.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Tenant that submitted the run.
+    pub tenant: String,
+    /// Request id the run executed under (tagged into its trace).
+    pub request_id: String,
+    /// Run fingerprint, set when `Done`.
+    pub fingerprint: Option<String>,
+    /// Simulated makespan, set when `Done`.
+    pub makespan_s: f64,
+    /// Dollar cost, set when `Done`.
+    pub cost_dollars: f64,
+    /// One-line report summary, set when `Done`.
+    pub summary: String,
+    /// Trace spans recorded, set when `Done`.
+    pub spans: u64,
+    /// Error message, set when `Failed`.
+    pub error: String,
+}
+
+struct QueuedRun {
+    job_id: String,
+    request: Request,
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    queue: JobQueue<QueuedRun>,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    jobs: Mutex<HashMap<String, JobRecord>>,
+    jobs_cv: Condvar,
+    next_job: AtomicU64,
+    draining: AtomicBool,
+    started: Instant,
+}
+
+impl ServiceInner {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Charges `cost` against the tenant's bucket; `Err(retry_after_s)`
+    /// throttles.
+    fn admit_quota(&self, tenant: &str, cost: f64) -> Result<(), f64> {
+        let now = self.now_s();
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(tenant.to_string()).or_insert_with(|| {
+            TokenBucket::new(self.config.quota.capacity, self.config.quota.refill_per_s)
+        });
+        bucket.try_take(cost, now)
+    }
+
+    fn update_job(&self, job_id: &str, f: impl FnOnce(&mut JobRecord)) {
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(rec) = jobs.get_mut(job_id) {
+            f(rec);
+        }
+        drop(jobs);
+        self.jobs_cv.notify_all();
+    }
+
+    /// Executes one queued run on a worker thread and books the outcome.
+    fn execute(&self, run: QueuedRun) {
+        self.update_job(&run.job_id, |r| r.state = JobState::Running);
+        match engine::run(&run.request, self.config.threads, true) {
+            Ok(outcome) => self.update_job(&run.job_id, |r| {
+                r.state = JobState::Done;
+                r.fingerprint = Some(outcome.report.fingerprint());
+                r.makespan_s = outcome.report.makespan_s;
+                r.cost_dollars = outcome.report.cost_dollars;
+                r.summary = outcome.report.summary();
+                r.spans = outcome.spans as u64;
+            }),
+            Err(e) => self.update_job(&run.job_id, |r| {
+                r.state = JobState::Failed;
+                r.error = e.to_string();
+            }),
+        }
+    }
+}
+
+/// A running optimization service (the engine behind `cumulon serve`).
+///
+/// Start one, feed it protocol lines, shut it down:
+///
+/// ```
+/// use cumulon_serve::{Service, ServiceConfig};
+/// let mut svc = Service::start(ServiceConfig { run_workers: 1, ..Default::default() });
+/// let response = svc.handle(
+///     r#"{"schema":"cumulon-serve-v1","id":"r1","tenant":"alice","action":"plan",
+///         "script":"G = A' * A;","inputs":["A=2000x1000"],"nodes":4}"#,
+/// );
+/// assert!(response.contains("\"ok\":true"), "{response}");
+/// svc.shutdown();
+/// ```
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the service: spawns `run_workers` executors and pins the
+    /// process-wide speculation pool to `config.threads` workers.
+    pub fn start(config: ServiceConfig) -> Service {
+        // Create (or adopt) the shared pool up front so its size is set
+        // by service config, not by whichever run happens first.
+        let _ = shared_spec_pool(config.threads.max(1));
+        let inner = Arc::new(ServiceInner {
+            config,
+            queue: JobQueue::new(config.queue_depth),
+            buckets: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_cv: Condvar::new(),
+            next_job: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let workers = (0..config.run_workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    while let Some(run) = inner.queue.pop() {
+                        inner.execute(run);
+                    }
+                })
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Handles one request line, returning the full response line
+    /// (newline-terminated). Never panics on bad input — malformed lines
+    /// produce `bad-request` responses.
+    pub fn handle(&self, line: &str) -> String {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                // Echo the id if one survived parsing, so clients can
+                // correlate even malformed-request rejections.
+                let id = cumulon_trace::json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(|x| x.as_str()).map(str::to_string))
+                    .unwrap_or_default();
+                return Reply::err(&id, "", ErrorCode::BadRequest, &msg, None);
+            }
+        };
+        if self.inner.draining.load(Ordering::SeqCst) && req.action != Action::CheckStatus {
+            return Reply::err(
+                &req.id,
+                req.action.as_str(),
+                ErrorCode::ShuttingDown,
+                "service is draining; no new work admitted",
+                None,
+            );
+        }
+        let quota_cost = match req.action {
+            Action::Run => self.inner.config.quota.run_cost,
+            _ => self.inner.config.quota.cheap_cost,
+        };
+        if let Err(retry_after) = self.inner.admit_quota(&req.tenant, quota_cost) {
+            return Reply::err(
+                &req.id,
+                req.action.as_str(),
+                ErrorCode::QuotaExhausted,
+                &format!("tenant '{}' is out of quota", req.tenant),
+                Some(retry_after),
+            );
+        }
+        match req.action {
+            // The fast lane: estimate-only work runs synchronously on
+            // the connection thread and never queues behind runs.
+            Action::Plan => match engine::plan(&req) {
+                Ok(est) => Reply::ok(&req.id, "plan")
+                    .str("instance", &req.instance)
+                    .int("nodes", req.nodes as u64)
+                    .num("estimate_s", est.makespan_s)
+                    .num("est_cost_dollars", est.cost_dollars)
+                    .int("plan_jobs", est.jobs as u64)
+                    .finish(),
+                Err(e) => Reply::err(&req.id, "plan", ErrorCode::Internal, &e.to_string(), None),
+            },
+            Action::Optimize => match engine::optimize(&req) {
+                Ok(best) => Reply::ok(&req.id, "optimize")
+                    .str("instance", &best.instance)
+                    .int("nodes", best.nodes as u64)
+                    .int("slots", best.slots as u64)
+                    .num("estimate_s", best.est_makespan_s)
+                    .num("est_cost_dollars", best.est_cost_dollars)
+                    .str("summary", &best.summary)
+                    .finish(),
+                Err(e) => Reply::err(
+                    &req.id,
+                    "optimize",
+                    ErrorCode::Internal,
+                    &e.to_string(),
+                    None,
+                ),
+            },
+            Action::Run => self.handle_run(req),
+            Action::CheckStatus => self.handle_status(&req),
+        }
+    }
+
+    fn handle_run(&self, req: Request) -> String {
+        let job_id = format!(
+            "job-{}",
+            self.inner.next_job.fetch_add(1, Ordering::Relaxed)
+        );
+        {
+            let mut jobs = self.inner.jobs.lock().unwrap();
+            jobs.insert(
+                job_id.clone(),
+                JobRecord {
+                    state: JobState::Queued,
+                    tenant: req.tenant.clone(),
+                    request_id: req.id.clone(),
+                    fingerprint: None,
+                    makespan_s: 0.0,
+                    cost_dollars: 0.0,
+                    summary: String::new(),
+                    spans: 0,
+                    error: String::new(),
+                },
+            );
+        }
+        let id = req.id.clone();
+        let wait = req.wait;
+        let priority = req.priority;
+        let queued = QueuedRun {
+            job_id: job_id.clone(),
+            request: req,
+        };
+        if self.inner.queue.push(priority, queued).is_err() {
+            self.inner.jobs.lock().unwrap().remove(&job_id);
+            // Backpressure hint: how long until a worker likely frees a
+            // slot, assuming nominal run time and a full pipeline.
+            let retry = self.inner.config.nominal_run_s
+                * (1.0 + self.inner.queue.depth() as f64 / self.inner.config.run_workers as f64);
+            return Reply::err(
+                &id,
+                "run",
+                ErrorCode::QueueFull,
+                &format!("run queue is at capacity ({})", self.inner.queue.depth()),
+                Some(retry),
+            );
+        }
+        if !wait {
+            return Reply::ok(&id, "run")
+                .str("job", &job_id)
+                .str("state", JobState::Queued.as_str())
+                .finish();
+        }
+        // Synchronous run: wait for the worker to finish this job. The
+        // wait sits on the connection thread, so it holds no service
+        // locks while the run executes.
+        let mut jobs = self.inner.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&job_id) {
+                Some(rec) if rec.state == JobState::Done || rec.state == JobState::Failed => {
+                    let rec = rec.clone();
+                    drop(jobs);
+                    return render_finished(&id, &job_id, &rec);
+                }
+                Some(_) => jobs = self.inner.jobs_cv.wait(jobs).unwrap(),
+                None => {
+                    drop(jobs);
+                    return Reply::err(
+                        &id,
+                        "run",
+                        ErrorCode::Internal,
+                        "job record vanished mid-run",
+                        None,
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_status(&self, req: &Request) -> String {
+        let Some(job_id) = req.job.as_deref() else {
+            return Reply::err(
+                &req.id,
+                "check-status",
+                ErrorCode::BadRequest,
+                "check-status needs 'job'",
+                None,
+            );
+        };
+        let jobs = self.inner.jobs.lock().unwrap();
+        match jobs.get(job_id) {
+            None => Reply::err(
+                &req.id,
+                "check-status",
+                ErrorCode::UnknownJob,
+                &format!("no job '{job_id}'"),
+                None,
+            ),
+            Some(rec) => {
+                let rec = rec.clone();
+                drop(jobs);
+                match rec.state {
+                    JobState::Done | JobState::Failed => render_finished(&req.id, job_id, &rec),
+                    state => Reply::ok(&req.id, "check-status")
+                        .str("job", job_id)
+                        .str("state", state.as_str())
+                        .finish(),
+                }
+            }
+        }
+    }
+
+    /// Jobs table snapshot (for tests and reporting).
+    pub fn job(&self, job_id: &str) -> Option<JobRecord> {
+        self.inner.jobs.lock().unwrap().get(job_id).cloned()
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queued and
+    /// in-flight run to completion, join the workers. Receipts for all
+    /// admitted jobs remain in the table (verified by the shutdown-drain
+    /// test) — no admitted run is ever dropped, and [`Service::job`] /
+    /// `check-status` keep answering after the drain.
+    pub fn shutdown(&mut self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // A dropped (not shut down) service still drains rather than
+        // detaching threads.
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn render_finished(id: &str, job_id: &str, rec: &JobRecord) -> String {
+    match rec.state {
+        JobState::Done => Reply::ok(id, "run")
+            .str("job", job_id)
+            .str("state", "done")
+            .str("fingerprint", rec.fingerprint.as_deref().unwrap_or(""))
+            .num("makespan_s", rec.makespan_s)
+            .num("cost_dollars", rec.cost_dollars)
+            .int("spans", rec.spans)
+            .str("summary", &rec.summary)
+            .finish(),
+        JobState::Failed => Reply::err(id, "run", ErrorCode::Internal, &rec.error, None),
+        _ => unreachable!("render_finished called on unfinished job"),
+    }
+}

@@ -1,0 +1,192 @@
+//! Admission-control edge cases, driven through [`Service::handle`] —
+//! the same entry point the TCP shell uses:
+//!
+//! * `queue-full` rejections carry an actionable `retry_after_s`;
+//! * one tenant exhausting its quota throttles *that tenant only* —
+//!   another tenant's requests keep flowing;
+//! * graceful shutdown drains every admitted run to completion and
+//!   drops no receipts, while refusing new work.
+
+use std::time::{Duration, Instant};
+
+use cumulon_serve::quota::QuotaConfig;
+use cumulon_serve::{JobState, Service, ServiceConfig};
+use cumulon_trace::json::{parse, JsonValue};
+
+/// A `run` request line for the tiny Gram program the tests share.
+fn run_line(id: &str, tenant: &str, wait: bool) -> String {
+    format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+         \"action\":\"run\",\"script\":\"G = A' * A;\",\"inputs\":[\"A=40x20:10\"],\
+         \"instance\":\"m1.large\",\"nodes\":2,\"slots\":2,\"wait\":{wait}}}"
+    )
+}
+
+/// A `run` request whose chained large multiplies keep a worker busy for
+/// long enough (tens of milliseconds at least) that the test can fill the
+/// queue behind it deterministically.
+fn slow_run_line(id: &str, tenant: &str) -> String {
+    format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+         \"action\":\"run\",\"script\":\"B = A * A; C = B * B; D = C * C;\",\
+         \"inputs\":[\"A=4000x4000:200\"],\
+         \"instance\":\"m1.large\",\"nodes\":2,\"slots\":2,\"wait\":false}}"
+    )
+}
+
+/// A quota policy generous enough that admission never throttles.
+fn open_quota() -> QuotaConfig {
+    QuotaConfig {
+        capacity: 1e6,
+        refill_per_s: 1e3,
+        ..QuotaConfig::default()
+    }
+}
+
+fn json(reply: &str) -> JsonValue {
+    parse(reply).unwrap_or_else(|e| panic!("reply is not valid JSON ({e}): {reply}"))
+}
+
+fn str_of<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .unwrap_or_else(|| panic!("missing string '{key}' in {v:?}"))
+}
+
+fn is_ok(v: &JsonValue) -> bool {
+    v.get("ok").and_then(|x| x.as_bool()) == Some(true)
+}
+
+/// Polls until the named job leaves `Queued` (a worker picked it up).
+fn wait_until_running(svc: &Service, job: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let state = svc.job(job).expect("job record exists").state;
+        if state != JobState::Queued {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {job} never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn queue_full_rejection_carries_retry_after() {
+    let mut svc = Service::start(ServiceConfig {
+        run_workers: 1,
+        queue_depth: 2,
+        threads: 1,
+        quota: open_quota(),
+        ..Default::default()
+    });
+
+    // Occupy the only worker, then verify it has actually dequeued the
+    // slow job so the queue is empty when the burst arrives.
+    let slow = json(&svc.handle(&slow_run_line("slow", "alice")));
+    assert!(is_ok(&slow), "{slow:?}");
+    wait_until_running(&svc, str_of(&slow, "job"));
+
+    // Two async runs fit the depth-2 queue; the third must bounce.
+    let mut accepted = Vec::new();
+    for i in 0..2 {
+        let v = json(&svc.handle(&run_line(&format!("q{i}"), "alice", false)));
+        assert!(is_ok(&v), "queued run {i} rejected: {v:?}");
+        accepted.push(str_of(&v, "job").to_string());
+    }
+    let bounced = json(&svc.handle(&run_line("q2", "alice", false)));
+    assert!(!is_ok(&bounced), "expected queue-full, got {bounced:?}");
+    assert_eq!(str_of(&bounced, "error"), "queue-full");
+    let retry = bounced
+        .get("retry_after_s")
+        .and_then(|x| x.as_f64())
+        .expect("queue-full carries retry_after_s");
+    assert!(retry > 0.0, "retry_after_s must be positive, got {retry}");
+
+    // The rejection dropped nothing that was admitted: draining finishes
+    // the slow job and both queued runs.
+    svc.shutdown();
+    for job in accepted {
+        let rec = svc.job(&job).expect("receipt retained");
+        assert_eq!(rec.state, JobState::Done, "{job}: {}", rec.error);
+    }
+}
+
+#[test]
+fn quota_throttles_one_tenant_without_starving_another() {
+    // Capacity covers exactly one run; refill is slow enough that the
+    // second request inside the test window must throttle.
+    let mut svc = Service::start(ServiceConfig {
+        run_workers: 1,
+        threads: 1,
+        quota: QuotaConfig {
+            capacity: 10.0,
+            refill_per_s: 0.01,
+            run_cost: 10.0,
+            cheap_cost: 1.0,
+        },
+        ..Default::default()
+    });
+
+    let first = json(&svc.handle(&run_line("a1", "alice", true)));
+    assert!(is_ok(&first), "{first:?}");
+    let fingerprint = str_of(&first, "fingerprint").to_string();
+    assert!(!fingerprint.is_empty());
+
+    let throttled = json(&svc.handle(&run_line("a2", "alice", true)));
+    assert!(!is_ok(&throttled), "{throttled:?}");
+    assert_eq!(str_of(&throttled, "error"), "quota-exhausted");
+    let retry = throttled
+        .get("retry_after_s")
+        .and_then(|x| x.as_f64())
+        .expect("quota-exhausted carries retry_after_s");
+    assert!(retry > 0.0);
+
+    // Buckets are per-tenant: bob is untouched by alice's exhaustion,
+    // and his identical program reproduces her fingerprint bitwise.
+    let bob = json(&svc.handle(&run_line("b1", "bob", true)));
+    assert!(is_ok(&bob), "throttle leaked across tenants: {bob:?}");
+    assert_eq!(str_of(&bob, "fingerprint"), fingerprint);
+    svc.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_all_receipts_and_refuses_new_work() {
+    let mut svc = Service::start(ServiceConfig {
+        run_workers: 1,
+        queue_depth: 8,
+        threads: 1,
+        quota: open_quota(),
+        ..Default::default()
+    });
+
+    let mut jobs = Vec::new();
+    for i in 0..3 {
+        let v = json(&svc.handle(&run_line(&format!("r{i}"), "alice", false)));
+        assert!(is_ok(&v), "{v:?}");
+        jobs.push(str_of(&v, "job").to_string());
+    }
+    svc.shutdown();
+
+    // Every admitted run finished and kept its receipt.
+    let mut fingerprints = Vec::new();
+    for job in &jobs {
+        let rec = svc.job(job).expect("receipt survived shutdown");
+        assert_eq!(rec.state, JobState::Done, "{job}: {}", rec.error);
+        fingerprints.push(rec.fingerprint.clone().expect("fingerprint recorded"));
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "identical programs must drain to identical fingerprints"
+    );
+
+    // Post-drain: no new work, but the audit trail still answers.
+    let refused = json(&svc.handle(&run_line("late", "alice", true)));
+    assert_eq!(str_of(&refused, "error"), "shutting-down");
+    let status = json(&svc.handle(&format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"s\",\"tenant\":\"alice\",\
+         \"action\":\"check-status\",\"job\":\"{}\"}}",
+        jobs[0]
+    )));
+    assert!(is_ok(&status), "{status:?}");
+    assert_eq!(str_of(&status, "state"), "done");
+}

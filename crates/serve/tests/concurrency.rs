@@ -1,0 +1,104 @@
+//! The service's determinism contract, property-tested: N concurrent
+//! tenant clients racing randomly shaped programs through the admission
+//! path (quota, bounded priority queue, shared speculation pool) each
+//! receive a fingerprint bitwise-identical to a serial, private-pool
+//! replay of the same request through the engine pipeline — at scheduler
+//! threads 1 and N. Contention may reorder speculative work; it must
+//! never change what a run computes.
+
+use proptest::prelude::*;
+
+use cumulon_serve::engine;
+use cumulon_serve::protocol::Request;
+use cumulon_serve::quota::QuotaConfig;
+use cumulon_serve::{Service, ServiceConfig};
+use cumulon_trace::json::parse;
+
+fn request_line(
+    id: &str,
+    tenant: &str,
+    priority: usize,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+) -> String {
+    format!(
+        "{{\"schema\":\"cumulon-serve-v1\",\"id\":\"{id}\",\"tenant\":\"{tenant}\",\
+         \"action\":\"run\",\"script\":\"G = A' * A;\",\"inputs\":[\"A={rows}x{cols}:{tile}\"],\
+         \"instance\":\"m1.large\",\"nodes\":3,\"slots\":2,\"priority\":{priority}}}"
+    )
+}
+
+fn threads_n() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4))
+}
+
+proptest! {
+    // Each case spins up two services and 2×tenants full runs; a handful
+    // of cases keeps the property meaningful inside the CI budget.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_clients_match_serial_replay(
+        rows in 16usize..64,
+        cols in 8usize..32,
+        tile in 4usize..16,
+        tenants in 2usize..5,
+    ) {
+        // Serial ground truth: the same request, engine-direct, one
+        // scheduler thread, private speculation pool.
+        let baseline_req =
+            Request::parse(&request_line("base", "base", 0, rows, cols, tile)).unwrap();
+        let baseline = engine::run(&baseline_req, 1, false)
+            .expect("serial replay runs")
+            .report
+            .fingerprint();
+
+        for threads in [1usize, threads_n()] {
+            let service = Service::start(ServiceConfig {
+                threads,
+                run_workers: tenants,
+                queue_depth: tenants,
+                quota: QuotaConfig { capacity: 1e6, refill_per_s: 1e3, ..Default::default() },
+                ..Default::default()
+            });
+            let replies: Vec<String> = std::thread::scope(|s| {
+                (0..tenants)
+                    .map(|i| {
+                        let service = &service;
+                        let line = request_line(
+                            &format!("req-{i}"),
+                            &format!("tenant-{i}"),
+                            // Distinct priority lanes exercise the
+                            // priority-ordered shared pool.
+                            i,
+                            rows,
+                            cols,
+                            tile,
+                        );
+                        s.spawn(move || service.handle(&line))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect()
+            });
+            for (i, reply) in replies.iter().enumerate() {
+                let v = parse(reply).expect("reply is valid JSON");
+                prop_assert_eq!(
+                    v.get("ok").and_then(|x| x.as_bool()),
+                    Some(true),
+                    "tenant-{} rejected at threads {}: {}", i, threads, reply
+                );
+                let fp = v
+                    .get("fingerprint")
+                    .and_then(|x| x.as_str())
+                    .expect("run reply carries a fingerprint");
+                prop_assert_eq!(
+                    fp, &baseline,
+                    "tenant-{} diverged from the serial replay at threads {}", i, threads
+                );
+            }
+        }
+    }
+}

@@ -47,7 +47,9 @@ impl TraceLog {
     ///
     /// * `schema_version` — integer version stamp;
     /// * `cumulon` — run metadata: `instance`, `nodes`, `slots`,
-    ///   `makespan_s`, `cache_hits`, `cache_misses`, and the aggregated
+    ///   `makespan_s`, `cache_hits`, `cache_misses`, an optional
+    ///   `request_id` (present only for `cumulon serve` runs, see
+    ///   [`crate::Trace::set_request_id`]), and the aggregated
     ///   `phases` object
     ///   (`compute_s`/`read_s`/`write_s`/`startup_s`/`overhead_s`);
     /// * `traceEvents` — `"M"` process/thread-name metadata, one `"X"`
@@ -60,8 +62,7 @@ impl TraceLog {
         let _ = write!(
             out,
             "{{\"schema_version\":{},\"cumulon\":{{\"instance\":\"{}\",\"nodes\":{},\
-             \"slots\":{},\"makespan_s\":{},\"cache_hits\":{},\"cache_misses\":{},\
-             \"phases\":{{",
+             \"slots\":{},\"makespan_s\":{},\"cache_hits\":{},\"cache_misses\":{},",
             self.schema_version,
             escape(&self.instance),
             self.nodes,
@@ -70,6 +71,12 @@ impl TraceLog {
             self.cache_hits,
             self.cache_misses,
         );
+        // Emitted only when set so standalone (non-service) traces stay
+        // byte-identical to pre-service golden files.
+        if let Some(rid) = &self.request_id {
+            let _ = write!(out, "\"request_id\":\"{}\",", escape(rid));
+        }
+        out.push_str("\"phases\":{");
         phase_args(&mut out, &self.phase_totals());
         out.push_str("}},\"traceEvents\":[");
         let mut first = true;
@@ -300,6 +307,27 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("mul \"C\"")));
+    }
+
+    #[test]
+    fn request_id_exported_only_when_set() {
+        let plain = sample_log();
+        let doc = parse(&plain.to_chrome_json()).unwrap();
+        assert!(doc.get("cumulon").unwrap().get("request_id").is_none());
+        assert!(!plain.to_chrome_json().contains("request_id"));
+
+        let t = Trace::enabled();
+        t.set_run_meta("m1.large", 1, 1);
+        t.set_request_id("req-42");
+        let tagged = t.snapshot().unwrap();
+        let doc = parse(&tagged.to_chrome_json()).unwrap();
+        assert_eq!(
+            doc.get("cumulon")
+                .unwrap()
+                .get("request_id")
+                .and_then(|v| v.as_str()),
+            Some("req-42")
+        );
     }
 
     #[test]

@@ -264,6 +264,11 @@ pub struct TraceLog {
     pub jobs: Vec<JobSpan>,
     /// Instant events, in emission order.
     pub events: Vec<TraceEvent>,
+    /// Service request id this run was executed for (`cumulon serve`
+    /// threads it through via [`Trace::set_request_id`]); `None` for
+    /// direct CLI runs. Exported in the Chrome JSON only when set, so
+    /// standalone traces are byte-identical with or without this field.
+    pub request_id: Option<String>,
     /// Tile-cache hits observed on the canonical execution path.
     /// Parallelism-sensitive: see the crate-level determinism contract.
     pub cache_hits: u64,
@@ -301,6 +306,7 @@ struct Buf {
     tasks: Vec<TaskSpan>,
     jobs: Vec<JobSpan>,
     events: Vec<TraceEvent>,
+    request_id: Option<String>,
 }
 
 struct TraceInner {
@@ -377,6 +383,7 @@ impl Trace {
                     tasks: Vec::new(),
                     jobs: Vec::new(),
                     events: Vec::new(),
+                    request_id: None,
                 }),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
@@ -396,6 +403,18 @@ impl Trace {
             buf.instance = instance.to_string();
             buf.nodes = nodes;
             buf.slots = slots;
+        }
+    }
+
+    /// Tags the trace with the service request id that initiated the run,
+    /// so an audited trace can be matched back to the `cumulon serve`
+    /// request (and its response fingerprint) that produced it. Purely
+    /// observational, like all recording: it never feeds back into the
+    /// simulation.
+    pub fn set_request_id(&self, request_id: &str) {
+        if let Some(inner) = &self.inner {
+            let mut buf = inner.buf.lock().unwrap();
+            buf.request_id = Some(request_id.to_string());
         }
     }
 
@@ -495,6 +514,7 @@ impl Trace {
             tasks: buf.tasks.clone(),
             jobs: buf.jobs.clone(),
             events: buf.events.clone(),
+            request_id: buf.request_id.clone(),
             cache_hits: inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: inner.cache_misses.load(Ordering::Relaxed),
         })
