@@ -84,6 +84,10 @@ const META: MatrixMeta = MatrixMeta {
 /// 36 output tiles of 512 KiB (~18 MB through the spill plane): 2 MiB
 /// holds four of them, 512 KiB exactly one — every write evicts.
 const SPILL_BUDGETS: [u64; 2] = [2 << 20, 512 << 10];
+/// Budgets for the spill-aware-scheduling gate, ~4x and ~16x below the
+/// fan workload's ~8 MiB working set (the product plus three consumer
+/// outputs of 2 MiB each).
+const PREFETCH_BUDGETS: [u64; 2] = [2 << 20, 512 << 10];
 /// A budgeted run pays host-side codec and disk work the unbounded run
 /// skips; this bounds how much. Generous because CI walls are noisy and
 /// the runs are sub-second, but still low enough to catch a spill path
@@ -518,12 +522,14 @@ fn spill_smoke() {
             "{{\"budget_bytes\":{budget},\"wall_seconds\":{wall:.4},\
              \"slowdown\":{slowdown:.3},\"bitwise_identical\":{identical},\
              \"evictions\":{},\"readmissions\":{},\"spilled_bytes\":{},\
-             \"readback_bytes\":{},\"compression_ratio\":{ratio:.4},\
+             \"readback_bytes\":{},\"readback_bytes_avoided\":{},\
+             \"compression_ratio\":{ratio:.4},\
              \"blob_segments\":{}}}",
             stats.evictions,
             stats.readmissions,
             stats.spilled_bytes_total,
             stats.readback_bytes_total,
+            stats.readback_bytes_avoided,
             stats.blob.segments,
         );
         if !identical {
@@ -546,12 +552,167 @@ fn spill_smoke() {
             failed = true;
         }
     }
+    let (prefetch_json, prefetch_failed) = prefetch_smoke();
     let json = format!(
         "{{\"experiment\":\"spill_gram_1536\",\"threads\":{E2E_THREADS},\
-         \"unbounded_seconds\":{base_s:.4},\"runs\":[{rows}]}}"
+         \"unbounded_seconds\":{base_s:.4},\"runs\":[{rows}],\
+         \"prefetch\":{prefetch_json}}}"
     );
     std::fs::write("BENCH_spill.json", json).expect("write BENCH_spill.json");
-    if failed {
+    if failed || prefetch_failed {
         std::process::exit(1);
     }
+}
+
+/// One fan-out run (GEMM feeding three element-wise consumers of the
+/// product) at `E2E_THREADS` threads under a resident-tile budget, with
+/// spill-aware scheduling at `depth` (0 = off). Spill counters are
+/// snapshotted *before* the result readback: `get_local` drags spilled
+/// tiles back synchronously no matter what the scheduler did, so only
+/// in-run traffic is comparable. The fingerprint covers the readback
+/// too (re-admission correctness).
+fn prefetch_once(budget: u64, depth: usize) -> (String, cumulon::dfs::SpillStats) {
+    set_default_threads(E2E_THREADS);
+    let cluster = Cluster::provision_with(
+        ClusterSpec::named("m1.large", 4, 2).unwrap(),
+        Default::default(),
+        DfsConfig::default(),
+    )
+    .unwrap();
+    cluster
+        .store()
+        .set_memory_budget(&cumulon::dfs::SpillConfig::budgeted(budget))
+        .unwrap();
+    let meta = MatrixMeta {
+        rows: 512,
+        cols: 512,
+        tile_size: 64,
+    };
+    let mut inputs = BTreeMap::new();
+    for (name, seed) in [("A", 3), ("B", 5)] {
+        cluster
+            .store()
+            .register_generated(name, meta, Generator::DenseGaussian { seed })
+            .unwrap();
+        inputs.insert(
+            name.to_string(),
+            InputDesc {
+                meta,
+                density: 1.0,
+                sparse: false,
+                generated: true,
+            },
+        );
+    }
+    let mut b = ProgramBuilder::new();
+    let a = b.input("A");
+    let bb = b.input("B");
+    let c = b.mul(a, bb);
+    let p = b.add(c, a);
+    b.output("P", p);
+    let q = b.sub(c, bb);
+    b.output("Q", q);
+    let r = b.scale(c, 0.5);
+    b.output("R", r);
+    let program = b.build();
+    let mut model = CostModel::default();
+    for i in catalog() {
+        model.insert(i.name, OpCoefficients::idealized(i, 2.0, 0.85));
+    }
+    let opt = Optimizer::new(model);
+    let mut config = SchedulerConfig::default().with_threads(E2E_THREADS);
+    if depth > 0 {
+        config = config.with_prefetch(depth);
+    }
+    let report = opt
+        .execute_on_traced(
+            &cluster,
+            &program,
+            &inputs,
+            "prefetch",
+            ExecMode::Real,
+            config,
+            &FailurePlan::default(),
+            RecoveryConfig::default(),
+            &Trace::disabled(),
+        )
+        .unwrap();
+    let stats = cluster
+        .store()
+        .dfs()
+        .spill_stats()
+        .expect("budgeted run installs a spill plane");
+    let out = cluster.store().get_local("P").unwrap();
+    let fp = fingerprint(&report, std::slice::from_ref(&out));
+    (fp, stats)
+}
+
+/// Spill-aware scheduling gate: the fan workload with prefetch on must
+/// reproduce the prefetch-off run bitwise, must actually overlap
+/// readbacks (zero avoided bytes would make the gate vacuous), and at
+/// the friendlier budget must cut synchronous readbacks by >= 30%. The
+/// tighter budget is report-only: with a resident set this small the
+/// prefetcher's byte cap throttles it to a couple of tiles per fill,
+/// and how much that saves is workload noise, not a commitment.
+fn prefetch_smoke() -> (String, bool) {
+    const DEPTH: usize = 16;
+    const MIN_REDUCTION: f64 = 0.30;
+    let mut rows = String::new();
+    let mut failed = false;
+    for (i, budget) in PREFETCH_BUDGETS.into_iter().enumerate() {
+        let (fp_off, off) = prefetch_once(budget, 0);
+        let (fp_on, on) = prefetch_once(budget, DEPTH);
+        let identical = fp_on == fp_off;
+        let sync_on = on.readback_bytes_total - on.readback_bytes_avoided;
+        let reduction = 1.0 - sync_on as f64 / off.readback_bytes_total.max(1) as f64;
+        println!(
+            "prefetch budget {} KiB (depth {DEPTH}): {} tile(s) readmitted ahead of demand, \
+             {} B sync readback vs {} B without prefetch ({:.0}% reduction), \
+             bitwise identical: {identical}",
+            budget >> 10,
+            on.prefetched_files,
+            sync_on,
+            off.readback_bytes_total,
+            100.0 * reduction,
+        );
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "{{\"budget_bytes\":{budget},\"bitwise_identical\":{identical},\
+             \"prefetched_files\":{},\"readback_bytes_avoided\":{},\
+             \"sync_readback_bytes\":{sync_on},\"readback_bytes_off\":{},\
+             \"sync_reduction\":{reduction:.4}}}",
+            on.prefetched_files, on.readback_bytes_avoided, off.readback_bytes_total,
+        );
+        if !identical {
+            eprintln!("GATE FAIL: {budget} B budget prefetch run diverged from prefetch-off run");
+            failed = true;
+        }
+        if on.prefetched_files == 0 || on.readback_bytes_avoided == 0 {
+            eprintln!(
+                "GATE FAIL: {budget} B budget never prefetched \
+                 ({} files, {} B avoided) — the gate is vacuous",
+                on.prefetched_files, on.readback_bytes_avoided
+            );
+            failed = true;
+        }
+        if i == 0 && reduction < MIN_REDUCTION {
+            eprintln!(
+                "GATE FAIL: {budget} B budget cut sync readbacks {:.0}% \
+                 (committed floor {:.0}%)",
+                100.0 * reduction,
+                100.0 * MIN_REDUCTION
+            );
+            failed = true;
+        }
+    }
+    (
+        format!(
+            "{{\"experiment\":\"prefetch_fan_512\",\"threads\":{E2E_THREADS},\
+             \"depth\":{DEPTH},\"runs\":[{rows}]}}"
+        ),
+        failed,
+    )
 }

@@ -405,6 +405,12 @@ pub struct Task {
     /// Matrix/tile whose locality should guide placement, if any:
     /// `(matrix, ti, tj)` of the dominant input.
     pub locality_hint: Option<(String, usize, usize)>,
+    /// Input tiles the task will read, in read order, when the task
+    /// builder knows them (e.g. the operand band of a GEMM task). The
+    /// spill-aware scheduler prefetches from this set; when empty, the
+    /// locality hint alone stands in for it. Purely advisory — never
+    /// consulted on any result-bearing path.
+    pub read_set: Vec<(String, usize, usize)>,
 }
 
 impl Task {
@@ -413,12 +419,21 @@ impl Task {
         Task {
             run: Arc::new(f),
             locality_hint: None,
+            read_set: Vec::new(),
         }
     }
 
     /// Attaches a locality hint.
     pub fn with_locality(mut self, matrix: &str, ti: usize, tj: usize) -> Self {
         self.locality_hint = Some((matrix.to_string(), ti, tj));
+        self
+    }
+
+    /// Declares the input tiles the task will read, in read order, so
+    /// the spill-aware scheduler can prefetch exactly what is about to
+    /// be demanded and nothing else.
+    pub fn with_read_set(mut self, tiles: Vec<(String, usize, usize)>) -> Self {
+        self.read_set = tiles;
         self
     }
 }

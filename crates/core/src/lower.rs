@@ -393,6 +393,16 @@ pub fn instantiate(plan: &PhysPlan, store: &TileStore) -> Result<JobDag> {
     Ok(dag)
 }
 
+/// The stored tile `read_ref(_, mat, i, j)` resolves to: `(j, i)` of the
+/// underlying matrix when the reference is transposed.
+fn stored_coord(mat: &MatRef, i: usize, j: usize) -> (String, usize, usize) {
+    if mat.transposed {
+        (mat.name.clone(), j, i)
+    } else {
+        (mat.name.clone(), i, j)
+    }
+}
+
 /// Reads tile `(i, j)` of a (possibly transposed) matrix reference.
 fn read_ref(ctx: &mut TaskCtx, mat: &MatRef, i: usize, j: usize) -> ClusterResult<Arc<Tile>> {
     if mat.transposed {
@@ -434,6 +444,20 @@ fn mul_tasks(
                 let k_range = band(bk, split.rk, kt);
                 let hint_i = i_range.start;
                 let hint_k = k_range.start;
+                // The exact stored tiles the closure below will demand,
+                // in read order, so the spill-aware scheduler can
+                // prefetch the band instead of guessing from the hint.
+                let mut read_set: Vec<(String, usize, usize)> = Vec::new();
+                for i in i_range.clone() {
+                    for k in k_range.clone() {
+                        read_set.push(stored_coord(&a, i, k));
+                    }
+                }
+                for k in k_range.clone() {
+                    for j in j_range.clone() {
+                        read_set.push(stored_coord(&b, k, j));
+                    }
+                }
                 let task = Task::new(move |ctx| {
                     // Read the A band once (ri × rk tiles).
                     let mut a_tiles: Vec<Vec<Arc<Tile>>> = Vec::with_capacity(i_range.len());
@@ -483,7 +507,7 @@ fn mul_tasks(
                 } else {
                     task.with_locality(&a_name, hint_i, hint_k)
                 };
-                tasks.push(task);
+                tasks.push(task.with_read_set(read_set));
             }
         }
     }
@@ -509,6 +533,10 @@ fn add_tasks(
         let out = out.to_string();
         let hint = chunk[0];
         let first_partial = partials[0].clone();
+        let read_set: Vec<(String, usize, usize)> = chunk
+            .iter()
+            .flat_map(|&(i, j)| partials.iter().map(move |p| (p.clone(), i, j)))
+            .collect();
         tasks.push(
             Task::new(move |ctx| {
                 for &(i, j) in &chunk {
@@ -528,7 +556,8 @@ fn add_tasks(
                 }
                 Ok(())
             })
-            .with_locality(&first_partial, hint.0, hint.1),
+            .with_locality(&first_partial, hint.0, hint.1)
+            .with_read_set(read_set),
         );
     }
     tasks
@@ -580,6 +609,10 @@ fn fused_tasks(
         let out = out.to_string();
         let hint = chunk[0];
         let first = inputs[0].0.clone();
+        let read_set: Vec<(String, usize, usize)> = chunk
+            .iter()
+            .flat_map(|&(i, j)| inputs.iter().map(move |(m, _)| stored_coord(m, i, j)))
+            .collect();
         tasks.push(
             Task::new(move |ctx| {
                 for &(i, j) in &chunk {
@@ -592,7 +625,8 @@ fn fused_tasks(
                 &first.name,
                 if first.transposed { hint.1 } else { hint.0 },
                 if first.transposed { hint.0 } else { hint.1 },
-            ),
+            )
+            .with_read_set(read_set),
         );
     }
     tasks

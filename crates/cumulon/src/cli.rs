@@ -102,6 +102,14 @@ pub enum Command {
         /// Directory for spill segment files (default: a per-process
         /// temp directory). Only meaningful with `--memory-budget`.
         spill_dir: Option<String>,
+        /// Spill-aware scheduling: resolve tasks whose hinted input tiles
+        /// are RAM-resident first and prefetch up to this many spilled
+        /// frontier tiles per wave, turning synchronous readbacks into
+        /// overlapped ones. `0` disables. Results, receipts and simulated
+        /// time are bitwise-identical at any depth (the
+        /// `spill-schedule-transparency` invariant). Only meaningful with
+        /// `--memory-budget`.
+        prefetch_depth: usize,
     },
     /// `trace`: execute like `run`, then print the critical-path,
     /// slot-utilization and estimate-vs-actual reports for the traced
@@ -182,7 +190,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                       interval search under the deadline)\n\
              run:     --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--kernel-threads K] [--materialize-bytes] [--trace FILE.json]\n\
-                      [--memory-budget BYTES [--spill-dir PATH]]\n\
+                      [--memory-budget BYTES [--spill-dir PATH] [--prefetch-depth N]]\n\
                       [--spot [--bid FRAC]] [--elastic]\n\
              trace:   --instance TYPE --nodes N [--slots S] [--real] [--threads T]\n\
                       [--kernel-threads K] [--trace FILE.json]   (prints critical-\n\
@@ -317,6 +325,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     let mut elastic = false;
     let mut memory_budget = 0u64;
     let mut spill_dir: Option<String> = None;
+    let mut prefetch_depth = 0usize;
 
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String> {
         it.next()
@@ -395,6 +404,13 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     })?
             }
             "--spill-dir" => spill_dir = Some(next_value(&mut it, "--spill-dir")?),
+            "--prefetch-depth" => {
+                prefetch_depth = next_value(&mut it, "--prefetch-depth")?
+                    .parse()
+                    .map_err(|_| {
+                        CoreError::Invariant("--prefetch-depth needs a tile count".into())
+                    })?
+            }
             other => {
                 return Err(CoreError::Invariant(format!("unknown argument '{other}'")));
             }
@@ -413,14 +429,19 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "--spot/--elastic only apply to plan and run, not {cmd}"
         )));
     }
-    if (memory_budget != 0 || spill_dir.is_some()) && cmd != "run" {
+    if (memory_budget != 0 || spill_dir.is_some() || prefetch_depth != 0) && cmd != "run" {
         return Err(CoreError::Invariant(format!(
-            "--memory-budget/--spill-dir only apply to run, not {cmd}"
+            "--memory-budget/--spill-dir/--prefetch-depth only apply to run, not {cmd}"
         )));
     }
     if spill_dir.is_some() && memory_budget == 0 {
         return Err(CoreError::Invariant(
             "--spill-dir requires --memory-budget".into(),
+        ));
+    }
+    if prefetch_depth != 0 && memory_budget == 0 {
+        return Err(CoreError::Invariant(
+            "--prefetch-depth requires --memory-budget (nothing spills without one)".into(),
         ));
     }
     match cmd.as_str() {
@@ -477,6 +498,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 kernel_threads,
                 memory_budget,
                 spill_dir,
+                prefetch_depth,
             })
         }
         "trace" => {
@@ -554,12 +576,14 @@ fn provision_for_run(
 
 /// Runs a compiled script on a provisioned cluster, recording into
 /// `trace` when the handle is enabled.
+#[allow(clippy::too_many_arguments)]
 fn run_traced(
     optimizer: &Optimizer,
     cluster: &Cluster,
     compiled: &CompiledScript,
     descs: &BTreeMap<String, InputDesc>,
     real: bool,
+    sched: SchedulerConfig,
     failures: &FailurePlan,
     trace: &Trace,
 ) -> Result<cumulon_cluster::RunReport> {
@@ -574,7 +598,7 @@ fn run_traced(
         descs,
         "cli",
         mode,
-        SchedulerConfig::default(),
+        sched,
         failures,
         RecoveryConfig::default(),
         trace,
@@ -756,6 +780,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
             kernel_threads,
             memory_budget,
             spill_dir,
+            prefetch_depth,
         } => {
             cumulon_cluster::set_default_threads(*threads);
             cumulon_matrix::set_kernel_threads(*kernel_threads);
@@ -780,6 +805,11 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 )
                 .map_err(w)?;
             }
+            let sched = if *prefetch_depth > 0 {
+                SchedulerConfig::default().with_prefetch(*prefetch_depth)
+            } else {
+                SchedulerConfig::default()
+            };
             let failures = if *spot {
                 // Scale the price trace to the run so crossings land
                 // mid-run; an estimate failure falls back to an hour.
@@ -814,7 +844,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                     &cluster,
                     1,
                     mode,
-                    SchedulerConfig::default(),
+                    sched,
                     |_| failures.clone(),
                     RecoveryConfig::default(),
                     ElasticPolicy::replace_at(*nodes),
@@ -848,7 +878,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                     Trace::disabled()
                 };
                 let report = run_traced(
-                    &optimizer, &cluster, &compiled, &descs, *real, &failures, &handle,
+                    &optimizer, &cluster, &compiled, &descs, *real, sched, &failures, &handle,
                 )?;
                 writeln!(out, "{}", report.summary()).map_err(w)?;
                 for job in &report.jobs {
@@ -884,6 +914,15 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                         stats.readback_bytes_total
                     )
                     .map_err(w)?;
+                    if *prefetch_depth > 0 {
+                        writeln!(
+                            out,
+                            "spill  : {} tile(s) prefetched, {} B of readback \
+                             overlapped ahead of demand",
+                            stats.prefetched_files, stats.readback_bytes_avoided
+                        )
+                        .map_err(w)?;
+                    }
                 }
             }
             if *real {
@@ -925,6 +964,7 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<()> {
                 &compiled,
                 &descs,
                 *real,
+                SchedulerConfig::default(),
                 &FailurePlan::default(),
                 &handle,
             )?;
@@ -1189,6 +1229,7 @@ mod tests {
                 kernel_threads: 1,
                 memory_budget: 0,
                 spill_dir: None,
+                prefetch_depth: 0,
             }
         );
     }
@@ -1197,33 +1238,48 @@ mod tests {
     fn parse_spill_flags() {
         let cmd = parse_args(&args(
             "run s.cm --input A=10x10 --instance m1.large --nodes 2 \
-             --memory-budget 1048576 --spill-dir /tmp/spill",
+             --memory-budget 1048576 --spill-dir /tmp/spill --prefetch-depth 8",
         ))
         .unwrap();
         match cmd {
             Command::Run {
                 memory_budget,
                 spill_dir,
+                prefetch_depth,
                 ..
             } => {
                 assert_eq!(memory_budget, 1_048_576);
                 assert_eq!(spill_dir.as_deref(), Some("/tmp/spill"));
+                assert_eq!(prefetch_depth, 8);
             }
             other => panic!("wrong command {other:?}"),
         }
-        // --spill-dir without a budget, spill flags off `run`, and
-        // non-integer budgets all reject.
+        // --spill-dir or --prefetch-depth without a budget, spill flags
+        // off `run`, and non-integer values all reject.
         assert!(parse_args(&args(
             "run s.cm --input A=1x1 --instance m1.large --nodes 2 --spill-dir /tmp/x"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 --prefetch-depth 4"
         ))
         .is_err());
         assert!(parse_args(&args(
             "trace s.cm --input A=1x1 --instance m1.large --nodes 2 --memory-budget 1024"
         ))
         .is_err());
+        assert!(parse_args(&args(
+            "trace s.cm --input A=1x1 --instance m1.large --nodes 2 --prefetch-depth 4"
+        ))
+        .is_err());
         assert!(parse_args(&args("plan s.cm --input A=1x1 --memory-budget 1024")).is_err());
         assert!(parse_args(&args(
             "run s.cm --input A=1x1 --instance m1.large --nodes 2 --memory-budget lots"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "run s.cm --input A=1x1 --instance m1.large --nodes 2 \
+             --memory-budget 1024 --prefetch-depth deep"
         ))
         .is_err());
     }
@@ -1519,6 +1575,7 @@ mod tests {
                 kernel_threads: 1,
                 memory_budget: 0,
                 spill_dir: None,
+                prefetch_depth: 0,
             },
             &mut out,
         )
@@ -1531,12 +1588,14 @@ mod tests {
 
     /// `run --memory-budget` end to end with a budget far below the
     /// working set: the run spills, reports it, and produces the same
-    /// output norm as the unbounded run above.
+    /// output norm as the unbounded run above. With `--prefetch-depth`
+    /// stacked on top, the output norm still may not move and the report
+    /// gains the prefetch line.
     #[test]
     fn memory_budget_run_end_to_end() {
         let path = write_script("G = A' * A;");
         let script = path.to_str().unwrap().to_string();
-        let run = |budget: u64| {
+        let run = |budget: u64, prefetch: usize| {
             let mut out = Vec::new();
             execute(
                 &Command::Run {
@@ -1555,19 +1614,21 @@ mod tests {
                     kernel_threads: 1,
                     memory_budget: budget,
                     spill_dir: None,
+                    prefetch_depth: prefetch,
                 },
                 &mut out,
             )
             .unwrap();
             String::from_utf8(out).unwrap()
         };
-        let tight = run(2_048);
+        let tight = run(2_048, 0);
         assert!(
             tight.contains("spill  : resident tile budget 2048 B"),
             "{tight}"
         );
         assert!(tight.contains("eviction(s)"), "{tight}");
-        let unbounded = run(0);
+        assert!(!tight.contains("prefetched"), "{tight}");
+        let unbounded = run(0, 0);
         let norm = |t: &str| {
             t.lines()
                 .find(|l| l.contains("output G"))
@@ -1575,6 +1636,13 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(norm(&tight), norm(&unbounded), "spill changed the result");
+        let prefetched = run(2_048, 4);
+        assert!(prefetched.contains("tile(s) prefetched"), "{prefetched}");
+        assert_eq!(
+            norm(&prefetched),
+            norm(&unbounded),
+            "prefetch changed the result"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -1603,6 +1671,7 @@ mod tests {
                 kernel_threads: 1,
                 memory_budget: 0,
                 spill_dir: None,
+                prefetch_depth: 0,
             },
             &mut out,
         )

@@ -13,7 +13,12 @@
 //! deletes the old file. Compaction triggers automatically once a
 //! segment's dead bytes outweigh its live bytes (and the segment is
 //! sealed), which is exactly the state `drop_matrix` / checkpoint
-//! truncation leaves behind.
+//! truncation leaves behind. Two **store-wide** triggers back the
+//! per-segment rule up for long iterative runs, whose churn can strand an
+//! unbounded tail of sealed segments each just under 50% dead: when total
+//! dead bytes exceed [`DEFAULT_DEAD_SWEEP_BYTES`] or the sealed-segment
+//! count exceeds [`DEFAULT_MAX_SEALED_SEGMENTS`], every sealed
+//! garbage-bearing segment is swept.
 //!
 //! Segment entry framing (little-endian):
 //!
@@ -138,6 +143,10 @@ pub struct BlobStore {
     current_len: u64,
     /// Roll to a new segment past this many payload+frame bytes.
     segment_roll_bytes: u64,
+    /// Store-wide sweep trigger: total dead bytes across all segments.
+    dead_sweep_bytes: u64,
+    /// Store-wide sweep trigger: sealed-segment count.
+    max_sealed_segments: u64,
     stats: BlobStats,
 }
 
@@ -146,6 +155,13 @@ const FRAME_HEADER: u64 = 16 + 1 + 4 + 4;
 /// produce several segments for compaction to reclaim, large enough that
 /// a segment amortizes its file handle.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 16 << 20;
+/// Default store-wide dead-byte budget before a sweep fires (see
+/// [`BlobStore::set_compaction_thresholds`]): a few segments' worth of
+/// garbage, sized so long iterative runs reclaim space well before the
+/// per-segment 50% trigger would.
+pub const DEFAULT_DEAD_SWEEP_BYTES: u64 = 4 * DEFAULT_SEGMENT_BYTES;
+/// Default sealed-segment count before a sweep fires.
+pub const DEFAULT_MAX_SEALED_SEGMENTS: u64 = 64;
 
 impl BlobStore {
     /// Opens (creates) a blob store rooted at `dir`. The directory is
@@ -161,6 +177,8 @@ impl BlobStore {
             current: None,
             current_len: 0,
             segment_roll_bytes: DEFAULT_SEGMENT_BYTES,
+            dead_sweep_bytes: DEFAULT_DEAD_SWEEP_BYTES,
+            max_sealed_segments: DEFAULT_MAX_SEALED_SEGMENTS,
             stats: BlobStats::default(),
         })
     }
@@ -169,6 +187,18 @@ impl BlobStore {
     /// segments).
     pub fn set_segment_roll_bytes(&mut self, bytes: u64) {
         self.segment_roll_bytes = bytes.max(1);
+    }
+
+    /// Overrides the store-wide sweep triggers: a sweep of every sealed
+    /// garbage-bearing segment fires when total dead bytes exceed
+    /// `dead_sweep_bytes` **or** more than `max_sealed_segments` sealed
+    /// segments exist (and any garbage exists to reclaim). The per-segment
+    /// 50% trigger alone lets long iterative runs accumulate an unbounded
+    /// tail of sealed segments that each stay just under the threshold;
+    /// the store-wide triggers bound that tail.
+    pub fn set_compaction_thresholds(&mut self, dead_sweep_bytes: u64, max_sealed_segments: u64) {
+        self.dead_sweep_bytes = dead_sweep_bytes;
+        self.max_sealed_segments = max_sealed_segments;
     }
 
     /// The store's on-disk directory.
@@ -306,6 +336,7 @@ impl BlobStore {
         self.stats.live_bytes -= e.stored_len as u64;
         self.stats.dead_bytes += e.stored_len as u64;
         self.maybe_compact(e.segment)?;
+        self.maybe_sweep()?;
         Ok(())
     }
 
@@ -317,6 +348,32 @@ impl BlobStore {
             return Ok(());
         }
         self.compact_segment(segment)
+    }
+
+    /// Store-wide compaction trigger: when total dead bytes or the
+    /// sealed-segment count outgrow their budgets, sweep every sealed
+    /// segment carrying garbage. Catches the long-run tail the per-segment
+    /// rule misses — many segments each slightly under 50% dead.
+    fn maybe_sweep(&mut self) -> Result<()> {
+        if self.stats.dead_bytes == 0 {
+            return Ok(());
+        }
+        let sealed = self.segments.len() as u64 - u64::from(self.current.is_some());
+        if self.stats.dead_bytes <= self.dead_sweep_bytes && sealed <= self.max_sealed_segments {
+            return Ok(());
+        }
+        let current = self.current.as_ref().map(|(id, _)| *id);
+        let mut victims: Vec<u64> = self
+            .segments
+            .iter()
+            .filter(|(id, s)| Some(**id) != current && s.dead_bytes > 0)
+            .map(|(id, _)| *id)
+            .collect();
+        victims.sort_unstable(); // deterministic rewrite order
+        for id in victims {
+            self.compact_segment(id)?;
+        }
+        Ok(())
     }
 
     /// Rewrites a segment's live entries into the current segment, then
@@ -353,8 +410,9 @@ impl BlobStore {
     }
 
     /// Forces a compaction sweep over every segment with any dead bytes
-    /// (the explicit maintenance entry point; automatic compaction only
-    /// fires past the 50% garbage threshold). The current segment is
+    /// (the explicit maintenance entry point; automatic compaction fires
+    /// past the per-segment 50% garbage threshold or the store-wide
+    /// dead-byte / sealed-segment budgets). The current segment is
     /// sealed first if it carries garbage, so a full sweep leaves zero
     /// dead bytes behind.
     pub fn compact(&mut self) -> Result<u64> {
@@ -498,6 +556,104 @@ mod tests {
         let st_end = s.stats();
         assert_eq!(st_end.live_entries, 0);
         assert_eq!(st_end.dead_bytes, 0, "{st_end:?}");
+    }
+
+    /// Long-run churn regression: refcount churn across >16 MiB of
+    /// segments, patterned so every sealed segment stays *under* the
+    /// per-segment 50% trigger. Without the store-wide triggers the dead
+    /// bytes and sealed-segment count grow without bound; with them the
+    /// garbage stays within the configured budget.
+    #[test]
+    fn store_wide_triggers_bound_long_run_garbage() {
+        const ENTRY: usize = 32 << 10; // 32 KiB entries
+        const ENTRIES: u32 = 600; // ~18.75 MiB total churned
+        let fill = |i: u32| -> Vec<u8> {
+            let mut raw: Vec<u8> = (0..ENTRY as u32)
+                .map(|j| (i.wrapping_mul(131).wrapping_add(j.wrapping_mul(7)) % 253) as u8)
+                .collect();
+            // Distinct content per index — mod-251 patterns alone repeat.
+            raw[..4].copy_from_slice(&i.to_le_bytes());
+            raw
+        };
+
+        // Control: thresholds effectively disabled reproduce the old
+        // behaviour — garbage accumulates past 16 MiB of segment churn.
+        let mut old = tmp_store("churn-unbounded");
+        old.set_segment_roll_bytes(256 << 10); // 8 entries per segment
+        old.set_compaction_thresholds(u64::MAX, u64::MAX);
+        let mut sweep = tmp_store("churn-bounded");
+        sweep.set_segment_roll_bytes(256 << 10);
+        sweep.set_compaction_thresholds(1 << 20, 16); // 1 MiB dead budget
+
+        for s in [&mut old, &mut sweep] {
+            for i in 0..ENTRIES {
+                let raw = fill(i);
+                let key = BlobKey::digest(&raw);
+                s.put(key, Codec::Raw, &raw, raw.len() as u32).unwrap();
+                // Kill 3 of every 8 entries (per segment: 3 dead vs 5
+                // live — always under the per-segment 50% rule).
+                if i % 8 < 3 {
+                    s.release(key).unwrap();
+                }
+            }
+        }
+
+        let st_old = old.stats();
+        assert!(
+            st_old.bytes_written > 16 << 20,
+            "churned enough: {st_old:?}"
+        );
+        assert_eq!(st_old.compactions, 0, "per-segment rule never fires");
+        assert!(st_old.dead_bytes > 6 << 20, "garbage unbounded: {st_old:?}");
+        assert!(st_old.segments > 70, "segment tail unbounded: {st_old:?}");
+
+        let st = sweep.stats();
+        assert!(st.compactions > 0, "store-wide trigger fired: {st:?}");
+        // Dead bytes stay within one budget of the trigger (a sweep runs
+        // as soon as the budget is crossed, so at most the budget plus the
+        // open segment's garbage remains).
+        assert!(st.dead_bytes <= (1 << 20) + (256 << 10), "{st:?}");
+        // The segment count stays near the floor live data needs (old
+        // behaviour strands every churned segment forever).
+        let live_floor = st.live_bytes / (256 << 10) + 4;
+        assert!(st.segments <= live_floor, "{st:?} (floor {live_floor})");
+        assert!(st.segments < st_old.segments, "{st:?} vs {st_old:?}");
+
+        // Every surviving entry still reads back intact.
+        for i in 0..ENTRIES {
+            if i % 8 >= 3 {
+                let raw = fill(i);
+                let (codec, data, _) = sweep.get(BlobKey::digest(&raw)).unwrap();
+                assert_eq!(codec, Codec::Raw);
+                assert_eq!(data, raw, "entry {i} survived sweeps");
+            }
+        }
+
+        // The segment-count trigger alone also bounds the tail: many
+        // sealed mostly-live segments plus a trickle of garbage.
+        let mut counted = tmp_store("churn-segcount");
+        counted.set_segment_roll_bytes(64 << 10);
+        counted.set_compaction_thresholds(u64::MAX, 8);
+        let mut keys = Vec::new();
+        for i in 0..64u32 {
+            let raw: Vec<u8> = (0..16 << 10u32).map(|j| ((i + j) % 251) as u8).collect();
+            let key = BlobKey::digest(&raw);
+            counted
+                .put(key, Codec::Raw, &raw, raw.len() as u32)
+                .unwrap();
+            keys.push(key);
+        }
+        // One release per key: each segment goes 25% dead — under the
+        // per-segment rule, but the sealed count is far over 8.
+        for key in keys.iter().step_by(4) {
+            counted.release(*key).unwrap();
+        }
+        let st = counted.stats();
+        assert!(st.compactions > 0, "{st:?}");
+        assert_eq!(
+            st.dead_bytes, 0,
+            "count trigger swept all sealed garbage: {st:?}"
+        );
     }
 
     #[test]

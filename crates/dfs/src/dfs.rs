@@ -253,7 +253,12 @@ impl Dfs {
             if st.spill.is_some() {
                 drop(tile); // release this fn's pin before enforcement
                 if let Some(plane) = st.spill.as_mut() {
-                    plane.note_resident(path, wire_len);
+                    // An overwrite of a demoted path supersedes the spilled
+                    // copy; drop its blob reference so compaction can
+                    // reclaim the stale bytes.
+                    if let Some(stale) = plane.note_resident(path, wire_len) {
+                        plane.blob_mut().release(stale.key)?;
+                    }
                 }
                 Self::enforce_budget(&mut st)?;
             }
@@ -714,7 +719,10 @@ impl Dfs {
                 })
             });
             if is_handle {
-                plane.note_resident(&path, wire_len);
+                // The plane is freshly built: nothing is spilled yet, so
+                // adoption cannot displace a demoted entry.
+                let displaced = plane.note_resident(&path, wire_len);
+                debug_assert!(displaced.is_none(), "fresh plane has no spills");
             }
         }
         st.spill = Some(plane);
@@ -724,6 +732,49 @@ impl Dfs {
     /// Spill-plane counters, when a plane is installed.
     pub fn spill_stats(&self) -> Option<SpillStats> {
         self.state.lock().spill.as_ref().map(SpillPlane::stats)
+    }
+
+    /// The installed spill plane's resident-byte budget, if any.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.state
+            .lock()
+            .spill
+            .as_ref()
+            .map(SpillPlane::budget_bytes)
+    }
+
+    /// True when `path` is currently demoted to the spill plane's blob
+    /// store — reading it now would pay a synchronous decode-and-readback.
+    /// Always `false` without a plane (everything is RAM-resident). The
+    /// scheduler's residency oracle.
+    pub fn is_spilled(&self, path: &str) -> bool {
+        self.state
+            .lock()
+            .spill
+            .as_ref()
+            .is_some_and(|p| p.is_spilled(path))
+    }
+
+    /// Re-admits `path` ahead of demand if it is currently demoted,
+    /// marking it prefetched so the next canonical read credits
+    /// `readback_bytes_avoided`. Returns the wire bytes readmitted (`0`
+    /// when the path is not spilled — including when no plane is
+    /// installed). Transparent by construction: re-admission produces no
+    /// receipt, draws no placement RNG, and advances no simulated time —
+    /// only where the payload physically lives changes.
+    pub fn prefetch_path(&self, path: &str) -> Result<u64> {
+        let mut st = self.state.lock();
+        let Some(entry) = st.spill.as_ref().and_then(|p| p.spilled(path)) else {
+            return Ok(0);
+        };
+        Self::readmit_path(&mut st, path, entry.key)?;
+        if let Some(plane) = st.spill.as_mut() {
+            plane.record_prefetched(path, entry.wire_len);
+        }
+        // Early admission must not breach the budget: demote colder files
+        // now (the prefetched file is the hottest entry, so it survives).
+        Self::enforce_budget(&mut st)?;
+        Ok(entry.wire_len)
     }
 
     /// Compacts the blob store's sealed segments, returning the number of
@@ -823,7 +874,12 @@ impl Dfs {
         plane
             .blob_mut()
             .put(key, codec, &payload, wire.len() as u32)?;
-        plane.record_spilled(path, key, wire_len);
+        if let Some(stale) = plane.record_spilled(path, key, wire_len) {
+            // A superseded earlier spill of the same path (should not
+            // happen through next_eviction, but churn-safe): release its
+            // blob reference rather than leak it.
+            plane.blob_mut().release(stale.key)?;
+        }
         for b in &blocks {
             for &n in &b.replicas {
                 st.datanodes[n.0 as usize]

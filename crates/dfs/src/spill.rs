@@ -84,6 +84,14 @@ pub struct SpillStats {
     pub spilled_bytes_total: u64,
     /// Wire bytes read back from disk (monotonic).
     pub readback_bytes_total: u64,
+    /// Files re-admitted ahead of demand by scheduler prefetch
+    /// (monotonic; a subset of `readmissions`).
+    pub prefetched_files: u64,
+    /// Wire bytes whose synchronous, in-task readback was avoided because
+    /// a prefetched tile was still resident when the canonical read
+    /// arrived (monotonic). `readback_bytes_total - readback_bytes_avoided`
+    /// approximates the readback volume paid on the task critical path.
+    pub readback_bytes_avoided: u64,
     /// Blob-store counters (segments, compression ratio, compactions).
     pub blob: BlobStats,
 }
@@ -122,10 +130,17 @@ pub struct SpillPlane {
     resident_bytes: u64,
     seq: u64,
     spilled: HashMap<String, SpilledFile>,
+    /// Resident paths that were re-admitted by prefetch and have not yet
+    /// been claimed by a canonical read: path → wire length at prefetch
+    /// time. A marker is dropped without credit when the path is evicted
+    /// or forgotten before any read arrives.
+    prefetched: HashMap<String, u64>,
     evictions: u64,
     readmissions: u64,
     spilled_bytes_total: u64,
     readback_bytes_total: u64,
+    prefetched_files: u64,
+    readback_bytes_avoided: u64,
 }
 
 impl SpillPlane {
@@ -142,10 +157,13 @@ impl SpillPlane {
             resident_bytes: 0,
             seq: 0,
             spilled: HashMap::new(),
+            prefetched: HashMap::new(),
             evictions: 0,
             readmissions: 0,
             spilled_bytes_total: 0,
             readback_bytes_total: 0,
+            prefetched_files: 0,
+            readback_bytes_avoided: 0,
         })
     }
 
@@ -168,7 +186,16 @@ impl SpillPlane {
     /// marks it most-recently-used. Re-noting an already-resident path
     /// only refreshes recency (bytes must not drift for a same-content
     /// file; if they do, the charge is updated).
-    pub fn note_resident(&mut self, path: &str, bytes: u64) {
+    ///
+    /// A path must never be tracked as resident *and* spilled at once: a
+    /// write landing on a currently-demoted path (overwrite without a
+    /// preceding [`SpillPlane::forget`]) supersedes the demoted copy. The
+    /// displaced entry is returned so the caller can release its blob
+    /// reference — dropping it silently would leak a segment ref and skew
+    /// `spill_conserved()`.
+    #[must_use = "a displaced spilled entry holds a blob reference the caller must release"]
+    pub fn note_resident(&mut self, path: &str, bytes: u64) -> Option<SpilledFile> {
+        let displaced = self.spilled.remove(path);
         self.seq += 1;
         match self.resident.get_mut(path) {
             Some((seq, charged)) => {
@@ -183,15 +210,45 @@ impl SpillPlane {
             }
         }
         self.order.insert(self.seq, path.to_string());
+        displaced
     }
 
-    /// Refreshes recency of a resident path (reads).
+    /// Refreshes recency of a resident path (reads). If the path carries
+    /// an unclaimed prefetch marker, the read claims it: the wire bytes
+    /// the reader would otherwise have read back synchronously are
+    /// credited to `readback_bytes_avoided`.
     pub fn touch(&mut self, path: &str) {
         if let Some((seq, bytes)) = self.resident.get(path).copied() {
             self.seq += 1;
             self.order.remove(&seq);
             self.order.insert(self.seq, path.to_string());
             self.resident.insert(path.to_string(), (self.seq, bytes));
+            if let Some(wire_len) = self.prefetched.remove(path) {
+                self.readback_bytes_avoided += wire_len;
+            }
+        }
+    }
+
+    /// True when `path` is currently tracked as resident (its decoded
+    /// payload is pinned in RAM). The scheduler's residency oracle.
+    pub fn is_resident(&self, path: &str) -> bool {
+        self.resident.contains_key(path)
+    }
+
+    /// True when `path` is currently demoted to the blob store. The
+    /// scheduler's prefetch oracle: reading such a path pays a readback.
+    pub fn is_spilled(&self, path: &str) -> bool {
+        self.spilled.contains_key(path)
+    }
+
+    /// Marks a just-readmitted `path` as prefetched: re-admission ran
+    /// ahead of demand (scheduler prefetch), not on a task's read path.
+    /// The marker is claimed by the next read ([`SpillPlane::touch`]) and
+    /// dropped without credit on eviction or forget.
+    pub fn record_prefetched(&mut self, path: &str, wire_len: u64) {
+        if self.resident.contains_key(path) {
+            self.prefetched.insert(path.to_string(), wire_len);
+            self.prefetched_files += 1;
         }
     }
 
@@ -211,15 +268,36 @@ impl SpillPlane {
         let path = self.order.remove(&seq)?;
         let (_, bytes) = self.resident.remove(&path).expect("ordered => resident");
         self.resident_bytes -= bytes;
+        // A prefetched tile evicted before any read claimed it saved
+        // nothing — drop the marker without credit.
+        self.prefetched.remove(&path);
         Some(path)
     }
 
-    /// Books a completed demotion of `path`.
-    pub fn record_spilled(&mut self, path: &str, key: BlobKey, wire_len: u64) {
-        self.spilled
+    /// Books a completed demotion of `path`. If the path is somehow still
+    /// tracked as resident (a demotion not initiated through
+    /// [`SpillPlane::next_eviction`]), its residency charge is released
+    /// first so `resident_bytes` cannot drift; a previously-recorded
+    /// spilled entry for the same path is returned so the caller can
+    /// release the superseded blob reference.
+    #[must_use = "a displaced spilled entry holds a blob reference the caller must release"]
+    pub fn record_spilled(
+        &mut self,
+        path: &str,
+        key: BlobKey,
+        wire_len: u64,
+    ) -> Option<SpilledFile> {
+        if let Some((seq, bytes)) = self.resident.remove(path) {
+            self.order.remove(&seq);
+            self.resident_bytes -= bytes;
+        }
+        self.prefetched.remove(path);
+        let displaced = self
+            .spilled
             .insert(path.to_string(), SpilledFile { key, wire_len });
         self.evictions += 1;
         self.spilled_bytes_total += wire_len;
+        displaced
     }
 
     /// Looks up where a demoted file's payload lives.
@@ -235,7 +313,10 @@ impl SpillPlane {
             self.readmissions += 1;
             self.readback_bytes_total += e.wire_len;
         }
-        self.note_resident(path, resident_bytes);
+        // The path was just removed from `spilled`, so re-noting it cannot
+        // displace another entry.
+        let displaced = self.note_resident(path, resident_bytes);
+        debug_assert!(displaced.is_none(), "spilled entry removed above");
         entry
     }
 
@@ -247,6 +328,7 @@ impl SpillPlane {
             self.order.remove(&seq);
             self.resident_bytes -= bytes;
         }
+        self.prefetched.remove(path);
         self.spilled.remove(path)
     }
 
@@ -274,31 +356,78 @@ impl SpillPlane {
             readmissions: self.readmissions,
             spilled_bytes_total: self.spilled_bytes_total,
             readback_bytes_total: self.readback_bytes_total,
+            prefetched_files: self.prefetched_files,
+            readback_bytes_avoided: self.readback_bytes_avoided,
             blob: self.blob.stats(),
         }
+    }
+
+    /// Internal-consistency audit, used by the interleaving tests: no
+    /// path may be tracked as resident and spilled at once, the byte
+    /// charge must equal the sum of per-path charges, the LRU order map
+    /// must mirror the resident map exactly, and prefetch markers may
+    /// only annotate resident paths.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for path in self.resident.keys() {
+            if self.spilled.contains_key(path) {
+                return Err(format!("{path} is both resident and spilled"));
+            }
+        }
+        let charged: u64 = self.resident.values().map(|&(_, b)| b).sum();
+        if charged != self.resident_bytes {
+            return Err(format!(
+                "resident_bytes {} != sum of charges {}",
+                self.resident_bytes, charged
+            ));
+        }
+        if self.order.len() != self.resident.len() {
+            return Err(format!(
+                "order map has {} entries, resident map {}",
+                self.order.len(),
+                self.resident.len()
+            ));
+        }
+        for (seq, path) in &self.order {
+            match self.resident.get(path) {
+                Some((s, _)) if s == seq => {}
+                _ => return Err(format!("order entry {seq}->{path} not mirrored")),
+            }
+        }
+        for path in self.prefetched.keys() {
+            if !self.resident.contains_key(path) {
+                return Err(format!("prefetch marker on non-resident {path}"));
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn plane(budget: u64) -> SpillPlane {
         SpillPlane::new(&SpillConfig::budgeted(budget)).unwrap()
     }
 
+    /// Admits a fresh path: no spilled entry may be displaced.
+    fn admit(p: &mut SpillPlane, path: &str, bytes: u64) {
+        assert!(p.note_resident(path, bytes).is_none(), "fresh admit");
+    }
+
     #[test]
     fn lru_evicts_coldest_first() {
         let mut p = plane(100);
-        p.note_resident("/a", 40);
-        p.note_resident("/b", 40);
-        p.note_resident("/c", 40); // 120 > 100
+        admit(&mut p, "/a", 40);
+        admit(&mut p, "/b", 40);
+        admit(&mut p, "/c", 40); // 120 > 100
         assert_eq!(p.lru_order(), ["/a", "/b", "/c"]);
         assert_eq!(p.next_eviction().as_deref(), Some("/a"));
         assert!(p.next_eviction().is_none(), "80 <= 100 after evicting /a");
         // Touch /b so /c becomes coldest, then push over budget again.
         p.touch("/b");
-        p.note_resident("/d", 40);
+        admit(&mut p, "/d", 40);
         assert_eq!(p.next_eviction().as_deref(), Some("/c"));
         assert!(!p.over_budget());
     }
@@ -307,7 +436,7 @@ mod tests {
     fn budget_is_enforced_exhaustively() {
         let mut p = plane(64);
         for i in 0..10 {
-            p.note_resident(&format!("/t{i}"), 32);
+            admit(&mut p, &format!("/t{i}"), 32);
         }
         let mut evicted = Vec::new();
         while let Some(path) = p.next_eviction() {
@@ -324,28 +453,29 @@ mod tests {
     #[test]
     fn renoting_updates_charge_without_double_count() {
         let mut p = plane(1000);
-        p.note_resident("/a", 100);
-        p.note_resident("/a", 100);
+        admit(&mut p, "/a", 100);
+        admit(&mut p, "/a", 100);
         assert_eq!(p.stats().resident_bytes, 100);
         assert_eq!(p.stats().resident_files, 1);
-        p.note_resident("/a", 60);
+        admit(&mut p, "/a", 60);
         assert_eq!(p.stats().resident_bytes, 60);
     }
 
     #[test]
     fn spill_readmit_forget_bookkeeping() {
         let mut p = plane(10);
-        p.note_resident("/a", 50);
+        admit(&mut p, "/a", 50);
         let path = p.next_eviction().unwrap();
         assert_eq!(path, "/a");
         let key = BlobKey::digest(b"payload");
-        p.record_spilled(&path, key, 48);
+        assert!(p.record_spilled(&path, key, 48).is_none());
         let st = p.stats();
         assert_eq!(st.spilled_files, 1);
         assert_eq!(st.spilled_wire_bytes, 48);
         assert_eq!(st.evictions, 1);
         assert_eq!(p.spilled("/a").unwrap().key, key);
         assert_eq!(p.spilled_paths(), ["/a"]);
+        assert!(p.is_spilled("/a") && !p.is_resident("/a"));
 
         let entry = p.record_readmitted("/a", 50).unwrap();
         assert_eq!(entry.key, key);
@@ -354,6 +484,7 @@ mod tests {
         assert_eq!(st.readmissions, 1);
         assert_eq!(st.readback_bytes_total, 48);
         assert_eq!(st.resident_bytes, 50);
+        assert!(p.is_resident("/a") && !p.is_spilled("/a"));
 
         assert!(p.forget("/a").is_none(), "resident, not spilled");
         assert_eq!(p.stats().resident_bytes, 0);
@@ -365,5 +496,169 @@ mod tests {
         let mut p = plane(10);
         p.touch("/ghost");
         assert_eq!(p.stats().resident_files, 0);
+    }
+
+    #[test]
+    fn prefetch_marker_is_claimed_exactly_once() {
+        let mut p = plane(100);
+        admit(&mut p, "/a", 120);
+        let evicted = p.next_eviction().unwrap();
+        assert!(p
+            .record_spilled(&evicted, BlobKey::digest(b"a"), 96)
+            .is_none());
+        // Prefetch readmits the tile ahead of demand.
+        assert!(p.record_readmitted("/a", 120).is_some());
+        p.record_prefetched("/a", 96);
+        assert_eq!(p.stats().prefetched_files, 1);
+        assert_eq!(p.stats().readback_bytes_avoided, 0, "not yet claimed");
+        // The canonical read claims the marker once.
+        p.touch("/a");
+        assert_eq!(p.stats().readback_bytes_avoided, 96);
+        p.touch("/a");
+        assert_eq!(p.stats().readback_bytes_avoided, 96, "claimed once");
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefetch_marker_dropped_without_credit_on_churn() {
+        let mut p = plane(100);
+        admit(&mut p, "/a", 120);
+        let evicted = p.next_eviction().unwrap();
+        assert!(p
+            .record_spilled(&evicted, BlobKey::digest(b"a"), 96)
+            .is_none());
+        assert!(p.record_readmitted("/a", 120).is_some());
+        p.record_prefetched("/a", 96);
+        // Re-evicted before any read claimed the prefetch: no credit.
+        let evicted = p.next_eviction().unwrap();
+        assert!(p
+            .record_spilled(&evicted, BlobKey::digest(b"a"), 96)
+            .is_none());
+        assert_eq!(p.stats().readback_bytes_avoided, 0);
+        // Readmit (canonically this time) and forget before reading: the
+        // second prefetch marker also dies without credit.
+        assert!(p.record_readmitted("/a", 120).is_some());
+        p.record_prefetched("/a", 96);
+        assert!(p.forget("/a").is_none());
+        p.touch("/a");
+        assert_eq!(p.stats().readback_bytes_avoided, 0);
+        assert_eq!(p.stats().prefetched_files, 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefetch_marker_requires_residency() {
+        let mut p = plane(100);
+        p.record_prefetched("/ghost", 64);
+        assert_eq!(p.stats().prefetched_files, 0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overwrite_of_spilled_path_displaces_the_stale_entry() {
+        let mut p = plane(10);
+        admit(&mut p, "/a", 50);
+        let evicted = p.next_eviction().unwrap();
+        let key = BlobKey::digest(b"old");
+        assert!(p.record_spilled(&evicted, key, 48).is_none());
+        // A write lands on the demoted path without a forget: the plane
+        // must not track the path in both maps, and the stale blob
+        // reference surfaces for release.
+        let displaced = p.note_resident("/a", 50).expect("stale entry surfaced");
+        assert_eq!(displaced.key, key);
+        assert!(p.is_resident("/a") && !p.is_spilled("/a"));
+        assert_eq!(p.stats().resident_bytes, 50);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn direct_respill_of_resident_path_releases_the_charge() {
+        let mut p = plane(1000);
+        admit(&mut p, "/a", 50);
+        // A demotion not initiated through next_eviction (caller bug or
+        // churn race) must still release the residency charge.
+        assert!(p.record_spilled("/a", BlobKey::digest(b"a"), 48).is_none());
+        assert_eq!(p.stats().resident_bytes, 0);
+        assert!(!p.is_resident("/a") && p.is_spilled("/a"));
+        p.check_invariants().unwrap();
+    }
+
+    /// Satellite audit: arbitrary interleavings of admit / touch / evict+
+    /// spill / readmit / prefetch / forget keep the plane internally
+    /// consistent — no path in both maps, no budget-charge drift, no
+    /// readback-avoided credit without a prior unclaimed prefetch.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Note(u8, u64),
+        Touch(u8),
+        EvictAndSpill,
+        /// Readmit a spilled path; `true` models a prefetch (readmit ahead
+        /// of demand, then mark — the only contract-valid way to mark).
+        Readmit(u8, bool),
+        Forget(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..6, 1u64..200).prop_map(|(p, b)| Op::Note(p, b)),
+            (0u8..6).prop_map(Op::Touch),
+            Just(Op::EvictAndSpill),
+            (0u8..6, any::<bool>()).prop_map(|(p, pf)| Op::Readmit(p, pf)),
+            (0u8..6).prop_map(Op::Forget),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn interleavings_preserve_plane_invariants(
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+            budget in 50u64..400,
+        ) {
+            let mut p = plane(budget);
+            let path = |i: u8| format!("/t{i}");
+            for op in ops {
+                match op {
+                    Op::Note(i, b) => {
+                        let _displaced = p.note_resident(&path(i), b);
+                    }
+                    Op::Touch(i) => p.touch(&path(i)),
+                    Op::EvictAndSpill => {
+                        if let Some(victim) = p.next_eviction() {
+                            let key = BlobKey::digest(victim.as_bytes());
+                            let displaced = p.record_spilled(&victim, key, 64);
+                            prop_assert!(
+                                displaced.is_none(),
+                                "evicted path cannot already be spilled"
+                            );
+                        }
+                    }
+                    Op::Readmit(i, as_prefetch) => {
+                        if p.is_spilled(&path(i)) {
+                            prop_assert!(p.record_readmitted(&path(i), 64).is_some());
+                            if as_prefetch {
+                                p.record_prefetched(&path(i), 64);
+                            }
+                        }
+                    }
+                    Op::Forget(i) => {
+                        let _stale = p.forget(&path(i));
+                    }
+                }
+                p.check_invariants().map_err(TestCaseError::fail)?;
+                let st = p.stats();
+                prop_assert!(st.readback_bytes_avoided <= st.readback_bytes_total);
+                prop_assert_eq!(
+                    st.spilled_wire_bytes,
+                    st.spilled_files * 64,
+                    "every live spilled entry carries its wire length"
+                );
+            }
+            // Draining all evictions always lands the plane within budget.
+            while let Some(victim) = p.next_eviction() {
+                let _ = p.record_spilled(&victim, BlobKey::digest(victim.as_bytes()), 64);
+            }
+            prop_assert!(p.stats().resident_bytes <= p.budget_bytes());
+            p.check_invariants().map_err(TestCaseError::fail)?;
+        }
     }
 }

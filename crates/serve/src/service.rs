@@ -40,10 +40,17 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Per-tenant token-bucket policy.
     pub quota: QuotaConfig,
-    /// Nominal seconds one queued run takes — scales `retry_after_s` on
-    /// `queue-full` rejections.
+    /// Nominal seconds one queued run takes — seeds the observed-run-time
+    /// EWMA that scales `retry_after_s` on `queue-full` rejections. Once
+    /// runs complete, the hint tracks what runs *actually* take on this
+    /// host, not this configured guess.
     pub nominal_run_s: f64,
 }
+
+/// EWMA smoothing factor for observed run wall times: new observations
+/// carry 30% weight, so the `retry_after_s` hint adapts within a few runs
+/// without one outlier whipsawing it.
+const RUN_WALL_EWMA_ALPHA: f64 = 0.3;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -120,6 +127,11 @@ struct ServiceInner {
     next_job: AtomicU64,
     draining: AtomicBool,
     started: Instant,
+    /// EWMA of completed-run wall seconds, seeded from
+    /// [`ServiceConfig::nominal_run_s`]. Drives the `queue-full`
+    /// `retry_after_s` hint: a service whose runs take 10x the nominal
+    /// knob must not tell rejected clients to come back 10x too soon.
+    run_wall_ewma_s: Mutex<f64>,
 }
 
 impl ServiceInner {
@@ -147,10 +159,31 @@ impl ServiceInner {
         self.jobs_cv.notify_all();
     }
 
+    /// Folds one completed run's wall time into the EWMA.
+    fn record_run_wall_s(&self, wall_s: f64) {
+        let mut ewma = self.run_wall_ewma_s.lock().unwrap();
+        *ewma = (1.0 - RUN_WALL_EWMA_ALPHA) * *ewma + RUN_WALL_EWMA_ALPHA * wall_s;
+    }
+
+    /// Backpressure hint for a `queue-full` rejection: how long until a
+    /// worker likely frees a slot, assuming observed run time and a full
+    /// pipeline.
+    fn retry_after_hint(&self) -> f64 {
+        let observed = *self.run_wall_ewma_s.lock().unwrap();
+        observed * (1.0 + self.queue.depth() as f64 / self.config.run_workers as f64)
+    }
+
     /// Executes one queued run on a worker thread and books the outcome.
     fn execute(&self, run: QueuedRun) {
         self.update_job(&run.job_id, |r| r.state = JobState::Running);
-        match engine::run(&run.request, self.config.threads, true) {
+        let started = Instant::now();
+        let result = engine::run(&run.request, self.config.threads, true);
+        // Failed runs held a worker just as long as successful ones, so
+        // both feed the backpressure estimate. Recorded before the
+        // outcome is booked: a `wait`ing client that sees `Done` must
+        // also see the hint its run produced.
+        self.record_run_wall_s(started.elapsed().as_secs_f64());
+        match result {
             Ok(outcome) => self.update_job(&run.job_id, |r| {
                 r.state = JobState::Done;
                 r.fingerprint = Some(outcome.report.fingerprint());
@@ -202,6 +235,7 @@ impl Service {
             next_job: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             started: Instant::now(),
+            run_wall_ewma_s: Mutex::new(config.nominal_run_s),
         });
         let workers = (0..config.run_workers.max(1))
             .map(|_| {
@@ -320,10 +354,7 @@ impl Service {
         };
         if self.inner.queue.push(priority, queued).is_err() {
             self.inner.jobs.lock().unwrap().remove(&job_id);
-            // Backpressure hint: how long until a worker likely frees a
-            // slot, assuming nominal run time and a full pipeline.
-            let retry = self.inner.config.nominal_run_s
-                * (1.0 + self.inner.queue.depth() as f64 / self.inner.config.run_workers as f64);
+            let retry = self.inner.retry_after_hint();
             return Reply::err(
                 &id,
                 "run",
@@ -441,5 +472,85 @@ fn render_finished(id: &str, job_id: &str, rec: &JobRecord) -> String {
             .finish(),
         JobState::Failed => Reply::err(id, "run", ErrorCode::Internal, &rec.error, None),
         _ => unreachable!("render_finished called on unfinished job"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `queue-full` backpressure hint must follow *observed* run wall
+    /// times, not the configured nominal knob: a service whose runs take
+    /// 10x `nominal_run_s` would otherwise tell rejected clients to retry
+    /// 10x too soon, turning every rejection into an immediate second
+    /// rejection.
+    #[test]
+    fn retry_after_tracks_observed_run_times() {
+        let mut svc = Service::start(ServiceConfig {
+            run_workers: 2,
+            ..Default::default()
+        });
+        let nominal = svc.inner.config.nominal_run_s;
+        // Full-pipeline factor: queue capacity over workers (`depth()` is
+        // the configured capacity, the worst-case backlog a rejected
+        // client waits behind).
+        let pipeline = 1.0 + svc.inner.queue.depth() as f64 / 2.0;
+        // Before any run completes, the hint falls back to the nominal
+        // knob.
+        assert!((svc.inner.retry_after_hint() - nominal * pipeline).abs() < 1e-12);
+
+        // A slow synthetic run: 5 s of wall time against a 0.5 s knob.
+        svc.inner.record_run_wall_s(5.0);
+        let after_one = svc.inner.retry_after_hint();
+        let expected = (1.0 - RUN_WALL_EWMA_ALPHA) * nominal + RUN_WALL_EWMA_ALPHA * 5.0;
+        assert!(
+            (after_one - expected * pipeline).abs() < 1e-12,
+            "{after_one}"
+        );
+        assert!(
+            after_one > 2.0 * nominal * pipeline,
+            "hint must grow past the nominal-derived value: {after_one}"
+        );
+
+        // More slow runs push the EWMA toward the observed time, never
+        // past it.
+        svc.inner.record_run_wall_s(5.0);
+        svc.inner.record_run_wall_s(5.0);
+        let converged = svc.inner.retry_after_hint();
+        assert!(converged > after_one, "monotone toward the observed time");
+        assert!(
+            converged < 5.0 * pipeline,
+            "EWMA never overshoots its inputs"
+        );
+
+        // Fast runs pull it back down below the nominal seed.
+        for _ in 0..24 {
+            svc.inner.record_run_wall_s(0.01);
+        }
+        assert!(svc.inner.retry_after_hint() < nominal * pipeline);
+        svc.shutdown();
+    }
+
+    /// A real completed run must feed the EWMA without any synthetic
+    /// recording: in-process runs finish in well under a second, so the
+    /// estimate drops below the 0.5 s nominal seed.
+    #[test]
+    fn completed_runs_feed_the_backpressure_estimate() {
+        let mut svc = Service::start(ServiceConfig {
+            run_workers: 1,
+            threads: 1,
+            ..Default::default()
+        });
+        let resp = svc.handle(
+            r#"{"schema":"cumulon-serve-v1","id":"r1","tenant":"t","action":"run",
+                "script":"G = A' * A;","inputs":["A=64x32"],"nodes":2,"wait":true}"#,
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let observed = *svc.inner.run_wall_ewma_s.lock().unwrap();
+        assert!(
+            observed != svc.inner.config.nominal_run_s,
+            "a completed run must move the EWMA off its seed"
+        );
+        svc.shutdown();
     }
 }
